@@ -1,0 +1,87 @@
+// Command scaf-bench regenerates the paper's tables and figures over the
+// 16 embedded benchmark programs.
+//
+// Usage:
+//
+//	scaf-bench                  # everything
+//	scaf-bench -fig 8           # one figure (7, 8, 9, 10)
+//	scaf-bench -table 2         # one table
+//	scaf-bench -bench 181.mcf   # restrict to chosen benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scaf/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (7, 8, 9, 10); 0 = all")
+	table := flag.Int("table", 0, "table to regenerate (1, 2); 0 = all")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory (requires running everything)")
+	flag.Parse()
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	wantFig := func(n int) bool { return (*fig == 0 && *table == 0) || *fig == n }
+	wantTable := func(n int) bool { return (*fig == 0 && *table == 0) || *table == n }
+
+	if wantFig(7) {
+		fmt.Println(bench.RenderFig7())
+	}
+	if wantTable(1) {
+		fmt.Println(bench.RenderTable1())
+	}
+	if !wantFig(8) && !wantFig(9) && !wantFig(10) && !wantTable(2) {
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "loading and profiling benchmarks...\n")
+	suite, err := bench.LoadSuite(names...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	var analyses []*bench.Analysis
+	if wantFig(8) || wantFig(9) || wantTable(2) {
+		fmt.Fprintf(os.Stderr, "analyzing hot loops under CAF / confluence / SCAF...\n")
+		analyses = bench.AnalyzeSuite(suite)
+	}
+
+	if wantFig(8) {
+		fmt.Println(bench.RenderFig8(bench.Fig8(analyses)))
+	}
+	if wantFig(9) {
+		fmt.Println(bench.RenderFig9(bench.Fig9(analyses)))
+	}
+	if wantTable(2) {
+		fmt.Println(bench.RenderTable2(bench.Table2(analyses)))
+	}
+	var latencies []bench.Fig10Series
+	if wantFig(10) {
+		fmt.Fprintf(os.Stderr, "measuring query latencies...\n")
+		latencies = bench.Fig10(suite)
+		fmt.Println(bench.RenderFig10(latencies))
+	}
+	if *csvDir != "" {
+		if analyses == nil || latencies == nil {
+			fmt.Fprintln(os.Stderr, "-csv requires running all experiments (omit -fig/-table)")
+			os.Exit(2)
+		}
+		err := bench.WriteCSVs(*csvDir,
+			bench.Fig8(analyses), bench.Fig9(analyses), bench.Table2(analyses), latencies)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "CSVs written to %s\n", *csvDir)
+	}
+}

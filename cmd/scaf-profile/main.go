@@ -1,0 +1,110 @@
+// Command scaf-profile runs the profiling ("train input") execution of an
+// MC program and reports what the profilers learned: hot loops, biased
+// branches, predictable loads, read-only and short-lived allocation sites.
+//
+// Usage:
+//
+//	scaf-profile prog.mc
+//	scaf-profile -bench 181.mcf     # profile an embedded benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"scaf"
+	"scaf/internal/bench"
+	"scaf/internal/ir"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "profile an embedded benchmark instead of a file")
+	flag.Parse()
+
+	var name, src string
+	switch {
+	case *benchName != "":
+		name = *benchName
+		var ok bool
+		src, ok = bench.Sources[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q; known: %v\n", name, bench.Names())
+			os.Exit(2)
+		}
+	case flag.NArg() == 1:
+		name = flag.Arg(0)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: scaf-profile [-bench name] [file.mc]")
+		os.Exit(2)
+	}
+
+	sys, err := scaf.Load(name, src, scaf.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	d := sys.Profiles
+	fmt.Printf("program %s: %d dynamic instructions\n", name, d.Steps)
+	fmt.Printf("output: %v\n\n", d.Output)
+
+	fmt.Println("hot loops (≥10% of execution, ≥50 avg iterations):")
+	hot := sys.HotLoops()
+	for _, l := range hot {
+		st := d.LoopStats[l]
+		fmt.Printf("  %-30s weight=%5.1f%% invocations=%d avg-iters=%.1f\n",
+			l.Name(), 100*d.LoopWeightFrac(l), st.Invocations, st.AvgIters())
+	}
+
+	fmt.Println("\nbiased (never-taken) edges:")
+	for _, f := range sys.Mod.Funcs {
+		for _, e := range d.Edge.BiasedEdges(f) {
+			fmt.Printf("  %s: %s -> %s\n", f.Name, e.From, e.To)
+		}
+	}
+
+	fmt.Println("\npredictable loads:")
+	for _, f := range sys.Mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op != ir.OpLoad {
+				return
+			}
+			if v, ok := d.Value.Predictable(in); ok && d.Value.ExecCount(in) > 1 {
+				fmt.Printf("  %s:%s = %d (executed %d times)\n",
+					f.Name, ir.FormatInstr(in), int64(v), d.Value.ExecCount(in))
+			}
+		})
+	}
+
+	for _, l := range hot {
+		ro := d.Lifetime.ReadOnlySites(l)
+		sl := d.Lifetime.ShortLivedSites(l)
+		if len(ro)+len(sl) == 0 {
+			continue
+		}
+		fmt.Printf("\nloop %s:\n", l.Name())
+		var names []string
+		for _, s := range ro {
+			names = append(names, s.String())
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  read-only:   %s\n", n)
+		}
+		names = names[:0]
+		for _, s := range sl {
+			names = append(names, s.String())
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  short-lived: %s\n", n)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command scaf-query runs the PDG client over a program's hot loops and
+// prints every dependence query with its resolution under a chosen scheme.
+//
+// Usage:
+//
+//	scaf-query -scheme scaf prog.mc
+//	scaf-query -scheme confluence -bench 183.equake
+//	scaf-query -diff -bench 456.hmmer    # queries SCAF resolves beyond confluence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaf"
+	"scaf/internal/bench"
+	"scaf/internal/core"
+	"scaf/internal/ir"
+	"scaf/internal/pdg"
+)
+
+func main() {
+	schemeName := flag.String("scheme", "scaf", "caf | confluence | scaf")
+	benchName := flag.String("bench", "", "analyze an embedded benchmark instead of a file")
+	diff := flag.Bool("diff", false, "show only queries SCAF resolves beyond confluence")
+	dot := flag.Bool("dot", false, "emit the dependence graphs in Graphviz DOT format")
+	flag.Parse()
+
+	var name, src string
+	switch {
+	case *benchName != "":
+		name = *benchName
+		var ok bool
+		src, ok = bench.Sources[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+			os.Exit(2)
+		}
+	case flag.NArg() == 1:
+		name = flag.Arg(0)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: scaf-query [-scheme s] [-diff] [-bench name | file.mc]")
+		os.Exit(2)
+	}
+
+	var scheme scaf.Scheme
+	switch *schemeName {
+	case "caf":
+		scheme = scaf.SchemeCAF
+	case "confluence":
+		scheme = scaf.SchemeConfluence
+	case "scaf":
+		scheme = scaf.SchemeSCAF
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scheme", *schemeName)
+		os.Exit(2)
+	}
+
+	sys, err := scaf.Load(name, src, scaf.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	client := sys.Client()
+	o := sys.Orchestrator(scheme)
+	var conf *core.Orchestrator
+	if *diff {
+		conf = sys.Orchestrator(scaf.SchemeConfluence)
+	}
+
+	for _, l := range sys.HotLoops() {
+		res := client.AnalyzeLoop(o, l)
+		if *dot {
+			fmt.Println(res.ToDOT())
+			continue
+		}
+		var confRes map[pdg.Key]*pdg.Query
+		if *diff {
+			confRes = client.AnalyzeLoop(conf, l).ByKey()
+		}
+		fmt.Printf("loop %s: %%NoDep = %.1f over %d queries\n", l.Name(), res.NoDepPct(), len(res.Queries))
+		for _, q := range res.Queries {
+			if *diff {
+				ck := confRes[pdg.Key{I1: q.I1, I2: q.I2, Rel: q.Rel}]
+				if !q.NoDep || (ck != nil && ck.NoDep) {
+					continue
+				}
+			}
+			status := "DEP"
+			if q.NoDep {
+				status = "nodep"
+			}
+			fmt.Printf("  [%s] %-6s %s  --(%s)->  %s", status, q.Resp.Result, describe(q.I1), q.Rel, describe(q.I2))
+			if q.NoDep && q.Cost > 0 {
+				fmt.Printf("  cost=%.0f", q.Cost)
+			}
+			if len(q.Resp.Contribs) > 0 {
+				fmt.Printf("  via %v", q.Resp.Contribs)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func describe(in *ir.Instr) string {
+	return fmt.Sprintf("%s[%s]", in, ir.FormatInstr(in))
+}

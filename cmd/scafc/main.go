@@ -1,0 +1,62 @@
+// Command scafc compiles an MC source file to IR and prints it, optionally
+// with control-flow analyses.
+//
+// Usage:
+//
+//	scafc prog.mc            # dump SSA-form IR
+//	scafc -loops prog.mc     # also dump the loop forest
+//	scafc -run prog.mc       # compile and execute, printing output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaf/internal/cfg"
+	"scaf/internal/interp"
+	"scaf/internal/ir"
+	"scaf/internal/lower"
+)
+
+func main() {
+	loops := flag.Bool("loops", false, "print the loop forest")
+	run := flag.Bool("run", false, "execute the program after compiling")
+	steps := flag.Int64("maxsteps", 0, "interpreter instruction budget (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: scafc [-loops] [-run] file.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	mod, err := lower.Compile(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *run {
+		res, err := interp.Run(mod, interp.Options{MaxSteps: *steps})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtime error:", err)
+			os.Exit(1)
+		}
+		for _, line := range res.Output {
+			fmt.Println(line)
+		}
+		fmt.Fprintf(os.Stderr, "executed %d instructions\n", res.Steps)
+		return
+	}
+	fmt.Print(ir.FormatModule(mod))
+	if *loops {
+		prog := cfg.NewProgram(mod)
+		fmt.Println("\nloop forest:")
+		for _, l := range prog.AllLoops() {
+			fmt.Printf("  %-30s depth=%d blocks=%d exits=%d\n",
+				l.Name(), l.Depth, len(l.Blocks), len(l.Exits))
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// The newmodule example shows the paper's extension story (§4.2.1): how a
+// new speculation module is written and dropped into the ensemble. The
+// module below implements a toy "bounds speculation": the profiler showed
+// an index-computing load always in [0, N), so accesses through it stay
+// inside one array — here distilled to asserting that two specific
+// globals' footprints never alias with a one-compare validation.
+//
+// The point is the shape: implement core.Module, return speculative
+// responses with assertions (module id, transform points, cost, conflict
+// points), and register via scaf.WithExtraModules. The orchestrator,
+// premise routing, join policies, and clients all work unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaf"
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// boundsSpec is a user-provided speculation module.
+type boundsSpec struct {
+	core.BaseModule
+	a, b *ir.Global // globals asserted disjoint at runtime
+}
+
+func (m *boundsSpec) Name() string          { return "bounds-spec" }
+func (m *boundsSpec) Kind() core.ModuleKind { return core.Speculation }
+
+func (m *boundsSpec) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	if q.Desired == core.WantMustAlias {
+		return core.MayAliasResponse() // desired-result bail-out (§3.2.2)
+	}
+	d1 := core.Decompose(q.L1.Ptr)
+	d2 := core.Decompose(q.L2.Ptr)
+	hit := func(x, y ir.Value) bool { return x == ir.Value(m.a) && y == ir.Value(m.b) }
+	if hit(d1.Base, d2.Base) || hit(d2.Base, d1.Base) {
+		return core.AliasSpec(core.NoAlias, m.Name(), core.Assertion{
+			Module: m.Name(),
+			Kind:   "bounds-check",
+			Points: []core.Point{{G: m.a}, {G: m.b}},
+			Cost:   1, // one compare at loop entry
+		})
+	}
+	return core.MayAliasResponse()
+}
+
+const program = `
+int xs[64];
+int ys[64];
+void main() {
+    for (int i = 0; i < 500; i++) {
+        xs[i % 64] = i;
+        ys[i % 64] = xs[i % 64] * 2;
+    }
+    print(ys[3]);
+}
+`
+
+func main() {
+	sys, err := scaf.Load("custom", program, scaf.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	custom := &boundsSpec{
+		a: sys.Mod.GlobalNamed("xs"),
+		b: sys.Mod.GlobalNamed("ys"),
+	}
+
+	loop := sys.HotLoops()[0]
+	q := &core.AliasQuery{
+		L1:   core.MemLoc{Ptr: custom.a, Size: 8},
+		L2:   core.MemLoc{Ptr: custom.b, Size: 8},
+		Rel:  core.Same,
+		Loop: loop,
+		DT:   sys.Prog.Dom[loop.Fn],
+		PDT:  sys.Prog.PostDom[loop.Fn],
+	}
+
+	// Without the custom module the ensemble already proves this case
+	// statically; to showcase the extension we query the custom module in
+	// a minimal ensemble of one.
+	solo := core.NewOrchestrator(core.Config{Modules: []core.Module{custom}})
+	resp := solo.Alias(q)
+	fmt.Printf("custom module alone: %s via %v\n", resp.Result, resp.Contribs)
+	for _, o := range resp.Options {
+		for _, a := range o.Asserts {
+			fmt.Printf("  assertion: %s\n", a)
+		}
+	}
+
+	// And registered alongside the full SCAF ensemble:
+	full := sys.Orchestrator(scaf.SchemeSCAF, scaf.WithExtraModules(custom))
+	resp = full.Alias(q)
+	fmt.Printf("full ensemble:       %s via %v (free answers win: %v)\n",
+		resp.Result, resp.Contribs, core.HasFree(resp.Options))
+}

@@ -1,0 +1,3 @@
+module scaf
+
+go 1.22

@@ -1,0 +1,84 @@
+// Package analysis implements the CAF memory-analysis ensemble the paper
+// builds on (§4.1): thirteen independent algorithms, each trying to
+// disprove one of the four dependence conditions (alias, update,
+// feasible-path, no-kill), collaborating through premise queries.
+//
+// Crucially, modules take control-flow facts (dominator/post-dominator
+// trees) from the query, never from the IR directly, so they transparently
+// benefit from speculative control flow without being speculation-aware.
+package analysis
+
+import (
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// DefaultModules returns the full CAF ensemble in recommended evaluation
+// order (cheap local reasoning first, factored modules last).
+func DefaultModules(prog *cfg.Program) []core.Module {
+	return []core.Module{
+		NewNullPtr(),
+		NewBasicObjects(),
+		NewOffsetRanges(),
+		NewArrayOfStructs(),
+		NewTBAA(),
+		NewSCEV(prog),
+		NewLoopFresh(),
+		NewNoCaptureGlobal(prog.Mod),
+		NewNoCaptureSource(prog.Mod),
+		NewGlobalMalloc(prog.Mod),
+		NewKillFlow(prog),
+		NewCalleeSummary(prog.Mod),
+		NewModRefBridge(),
+	}
+}
+
+// GroupCAF is the technique-group name shared by all memory-analysis
+// modules: under isolated (confluence) routing they still collaborate with
+// each other, crediting CAF as prior work (paper §5, "we treat all the
+// memory analysis modules as one component").
+const GroupCAF = "caf"
+
+// Groups returns the module→group map for the ensemble.
+func Groups(mods []core.Module) map[string]string {
+	g := map[string]string{}
+	for _, m := range mods {
+		if m.Kind() == core.MemoryAnalysis {
+			g[m.Name()] = GroupCAF
+		}
+	}
+	return g
+}
+
+// definedOutsideLoop reports whether value v names the same dynamic value
+// in every iteration of loop l: constants, globals, params, and
+// instructions defined outside l.
+func definedOutsideLoop(v ir.Value, l *cfg.Loop) bool {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return true
+	}
+	return l == nil || !l.ContainsInstr(in)
+}
+
+// sameDynamicBase reports whether, for the query's temporal relation, the
+// two occurrences of the SAME base SSA value denote the same dynamic
+// pointer: always true intra-iteration; across iterations only when the
+// value is loop-invariant (defined outside the loop).
+func sameDynamicBase(base ir.Value, rel core.TemporalRelation, l *cfg.Loop) bool {
+	if rel == core.Same {
+		return true
+	}
+	return definedOutsideLoop(base, l)
+}
+
+// knownSizes reports whether both locations have static extents.
+func knownSizes(q *core.AliasQuery) bool {
+	return q.L1.Size != core.UnknownSize && q.L2.Size != core.UnknownSize
+}
+
+// rangesOverlap reports whether [o1, o1+s1) and [o2, o2+s2) intersect.
+func rangesOverlap(o1, s1, o2, s2 int64) bool {
+	return o1 < o2+s2 && o2 < o1+s1
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// NullPtr disproves aliasing with null-based locations: dereferencing null
+// is undefined, so a null-based footprint cannot participate in a
+// dependence.
+type NullPtr struct{ core.BaseModule }
+
+// NewNullPtr constructs the module.
+func NewNullPtr() *NullPtr { return &NullPtr{} }
+
+func (m *NullPtr) Name() string          { return "null-ptr" }
+func (m *NullPtr) Kind() core.ModuleKind { return core.MemoryAnalysis }
+
+func (m *NullPtr) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	for _, l := range []core.MemLoc{q.L1, q.L2} {
+		d := core.Decompose(l.Ptr)
+		if _, isNull := d.Base.(*ir.ConstNull); isNull {
+			return core.AliasFact(core.NoAlias, m.Name())
+		}
+	}
+	return core.MayAliasResponse()
+}
+
+// BasicObjects disproves aliasing between locations rooted at distinct
+// allocation sites: two different allocas/mallocs/globals always denote
+// disjoint objects (addresses are never reused while both are live, and
+// post-free accesses are undefined). It looks through phi merges: if every
+// possible base of L1 is an allocation distinct from every possible base
+// of L2, the footprints are disjoint.
+type BasicObjects struct{ core.BaseModule }
+
+// NewBasicObjects constructs the module.
+func NewBasicObjects() *BasicObjects { return &BasicObjects{} }
+
+func (m *BasicObjects) Name() string          { return "basic-objects" }
+func (m *BasicObjects) Kind() core.ModuleKind { return core.MemoryAnalysis }
+
+const phiWalkLimit = 12
+
+func (m *BasicObjects) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	// Fast path: both chains bottom out in distinct allocations without
+	// any phi merge. This runs regardless of the desired result — a cheap
+	// definite answer settles the proposition and ends the search.
+	d1 := core.Decompose(q.L1.Ptr)
+	d2 := core.Decompose(q.L2.Ptr)
+	if d1.Base != d2.Base && core.IsAllocationBase(d1.Base) && core.IsAllocationBase(d2.Base) {
+		return core.AliasFact(core.NoAlias, m.Name())
+	}
+	if q.Desired == core.WantMustAlias {
+		// Desired-result bail-out (§3.2.2): the transitive phi walk below
+		// is this module's expensive path and can only yield NoAlias.
+		return core.MayAliasResponse()
+	}
+	b1, c1 := core.UnderlyingBases(q.L1.Ptr, phiWalkLimit)
+	b2, c2 := core.UnderlyingBases(q.L2.Ptr, phiWalkLimit)
+	if !c1 || !c2 {
+		return core.MayAliasResponse()
+	}
+	for _, x := range b1 {
+		if !core.IsAllocationBase(x) {
+			return core.MayAliasResponse()
+		}
+	}
+	for _, y := range b2 {
+		if !core.IsAllocationBase(y) {
+			return core.MayAliasResponse()
+		}
+	}
+	for _, x := range b1 {
+		for _, y := range b2 {
+			if x == y {
+				// Same allocation site: cannot disprove here (LoopFresh
+				// handles the cross-iteration in-loop case).
+				return core.MayAliasResponse()
+			}
+		}
+	}
+	return core.AliasFact(core.NoAlias, m.Name())
+}
+
+// OffsetRanges resolves locations that share one dynamic base pointer by
+// comparing constant byte offsets and extents: disjoint ranges are
+// NoAlias; identical ranges MustAlias; nested ranges SubAlias; anything
+// else PartialAlias.
+type OffsetRanges struct{ core.BaseModule }
+
+// NewOffsetRanges constructs the module.
+func NewOffsetRanges() *OffsetRanges { return &OffsetRanges{} }
+
+func (m *OffsetRanges) Name() string          { return "offset-ranges" }
+func (m *OffsetRanges) Kind() core.ModuleKind { return core.MemoryAnalysis }
+
+func (m *OffsetRanges) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	// The same SSA pointer denotes one dynamic address per iteration:
+	// trivially MustAlias intra-iteration regardless of how it was
+	// computed.
+	if q.Rel == core.Same && q.L1.Ptr == q.L2.Ptr && q.L1.Ptr != nil &&
+		q.L1.Size == q.L2.Size && q.L1.Size != core.UnknownSize {
+		return core.AliasFact(core.MustAlias, m.Name())
+	}
+	d1 := core.Decompose(q.L1.Ptr)
+	d2 := core.Decompose(q.L2.Ptr)
+	if d1.Base != d2.Base || !d1.KnownOff || !d2.KnownOff {
+		return core.MayAliasResponse()
+	}
+	if !sameDynamicBase(d1.Base, q.Rel, q.Loop) {
+		return core.MayAliasResponse()
+	}
+	if !knownSizes(q) {
+		return core.MayAliasResponse()
+	}
+	o1, s1 := d1.Off, q.L1.Size
+	o2, s2 := d2.Off, q.L2.Size
+	switch {
+	case !rangesOverlap(o1, s1, o2, s2):
+		return core.AliasFact(core.NoAlias, m.Name())
+	case o1 == o2 && s1 == s2:
+		return core.AliasFact(core.MustAlias, m.Name())
+	case o1 >= o2 && o1+s1 <= o2+s2:
+		return core.AliasFact(core.SubAlias, m.Name())
+	default:
+		return core.AliasFact(core.PartialAlias, m.Name())
+	}
+}
+
+// ArrayOfStructs disambiguates accesses to different fields of an array of
+// structures: base + i*S + f1 and base + j*S + f2 can never collide when
+// the field windows [f1, f1+s1) and [f2, f2+s2) are disjoint within the
+// stride S, for any i and j — even unknown ones.
+type ArrayOfStructs struct{ core.BaseModule }
+
+// NewArrayOfStructs constructs the module.
+func NewArrayOfStructs() *ArrayOfStructs { return &ArrayOfStructs{} }
+
+func (m *ArrayOfStructs) Name() string          { return "array-of-structs" }
+func (m *ArrayOfStructs) Kind() core.ModuleKind { return core.MemoryAnalysis }
+
+// strideAndField matches p = Field(Index(base, i), f) patterns and returns
+// the decomposed array root, element stride, and the field byte window
+// (including any constant offset between the root and the indexed array —
+// array decays introduce per-use bitcasts, so roots are compared after
+// decomposition).
+func strideAndField(p ir.Value) (base ir.Value, stride, fieldOff int64, ok bool) {
+	fieldOff = 0
+	v := p
+	for {
+		in, isIn := v.(*ir.Instr)
+		if !isIn {
+			return nil, 0, 0, false
+		}
+		switch in.Op {
+		case ir.OpField:
+			st := ir.Pointee(in.Args[0].Type()).(*ir.StructType)
+			fieldOff += st.Fields[in.FieldIdx].Offset
+			v = in.Args[0]
+		case ir.OpCast:
+			if in.Cast != ir.Bitcast {
+				return nil, 0, 0, false
+			}
+			v = in.Args[0]
+		case ir.OpIndex:
+			elem := ir.Pointee(in.Ty)
+			d := core.Decompose(in.Args[0])
+			if !d.KnownOff {
+				return nil, 0, 0, false
+			}
+			return d.Base, elem.Size(), fieldOff + d.Off, true
+		default:
+			return nil, 0, 0, false
+		}
+	}
+}
+
+func (m *ArrayOfStructs) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	if !knownSizes(q) {
+		return core.MayAliasResponse()
+	}
+	b1, s1, f1, ok1 := strideAndField(q.L1.Ptr)
+	b2, s2, f2, ok2 := strideAndField(q.L2.Ptr)
+	if !ok1 || !ok2 || b1 != b2 || s1 != s2 || s1 <= 0 {
+		return core.MayAliasResponse()
+	}
+	if !sameDynamicBase(b1, q.Rel, q.Loop) && q.Rel != core.Same {
+		// The base must denote the same array in both iterations.
+		return core.MayAliasResponse()
+	}
+	// Field windows within one stride: since both addresses are congruent
+	// to their field offsets modulo the stride, disjoint windows (that do
+	// not wrap) can never overlap.
+	w1, w2 := f1%s1, f2%s1
+	if w1+q.L1.Size <= s1 && w2+q.L2.Size <= s1 && !rangesOverlap(w1, q.L1.Size, w2, q.L2.Size) {
+		return core.AliasFact(core.NoAlias, m.Name())
+	}
+	return core.MayAliasResponse()
+}
+
+// TBAA is type-based disambiguation: MC has no unions or reinterpreting
+// casts, so memory accessed as one scalar type is never legally accessed
+// as another; footprints of different access types cannot alias.
+type TBAA struct{ core.BaseModule }
+
+// NewTBAA constructs the module.
+func NewTBAA() *TBAA { return &TBAA{} }
+
+func (m *TBAA) Name() string          { return "tbaa" }
+func (m *TBAA) Kind() core.ModuleKind { return core.MemoryAnalysis }
+
+// accessType returns the scalar type a location is accessed at.
+func accessType(l core.MemLoc) ir.Type {
+	if l.Ptr == nil {
+		return nil
+	}
+	return ir.Pointee(l.Ptr.Type())
+}
+
+func tbaaDistinct(a, b ir.Type) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	// Only scalar leaf types participate; aggregates contain anything.
+	scalar := func(t ir.Type) bool {
+		switch t.(type) {
+		case *ir.IntType, *ir.FloatType, *ir.PtrType:
+			return true
+		}
+		return false
+	}
+	if !scalar(a) || !scalar(b) {
+		return false
+	}
+	// Pointer types are mutually convertible only through array decay,
+	// which preserves the element type; distinct pointee shapes are still
+	// distinct slots. Treat all pointer types as one TBAA class to stay
+	// conservative about decay.
+	isPtr := func(t ir.Type) bool { return ir.IsPointer(t) }
+	if isPtr(a) && isPtr(b) {
+		return false
+	}
+	return !ir.Equal(a, b)
+}
+
+func (m *TBAA) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	if tbaaDistinct(accessType(q.L1), accessType(q.L2)) {
+		return core.AliasFact(core.NoAlias, m.Name())
+	}
+	return core.MayAliasResponse()
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// KillFlow disproves dependences by finding an intervening store that
+// fully overwrites the queried footprint on every relevant path (the
+// no-kill condition of §2.1). It is a factored module: the "does the
+// killing store cover the footprint?" proposition becomes a premise alias
+// query with a MustAlias desired result, answerable by any module in the
+// ensemble — including speculation modules.
+//
+// All path feasibility is judged against the dominator tree carried by
+// the query: when control speculation substitutes speculative trees,
+// blocks that are speculatively dead simply disappear from the path
+// searches, which is exactly how the paper's motivating example resolves
+// (Fig. 5/6).
+type KillFlow struct {
+	core.BaseModule
+	prog   *cfg.Program
+	stores map[*cfg.Loop][]*ir.Instr
+}
+
+// NewKillFlow constructs the module, indexing each loop's stores.
+func NewKillFlow(prog *cfg.Program) *KillFlow {
+	k := &KillFlow{prog: prog, stores: map[*cfg.Loop][]*ir.Instr{}}
+	for _, l := range prog.AllLoops() {
+		for _, in := range l.MemOps() {
+			if in.Op == ir.OpStore {
+				k.stores[l] = append(k.stores[l], in)
+			}
+		}
+	}
+	return k
+}
+
+func (m *KillFlow) Name() string          { return "kill-flow" }
+func (m *KillFlow) Kind() core.ModuleKind { return core.MemoryAnalysis }
+
+// live reports whether b is feasible under the query's control-flow view.
+func live(dt *cfg.Tree, b *ir.Block) bool {
+	return dt == nil || dt.Reachable(b)
+}
+
+// reaches performs a path search within loop l (inner-loop cycles allowed,
+// re-entering l's header forbidden — that would start a new iteration),
+// avoiding block `avoid`, over blocks live under dt. start is a frontier
+// of blocks to begin from (already "entered").
+func reaches(l *cfg.Loop, dt *cfg.Tree, start []*ir.Block, avoid *ir.Block, hit func(*ir.Block) bool) bool {
+	seen := map[*ir.Block]bool{}
+	queue := append([]*ir.Block(nil), start...)
+	for _, b := range queue {
+		seen[b] = true
+	}
+	for len(queue) > 0 {
+		b := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if b == avoid || !l.Contains(b) || !live(dt, b) {
+			continue
+		}
+		if hit(b) {
+			return true
+		}
+		for _, s := range b.Succs {
+			if s == l.Header || seen[s] {
+				continue
+			}
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	return false
+}
+
+// killsDestSide reports whether store s overwrites the footprint read or
+// written by i2 on every path from the iteration start (header) to i2.
+func killsDestSide(l *cfg.Loop, dt *cfg.Tree, s, i2 *ir.Instr) bool {
+	idxS := cfg.InstrIndex(s)
+	if s.Blk == i2.Blk {
+		return idxS < cfg.InstrIndex(i2)
+	}
+	if s.Blk == l.Header {
+		// The header is the mandatory first block of every iteration and
+		// executes s before control leaves it.
+		return i2.Blk != l.Header
+	}
+	// Does any header→i2 path avoid s's block?
+	found := reaches(l, dt, []*ir.Block{l.Header}, s.Blk, func(b *ir.Block) bool {
+		return b == i2.Blk
+	})
+	return !found
+}
+
+// killsSourceSide reports whether store s overwrites i1's footprint on
+// every intra-iteration path from i1 to the loop's back edges — or whether
+// no such path exists at all (the loop cannot continue after i1).
+func killsSourceSide(l *cfg.Loop, dt *cfg.Tree, s, i1 *ir.Instr) bool {
+	if s.Blk == i1.Blk && cfg.InstrIndex(s) > cfg.InstrIndex(i1) {
+		return true // straight-line rest of the block passes s
+	}
+	isLatch := map[*ir.Block]bool{}
+	for _, lb := range l.Latches {
+		isLatch[lb] = true
+	}
+	// A latch reached while avoiding s means the flow survives into the
+	// next iteration. Starting frontier: successors of i1's block (the
+	// tail of i1's own block contains no s here).
+	var frontier []*ir.Block
+	if isLatch[i1.Blk] {
+		return false // i1's own block can take the back edge immediately
+	}
+	for _, sc := range i1.Blk.Succs {
+		if sc != l.Header {
+			frontier = append(frontier, sc)
+		}
+	}
+	found := reaches(l, dt, frontier, s.Blk, func(b *ir.Block) bool {
+		return isLatch[b]
+	})
+	return !found
+}
+
+// killsIntra reports whether s lies on every intra-iteration path from i1
+// to i2.
+func killsIntra(l *cfg.Loop, dt *cfg.Tree, s, i1, i2 *ir.Instr) bool {
+	idxS, idx1, idx2 := cfg.InstrIndex(s), cfg.InstrIndex(i1), cfg.InstrIndex(i2)
+	if i1.Blk == i2.Blk && idx1 < idx2 {
+		// The straight-line path is always possible; s must sit between.
+		return s.Blk == i1.Blk && idxS > idx1 && idxS < idx2
+	}
+	if s.Blk == i1.Blk && idxS > idx1 {
+		return true
+	}
+	if s.Blk == i2.Blk && idxS < idx2 && i1.Blk != i2.Blk {
+		return true
+	}
+	if s.Blk == i2.Blk && idxS > idx2 {
+		// Any path entering i2's block reaches i2 before s: no kill, and
+		// the block-avoiding search below must not pretend otherwise.
+		return false
+	}
+	var frontier []*ir.Block
+	for _, sc := range i1.Blk.Succs {
+		if sc != l.Header {
+			frontier = append(frontier, sc)
+		}
+	}
+	found := reaches(l, dt, frontier, s.Blk, func(b *ir.Block) bool {
+		return b == i2.Blk
+	})
+	return !found
+}
+
+// covers asks the ensemble whether store s's footprint fully covers loc
+// (same iteration). The desired-result parameter lets base modules bail
+// out unless they can produce MustAlias (§3.2.2).
+func (m *KillFlow) covers(q *core.ModRefQuery, loc core.MemLoc, s *ir.Instr, h core.Handle) (core.ModRefResponse, bool) {
+	sp, ssz, _ := s.PointerOperand()
+	pr := h.PremiseAlias(&core.AliasQuery{
+		L1: loc, L2: core.MemLoc{Ptr: sp, Size: ssz},
+		Rel: core.Same, Loop: q.Loop, Ctx: q.Ctx,
+		Desired: core.WantMustAlias,
+		DT:      q.DT, PDT: q.PDT,
+	})
+	covered := false
+	switch pr.Result {
+	case core.MustAlias:
+		covered = loc.Size != core.UnknownSize && loc.Size <= ssz
+	case core.SubAlias:
+		covered = true // loc fully contained in s's footprint
+	}
+	if !covered {
+		return core.ModRefResponse{}, false
+	}
+	return core.ModRefResponse{
+		Result:   core.NoModRef,
+		Options:  pr.Options,
+		Contribs: core.MergeContribs([]string{m.Name()}, pr.Contribs),
+	}, true
+}
+
+func (m *KillFlow) ModRef(q *core.ModRefQuery, h core.Handle) core.ModRefResponse {
+	if q.Loop == nil || q.I1 == nil {
+		return core.ModRefConservative()
+	}
+	if !q.Loop.ContainsInstr(q.I1) || (q.I2 != nil && !q.Loop.ContainsInstr(q.I2)) {
+		return core.ModRefConservative()
+	}
+	if q.Rel == core.After {
+		// Dependences are queried source-first; After queries are rare and
+		// symmetric, skip.
+		return core.ModRefConservative()
+	}
+
+	fp2, have2 := q.TargetLoc()
+	fp1 := core.MemLoc{Size: core.UnknownSize}
+	have1 := false
+	if p1, s1, ok := q.I1.PointerOperand(); ok {
+		fp1 = core.MemLoc{Ptr: p1, Size: s1}
+		have1 = true
+	}
+
+	for _, s := range m.stores[q.Loop] {
+		if s == q.I2 || !live(q.DT, s.Blk) {
+			continue
+		}
+		// Cheap position tests first; the premise query only fires for
+		// geometrically plausible kills.
+		if q.Rel == core.Before {
+			// Note s == I1 is a valid destination-side killer: if the
+			// store re-executes every iteration before I2, iteration j's
+			// execution kills the value left by iteration i < j.
+			if q.I2 != nil && have2 && killsDestSide(q.Loop, q.DT, s, q.I2) {
+				if r, ok := m.covers(q, fp2, s, h); ok {
+					return r
+				}
+			}
+			if s != q.I1 && have1 && killsSourceSide(q.Loop, q.DT, s, q.I1) {
+				if r, ok := m.covers(q, fp1, s, h); ok {
+					return r
+				}
+			}
+		} else if s != q.I1 { // Same
+			if q.I2 != nil && have2 && killsIntra(q.Loop, q.DT, s, q.I1, q.I2) {
+				if r, ok := m.covers(q, fp2, s, h); ok {
+					return r
+				}
+			}
+		}
+	}
+
+	// No store needed: if no intra-iteration path from I1 ever reaches a
+	// latch, I1 ends its activation and cross-iteration dependences out of
+	// I1 are impossible.
+	if q.Rel == core.Before {
+		isLatch := map[*ir.Block]bool{}
+		for _, lb := range q.Loop.Latches {
+			isLatch[lb] = true
+		}
+		if !isLatch[q.I1.Blk] {
+			var frontier []*ir.Block
+			for _, sc := range q.I1.Blk.Succs {
+				if sc != q.Loop.Header {
+					frontier = append(frontier, sc)
+				}
+			}
+			if !reaches(q.Loop, q.DT, frontier, nil, func(b *ir.Block) bool { return isLatch[b] }) {
+				return core.ModRefFact(core.NoModRef, m.Name())
+			}
+		}
+	}
+	return core.ModRefConservative()
+}

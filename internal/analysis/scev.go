@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// SCEV performs scalar-evolution reasoning over pointers that are affine
+// in a loop's canonical induction variable: addr = base + A·iv + C. It
+// resolves both intra-iteration queries (same iv value ⇒ constant
+// distance) and cross-iteration queries (distance shifts by the loop's
+// address stride each iteration).
+type SCEV struct {
+	core.BaseModule
+	prog *cfg.Program
+	ivs  map[*cfg.Loop]map[*ir.Instr]int64 // loop → induction phi → step
+}
+
+// NewSCEV constructs the module, pre-computing induction variables.
+func NewSCEV(prog *cfg.Program) *SCEV {
+	s := &SCEV{prog: prog, ivs: map[*cfg.Loop]map[*ir.Instr]int64{}}
+	for _, l := range prog.AllLoops() {
+		s.ivs[l] = findIVs(l)
+	}
+	return s
+}
+
+func (m *SCEV) Name() string          { return "scev" }
+func (m *SCEV) Kind() core.ModuleKind { return core.MemoryAnalysis }
+
+// findIVs recognizes canonical induction phis in l's header: a phi whose
+// in-loop incoming value is phi ± constant.
+func findIVs(l *cfg.Loop) map[*ir.Instr]int64 {
+	out := map[*ir.Instr]int64{}
+	for _, in := range l.Header.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		if !ir.Equal(in.Ty, ir.Int) {
+			continue
+		}
+		step, ok := int64(0), false
+		for i, pred := range l.Header.Preds {
+			if !l.Contains(pred) {
+				continue // init edge
+			}
+			// Latch incoming: must be in ± const.
+			inc, isInstr := in.Args[i].(*ir.Instr)
+			if !isInstr || inc.Op != ir.OpBin {
+				ok = false
+				break
+			}
+			var s int64
+			switch {
+			case inc.Bin == ir.Add && inc.Args[0] == ir.Value(in):
+				s, ok = constOf(inc.Args[1])
+			case inc.Bin == ir.Add && inc.Args[1] == ir.Value(in):
+				s, ok = constOf(inc.Args[0])
+			case inc.Bin == ir.Sub && inc.Args[0] == ir.Value(in):
+				s, ok = constOf(inc.Args[1])
+				s = -s
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+			if step != 0 && s != step {
+				ok = false
+				break
+			}
+			step = s
+		}
+		if ok && step != 0 {
+			out[in] = step
+		}
+	}
+	return out
+}
+
+func constOf(v ir.Value) (int64, bool) { return ir.ConstIntValue(v) }
+
+// affine is e = A·iv + C + Σ coeff·sym, where each sym is a loop-invariant
+// SSA value (e.g. an outer loop's induction variable seen from an inner
+// loop). Symbolic terms cancel when two addresses carry identical ones,
+// which is what lets grid[y][x] and grid[y][x+1] resolve inside the x
+// loop. iv == nil means no recurrence.
+type affine struct {
+	iv   *ir.Instr
+	a, c int64
+	syms map[ir.Value]int64
+}
+
+const maxSyms = 4
+
+func (a affine) withSym(v ir.Value, coeff int64) (affine, bool) {
+	out := a
+	out.syms = map[ir.Value]int64{}
+	for k, c := range a.syms {
+		out.syms[k] = c
+	}
+	out.syms[v] += coeff
+	if out.syms[v] == 0 {
+		delete(out.syms, v)
+	}
+	if len(out.syms) > maxSyms {
+		return affine{}, false
+	}
+	return out, true
+}
+
+func (a affine) scale(k int64) affine {
+	out := affine{iv: a.iv, a: a.a * k, c: a.c * k}
+	if len(a.syms) > 0 {
+		out.syms = map[ir.Value]int64{}
+		for s, c := range a.syms {
+			out.syms[s] = c * k
+		}
+	}
+	return out
+}
+
+func sameSyms(x, y map[ir.Value]int64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for k, c := range x {
+		if y[k] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// affineOf recognizes affine integer expressions over the loop's IVs and
+// loop-invariant symbols.
+func (m *SCEV) affineOf(v ir.Value, l *cfg.Loop, depth int) (affine, bool) {
+	if depth > 8 {
+		return affine{}, false
+	}
+	if c, ok := constOf(v); ok {
+		return affine{c: c}, true
+	}
+	in, isInstr := v.(*ir.Instr)
+	if !isInstr {
+		// Params and globals are loop-invariant symbols.
+		if _, isNull := v.(*ir.ConstNull); isNull {
+			return affine{}, false
+		}
+		return affine{syms: map[ir.Value]int64{v: 1}}, true
+	}
+	if in.Op == ir.OpPhi {
+		if _, isIV := m.ivs[l][in]; isIV {
+			return affine{iv: in, a: 1}, true
+		}
+	}
+	if !l.ContainsInstr(in) {
+		// Defined outside the query loop: one dynamic value per iteration
+		// range of interest — a symbol.
+		return affine{syms: map[ir.Value]int64{in: 1}}, true
+	}
+	if in.Op != ir.OpBin {
+		return affine{}, false
+	}
+	x, okx := m.affineOf(in.Args[0], l, depth+1)
+	y, oky := m.affineOf(in.Args[1], l, depth+1)
+	if !okx || !oky {
+		return affine{}, false
+	}
+	switch in.Bin {
+	case ir.Add:
+		return combine(x, y, 1)
+	case ir.Sub:
+		return combine(x, y, -1)
+	case ir.Mul:
+		if x.iv == nil && len(x.syms) == 0 {
+			return y.scale(x.c), true
+		}
+		if y.iv == nil && len(y.syms) == 0 {
+			return x.scale(y.c), true
+		}
+	case ir.Shl:
+		if y.iv == nil && len(y.syms) == 0 && y.c >= 0 && y.c < 32 {
+			return x.scale(1 << uint(y.c)), true
+		}
+	}
+	return affine{}, false
+}
+
+func combine(x, y affine, sign int64) (affine, bool) {
+	if x.iv != nil && y.iv != nil && x.iv != y.iv {
+		return affine{}, false
+	}
+	out := affine{c: x.c + sign*y.c}
+	out.iv = x.iv
+	out.a = x.a
+	if y.iv != nil {
+		out.iv = y.iv
+		out.a = x.a + sign*y.a
+	}
+	if len(x.syms) > 0 || len(y.syms) > 0 {
+		out.syms = map[ir.Value]int64{}
+		for k, c := range x.syms {
+			out.syms[k] = c
+		}
+		for k, c := range y.syms {
+			out.syms[k] += sign * c
+			if out.syms[k] == 0 {
+				delete(out.syms, k)
+			}
+		}
+		if len(out.syms) > maxSyms {
+			return affine{}, false
+		}
+	}
+	return out, true
+}
+
+// addr is base + A·iv + C + Σ coeff·sym, in bytes.
+type addr struct {
+	base ir.Value
+	iv   *ir.Instr
+	a, c int64
+	syms map[ir.Value]int64
+}
+
+// addrOf decomposes a pointer into an affine byte address.
+func (m *SCEV) addrOf(p ir.Value, l *cfg.Loop) (addr, bool) {
+	out := addr{}
+	v := p
+	for depth := 0; depth < 16; depth++ {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			break
+		}
+		switch in.Op {
+		case ir.OpField:
+			st := ir.Pointee(in.Args[0].Type()).(*ir.StructType)
+			out.c += st.Fields[in.FieldIdx].Offset
+			v = in.Args[0]
+			continue
+		case ir.OpCast:
+			if in.Cast != ir.Bitcast {
+				break
+			}
+			v = in.Args[0]
+			continue
+		case ir.OpIndex:
+			sz := ir.Pointee(in.Ty).Size()
+			af, okA := m.affineOf(in.Args[1], l, 0)
+			if !okA {
+				return addr{}, false
+			}
+			af = af.scale(sz)
+			out.c += af.c
+			if af.iv != nil {
+				if out.iv != nil && out.iv != af.iv {
+					return addr{}, false
+				}
+				out.iv = af.iv
+				out.a += af.a
+			}
+			if len(af.syms) > 0 {
+				if out.syms == nil {
+					out.syms = map[ir.Value]int64{}
+				}
+				for k, c := range af.syms {
+					out.syms[k] += c
+					if out.syms[k] == 0 {
+						delete(out.syms, k)
+					}
+				}
+				if len(out.syms) > maxSyms {
+					return addr{}, false
+				}
+			}
+			v = in.Args[0]
+			continue
+		}
+		break
+	}
+	out.base = v
+	return out, true
+}
+
+// crossDisjoint reports whether [c1 - D·k, +s1) and [c2, +s2) are disjoint
+// for every iteration distance k ≥ 1.
+func crossDisjoint(c1, s1, c2, s2, d int64) bool {
+	if d == 0 {
+		return !rangesOverlap(c1, s1, c2, s2)
+	}
+	k0 := (c1 - c2) / d
+	for k := k0 - 4; k <= k0+4; k++ {
+		if k >= 1 && rangesOverlap(c1-d*k, s1, c2, s2) {
+			return false
+		}
+	}
+	for k := int64(1); k <= 4; k++ {
+		if rangesOverlap(c1-d*k, s1, c2, s2) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *SCEV) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	if q.Loop == nil || !knownSizes(q) {
+		return core.MayAliasResponse()
+	}
+	if q.Desired == core.WantMustAlias {
+		// Desired-result bail-out (§3.2.2): MustAlias here requires a
+		// shared base, checkable without the affine recurrence walk.
+		if core.Decompose(q.L1.Ptr).Base != core.Decompose(q.L2.Ptr).Base {
+			return core.MayAliasResponse()
+		}
+	}
+	a1, ok1 := m.addrOf(q.L1.Ptr, q.Loop)
+	a2, ok2 := m.addrOf(q.L2.Ptr, q.Loop)
+	if !ok1 || !ok2 || a1.base != a2.base {
+		return core.MayAliasResponse()
+	}
+	if !definedOutsideLoop(a1.base, q.Loop) && q.Rel != core.Same {
+		return core.MayAliasResponse()
+	}
+	// Symbolic parts must be identical to cancel, and every symbol must
+	// denote one dynamic value across the compared iterations.
+	if !sameSyms(a1.syms, a2.syms) {
+		return core.MayAliasResponse()
+	}
+	if q.Rel != core.Same {
+		for sym := range a1.syms {
+			if !definedOutsideLoop(sym, q.Loop) {
+				return core.MayAliasResponse()
+			}
+		}
+	}
+	// Both addresses must evolve with the same IV (or be invariant).
+	var iv *ir.Instr
+	switch {
+	case a1.iv == nil && a2.iv == nil:
+		// Handled by offset-ranges; replicate for completeness.
+		iv = nil
+	case a1.iv != nil && a2.iv != nil && a1.iv == a2.iv:
+		iv = a1.iv
+	case a1.iv == nil || a2.iv == nil:
+		// One strided, one fixed: only same-iteration constant-distance
+		// reasoning is unsound (iv unknown); bail.
+		return core.MayAliasResponse()
+	default:
+		return core.MayAliasResponse()
+	}
+
+	if q.Rel == core.Same {
+		if a1.a != a2.a {
+			return core.MayAliasResponse()
+		}
+		// Same iv value: distance is constant.
+		delta := a1.c - a2.c
+		switch {
+		case !rangesOverlap(a1.c, q.L1.Size, a2.c, q.L2.Size):
+			return core.AliasFact(core.NoAlias, m.Name())
+		case delta == 0 && q.L1.Size == q.L2.Size:
+			return core.AliasFact(core.MustAlias, m.Name())
+		case a1.c >= a2.c && a1.c+q.L1.Size <= a2.c+q.L2.Size:
+			return core.AliasFact(core.SubAlias, m.Name())
+		default:
+			return core.AliasFact(core.PartialAlias, m.Name())
+		}
+	}
+
+	// Cross-iteration: need the iv step.
+	if q.Desired == core.WantMustAlias {
+		return core.MayAliasResponse()
+	}
+	if iv == nil {
+		if !rangesOverlap(a1.c, q.L1.Size, a2.c, q.L2.Size) {
+			return core.AliasFact(core.NoAlias, m.Name())
+		}
+		return core.MayAliasResponse()
+	}
+	if a1.a != a2.a {
+		return core.MayAliasResponse()
+	}
+	step := m.ivs[q.Loop][iv]
+	d := a1.a * step // address movement per iteration
+	disjoint := false
+	if q.Rel == core.Before {
+		// L1's iteration is earlier: iv1 = iv2 - step·k, k ≥ 1, so L1's
+		// address is c1 - d·k relative to L2's frame.
+		disjoint = crossDisjoint(a1.c, q.L1.Size, a2.c, q.L2.Size, d)
+	} else {
+		disjoint = crossDisjoint(a2.c, q.L2.Size, a1.c, q.L1.Size, d)
+	}
+	if disjoint {
+		return core.AliasFact(core.NoAlias, m.Name())
+	}
+	return core.MayAliasResponse()
+}
+
+// LoopFresh disproves cross-iteration aliasing for locations rooted at an
+// allocation site that executes inside the query loop: each iteration's
+// execution creates a fresh object, so footprints from different
+// iterations land in different objects.
+type LoopFresh struct{ core.BaseModule }
+
+// NewLoopFresh constructs the module.
+func NewLoopFresh() *LoopFresh { return &LoopFresh{} }
+
+func (m *LoopFresh) Name() string          { return "loop-fresh" }
+func (m *LoopFresh) Kind() core.ModuleKind { return core.MemoryAnalysis }
+
+func (m *LoopFresh) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	if q.Loop == nil || q.Rel == core.Same {
+		return core.MayAliasResponse()
+	}
+	d1 := core.Decompose(q.L1.Ptr)
+	d2 := core.Decompose(q.L2.Ptr)
+	if d1.Base != d2.Base {
+		return core.MayAliasResponse()
+	}
+	in, ok := d1.Base.(*ir.Instr)
+	if !ok || !in.IsAllocation() || !q.Loop.ContainsInstr(in) {
+		return core.MayAliasResponse()
+	}
+	// SSA dominance guarantees each iteration's uses see that iteration's
+	// allocation; different iterations → different objects.
+	return core.AliasFact(core.NoAlias, m.Name())
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// WriteCSVs dumps every experiment's data into dir as machine-readable
+// CSV files (fig8.csv, fig9.csv, table2.csv, fig10.csv), for plotting
+// outside this repository.
+func WriteCSVs(dir string, rows []Fig8Row, pts []Fig9Point, t2 Table2Result, f10 []Fig10Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, "fig8.csv", fig8CSV(rows)); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, "fig9.csv", fig9CSV(pts)); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, "table2.csv", table2CSV(t2)); err != nil {
+		return err
+	}
+	return writeCSV(dir, "fig10.csv", fig10CSV(f10))
+}
+
+func writeCSV(dir, name string, records [][]string) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(records); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+func fig8CSV(rows []Fig8Row) [][]string {
+	out := [][]string{{
+		"benchmark", "caf", "confluence_extra", "scaf_extra",
+		"memspec_residual", "observed", "hot_loops", "queries",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Bench, f(r.CAF), f(r.ConfExtra), f(r.SCAFExtra),
+			f(r.MemSpec), f(r.Observed),
+			strconv.Itoa(r.HotLoops), strconv.Itoa(r.Queries),
+		})
+	}
+	return out
+}
+
+func fig9CSV(pts []Fig9Point) [][]string {
+	out := [][]string{{"benchmark", "loop", "confluence_nodep", "scaf_nodep"}}
+	for _, p := range pts {
+		out = append(out, []string{p.Bench, p.Loop, f(p.Conf), f(p.SCAF)})
+	}
+	return out
+}
+
+func table2CSV(t Table2Result) [][]string {
+	out := [][]string{{"module", "benchmark_pct", "loop_pct", "improved_query_pct"}}
+	for _, r := range t.Rows {
+		out = append(out, []string{r.Name, f(r.BenchLevel), f(r.LoopLevel), f(r.QueryLevel)})
+	}
+	out = append(out, []string{
+		fmt.Sprintf("_populations: %d benchmarks, %d loops, %d improved of %d queries",
+			t.Benchmarks, t.Loops, t.ImprovedQuery, t.TotalQueries), "", "", "",
+	})
+	return out
+}
+
+func fig10CSV(series []Fig10Series) [][]string {
+	out := [][]string{{"configuration", "fraction", "latency_ns", "geomean_ns", "evals_per_query"}}
+	for _, s := range series {
+		for i := range s.Fractions {
+			out = append(out, []string{
+				s.Name,
+				f(s.Fractions[i]),
+				strconv.FormatInt(int64(s.Latencies[i]/time.Nanosecond), 10),
+				strconv.FormatInt(int64(s.Geomean/time.Nanosecond), 10),
+				f(s.EvalsPerQuery),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"scaf"
+	"scaf/internal/analysis"
+	"scaf/internal/core"
+	"scaf/internal/pdg"
+	"scaf/internal/spec"
+)
+
+// ---------------------------------------------------------------------
+// Figure 8: dependence coverage per benchmark.
+// ---------------------------------------------------------------------
+
+// Fig8Row is one benchmark's stacked coverage (percent of PDG queries,
+// loop-weighted as in the paper).
+type Fig8Row struct {
+	Bench    string
+	HotLoops int
+	Queries  int
+	// Stack segments, summing to ~100.
+	CAF, ConfExtra, SCAFExtra, MemSpec, Observed float64
+}
+
+// ConfluenceTotal is CAF + the confluence increment.
+func (r Fig8Row) ConfluenceTotal() float64 { return r.CAF + r.ConfExtra }
+
+// SCAFTotal is the full cheap-speculation coverage under collaboration.
+func (r Fig8Row) SCAFTotal() float64 { return r.CAF + r.ConfExtra + r.SCAFExtra }
+
+// MemSpecAfterConf is the residual memory-speculation need without
+// collaboration (the quantity SCAF "dramatically reduces").
+func (r Fig8Row) MemSpecAfterConf() float64 { return r.SCAFExtra + r.MemSpec }
+
+// Fig8 computes the coverage rows for every analyzed benchmark.
+func Fig8(as []*Analysis) []Fig8Row {
+	var rows []Fig8Row
+	for _, a := range as {
+		weights := a.B.LoopWeights()
+		row := Fig8Row{Bench: a.B.Name, HotLoops: len(a.B.Hot)}
+		for _, l := range a.B.sortedLoops() {
+			counts := classify(a.B, a, l)
+			total := 0
+			for _, n := range counts {
+				total += n
+			}
+			row.Queries += total
+			w := weights[l]
+			if total == 0 {
+				// No pair can carry a dependence: the loop is fully
+				// resolved by analysis trivially.
+				row.CAF += w * 100
+				continue
+			}
+			row.CAF += w * 100 * float64(counts[ClassCAF]) / float64(total)
+			row.ConfExtra += w * 100 * float64(counts[ClassConfluence]) / float64(total)
+			row.SCAFExtra += w * 100 * float64(counts[ClassSCAF]) / float64(total)
+			row.MemSpec += w * 100 * float64(counts[ClassMemSpec]) / float64(total)
+			row.Observed += w * 100 * float64(counts[ClassObserved]) / float64(total)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig8Summary aggregates the headline numbers the paper reports.
+type Fig8Summary struct {
+	// Coverage-increase of SCAF over confluence (percentage points).
+	MeanIncrease, GeomeanIncrease float64
+	// Relative reduction of the memory-speculation residual.
+	MemSpecReductionGeomean float64
+}
+
+// SummarizeFig8 computes the paper's aggregate claims from the rows.
+func SummarizeFig8(rows []Fig8Row) Fig8Summary {
+	var s Fig8Summary
+	var incLog, redLog float64
+	n := 0
+	for _, r := range rows {
+		inc := r.SCAFTotal() - r.ConfluenceTotal()
+		s.MeanIncrease += inc
+		incLog += math.Log(math.Max(inc, 1e-3) + 1)
+		after := math.Max(r.MemSpec, 1e-3)
+		before := math.Max(r.MemSpecAfterConf(), 1e-3)
+		redLog += math.Log(after / before)
+		n++
+	}
+	if n > 0 {
+		s.MeanIncrease /= float64(n)
+		s.GeomeanIncrease = math.Exp(incLog/float64(n)) - 1
+		s.MemSpecReductionGeomean = 1 - math.Exp(redLog/float64(n))
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: per-hot-loop scatter, SCAF vs confluence.
+// ---------------------------------------------------------------------
+
+// Fig9Point is one hot loop's (%NoDep confluence, %NoDep SCAF) pair.
+type Fig9Point struct {
+	Bench string
+	Loop  string
+	Conf  float64
+	SCAF  float64
+}
+
+// Fig9 computes the scatter points.
+func Fig9(as []*Analysis) []Fig9Point {
+	var pts []Fig9Point
+	for _, a := range as {
+		for _, l := range a.B.sortedLoops() {
+			pts = append(pts, Fig9Point{
+				Bench: a.B.Name,
+				Loop:  l.Name(),
+				Conf:  a.Conf[l].NoDepPct(),
+				SCAF:  a.SCAF[l].NoDepPct(),
+			})
+		}
+	}
+	return pts
+}
+
+// ---------------------------------------------------------------------
+// Table 2: collaboration coverage of modules.
+// ---------------------------------------------------------------------
+
+// Table2Row is the coverage of one module (or module class) at the three
+// population levels of the paper's Table 2.
+type Table2Row struct {
+	Name                              string
+	BenchLevel, LoopLevel, QueryLevel float64
+}
+
+// Table2Result is the full table plus the populations it is over.
+type Table2Result struct {
+	Rows          []Table2Row
+	Benchmarks    int
+	Loops         int
+	ImprovedQuery int
+	TotalQueries  int
+}
+
+// Table2 computes module collaboration coverage over the improved
+// queries: queries SCAF resolves that confluence does not.
+func Table2(as []*Analysis) Table2Result {
+	cafNames := map[string]bool{}
+	for _, m := range analysis.DefaultModules(as[0].B.Sys.Prog) {
+		cafNames[m.Name()] = true
+	}
+	type pred func(contribs []string) bool
+	hasCAF := func(cs []string) bool {
+		for _, c := range cs {
+			if cafNames[c] {
+				return true
+			}
+		}
+		return false
+	}
+	hasMod := func(name string) pred {
+		return func(cs []string) bool {
+			for _, c := range cs {
+				if c == name {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	specCount := func(cs []string) int {
+		n := 0
+		for _, c := range cs {
+			if !cafNames[c] {
+				n++
+			}
+		}
+		return n
+	}
+	preds := []struct {
+		name string
+		p    pred
+	}{
+		{"Memory Analysis (CAF)", hasCAF},
+		{"Read-only", hasMod(spec.NameReadOnly)},
+		{"Value Prediction", hasMod(spec.NameValuePred)},
+		{"Pointer-Residue", hasMod(spec.NameResidue)},
+		{"Control Speculation", hasMod(spec.NameControlSpec)},
+		{"Points-to", hasMod(spec.NamePointsTo)},
+		{"Short-lived", hasMod(spec.NameShortLived)},
+		{"Among Speculation Modules", func(cs []string) bool { return specCount(cs) >= 2 }},
+		{"Between CAF and Speculation", func(cs []string) bool { return hasCAF(cs) && specCount(cs) >= 1 }},
+		{"All", func(cs []string) bool { return true }},
+	}
+
+	res := Table2Result{Benchmarks: len(as)}
+	benchHit := make([]int, len(preds))
+	loopHit := make([]int, len(preds))
+	queryHit := make([]int, len(preds))
+
+	for _, a := range as {
+		benchSeen := make([]bool, len(preds))
+		for _, l := range a.B.sortedLoops() {
+			res.Loops++
+			conf := a.Conf[l].ByKey()
+			loopSeen := make([]bool, len(preds))
+			for _, q := range a.SCAF[l].Queries {
+				res.TotalQueries++
+				k := pdg.Key{I1: q.I1, I2: q.I2, Rel: q.Rel}
+				improved := q.NoDep && (conf[k] == nil || !conf[k].NoDep)
+				if !improved {
+					continue
+				}
+				res.ImprovedQuery++
+				for i, p := range preds {
+					if p.p(q.Resp.Contribs) {
+						queryHit[i]++
+						if !loopSeen[i] {
+							loopSeen[i] = true
+							loopHit[i]++
+						}
+						if !benchSeen[i] {
+							benchSeen[i] = true
+							benchHit[i]++
+						}
+					}
+				}
+			}
+		}
+	}
+	for i, p := range preds {
+		row := Table2Row{Name: p.name}
+		if res.Benchmarks > 0 {
+			row.BenchLevel = 100 * float64(benchHit[i]) / float64(res.Benchmarks)
+		}
+		if res.Loops > 0 {
+			row.LoopLevel = 100 * float64(loopHit[i]) / float64(res.Loops)
+		}
+		if res.ImprovedQuery > 0 {
+			row.QueryLevel = 100 * float64(queryHit[i]) / float64(res.ImprovedQuery)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: query-latency CDF.
+// ---------------------------------------------------------------------
+
+// Fig10Series is the latency distribution of one configuration.
+type Fig10Series struct {
+	Name          string
+	Count         int
+	Geomean       time.Duration
+	P50, P95, P99 time.Duration
+	// EvalsPerQuery is the mean number of module consultations per
+	// top-level query — the deterministic work measure the desired-result
+	// parameter reduces (wall-clock on microsecond-cheap modules is
+	// noise-bound; see EXPERIMENTS.md).
+	EvalsPerQuery float64
+	// CDF sample points: fraction of queries ≤ the matching Latency.
+	Latencies []time.Duration
+	Fractions []float64
+}
+
+// Fig10 measures per-query wall-clock latency for CAF, SCAF without the
+// desired-result parameter, and full SCAF, over every hot loop of the
+// suite.
+func Fig10(s *Suite) []Fig10Series {
+	configs := []struct {
+		name   string
+		scheme scaf.Scheme
+		opts   []scaf.OrchOption
+	}{
+		{"CAF", scaf.SchemeCAF, nil},
+		{"SCAF w/o Desired Result", scaf.SchemeSCAF, []scaf.OrchOption{scaf.WithoutDesiredResult()}},
+		{"SCAF", scaf.SchemeSCAF, nil},
+	}
+	var out []Fig10Series
+	for _, cfg := range configs {
+		var lats []time.Duration
+		var evals, queries int64
+		for _, b := range s.Benchmarks {
+			client := b.Sys.Client()
+			// Warm-up pass: populate lazy per-orchestrator state (escape
+			// analyses, speculative trees, allocator warmth) outside the
+			// measurement.
+			warm := b.Sys.Orchestrator(cfg.scheme, cfg.opts...)
+			for _, l := range b.Hot {
+				client.AnalyzeLoop(warm, l)
+			}
+			o := b.Sys.Orchestrator(cfg.scheme, append(cfg.opts, scaf.WithLatency())...)
+			for _, l := range b.Hot {
+				client.AnalyzeLoop(o, l)
+			}
+			lats = append(lats, o.Stats().Latencies...)
+			evals += o.Stats().ModuleEvals
+			queries += o.Stats().TopQueries
+		}
+		series := summarizeLatencies(cfg.name, lats)
+		if queries > 0 {
+			series.EvalsPerQuery = float64(evals) / float64(queries)
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+func summarizeLatencies(name string, lats []time.Duration) Fig10Series {
+	s := Fig10Series{Name: name, Count: len(lats)}
+	if len(lats) == 0 {
+		return s
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var logSum float64
+	for _, d := range lats {
+		v := float64(d)
+		if v < 1 {
+			v = 1
+		}
+		logSum += math.Log(v)
+	}
+	s.Geomean = time.Duration(math.Exp(logSum / float64(len(lats))))
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	s.P50, s.P95, s.P99 = pct(0.50), pct(0.95), pct(0.99)
+	// CDF at decade-ish sample points.
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+		s.Fractions = append(s.Fractions, f)
+		s.Latencies = append(s.Latencies, pct(f))
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: validation-cost asymmetry.
+// ---------------------------------------------------------------------
+
+// Fig7Row compares the per-check cost model constants (the shape of
+// Fig. 7: SCAF's checks are a few ALU ops, memory speculation is
+// shadow-memory traffic).
+type Fig7Row struct {
+	Scheme   string
+	PerCheck float64
+}
+
+// Fig7 returns the modeled per-check costs.
+func Fig7() []Fig7Row {
+	return []Fig7Row{
+		{"control speculation (never-taken edge)", core.CostCtrlCheck},
+		{"value prediction (compare)", core.CostValueCheck},
+		{"pointer residue (mask+compare)", core.CostResidueCheck},
+		{"points-to heap check (mask+compare)", core.CostHeapCheck},
+		{"short-lived iteration counter", core.CostIterCheck},
+		{"memory speculation (shadow memory)", core.CostMemSpecCheck},
+	}
+}

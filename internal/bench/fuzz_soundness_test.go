@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"testing"
+
+	"scaf"
+	"scaf/internal/mcgen"
+	"scaf/internal/pdg"
+	"scaf/internal/profile"
+)
+
+// TestFuzzAnalysisSoundness is the strongest correctness statement in the
+// repository: for hundreds of random programs, every dependence any
+// scheme disproves is cross-checked against the ground truth recorded by
+// the memory-dependence profiler during the very execution the
+// speculation was trained on. A manifested dependence disproved by
+// anything but value prediction is a soundness bug.
+//
+// Loop thresholds are lowered so the small random loops all get analyzed.
+func TestFuzzAnalysisSoundness(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 20
+	}
+	hot := profile.HotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5}
+	totalLoops, totalQueries := 0, 0
+	for seed := int64(5000); seed < int64(5000+trials); seed++ {
+		src := mcgen.New(seed).Program()
+		sys, err := scaf.Load("fuzz", src, scaf.Options{HotLoops: &hot})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		client := sys.Client()
+		ms := sys.MemSpec()
+		totalLoops += len(sys.HotLoops())
+		for _, schemeName := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
+			o := sys.Orchestrator(schemeName)
+			for _, l := range sys.HotLoops() {
+				res := client.AnalyzeLoop(o, l)
+				totalQueries += len(res.Queries)
+				for _, q := range res.Queries {
+					if !q.NoDep {
+						continue
+					}
+					if ms.NoDep(l, q.I1, q.I2, q.Rel) {
+						continue // never manifested: consistent
+					}
+					if schemeName != scaf.SchemeCAF && usesValuePred(q.Resp) {
+						continue // value prediction may remove real deps
+					}
+					t.Fatalf("seed %d (%v): UNSOUND: disproved manifested dep %s -> %s (%s) in %s via %v\n%s",
+						seed, schemeName, q.I1, q.I2, q.Rel, l.Name(), q.Resp.Contribs, src)
+				}
+			}
+		}
+	}
+	if totalLoops == 0 || totalQueries == 0 {
+		t.Fatalf("fuzz exercised nothing: loops=%d queries=%d", totalLoops, totalQueries)
+	}
+	t.Logf("fuzzed %d loops, %d queries", totalLoops, totalQueries)
+}
+
+// TestFuzzSchemeMonotonicity: on random programs, per-query resolutions
+// are monotone across CAF ⊆ confluence ⊆ SCAF.
+func TestFuzzSchemeMonotonicity(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	hot := profile.HotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5}
+	for seed := int64(9000); seed < int64(9000+trials); seed++ {
+		src := mcgen.New(seed).Program()
+		sys, err := scaf.Load("fuzz", src, scaf.Options{HotLoops: &hot})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		client := sys.Client()
+		caf := sys.Orchestrator(scaf.SchemeCAF)
+		conf := sys.Orchestrator(scaf.SchemeConfluence)
+		col := sys.Orchestrator(scaf.SchemeSCAF)
+		for _, l := range sys.HotLoops() {
+			rCAF := client.AnalyzeLoop(caf, l).ByKey()
+			rConf := client.AnalyzeLoop(conf, l).ByKey()
+			for _, q := range client.AnalyzeLoop(col, l).Queries {
+				k := pdg.Key{I1: q.I1, I2: q.I2, Rel: q.Rel}
+				if rCAF[k] != nil && rCAF[k].NoDep && !(rConf[k] != nil && rConf[k].NoDep) {
+					t.Fatalf("seed %d: confluence lost a CAF resolution in %s\n%s", seed, l.Name(), src)
+				}
+				if rConf[k] != nil && rConf[k].NoDep && !q.NoDep {
+					t.Fatalf("seed %d: SCAF lost a confluence resolution in %s\n%s", seed, l.Name(), src)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,539 @@
+// Package bench embeds the 16 benchmark programs the evaluation runs on —
+// one per SPEC benchmark named in the paper's Fig. 8 — plus the experiment
+// harness that regenerates every table and figure. Each program is written
+// in MC to exercise the memory/control idioms of its SPEC counterpart
+// (see DESIGN.md for the substitution rationale).
+package bench
+
+// Sources maps benchmark name → MC source.
+var Sources = map[string]string{
+	"052.alvinn":     srcAlvinn,
+	"056.ear":        srcEar,
+	"129.compress":   srcCompress,
+	"164.gzip":       srcGzip,
+	"175.vpr":        srcVpr,
+	"179.art":        srcArt,
+	"181.mcf":        srcMcf181,
+	"183.equake":     srcEquake,
+	"429.mcf":        srcMcf429,
+	"456.hmmer":      srcHmmer,
+	"462.libquantum": srcLibquantum,
+	"470.lbm":        srcLbm470,
+	"482.sphinx3":    srcSphinx3,
+	"519.lbm":        srcLbm519,
+	"525.x264":       srcX264,
+	"544.nab":        srcNab,
+}
+
+// Names returns the benchmarks in the paper's Fig. 8 order.
+func Names() []string {
+	return []string{
+		"052.alvinn", "056.ear", "129.compress", "164.gzip",
+		"175.vpr", "179.art", "181.mcf", "183.equake",
+		"429.mcf", "456.hmmer", "462.libquantum", "470.lbm",
+		"482.sphinx3", "519.lbm", "525.x264", "544.nab",
+	}
+}
+
+// 052.alvinn — neural-net road follower: epoch training over read-only
+// input patterns, dense weight updates. Idioms: read-only speculation on
+// the pattern store, affine strided float arrays, biased NaN guard.
+const srcAlvinn = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+float patterns[64][64];
+float weights[64];
+float delta[64];
+int bad;
+
+void init() {
+    for (int p = 0; p < 64; p++) {
+        for (int i = 0; i < 64; i++) {
+            patterns[p][i] = (float)(rnd() % 100) / 50.0 - 1.0;
+        }
+    }
+    for (int i = 0; i < 64; i++) { weights[i] = 0.01; }
+}
+
+// The kernel sees only pointers: without restrict, static analysis cannot
+// separate the pattern row from the weight and delta vectors.
+float train_pattern(float* row, float* w, float* d, float want) {
+    float acc = 0.0;
+    for (int i = 0; i < 64; i++) {
+        acc += row[i] * w[i];
+    }
+    float err = want - acc;
+    if (err > 1000000.0) {          // never taken: diverged net
+        bad = bad + 1;
+    } else {
+        for (int i = 0; i < 64; i++) {
+            d[i] = err * row[i] * 0.003;
+        }
+        for (int i = 0; i < 64; i++) {
+            w[i] = w[i] + d[i];
+        }
+    }
+    return err;
+}
+
+void main() {
+    seed = 7;
+    init();
+    float last_err = 0.0;
+    for (int epoch = 0; epoch < 25; epoch++) {
+        for (int p = 0; p < 64; p++) {
+            last_err = train_pattern(patterns[p], weights, delta, patterns[p][0]);
+        }
+    }
+    float s = 0.0;
+    for (int i = 0; i < 64; i++) { s += weights[i]; }
+    print(s);
+    print(last_err);
+    print(bad);
+}
+`
+
+// 056.ear — human ear model: cochlear filterbank cascade over a signal.
+// Idioms: read-only filter coefficients, predictable configuration loads,
+// strided state arrays.
+const srcEar = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+float coeff_a[128];
+float coeff_b[128];
+float state[128];
+float energy[128];
+float level;
+int rate;
+int clipped;
+
+void init() {
+    for (int i = 0; i < 128; i++) {
+        coeff_a[i] = 0.5 + (float)(i % 7) / 20.0;
+        coeff_b[i] = 0.3 + (float)(i % 11) / 40.0;
+        state[i] = 0.0;
+        energy[i] = 0.0;
+    }
+    rate = 16000;
+}
+
+// The filterbank kernel sees only pointers: the read-only coefficient
+// tables and the mutable state vectors are statically indistinguishable.
+void filter_sample(float* ca, float* cb, float* st, float* en, float x) {
+    for (int i = 0; i < 128; i++) {
+        float gain = (float)rate / 20000.0;     // rate is invariant: predictable
+        float y = ca[i] * x + cb[i] * st[i];
+        if (y > 100000.0) {                     // never taken: clipping
+            clipped = clipped + 1;
+            y = 100000.0;
+        } else {
+            level = y;                          // common path refreshes level
+        }
+        st[i] = y * gain;
+        en[i] = en[i] + level * level;          // read at the join
+    }
+}
+
+void main() {
+    seed = 3;
+    init();
+    for (int t = 0; t < 900; t++) {
+        float x = (float)(rnd() % 200) / 100.0 - 1.0;
+        filter_sample(coeff_a, coeff_b, state, energy, x);
+    }
+    float total = 0.0;
+    for (int i = 0; i < 128; i++) { total += energy[i]; }
+    print(total);
+    print(clipped);
+}
+`
+
+// 129.compress — LZW compressor core: hash-table probing with a rarely
+// triggered table reset. Idioms: biased branch enabling kill-flow across
+// iterations, global int arrays, cross-iteration hash-chain dependences.
+const srcCompress = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+int htab[512];
+int codetab[512];
+int free_ent;
+int out_count;
+int resets;
+
+void reset_table() {
+    for (int i = 0; i < 512; i++) { htab[i] = 0 - 1; }
+    free_ent = 257;
+    resets = resets + 1;
+}
+
+void main() {
+    seed = 11;
+    reset_table();
+    out_count = 0;
+    int ent = rnd() % 256;
+    for (int n = 0; n < 6000; n++) {
+        int c = rnd() % 256;
+        int h = (c * 37 + ent) % 512;
+        if (free_ent > 100000) {          // never taken: table exhausted
+            reset_table();
+        } else {
+            free_ent = free_ent + 1;
+        }
+        int probe = htab[h];
+        if (probe == ent) {
+            ent = codetab[h];
+        } else {
+            htab[h] = ent;
+            codetab[h] = free_ent % 512;
+            out_count = out_count + 1;
+            ent = c;
+        }
+    }
+    print(out_count);
+    print(resets);
+}
+`
+
+// 164.gzip — deflate longest-match over a sliding window with a rare
+// window flush. Idioms: biased flush branch, window/head global arrays,
+// strided window fills, call-summarized helper.
+const srcGzip = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+int window[1024];
+int head[256];
+int flushed;
+int total_len;
+int scratch;
+int mixed;
+
+void flush_window() {
+    for (int i = 0; i < 1024; i++) { window[i] = 0; }
+    flushed = flushed + 1;
+}
+
+int longest_match(int pos, int hash) {
+    int best = 0;
+    int cand = head[hash];
+    for (int k = 0; k < 64; k++) {
+        int len = 0;
+        while (len < 16) {
+            int a = window[(pos + len) % 1024];
+            int b = window[(cand + len) % 1024];
+            if (a != b) { break; }
+            len = len + 1;
+        }
+        if (len > best) { best = len; }
+        cand = (cand + 31) % 1024;
+    }
+    return best;
+}
+
+int freq[64];
+
+void main() {
+    seed = 5;
+    flushed = 0;
+    for (int pos = 0; pos < 1200; pos++) {
+        int c = rnd() % 16;
+        window[pos % 1024] = c;
+        int hash = (c * 53 + pos) % 256;
+        if (total_len < 0) {              // never taken: overflow flush
+            flush_window();
+        } else {
+            scratch = hash;               // common path refreshes scratch
+        }
+        mixed = mixed + scratch;          // join read
+        scratch = scratch + c;            // trailing cross-iter store
+        int m = longest_match(pos % 1024, hash);
+        total_len = total_len + m;
+        head[hash] = pos % 1024;
+        freq[m % 64] = freq[m % 64] + 1;
+        int acc = 0;
+        for (int b = 0; b < 64; b++) {    // inline stats sweep keeps the
+            acc = acc + freq[b];          // outer loop itself hot
+        }
+        if (acc < 0) { flush_window(); }  // never taken
+    }
+    print(total_len);
+    print(mixed % 1000);
+    print(flushed);
+}
+`
+
+// 175.vpr — FPGA placement annealing: array-of-struct cells, random swap
+// proposals with a biased bounds-violation branch, read-only net table.
+// Idioms: struct-field residues, array-of-structs disambiguation,
+// read-only speculation, control speculation.
+const srcVpr = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+struct cell {
+    int x;
+    int y;
+    int cost;
+};
+
+struct cell cells[128];
+int net_weight[128];
+int violations;
+int accepted;
+int last_cost;
+int checksum;
+
+void init() {
+    for (int i = 0; i < 128; i++) {
+        cells[i].x = rnd() % 64;
+        cells[i].y = rnd() % 64;
+        cells[i].cost = 0;
+        net_weight[i] = 1 + rnd() % 9;       // read-only afterwards
+    }
+}
+
+int wire_cost(int i) {
+    int j = (i + 1) % 128;
+    int dx = cells[i].x - cells[j].x;
+    int dy = cells[i].y - cells[j].y;
+    if (dx < 0) { dx = 0 - dx; }
+    if (dy < 0) { dy = 0 - dy; }
+    return (dx + dy) * net_weight[i];
+}
+
+void main() {
+    seed = 23;
+    init();
+    for (int step = 0; step < 2500; step++) {
+        int i = rnd() % 128;
+        int nx = rnd() % 64;
+        int ny = rnd() % 64;
+        if (nx > 1000000) {                   // never taken: bad proposal
+            violations = violations + 1;       // rare path skips last_cost
+        } else {
+            int old = wire_cost(i);
+            last_cost = old;                   // kills the flow from the tail
+            int ox = cells[i].x;
+            int oy = cells[i].y;
+            cells[i].x = nx;
+            cells[i].y = ny;
+            int new_c = wire_cost(i);
+            if (new_c > old) {
+                cells[i].x = ox;
+                cells[i].y = oy;
+            } else {
+                cells[i].cost = new_c;
+                accepted = accepted + 1;
+            }
+        }
+        checksum = checksum + last_cost;       // join read
+        last_cost = last_cost + 1;             // trailing cross-iter store
+    }
+    print(accepted);
+    print(checksum % 1000);
+}
+`
+
+// 179.art — adaptive resonance image recognition: winner-take-all over
+// float neuron arrays with read-only input patterns. Idioms: read-only
+// speculation (inputs), strided float arrays, per-neuron updates guarded
+// by a winner index.
+const srcArt = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+float input[64][64];
+float bu[8][64];
+float td[8][64];
+int wins[8];
+int mismatches;
+int last_win;
+int hist;
+
+void init() {
+    for (int p = 0; p < 64; p++) {
+        for (int i = 0; i < 64; i++) {
+            input[p][i] = (float)(rnd() % 100) / 100.0;
+        }
+    }
+    for (int j = 0; j < 8; j++) {
+        for (int i = 0; i < 64; i++) {
+            bu[j][i] = 0.5;
+            td[j][i] = 1.0;
+        }
+    }
+}
+
+int winner(int p) {
+    int best = 0;
+    float best_act = 0.0 - 1.0;
+    for (int j = 0; j < 8; j++) {
+        float act = 0.0;
+        for (int i = 0; i < 64; i++) {
+            act += bu[j][i] * input[p][i];
+        }
+        if (act > best_act) { best_act = act; best = j; }
+    }
+    return best;
+}
+
+void main() {
+    seed = 31;
+    init();
+    for (int pass = 0; pass < 10; pass++) {
+        for (int p = 0; p < 64; p++) {
+            int j = winner(p);
+            if (j < 0) {                        // never taken: no resonance
+                mismatches = mismatches + 1;
+            } else {
+                last_win = j;                   // common path refreshes
+                for (int i = 0; i < 64; i++) {
+                    td[j][i] = td[j][i] * 0.9 + input[p][i] * 0.1;
+                    bu[j][i] = td[j][i] / (0.5 + (float)i);
+                }
+                wins[j] = wins[j] + 1;
+            }
+            hist = hist + last_win;             // join read
+            last_win = last_win + 1;            // trailing cross-iter store
+        }
+    }
+    int total = 0;
+    for (int j = 0; j < 8; j++) { total = total + wins[j]; }
+    print(total);
+    print(hist % 1000);
+    print(mismatches);
+}
+`
+
+// 181.mcf — minimum-cost flow: malloc-built arc/node graph walked by
+// pointer chasing. Idioms: global-malloc reachability (node pool stored in
+// a pointer global), control speculation on a rare negative-cycle branch,
+// kill-flow over per-iteration potentials.
+const srcMcf181 = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+struct node {
+    int potential;
+    int depth;
+    struct node* next;
+};
+
+struct node* pool;
+int cycles;
+int relabels;
+
+void build(int n) {
+    pool = 0;
+    for (int i = 0; i < n; i++) {
+        struct node* nd = malloc(struct node, 1);
+        nd->potential = rnd() % 1000;
+        nd->depth = i;
+        nd->next = pool;
+        pool = nd;
+    }
+}
+
+void main() {
+    seed = 17;
+    build(96);
+    for (int iter = 0; iter < 700; iter++) {
+        struct node* p = pool;
+        int min_pot = 1000000;
+        while (p != 0) {
+            if (p->potential < min_pot) { min_pot = p->potential; }
+            p = p->next;
+        }
+        if (min_pot < 0 - 1000000) {          // never taken: negative cycle
+            cycles = cycles + 1;
+        } else {
+            p = pool;
+            while (p != 0) {
+                p->potential = p->potential - min_pot + (p->depth % 3);
+                relabels = relabels + 1;
+                p = p->next;
+            }
+        }
+    }
+    print(relabels);
+    print(cycles);
+}
+`
+
+// 183.equake — earthquake simulation: sparse matrix-vector products with
+// a read-only matrix and short-lived per-step scratch vectors. Idioms:
+// read-only speculation (matrix), short-lived speculation (scratch),
+// affine strided vectors.
+const srcEquake = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+float mat_val[600];
+int mat_col[600];
+int row_start[101];
+float disp[100];
+float vel[100];
+float* fbuf;
+float accum;
+float trace;
+int unstable;
+
+void init() {
+    int nz = 0;
+    for (int r = 0; r < 100; r++) {
+        row_start[r] = nz;
+        for (int k = 0; k < 6; k++) {
+            mat_val[nz] = (float)(rnd() % 100) / 100.0 + 0.01;
+            mat_col[nz] = (r + k * 17) % 100;
+            nz = nz + 1;
+        }
+        disp[r] = (float)(rnd() % 10) / 10.0;
+        vel[r] = 0.0;
+    }
+    row_start[100] = nz;
+}
+
+// Sparse matrix-vector product through raw pointers: the classic kernel
+// static analysis cannot disambiguate without restrict.
+void smvp(float* v, int* cols, int* starts, float* x, float* y) {
+    for (int r = 0; r < 100; r++) {
+        float acc = 0.0;
+        for (int k = starts[r]; k < starts[r + 1]; k++) {
+            acc += v[k] * x[cols[k]];
+        }
+        y[r] = acc;
+    }
+}
+
+void main() {
+    seed = 29;
+    init();
+    for (int step = 0; step < 220; step++) {
+        if (unstable > 1000000) {               // never taken
+            trace = trace - 1.0;                // rare path skips the reset
+        } else {
+            accum = 0.0;                        // kills accum's recurrence
+        }
+        trace = trace + accum;                  // join read
+        accum = accum + disp[step % 100];       // trailing cross-iter store
+        fbuf = malloc(float, 100);              // short-lived scratch
+        smvp(mat_val, mat_col, row_start, disp, fbuf);
+        for (int r = 0; r < 100; r++) {
+            vel[r] = vel[r] * 0.98 + fbuf[r] * 0.01;
+            disp[r] = disp[r] + vel[r] * 0.01;
+            if (disp[r] > 1000000.0) {          // never taken
+                unstable = unstable + 1;
+            }
+        }
+        free(fbuf);
+    }
+    float s = 0.0;
+    for (int r = 0; r < 100; r++) { s += disp[r]; }
+    print(s);
+    print(trace);
+    print(unstable);
+}
+`

@@ -1,0 +1,570 @@
+package bench
+
+// 429.mcf — the CPU2006 mcf: network simplex pricing sweep over a
+// malloc-built arc list with an invariant pricing parameter. Idioms:
+// value prediction (invariant alpha load), global-malloc, pointer
+// chasing, biased rebuild branch.
+const srcMcf429 = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+struct arc {
+    int cost;
+    int flow;
+    struct arc* link;
+};
+
+struct arc* arcs;
+int base_rate;
+int alpha;
+int guard;
+int rebuilds;
+int pushes;
+
+void build(int n) {
+    arcs = 0;
+    for (int i = 0; i < n; i++) {
+        struct arc* a = malloc(struct arc, 1);
+        a->cost = rnd() % 500;
+        a->flow = 0;
+        a->link = arcs;
+        arcs = a;
+    }
+}
+
+int price_sweep(int round) {
+    struct arc* a = arcs;
+    int pushed = 0;
+    while (a != 0) {
+        int reduced = a->cost - alpha;           // reads alpha inside callee
+        if (reduced < 0 - 100000) {              // never taken: infeasible
+            rebuilds = rebuilds + 1;
+        } else if (reduced % 7 == round % 7) {
+            a->flow = a->flow + 1;
+            pushed = pushed + 1;
+        }
+        a = a->link;
+    }
+    return pushed;
+}
+
+void main() {
+    seed = 41;
+    base_rate = 6;                               // invariant input
+    build(80);
+    for (int iter = 0; iter < 800; iter++) {
+        alpha = base_rate * 2;                   // same value every iteration
+        int check = alpha;                       // predictable load: the VP
+        guard = guard + check;                   // kill for alpha's flows
+        pushes = pushes + price_sweep(iter);
+    }
+    print(pushes);
+    print(guard % 1000);
+    print(rebuilds);
+}
+`
+
+// 456.hmmer — profile HMM search: Viterbi dynamic programming with
+// read-only transition scores and a short-lived per-sequence row buffer.
+// Idioms: read-only + short-lived speculation, affine DP rows.
+const srcHmmer = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+int* tmm;
+int* tmi;
+int* emit;
+int* row_prev;
+int* row_cur;
+int best_score;
+int overflows;
+
+void init() {
+    tmm = malloc(int, 64);
+    tmi = malloc(int, 64);
+    emit = malloc(int, 256);
+    row_prev = malloc(int, 64);
+    row_cur = malloc(int, 64);
+    for (int k = 0; k < 64; k++) {
+        tmm[k] = rnd() % 20;
+        tmi[k] = rnd() % 20;
+        for (int c = 0; c < 4; c++) { emit[k * 4 + c] = rnd() % 30; }
+    }
+}
+
+// One Viterbi column through raw pointers: rows and read-only model
+// tables are statically indistinguishable.
+void column(int* prev, int* cur, int* m_sc, int* i_sc, int* e_sc, int c) {
+    for (int k = 1; k < 64; k++) {
+        int m = prev[k - 1] + m_sc[k] + e_sc[k * 4 + c];
+        int i = prev[k] + i_sc[k];
+        if (i > m) { m = i; }
+        cur[k] = m;
+    }
+    cur[0] = 0;
+}
+
+void main() {
+    seed = 43;
+    init();
+    for (int s = 0; s < 64; s++) {
+        for (int k = 0; k < 64; k++) { row_prev[k] = 0; }
+        for (int pos = 0; pos < 10; pos++) {
+            int c = rnd() % 4;
+            column(row_prev, row_cur, tmm, tmi, emit, c);
+            for (int k = 0; k < 64; k++) { row_prev[k] = row_cur[k]; }
+        }
+        int best = 0;
+        for (int k = 0; k < 64; k++) {
+            if (row_prev[k] > best) { best = row_prev[k]; }
+        }
+        if (best > 100000000) {                  // never taken
+            overflows = overflows + 1;
+        } else if (best > best_score) {
+            best_score = best;
+        }
+    }
+    print(best_score);
+    print(overflows);
+}
+`
+
+// 462.libquantum — quantum register simulation: gates sweep an
+// array-of-structs register, touching disjoint fields. Idioms:
+// pointer-residue + array-of-structs field disambiguation, biased
+// decoherence branch, predictable register width.
+const srcLibquantum = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+struct amp {
+    int state;
+    float re;
+    float im;
+};
+
+struct amp reg[256];
+int width;
+int decohered;
+int last_state;
+int parity;
+
+void init() {
+    for (int i = 0; i < 256; i++) {
+        reg[i].state = i;
+        reg[i].re = 1.0;
+        reg[i].im = 0.0;
+    }
+    width = 8;
+}
+
+void toffoli(int c1, int c2, int t) {
+    for (int i = 0; i < 256; i++) {
+        int s = reg[i].state;
+        if (s < 0) {                             // never taken: corrupt state
+            decohered = decohered + 1;
+        } else {
+            last_state = s;                      // common path refreshes
+        }
+        parity = parity ^ last_state;            // join read
+        last_state = last_state + 1;             // trailing cross-iter store
+        int b1 = (s >> c1) & 1;
+        int b2 = (s >> c2) & 1;
+        if (b1 == 1 && b2 == 1) {
+            reg[i].state = s ^ (1 << t);
+        }
+    }
+}
+
+void phase(int t) {
+    for (int i = 0; i < 256; i++) {
+        int s = reg[i].state;
+        if (((s >> t) & 1) == 1) {
+            float re = reg[i].re;
+            reg[i].re = 0.0 - reg[i].im;
+            reg[i].im = re;
+        }
+    }
+}
+
+void main() {
+    seed = 47;
+    init();
+    for (int g = 0; g < 350; g++) {
+        int w = width;                           // invariant: predictable
+        int c1 = rnd() % w;
+        int c2 = rnd() % w;
+        int t = rnd() % w;
+        if (w > 64) {                            // never taken
+            decohered = decohered + 1;
+        } else if (g % 2 == 0) {
+            toffoli(c1, c2, t);
+        } else {
+            phase(t);
+        }
+    }
+    int chk = 0;
+    for (int i = 0; i < 256; i++) { chk = chk + reg[i].state; }
+    print(chk);
+    print(parity % 100);
+    print(decohered);
+}
+`
+
+// 470.lbm — lattice Boltzmann on static global grids: stream/collide
+// phases between two grids. Idioms: distinct-global disambiguation (CAF
+// already strong), biased boundary clamp, affine strides.
+const srcLbm470 = `
+int seed;
+float src_grid[64][64];
+float dst_grid[64][64];
+float last_v;
+float smooth;
+int clamped;
+
+void init() {
+    for (int y = 0; y < 64; y++) {
+        for (int x = 0; x < 64; x++) {
+            src_grid[y][x] = (float)((x * 7 + y * 13) % 50) / 50.0;
+            dst_grid[y][x] = 0.0;
+        }
+    }
+}
+
+void step() {
+    for (int y = 1; y < 63; y++) {
+        for (int x = 1; x < 63; x++) {
+            float v = src_grid[y][x] * 0.6
+                + src_grid[y - 1][x] * 0.1
+                + src_grid[y + 1][x] * 0.1
+                + src_grid[y][x - 1] * 0.1
+                + src_grid[y][x + 1] * 0.1;
+            if (v > 1000000.0) {                 // never taken
+                clamped = clamped + 1;
+                v = 1000000.0;
+            } else {
+                last_v = v;                      // common path refreshes
+            }
+            smooth = smooth + last_v;            // join read
+            last_v = last_v * 0.5;               // trailing cross-iter store
+            dst_grid[y][x] = v;
+        }
+    }
+    for (int y = 1; y < 63; y++) {
+        for (int x = 1; x < 63; x++) {
+            src_grid[y][x] = dst_grid[y][x];
+        }
+    }
+}
+
+void main() {
+    init();
+    for (int t = 0; t < 30; t++) { step(); }
+    float s = 0.0;
+    for (int y = 0; y < 64; y++) { s += src_grid[y][20]; }
+    print(s);
+    print(smooth);
+    print(clamped);
+}
+`
+
+// 482.sphinx3 — speech scoring: Gaussian mixture scoring against
+// read-only acoustic-model tables with short-lived per-frame candidate
+// lists and a predictable beam width. Idioms: read-only + short-lived +
+// value prediction together.
+const srcSphinx3 = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+float* means;
+float* vars;
+int* candbuf;
+int beam;
+int pruned;
+int emitted;
+
+void init() {
+    means = malloc(float, 256);
+    vars = malloc(float, 256);
+    for (int m = 0; m < 64; m++) {
+        for (int d = 0; d < 4; d++) {
+            means[m * 4 + d] = (float)(rnd() % 100) / 25.0;
+            vars[m * 4 + d] = 0.5 + (float)(rnd() % 10) / 10.0;
+        }
+    }
+    beam = 900;
+}
+
+// Gaussian-mixture scoring through raw pointers: the read-only acoustic
+// model (mu, va), the feature frame, and the output candidate list are
+// statically indistinguishable.
+int score_all(float* mu, float* va, float* f, int* out) {
+    int ncand = 0;
+    for (int m = 0; m < 64; m++) {
+        float dist = 0.0;
+        for (int d = 0; d < 4; d++) {
+            float diff = f[d] - mu[m * 4 + d];
+            dist += diff * diff / va[m * 4 + d];
+        }
+        int b = beam;                            // invariant: predictable
+        if (dist < (float)b / 25.0) {
+            out[ncand] = m;
+            ncand = ncand + 1;
+        } else {
+            pruned = pruned + 1;
+        }
+    }
+    return ncand;
+}
+
+void main() {
+    seed = 53;
+    init();
+    for (int frame = 0; frame < 250; frame++) {
+        float feat[4];
+        for (int d = 0; d < 4; d++) {
+            feat[d] = (float)(rnd() % 100) / 25.0;
+        }
+        candbuf = malloc(int, 64);               // short-lived per frame
+        int ncand = score_all(means, vars, feat, candbuf);
+        if (ncand > 10000) {                     // never taken
+            emitted = emitted - 1;
+        } else {
+            for (int k = 0; k < 64; k++) {       // inline histogram sweep
+                if (k < ncand) {
+                    emitted = emitted + candbuf[k];
+                }
+            }
+        }
+        free(candbuf);
+    }
+    print(emitted);
+    print(pruned);
+}
+`
+
+// 519.lbm — CPU2017 lbm: grids live on the heap behind pointer globals.
+// Idioms: global-malloc reasoning (grid pointers only ever hold their
+// allocation), read-only obstacle map, biased boundary branch.
+const srcLbm519 = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+float* src;
+float* dst;
+float* spare;
+int* obstacle;
+int blocked;
+
+void init() {
+    src = malloc(float, 1600);
+    dst = malloc(float, 1600);
+    obstacle = malloc(int, 1600);
+    for (int i = 0; i < 1600; i++) {
+        src[i] = (float)(i % 37) / 37.0;
+        dst[i] = 0.0;
+        obstacle[i] = 0;
+        if (i % 41 == 0) { obstacle[i] = 1; }    // fixed: read-only afterwards
+    }
+}
+
+void step() {
+    for (int i = 40; i < 1560; i++) {
+        if (obstacle[i] == 1) {
+            blocked = blocked + 1;
+            dst[i] = src[i];
+        } else {
+            float v = src[i] * 0.5 + src[i - 1] * 0.2 + src[i + 1] * 0.2
+                + src[i - 40] * 0.05 + src[i + 40] * 0.05;
+            if (v < 0.0 - 1000000.0) {           // never taken
+                v = 0.0;
+            }
+            dst[i] = v;
+        }
+    }
+    for (int i = 40; i < 1560; i++) {
+        src[i] = dst[i];
+    }
+}
+
+void main() {
+    seed = 59;
+    init();
+    spare = malloc(float, 1600);
+    for (int t = 0; t < 60; t++) {
+        if (blocked < 0) {                       // never taken: the store of
+            float* tmp = src;                    // a loaded pointer into the
+            src = spare;                         // grid globals is spec-dead,
+            spare = tmp;                         // resolvable only with help
+        }
+        step();
+    }
+    float s = 0.0;
+    for (int i = 0; i < 1600; i++) { s += src[i]; }
+    print(s);
+    print(blocked);
+}
+`
+
+// 525.x264 — video encoding: SAD motion search over read-only frames
+// with a short-lived per-macroblock cost buffer. Idioms: read-only
+// speculation on both frames, short-lived scratch, struct-field best
+// tracking (residues), biased corruption check.
+const srcX264 = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+int cur[64][64];
+int ref[64][64];
+
+struct mv {
+    int dx;
+    int dy;
+    int cost;
+};
+
+struct mv best[64];
+int* costbuf;
+int corrupt;
+int mb_bits;
+int bits_total;
+
+void init() {
+    for (int y = 0; y < 64; y++) {
+        for (int x = 0; x < 64; x++) {
+            ref[y][x] = rnd() % 256;
+            cur[y][x] = (ref[y][x] + rnd() % 8) % 256;
+        }
+    }
+}
+
+void main() {
+    seed = 61;
+    init();
+    for (int mb = 0; mb < 64; mb++) {
+        best[mb].cost = 1000000000;
+    }
+    for (int pass = 0; pass < 2; pass++) {
+        for (int mb = 0; mb < 64; mb++) {       // hot: 64 macroblocks
+            int by = mb / 8;
+            int bx = mb % 8;
+            if (corrupt > 1000000) {             // never taken
+                bits_total = 0 - bits_total;     // rare path skips refresh
+            } else {
+                mb_bits = bx + by;               // kills mb_bits recurrence
+            }
+            bits_total = bits_total + mb_bits;   // join read
+            mb_bits = mb_bits + 1;               // trailing store
+            costbuf = malloc(int, 25);           // short-lived per block
+            int n = 0;
+            for (int dy = 0 - 2; dy <= 2; dy++) {
+                for (int dx = 0 - 2; dx <= 2; dx++) {
+                    int acc = 0;
+                    for (int p = 0; p < 64; p++) {   // inline 8x8 SAD
+                        int y = p / 8;
+                        int x = p % 8;
+                        int cy = by * 8 + y;
+                        int cx = bx * 8 + x;
+                        int ry = (cy + dy + 64) % 64;
+                        int rx = (cx + dx + 64) % 64;
+                        int d = cur[cy][cx] - ref[ry][rx];
+                        if (d < 0) { d = 0 - d; }
+                        acc = acc + d;
+                    }
+                    costbuf[n] = acc;
+                    n = n + 1;
+                }
+            }
+            for (int k = 0; k < 25; k++) {
+                if (costbuf[k] < 0) {            // never taken: corrupt SAD
+                    corrupt = corrupt + 1;
+                } else if (costbuf[k] < best[mb].cost) {
+                    best[mb].cost = costbuf[k];
+                    best[mb].dy = k / 5 - 2;
+                    best[mb].dx = k % 5 - 2;
+                }
+            }
+            free(costbuf);
+        }
+    }
+    int total = 0;
+    for (int mb = 0; mb < 64; mb++) { total = total + best[mb].cost; }
+    print(total);
+    print(bits_total % 1000);
+    print(corrupt);
+}
+`
+
+// 544.nab — molecular dynamics: pairwise force accumulation reading
+// coordinates that only an outer integration loop writes. Idioms:
+// read-only speculation per inner loop, sqrt-heavy float math, biased
+// overlap check, affine force arrays.
+const srcNab = `
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+
+float pos_x[80];
+float pos_y[80];
+float force_x[80];
+float force_y[80];
+int overlaps;
+
+void init() {
+    for (int i = 0; i < 80; i++) {
+        pos_x[i] = (float)(rnd() % 1000) / 10.0;
+        pos_y[i] = (float)(rnd() % 1000) / 10.0;
+    }
+}
+
+float row_peak;
+float peak_sum;
+
+// Pairwise forces through raw pointers: positions and forces are
+// statically indistinguishable inside the kernel.
+void forces(float* px, float* py, float* fx, float* fy) {
+    for (int i = 0; i < 80; i++) {
+        fx[i] = 0.0;
+        fy[i] = 0.0;
+    }
+    for (int i = 0; i < 80; i++) {
+        if (overlaps > 1000000) {                // never taken
+            peak_sum = peak_sum - 1.0;           // rare path skips the reset
+        } else {
+            row_peak = 0.0;                      // kills the recurrence
+        }
+        peak_sum = peak_sum + row_peak;          // join read
+        for (int j = 0; j < 80; j++) {
+            if (i != j) {
+                float dx = px[i] - px[j];
+                float dy = py[i] - py[j];
+                float r2 = dx * dx + dy * dy + 0.001;
+                if (r2 < 0.0000001) {            // never taken: overlap
+                    overlaps = overlaps + 1;
+                } else {
+                    float inv = 1.0 / (r2 * sqrt(r2));
+                    fx[i] += dx * inv;
+                    fy[i] += dy * inv;
+                }
+            }
+        }
+        row_peak = row_peak + fx[i];             // trailing cross-iter store
+    }
+}
+
+void main() {
+    seed = 67;
+    init();
+    for (int step = 0; step < 25; step++) {
+        forces(pos_x, pos_y, force_x, force_y);
+        for (int i = 0; i < 80; i++) {
+            pos_x[i] = pos_x[i] + force_x[i] * 0.05;
+            pos_y[i] = pos_y[i] + force_y[i] * 0.05;
+        }
+    }
+    float s = 0.0;
+    for (int i = 0; i < 80; i++) { s += pos_x[i]; }
+    print(s);
+    print(peak_sum);
+    print(overlaps);
+}
+`

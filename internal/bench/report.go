@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFig8 renders the dependence-coverage table (the paper's Fig. 8 as
+// rows: one stacked bar per benchmark).
+func RenderFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — dependence coverage by scheme (% of PDG queries, loop-weighted)\n")
+	fmt.Fprintf(&b, "%-15s %6s %6s %6s | %8s %8s | %5s %7s\n",
+		"benchmark", "CAF", "Confl", "SCAF", "MemSpec+", "Observed", "loops", "queries")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %6.1f %6.1f %6.1f | %8.1f %8.1f | %5d %7d\n",
+			r.Bench, r.CAF, r.ConfluenceTotal(), r.SCAFTotal(), r.MemSpec, r.Observed,
+			r.HotLoops, r.Queries)
+	}
+	var avg Fig8Row
+	for _, r := range rows {
+		avg.CAF += r.CAF
+		avg.ConfExtra += r.ConfExtra
+		avg.SCAFExtra += r.SCAFExtra
+		avg.MemSpec += r.MemSpec
+		avg.Observed += r.Observed
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-15s %6.1f %6.1f %6.1f | %8.1f %8.1f\n",
+			"Average", avg.CAF/n, (avg.CAF+avg.ConfExtra)/n,
+			(avg.CAF+avg.ConfExtra+avg.SCAFExtra)/n, avg.MemSpec/n, avg.Observed/n)
+	}
+	s := SummarizeFig8(rows)
+	fmt.Fprintf(&b, "\nSCAF over confluence: +%.2f points of coverage on average\n", s.MeanIncrease)
+	fmt.Fprintf(&b, "Residual memory-speculation need reduced by %.1f%% (geomean)\n",
+		100*s.MemSpecReductionGeomean)
+	return b.String()
+}
+
+// RenderFig9 renders the per-hot-loop scatter as a table plus an ASCII
+// plot of SCAF (y) vs confluence (x) %NoDep.
+func RenderFig9(pts []Fig9Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — %NoDep per hot loop: composition by collaboration (SCAF) vs confluence\n\n")
+	above, equal := 0, 0
+	for _, p := range pts {
+		switch {
+		case p.SCAF > p.Conf+1e-9:
+			above++
+		case p.SCAF >= p.Conf-1e-9:
+			equal++
+		}
+	}
+	fmt.Fprintf(&b, "%d hot loops: SCAF better on %d, equal on %d, worse on %d\n\n",
+		len(pts), above, equal, len(pts)-above-equal)
+
+	// ASCII scatter, 33x33 grid.
+	const n = 33
+	grid := make([][]byte, n)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", n))
+	}
+	for i := 0; i < n; i++ {
+		grid[n-1-i][i] = '.' // diagonal
+	}
+	for _, p := range pts {
+		x := int(p.Conf / 100 * float64(n-1))
+		y := int(p.SCAF / 100 * float64(n-1))
+		grid[n-1-y][x] = 'o'
+	}
+	b.WriteString("SCAF%\n")
+	for i, row := range grid {
+		label := "     "
+		switch i {
+		case 0:
+			label = "100 |"
+		case n / 2:
+			label = " 50 |"
+		case n - 1:
+			label = "  0 |"
+		default:
+			label = "    |"
+		}
+		b.WriteString(label + string(row) + "\n")
+	}
+	b.WriteString("     " + strings.Repeat("-", n) + "\n")
+	b.WriteString("     0               50              100  Confluence%\n\n")
+	fmt.Fprintf(&b, "%-15s %-28s %8s %8s\n", "benchmark", "loop", "Confl", "SCAF")
+	for _, p := range pts {
+		marker := ""
+		if p.SCAF > p.Conf+1e-9 {
+			marker = "  *"
+		}
+		fmt.Fprintf(&b, "%-15s %-28s %8.1f %8.1f%s\n", p.Bench, p.Loop, p.Conf, p.SCAF, marker)
+	}
+	return b.String()
+}
+
+// RenderTable2 renders the collaboration-coverage table.
+func RenderTable2(t Table2Result) string {
+	var b strings.Builder
+	b.WriteString("Table 2 — collaboration coverage of modules in SCAF\n")
+	fmt.Fprintf(&b, "(over %d benchmarks, %d hot loops, %d improved queries of %d total)\n\n",
+		t.Benchmarks, t.Loops, t.ImprovedQuery, t.TotalQueries)
+	fmt.Fprintf(&b, "%-30s %10s %10s %10s\n", "analysis modules", "benchmark", "loop", "improved-q")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-30s %9.2f%% %9.2f%% %9.2f%%\n", r.Name, r.BenchLevel, r.LoopLevel, r.QueryLevel)
+	}
+	return b.String()
+}
+
+// RenderFig10 renders the latency-distribution comparison.
+func RenderFig10(series []Fig10Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — query latency distribution\n\n")
+	fmt.Fprintf(&b, "%-26s %9s %10s %10s %10s %10s %12s\n",
+		"configuration", "queries", "geomean", "p50", "p95", "p99", "evals/query")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-26s %9d %10s %10s %10s %10s %12.1f\n",
+			s.Name, s.Count, s.Geomean, s.P50, s.P95, s.P99, s.EvalsPerQuery)
+	}
+	b.WriteString("\nCDF sample points:\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-26s", s.Name)
+		for i, f := range s.Fractions {
+			fmt.Fprintf(&b, "  %.0f%%≤%s", f*100, s.Latencies[i])
+		}
+		b.WriteString("\n")
+	}
+	if len(series) == 3 {
+		g0 := float64(series[0].Geomean) // CAF
+		g1 := float64(series[1].Geomean) // SCAF w/o desired result
+		g2 := float64(series[2].Geomean) // SCAF
+		if g1 > 0 && g0 > 0 {
+			fmt.Fprintf(&b, "\nDesired-result parameter: %+.1f%% wall-clock (geomean), %.1f%% module evaluations\n",
+				100*(g2/g1-1), 100*(1-series[2].EvalsPerQuery/series[1].EvalsPerQuery))
+			fmt.Fprintf(&b, "SCAF vs CAF geomean latency: %+.1f%%\n", 100*(g2/g0-1))
+		}
+	}
+	return b.String()
+}
+
+// RenderFig7 renders the validation-cost comparison.
+func RenderFig7() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — modeled per-check validation cost (abstract cycles)\n\n")
+	for _, r := range Fig7() {
+		bar := strings.Repeat("#", int(r.PerCheck))
+		fmt.Fprintf(&b, "%-45s %6.1f %s\n", r.Scheme, r.PerCheck, bar)
+	}
+	b.WriteString("\nSCAF only ever emits the cheap checks; memory speculation pays the\n")
+	b.WriteString("shadow-memory check on every guarded access (paper Fig. 7a vs 7b).\n")
+	return b.String()
+}
+
+// RenderTable1 renders the paper's qualitative comparison of integration
+// approaches (Table 1), annotated with where each design lives in this
+// repository.
+func RenderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — proposals for integrating speculation into analysis\n\n")
+	fmt.Fprintf(&b, "%-36s %-10s %-12s %-12s %s\n",
+		"approach", "decoupled", "spec↔spec", "analysis↔spec", "here")
+	rows := [][]string{
+		{"Monolithic integration", "no", "yes", "no",
+			"(not built: the design SCAF argues against)"},
+		{"Composition by confluence", "no", "no", "yes",
+			"SchemeConfluence (isolated premise routing)"},
+		{"Composition by collaboration (SCAF)", "yes", "yes", "yes",
+			"SchemeSCAF (collaborative premise routing)"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %-10s %-12s %-12s %s\n", r[0], r[1], r[2], r[3], r[4])
+	}
+	b.WriteString("\ncolumns: memory analysis decoupled from speculation /\n")
+	b.WriteString("collaboration among speculative techniques / collaboration\n")
+	b.WriteString("between memory analysis and speculative techniques\n")
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"scaf"
+	"scaf/internal/cfg"
+	"scaf/internal/pdg"
+)
+
+// Benchmark is one loaded, profiled benchmark program.
+type Benchmark struct {
+	Name string
+	Sys  *scaf.System
+	Hot  []*cfg.Loop
+}
+
+// Suite is the loaded benchmark collection.
+type Suite struct {
+	Benchmarks []*Benchmark
+}
+
+// Load compiles and profiles one benchmark by name.
+func Load(name string) (*Benchmark, error) {
+	src, ok := Sources[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	sys, err := scaf.Load(name, src, scaf.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	return &Benchmark{Name: name, Sys: sys, Hot: sys.HotLoops()}, nil
+}
+
+// LoadSuite loads the given benchmarks (all 16 when names is empty).
+func LoadSuite(names ...string) (*Suite, error) {
+	if len(names) == 0 {
+		names = Names()
+	}
+	s := &Suite{}
+	for _, n := range names {
+		b, err := Load(n)
+		if err != nil {
+			return nil, err
+		}
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	return s, nil
+}
+
+// Analysis holds one benchmark's PDG results under every scheme.
+type Analysis struct {
+	B    *Benchmark
+	CAF  map[*cfg.Loop]*pdg.LoopResult
+	Conf map[*cfg.Loop]*pdg.LoopResult
+	SCAF map[*cfg.Loop]*pdg.LoopResult
+}
+
+// Analyze runs the PDG client over the benchmark's hot loops under CAF,
+// confluence, and SCAF.
+func Analyze(b *Benchmark) *Analysis {
+	a := &Analysis{
+		B:    b,
+		CAF:  map[*cfg.Loop]*pdg.LoopResult{},
+		Conf: map[*cfg.Loop]*pdg.LoopResult{},
+		SCAF: map[*cfg.Loop]*pdg.LoopResult{},
+	}
+	client := b.Sys.Client()
+	for _, scheme := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
+		o := b.Sys.Orchestrator(scheme)
+		for _, l := range b.Hot {
+			res := client.AnalyzeLoop(o, l)
+			switch scheme {
+			case scaf.SchemeCAF:
+				a.CAF[l] = res
+			case scaf.SchemeConfluence:
+				a.Conf[l] = res
+			default:
+				a.SCAF[l] = res
+			}
+		}
+	}
+	return a
+}
+
+// AnalyzeSuite analyzes every benchmark.
+func AnalyzeSuite(s *Suite) []*Analysis {
+	out := make([]*Analysis, len(s.Benchmarks))
+	for i, b := range s.Benchmarks {
+		out[i] = Analyze(b)
+	}
+	return out
+}
+
+// QueryClass buckets one dependence query for the Fig. 8 stack. The
+// buckets are mutually exclusive and ordered bottom-up as in the figure.
+type QueryClass int
+
+const (
+	// ClassCAF: disproven by memory analysis alone.
+	ClassCAF QueryClass = iota
+	// ClassConfluence: additionally removed by isolated cheap speculation.
+	ClassConfluence
+	// ClassSCAF: additionally removed only via collaboration.
+	ClassSCAF
+	// ClassMemSpec: not removed by cheap speculation but never observed —
+	// memory speculation's residual territory.
+	ClassMemSpec
+	// ClassObserved: manifested during profiling and not removed.
+	ClassObserved
+)
+
+// classify buckets every query of one loop.
+func classify(b *Benchmark, a *Analysis, l *cfg.Loop) map[QueryClass]int {
+	out := map[QueryClass]int{}
+	caf := a.CAF[l].ByKey()
+	conf := a.Conf[l].ByKey()
+	ms := b.Sys.MemSpec()
+	for _, q := range a.SCAF[l].Queries {
+		k := pdg.Key{I1: q.I1, I2: q.I2, Rel: q.Rel}
+		switch {
+		case caf[k] != nil && caf[k].NoDep:
+			out[ClassCAF]++
+		case conf[k] != nil && conf[k].NoDep:
+			out[ClassConfluence]++
+		case q.NoDep:
+			out[ClassSCAF]++
+		case ms.NoDep(l, q.I1, q.I2, q.Rel):
+			out[ClassMemSpec]++
+		default:
+			out[ClassObserved]++
+		}
+	}
+	return out
+}
+
+// LoopWeights returns normalized execution-time weights over hot loops.
+func (b *Benchmark) LoopWeights() map[*cfg.Loop]float64 {
+	out := map[*cfg.Loop]float64{}
+	var sum float64
+	for _, l := range b.Hot {
+		w := b.Sys.Profiles.LoopWeightFrac(l)
+		out[l] = w
+		sum += w
+	}
+	if sum > 0 {
+		for l := range out {
+			out[l] /= sum
+		}
+	}
+	return out
+}
+
+// sortedLoops returns hot loops in a stable order.
+func (b *Benchmark) sortedLoops() []*cfg.Loop {
+	loops := append([]*cfg.Loop(nil), b.Hot...)
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Name() < loops[j].Name() })
+	return loops
+}

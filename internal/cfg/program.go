@@ -1,0 +1,44 @@
+package cfg
+
+import "scaf/internal/ir"
+
+// Program bundles a module with its per-function control-flow analyses
+// (dominator trees, post-dominator trees, loop forests), computed once and
+// shared by profilers and analysis modules.
+type Program struct {
+	Mod     *ir.Module
+	Dom     map[*ir.Func]*Tree
+	PostDom map[*ir.Func]*Tree
+	Forests map[*ir.Func]*Forest
+}
+
+// NewProgram computes the control-flow analyses for every function of m.
+func NewProgram(m *ir.Module) *Program {
+	p := &Program{
+		Mod:     m,
+		Dom:     map[*ir.Func]*Tree{},
+		PostDom: map[*ir.Func]*Tree{},
+		Forests: map[*ir.Func]*Forest{},
+	}
+	for _, f := range m.Funcs {
+		dt := Dominators(f, nil)
+		p.Dom[f] = dt
+		p.PostDom[f] = PostDominators(f, nil)
+		p.Forests[f] = Loops(f, dt)
+	}
+	return p
+}
+
+// AllLoops returns every loop in the program, outermost first per function.
+func (p *Program) AllLoops() []*Loop {
+	var out []*Loop
+	for _, f := range p.Mod.Funcs {
+		out = append(out, p.Forests[f].All...)
+	}
+	return out
+}
+
+// LoopOf returns the innermost loop containing instruction in, or nil.
+func (p *Program) LoopOf(in *ir.Instr) *Loop {
+	return p.Forests[in.Blk.Fn].Innermost[in.Blk]
+}

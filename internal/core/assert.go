@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scaf/internal/ir"
+)
+
+// Point is a program point an assertion touches: an instruction, a block,
+// a CFG edge (Block→EdgeTo), or a global. Points are comparable; conflict
+// detection relies on that.
+type Point struct {
+	Instr  *ir.Instr
+	Block  *ir.Block
+	EdgeTo *ir.Block // with Block set: the edge Block→EdgeTo
+	G      *ir.Global
+}
+
+func (p Point) String() string {
+	switch {
+	case p.Instr != nil:
+		return fmt.Sprintf("%s:%s", p.Instr.Blk.Fn.Name, p.Instr)
+	case p.Block != nil && p.EdgeTo != nil:
+		return fmt.Sprintf("%s:%s->%s", p.Block.Fn.Name, p.Block, p.EdgeTo)
+	case p.Block != nil:
+		return fmt.Sprintf("%s:%s", p.Block.Fn.Name, p.Block)
+	case p.G != nil:
+		return "@" + p.G.GName
+	}
+	return "?"
+}
+
+// Assertion is one speculative assertion (paper §3.2.3/§4.2.1): a
+// dynamically-enforced fact, produced by a speculation module, that the
+// client must validate at runtime to use the predicated analysis result.
+type Assertion struct {
+	// Module identifies the speculation module (and thus the validation
+	// transform the client must apply).
+	Module string
+	// Kind names the validation scheme within the module, e.g.
+	// "never-taken-edge", "value-check", "ro-heap", "residue-mask".
+	Kind string
+	// Points are the transformation points where validation code goes.
+	Points []Point
+	// Conflicts are program points this assertion must modify exclusively
+	// (e.g. an allocation site that is re-allocated into a special heap).
+	Conflicts []Point
+	// Cost is the estimated total validation cost: per-check latency ×
+	// profiled execution count of the guarded operation (§4.2.1).
+	Cost float64
+}
+
+// key canonically identifies an assertion for deduplication. It covers
+// the full content (including cost and conflict points) so that merging
+// is order-independent even for ill-behaved modules that emit same-named
+// assertions with different payloads.
+func (a Assertion) key() string {
+	var b strings.Builder
+	b.WriteString(a.Module)
+	b.WriteByte('/')
+	b.WriteString(a.Kind)
+	for _, p := range a.Points {
+		b.WriteByte('|')
+		b.WriteString(p.String())
+	}
+	b.WriteByte('$')
+	fmt.Fprintf(&b, "%g", a.Cost)
+	for _, p := range a.Conflicts {
+		b.WriteByte('^')
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
+func (a Assertion) String() string {
+	pts := make([]string, len(a.Points))
+	for i, p := range a.Points {
+		pts[i] = p.String()
+	}
+	return fmt.Sprintf("%s/%s{%s cost=%g}", a.Module, a.Kind, strings.Join(pts, ","), a.Cost)
+}
+
+// Option is one way to make a query result hold: a conjunction of
+// assertions that must all be validated (paper Fig. 3, "Assertion Option").
+type Option struct {
+	Asserts []Assertion
+}
+
+// Cost is the option's total validation cost.
+func (o Option) Cost() float64 {
+	var c float64
+	for _, a := range o.Asserts {
+		c += a.Cost
+	}
+	return c
+}
+
+// Free reports whether the option needs no validation at all.
+func (o Option) Free() bool { return len(o.Asserts) == 0 }
+
+func (o Option) String() string {
+	if o.Free() {
+		return "{}"
+	}
+	parts := make([]string, len(o.Asserts))
+	for i, a := range o.Asserts {
+		parts[i] = a.String()
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, " + ") + "}"
+}
+
+// mergeOptions conjoins two options (the paper's O1 + O2), deduplicating
+// identical assertions. ok is false when the combination conflicts.
+func mergeOptions(a, b Option) (Option, bool) {
+	out := Option{Asserts: append([]Assertion(nil), a.Asserts...)}
+	seen := map[string]bool{}
+	taken := map[Point]string{}
+	for _, as := range a.Asserts {
+		k := as.key()
+		for _, c := range as.Conflicts {
+			if owner, clash := taken[c]; clash && owner != k {
+				return Option{}, false // a is internally inconsistent
+			}
+			taken[c] = k
+		}
+		seen[k] = true
+	}
+	for _, as := range b.Asserts {
+		k := as.key()
+		if seen[k] {
+			continue
+		}
+		for _, c := range as.Conflicts {
+			if owner, clash := taken[c]; clash && owner != k {
+				return Option{}, false
+			}
+		}
+		for _, c := range as.Conflicts {
+			taken[c] = k
+		}
+		seen[k] = true
+		out.Asserts = append(out.Asserts, as)
+	}
+	return out, true
+}
+
+// TryMerge conjoins two options if their assertions do not conflict,
+// deduplicating identical assertions — the building block clients use for
+// global validation planning (§3.4).
+func TryMerge(a, b Option) (Option, bool) { return mergeOptions(a, b) }
+
+// OptionsConflict reports whether no pair of options from the two sets can
+// be combined (the paper's conflict(S1, S2)).
+func OptionsConflict(s1, s2 []Option) bool {
+	for _, o1 := range s1 {
+		for _, o2 := range s2 {
+			if _, ok := mergeOptions(o1, o2); ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CrossOptions is the paper's S1 × S2: every non-conflicting pairwise
+// conjunction. Returns nil when everything conflicts.
+func CrossOptions(s1, s2 []Option) []Option {
+	var out []Option
+	for _, o1 := range s1 {
+		for _, o2 := range s2 {
+			if m, ok := mergeOptions(o1, o2); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return dedupeOptions(out)
+}
+
+// UnionOptions is the paper's S1 + S2.
+func UnionOptions(s1, s2 []Option) []Option {
+	return dedupeOptions(append(append([]Option(nil), s1...), s2...))
+}
+
+// CheapestOf keeps only the cheapest option (the CHEAPEST join policy).
+func CheapestOf(s []Option) []Option {
+	if len(s) == 0 {
+		return nil
+	}
+	best := s[0]
+	for _, o := range s[1:] {
+		if o.Cost() < best.Cost() {
+			best = o
+		}
+	}
+	return []Option{best}
+}
+
+// HasFree reports whether some option requires no validation.
+func HasFree(s []Option) bool {
+	for _, o := range s {
+		if o.Free() {
+			return true
+		}
+	}
+	return false
+}
+
+// MinCost returns the cheapest option's cost (infinite for empty sets).
+func MinCost(s []Option) float64 {
+	best := Prohibitive * 16
+	for _, o := range s {
+		if c := o.Cost(); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func dedupeOptions(s []Option) []Option {
+	seen := map[string]bool{}
+	var out []Option
+	for _, o := range s {
+		k := o.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// unconditionalShared backs Unconditional; callers never mutate option
+// sets in place (they build new slices), so sharing is safe and saves an
+// allocation on every conservative or fact response.
+var unconditionalShared = []Option{{}}
+
+// Unconditional is the option set of a result that holds with no
+// speculation: one empty option.
+func Unconditional() []Option { return unconditionalShared }

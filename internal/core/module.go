@@ -1,0 +1,149 @@
+package core
+
+import "sort"
+
+// AliasResponse is a module's (or the framework's) answer to an alias
+// query: a result, the ways to make it hold (Options — any one suffices),
+// and the set of modules that contributed to it.
+type AliasResponse struct {
+	Result   AliasResult
+	Options  []Option
+	Contribs []string
+}
+
+// ModRefResponse is the mod-ref counterpart.
+type ModRefResponse struct {
+	Result   ModRefResult
+	Options  []Option
+	Contribs []string
+}
+
+// MayAliasResponse is the conservative alias answer.
+func MayAliasResponse() AliasResponse {
+	return AliasResponse{Result: MayAlias, Options: Unconditional()}
+}
+
+// ModRefConservative is the conservative mod-ref answer.
+func ModRefConservative() ModRefResponse {
+	return ModRefResponse{Result: ModRef, Options: Unconditional()}
+}
+
+// AliasFact is an unconditional (validation-free) alias answer from
+// module mod.
+func AliasFact(r AliasResult, mod string) AliasResponse {
+	return AliasResponse{Result: r, Options: Unconditional(), Contribs: []string{mod}}
+}
+
+// ModRefFact is an unconditional mod-ref answer from module mod.
+func ModRefFact(r ModRefResult, mod string) ModRefResponse {
+	return ModRefResponse{Result: r, Options: Unconditional(), Contribs: []string{mod}}
+}
+
+// AliasSpec is a speculative alias answer predicated on the assertions.
+func AliasSpec(r AliasResult, mod string, asserts ...Assertion) AliasResponse {
+	return AliasResponse{Result: r, Options: []Option{{Asserts: asserts}}, Contribs: []string{mod}}
+}
+
+// ModRefSpec is a speculative mod-ref answer predicated on the assertions.
+func ModRefSpec(r ModRefResult, mod string, asserts ...Assertion) ModRefResponse {
+	return ModRefResponse{Result: r, Options: []Option{{Asserts: asserts}}, Contribs: []string{mod}}
+}
+
+// MergeContribs unions contributor lists, sorted and deduplicated.
+func MergeContribs(lists ...[]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range lists {
+		for _, s := range l {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsDefinite reports whether the alias result is maximally precise.
+func (r AliasResponse) IsDefinite() bool { return r.Result == NoAlias || r.Result == MustAlias }
+
+// IsDefinite reports whether the mod-ref result is maximally precise.
+func (r ModRefResponse) IsDefinite() bool { return r.Result == NoModRef }
+
+// ModuleKind distinguishes memory-analysis from speculation modules.
+type ModuleKind int
+
+const (
+	MemoryAnalysis ModuleKind = iota
+	Speculation
+)
+
+func (k ModuleKind) String() string {
+	if k == Speculation {
+		return "speculation"
+	}
+	return "memory-analysis"
+}
+
+// Handle is the channel through which a module submits premise queries
+// back to the Orchestrator (paper §3.1). Factored modules formulate
+// premise queries from incoming queries to resolve propositions about
+// which they cannot reason; the Orchestrator routes them to the other
+// modules without the requester knowing who answers.
+type Handle interface {
+	// PremiseAlias resolves an alias premise query.
+	PremiseAlias(q *AliasQuery) AliasResponse
+	// PremiseModRef resolves a mod-ref premise query.
+	PremiseModRef(q *ModRefQuery) ModRefResponse
+}
+
+// Module is an analysis module: a memory-analysis algorithm or the
+// analysis part of a decomposed speculative technique (paper §4.2.1).
+// Modules answer what they can and return the conservative response
+// otherwise; they must never block on h being unable to help.
+type Module interface {
+	Name() string
+	Kind() ModuleKind
+	Alias(q *AliasQuery, h Handle) AliasResponse
+	ModRef(q *ModRefQuery, h Handle) ModRefResponse
+}
+
+// AliasCaps is an optional Module interface declaring which alias results
+// a module can ever produce. The Orchestrator uses it to implement the
+// desired-result parameter (§3.2.2): when a premise query only benefits
+// from one specific answer, modules that cannot produce it (or a stronger
+// containment) are skipped entirely, cutting query latency without
+// changing what the requester can use.
+type AliasCaps interface {
+	// CanAnswerAlias reports whether the module might produce a result
+	// useful to a requester with the given desired result.
+	CanAnswerAlias(d DesiredAlias) bool
+}
+
+// NoAliasOnly is an embeddable AliasCaps for modules whose only
+// non-conservative alias answer is NoAlias.
+type NoAliasOnly struct{}
+
+// CanAnswerAlias reports false exactly for MustAlias-seeking premises.
+func (NoAliasOnly) CanAnswerAlias(d DesiredAlias) bool { return d != WantMustAlias }
+
+// NoHelp is a Handle for isolated evaluation: every premise query gets
+// the conservative answer. It models self-contained prior-work techniques
+// (composition by confluence).
+type NoHelp struct{}
+
+func (NoHelp) PremiseAlias(q *AliasQuery) AliasResponse    { return MayAliasResponse() }
+func (NoHelp) PremiseModRef(q *ModRefQuery) ModRefResponse { return ModRefConservative() }
+
+// BaseModule provides default conservative answers for modules that only
+// implement one of the two query types.
+type BaseModule struct{}
+
+func (BaseModule) Alias(q *AliasQuery, h Handle) AliasResponse {
+	return MayAliasResponse()
+}
+
+func (BaseModule) ModRef(q *ModRefQuery, h Handle) ModRefResponse {
+	return ModRefConservative()
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"time"
+
+	"scaf/internal/cfg"
+	"scaf/internal/ir"
+)
+
+// JoinPolicy selects what the Orchestrator keeps from each response
+// (paper Algorithm 2).
+type JoinPolicy int
+
+const (
+	// JoinCheapest keeps only the locally optimal (cheapest) option.
+	JoinCheapest JoinPolicy = iota
+	// JoinAll collects every way a query can be resolved, enabling global
+	// reasoning by the client.
+	JoinAll
+)
+
+// BailoutPolicy selects when the Orchestrator stops querying modules
+// (paper §3.3).
+type BailoutPolicy int
+
+const (
+	// BailDefiniteAffordable stops at the first definite result with an
+	// affordable option — the paper implementation's greedy search.
+	BailDefiniteAffordable BailoutPolicy = iota
+	// BailDefiniteFree stops only at definite, validation-free results.
+	BailDefiniteFree
+	// BailExhaustive always consults every module.
+	BailExhaustive
+)
+
+// Routing selects how premise queries travel (the collaboration switch;
+// see DESIGN.md).
+type Routing int
+
+const (
+	// RouteCollaborative sends premise queries to every module —
+	// composition by collaboration, i.e. SCAF.
+	RouteCollaborative Routing = iota
+	// RouteIsolated confines premise queries to the originating module's
+	// technique group — composition by confluence, the best prior
+	// approach the paper compares against (§2.2.1, §5).
+	RouteIsolated
+)
+
+// Config configures an Orchestrator.
+type Config struct {
+	// Modules in evaluation order: memory-analysis modules first, then
+	// speculation modules by ascending average assertion cost (§3.3).
+	Modules []Module
+	Join    JoinPolicy
+	Bailout BailoutPolicy
+	Routing Routing
+	// Groups maps module name → technique group for RouteIsolated.
+	// Modules without a group are their own group.
+	Groups map[string]string
+	// MaxDepth bounds premise-query nesting. 0 means 8.
+	MaxDepth int
+	// StripDesired removes the desired-result parameter from every query
+	// before modules see it (the Fig. 10 ablation).
+	StripDesired bool
+	// Timeout, when positive, stops consulting further modules once a
+	// top-level query has run this long — the compilation-time-sensitive
+	// bail-out policy of §3.3. The best answer found so far is returned.
+	Timeout time.Duration
+	// EnableCache memoizes handle() results per proposition. Sound because
+	// the program, profiles, and module set are immutable for the
+	// orchestrator's lifetime. Note: a proposition first resolved inside a
+	// premise cycle (or at the depth limit) may cache a conservatively
+	// degraded answer — still sound, possibly less precise than a fresh
+	// resolution.
+	EnableCache bool
+	// RecordLatency appends per-top-level-query wall-clock durations to
+	// Stats.Latencies.
+	RecordLatency bool
+}
+
+// Stats accumulates orchestration counters.
+type Stats struct {
+	TopQueries     int64
+	PremiseQueries int64
+	Conflicts      int64
+	// ModuleEvals counts individual module consultations — the
+	// deterministic work measure behind query latency.
+	ModuleEvals int64
+	// CacheHits counts handle() invocations served from the memo table.
+	CacheHits int64
+	// Timeouts counts searches cut short by the timeout policy.
+	Timeouts  int64
+	Latencies []time.Duration
+}
+
+// Orchestrator coordinates interactions among modules and between modules
+// and the client (paper §3.3, Algorithm 1). It is not safe for concurrent
+// use; create one per goroutine.
+type Orchestrator struct {
+	cfg    Config
+	stats  Stats
+	actA   map[aliasKey]bool
+	actM   map[modrefKey]bool
+	groups map[string][]Module
+	cacheA map[aliasKey]AliasResponse
+	cacheM map[modrefKey]ModRefResponse
+	// start of the in-flight top-level query, for the timeout policy.
+	queryStart time.Time
+}
+
+// NewOrchestrator builds an Orchestrator from cfg.
+func NewOrchestrator(cfg Config) *Orchestrator {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 8
+	}
+	o := &Orchestrator{
+		cfg:    cfg,
+		actA:   map[aliasKey]bool{},
+		actM:   map[modrefKey]bool{},
+		groups: map[string][]Module{},
+	}
+	if cfg.EnableCache {
+		o.cacheA = map[aliasKey]AliasResponse{}
+		o.cacheM = map[modrefKey]ModRefResponse{}
+	}
+	for _, m := range cfg.Modules {
+		g := cfg.Groups[m.Name()]
+		if g == "" {
+			g = m.Name()
+		}
+		o.groups[g] = append(o.groups[g], m)
+	}
+	return o
+}
+
+// Stats returns the accumulated counters.
+func (o *Orchestrator) Stats() *Stats { return &o.stats }
+
+// aliasKey identifies the PROPOSITION an alias query asks about. The
+// desired-result parameter is deliberately excluded: it tunes module
+// effort, not meaning, so a premise re-asking an in-flight proposition
+// with a different desired result is still a cycle.
+type aliasKey struct {
+	p1, p2  ir.Value
+	s1, s2  int64
+	rel     TemporalRelation
+	loop    *cfg.Loop
+	dt, pdt *cfg.Tree
+}
+
+type modrefKey struct {
+	i1, i2  *ir.Instr
+	locPtr  ir.Value
+	locSize int64
+	rel     TemporalRelation
+	loop    *cfg.Loop
+	dt, pdt *cfg.Tree
+}
+
+func keyOfAlias(q *AliasQuery) aliasKey {
+	return aliasKey{q.L1.Ptr, q.L2.Ptr, q.L1.Size, q.L2.Size, q.Rel, q.Loop, q.DT, q.PDT}
+}
+
+func keyOfModRef(q *ModRefQuery) modrefKey {
+	return modrefKey{q.I1, q.I2, q.Loc.Ptr, q.Loc.Size, q.Rel, q.Loop, q.DT, q.PDT}
+}
+
+// Alias resolves a client alias query.
+func (o *Orchestrator) Alias(q *AliasQuery) AliasResponse {
+	o.stats.TopQueries++
+	if o.cfg.Timeout > 0 {
+		o.queryStart = time.Now()
+	}
+	if o.cfg.RecordLatency {
+		start := time.Now()
+		defer func() { o.stats.Latencies = append(o.stats.Latencies, time.Since(start)) }()
+	}
+	return o.handleAlias(q, 0, nil)
+}
+
+// ModRef resolves a client mod-ref query.
+func (o *Orchestrator) ModRef(q *ModRefQuery) ModRefResponse {
+	o.stats.TopQueries++
+	if o.cfg.Timeout > 0 {
+		o.queryStart = time.Now()
+	}
+	if o.cfg.RecordLatency {
+		start := time.Now()
+		defer func() { o.stats.Latencies = append(o.stats.Latencies, time.Since(start)) }()
+	}
+	return o.handleModRef(q, 0, nil)
+}
+
+// timedOut reports whether the in-flight query exceeded the budget.
+func (o *Orchestrator) timedOut() bool {
+	if o.cfg.Timeout <= 0 || o.queryStart.IsZero() {
+		return false
+	}
+	if time.Since(o.queryStart) > o.cfg.Timeout {
+		o.stats.Timeouts++
+		return true
+	}
+	return false
+}
+
+// audience returns the modules a query (premise queries carry the
+// originating module in from) is evaluated against.
+func (o *Orchestrator) audience(from Module) []Module {
+	if from == nil || o.cfg.Routing == RouteCollaborative {
+		return o.cfg.Modules
+	}
+	g := o.cfg.Groups[from.Name()]
+	if g == "" {
+		g = from.Name()
+	}
+	return o.groups[g]
+}
+
+func (o *Orchestrator) bailAlias(r AliasResponse) bool {
+	switch o.cfg.Bailout {
+	case BailDefiniteFree:
+		return r.IsDefinite() && HasFree(r.Options)
+	case BailExhaustive:
+		return false
+	default:
+		return r.IsDefinite() && MinCost(r.Options) < Prohibitive
+	}
+}
+
+func (o *Orchestrator) bailModRef(r ModRefResponse) bool {
+	switch o.cfg.Bailout {
+	case BailDefiniteFree:
+		return r.IsDefinite() && HasFree(r.Options)
+	case BailExhaustive:
+		return false
+	default:
+		return r.IsDefinite() && MinCost(r.Options) < Prohibitive
+	}
+}
+
+func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) AliasResponse {
+	if depth > o.cfg.MaxDepth {
+		return MayAliasResponse()
+	}
+	if depth > 0 {
+		o.stats.PremiseQueries++
+	}
+	if o.cfg.StripDesired && q.Desired != AnyAlias {
+		cp := *q
+		cp.Desired = AnyAlias
+		q = &cp
+	}
+	k := keyOfAlias(q)
+	if o.actA[k] {
+		return MayAliasResponse() // break premise cycles conservatively
+	}
+	if o.cacheA != nil {
+		if r, ok := o.cacheA[k]; ok {
+			o.stats.CacheHits++
+			return r
+		}
+	}
+	o.actA[k] = true
+	defer delete(o.actA, k)
+
+	final := MayAliasResponse()
+	complete := true
+	for _, m := range o.audience(from) {
+		if o.timedOut() {
+			complete = false
+			break
+		}
+		if q.Desired != AnyAlias {
+			if caps, ok := m.(AliasCaps); ok && !caps.CanAnswerAlias(q.Desired) {
+				continue // desired-result bail-out (§3.2.2)
+			}
+		}
+		o.stats.ModuleEvals++
+		res := m.Alias(q, handle{o: o, depth: depth, from: m})
+		final = o.joinAlias(final, res)
+		if o.bailAlias(final) {
+			break
+		}
+	}
+	if o.cacheA != nil && complete {
+		o.cacheA[k] = final
+	}
+	return final
+}
+
+func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) ModRefResponse {
+	if depth > o.cfg.MaxDepth {
+		return ModRefConservative()
+	}
+	if depth > 0 {
+		o.stats.PremiseQueries++
+	}
+	k := keyOfModRef(q)
+	if o.actM[k] {
+		return ModRefConservative()
+	}
+	if o.cacheM != nil {
+		if r, ok := o.cacheM[k]; ok {
+			o.stats.CacheHits++
+			return r
+		}
+	}
+	o.actM[k] = true
+	defer delete(o.actM, k)
+
+	final := ModRefConservative()
+	complete := true
+	for _, m := range o.audience(from) {
+		if o.timedOut() {
+			complete = false
+			break
+		}
+		o.stats.ModuleEvals++
+		res := m.ModRef(q, handle{o: o, depth: depth, from: m})
+		final = o.joinModRef(final, res)
+		if o.bailModRef(final) {
+			break
+		}
+	}
+	if o.cacheM != nil && complete {
+		o.cacheM[k] = final
+	}
+	return final
+}
+
+// handle implements Handle for one module evaluation.
+type handle struct {
+	o     *Orchestrator
+	depth int
+	from  Module
+}
+
+func (h handle) PremiseAlias(q *AliasQuery) AliasResponse {
+	return h.o.handleAlias(q, h.depth+1, h.from)
+}
+
+func (h handle) PremiseModRef(q *ModRefQuery) ModRefResponse {
+	return h.o.handleModRef(q, h.depth+1, h.from)
+}
+
+// joinAlias implements the paper's join (Algorithm 2) for alias results.
+func (o *Orchestrator) joinAlias(r1, r2 AliasResponse) AliasResponse {
+	// Fast path: options attached to the bottom result are meaningless,
+	// so two MayAlias responses join without any set algebra.
+	if r1.Result == MayAlias && r2.Result == MayAlias {
+		return MayAliasResponse()
+	}
+	p1, p2 := aliasPrecision(r1.Result), aliasPrecision(r2.Result)
+	if p1 > p2 {
+		return r1
+	}
+	if p2 > p1 {
+		return r2
+	}
+	if r1.Result == r2.Result {
+		return AliasResponse{
+			Result:   r1.Result,
+			Options:  o.combineSame(r1.Options, r2.Options),
+			Contribs: o.combineContribs(r1, r2),
+		}
+	}
+	// Same precision, different results: NoAlias vs MustAlias (or
+	// SubAlias-level disagreements cannot happen: only one such result).
+	return o.conflictAlias(r1, r2)
+}
+
+// combineSame merges option sets for identical results per join policy.
+func (o *Orchestrator) combineSame(s1, s2 []Option) []Option {
+	u := UnionOptions(s1, s2)
+	if o.cfg.Join == JoinCheapest {
+		return CheapestOf(u)
+	}
+	return u
+}
+
+func (o *Orchestrator) combineContribs(r1 AliasResponse, r2 AliasResponse) []string {
+	if o.cfg.Join == JoinAll {
+		return MergeContribs(r1.Contribs, r2.Contribs)
+	}
+	// CHEAPEST: attribute to whichever response supplied the kept option.
+	if MinCost(r1.Options) <= MinCost(r2.Options) {
+		return r1.Contribs
+	}
+	return r2.Contribs
+}
+
+// conflictAlias resolves NoAlias-vs-MustAlias disagreements: a free answer
+// is ground truth; between speculative answers the cheaper (more
+// confident-per-cost) one wins (paper §3.3: different profiling inputs can
+// support different results).
+func (o *Orchestrator) conflictAlias(r1, r2 AliasResponse) AliasResponse {
+	o.stats.Conflicts++
+	f1, f2 := HasFree(r1.Options), HasFree(r2.Options)
+	switch {
+	case f1 && !f2:
+		return r1
+	case f2 && !f1:
+		return r2
+	case MinCost(r1.Options) <= MinCost(r2.Options):
+		return r1
+	default:
+		return r2
+	}
+}
+
+// joinModRef implements Algorithm 2 for mod-ref results, including the
+// Mod × Ref → NoModRef special case: results are upper bounds, so a
+// proof of "never reads" combined with a proof of "never writes" yields
+// "never accesses", provided the assertion sets do not conflict.
+func (o *Orchestrator) joinModRef(r1, r2 ModRefResponse) ModRefResponse {
+	if r1.Result == ModRef && r2.Result == ModRef {
+		return ModRefConservative()
+	}
+	p1, p2 := modrefPrecision(r1.Result), modrefPrecision(r2.Result)
+	if p1 > p2 {
+		return r1
+	}
+	if p2 > p1 {
+		return r2
+	}
+	if r1.Result == r2.Result {
+		return ModRefResponse{
+			Result:   r1.Result,
+			Options:  o.combineSame(r1.Options, r2.Options),
+			Contribs: o.combineContribsMR(r1, r2),
+		}
+	}
+	if (r1.Result == Mod && r2.Result == Ref) || (r1.Result == Ref && r2.Result == Mod) {
+		if OptionsConflict(r1.Options, r2.Options) {
+			o.stats.Conflicts++
+			if MinCost(r1.Options) <= MinCost(r2.Options) {
+				return r1
+			}
+			return r2
+		}
+		return ModRefResponse{
+			Result:   NoModRef,
+			Options:  o.postJoin(CrossOptions(r1.Options, r2.Options)),
+			Contribs: MergeContribs(r1.Contribs, r2.Contribs),
+		}
+	}
+	// Remaining same-precision disagreement is impossible in this lattice.
+	return r1
+}
+
+func (o *Orchestrator) postJoin(s []Option) []Option {
+	if o.cfg.Join == JoinCheapest {
+		return CheapestOf(s)
+	}
+	return s
+}
+
+func (o *Orchestrator) combineContribsMR(r1, r2 ModRefResponse) []string {
+	if o.cfg.Join == JoinAll {
+		return MergeContribs(r1.Contribs, r2.Contribs)
+	}
+	if MinCost(r1.Options) <= MinCost(r2.Options) {
+		return r1.Contribs
+	}
+	return r2.Contribs
+}

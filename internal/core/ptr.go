@@ -1,0 +1,110 @@
+package core
+
+import "scaf/internal/ir"
+
+// Decomp is a pointer expressed as base + byte offset. KnownOff is false
+// when the chain contains a non-constant index, in which case Off holds
+// only the constant part.
+type Decomp struct {
+	Base     ir.Value
+	Off      int64
+	KnownOff bool
+}
+
+// Decompose walks Index/Field/Bitcast chains back to the underlying base
+// value, accumulating constant byte offsets — the shared vocabulary most
+// analysis modules reason in.
+func Decompose(p ir.Value) Decomp {
+	d := Decomp{Base: p, KnownOff: true}
+	for {
+		in, ok := d.Base.(*ir.Instr)
+		if !ok {
+			return d
+		}
+		switch in.Op {
+		case ir.OpIndex:
+			elem := ir.Pointee(in.Ty)
+			if c, isConst := ir.ConstIntValue(in.Args[1]); isConst {
+				d.Off += c * elem.Size()
+			} else {
+				d.KnownOff = false
+			}
+			d.Base = in.Args[0]
+		case ir.OpField:
+			st := ir.Pointee(in.Args[0].Type()).(*ir.StructType)
+			d.Off += st.Fields[in.FieldIdx].Offset
+			d.Base = in.Args[0]
+		case ir.OpCast:
+			if in.Cast != ir.Bitcast {
+				return d
+			}
+			d.Base = in.Args[0]
+		default:
+			return d
+		}
+	}
+}
+
+// IsAllocationBase reports whether v directly names a fresh allocation:
+// an Alloca or Malloc instruction, or a Global.
+func IsAllocationBase(v ir.Value) bool {
+	switch x := v.(type) {
+	case *ir.Global:
+		return true
+	case *ir.Instr:
+		return x.IsAllocation()
+	}
+	return false
+}
+
+// BaseObjectSize returns the byte size of the object v allocates, if
+// statically known.
+func BaseObjectSize(v ir.Value) (int64, bool) {
+	switch x := v.(type) {
+	case *ir.Global:
+		return x.Elem.Size(), true
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpAlloca:
+			return x.ElemTy.Size(), true
+		case ir.OpMalloc:
+			if n, ok := ir.ConstIntValue(x.Args[0]); ok {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// UnderlyingBases collects the set of possible decomposed bases of p,
+// looking through phi nodes transitively. complete is false when the walk
+// hit the limit or an unresolvable merge, meaning the set may be missing
+// bases and only positive (membership) conclusions are sound.
+func UnderlyingBases(p ir.Value, limit int) (bases []ir.Value, complete bool) {
+	seen := map[ir.Value]bool{}
+	complete = true
+	var walk func(v ir.Value, depth int)
+	walk = func(v ir.Value, depth int) {
+		if depth > limit {
+			complete = false
+			return
+		}
+		d := Decompose(v)
+		if seen[d.Base] {
+			return
+		}
+		if in, ok := d.Base.(*ir.Instr); ok && in.Op == ir.OpPhi {
+			seen[d.Base] = true
+			for _, a := range in.Args {
+				walk(a, depth+1)
+			}
+			return
+		}
+		if !seen[d.Base] {
+			seen[d.Base] = true
+			bases = append(bases, d.Base)
+		}
+	}
+	walk(p, 0)
+	return bases, complete
+}

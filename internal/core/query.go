@@ -1,0 +1,205 @@
+// Package core implements the paper's primary contribution: SCAF's
+// dependence-analysis query language (§3.2), speculative assertions and
+// their option algebra (§3.2.3), and the Orchestrator that coordinates
+// memory-analysis and speculation modules (§3.3).
+package core
+
+import (
+	"fmt"
+
+	"scaf/internal/cfg"
+	"scaf/internal/ir"
+)
+
+// TemporalRelation scopes a query to iterations of the query's loop
+// (paper Fig. 3): Before/After denote strictly earlier/later iterations of
+// the first operand relative to the second; Same denotes one iteration.
+type TemporalRelation int
+
+const (
+	Same TemporalRelation = iota
+	Before
+	After
+)
+
+func (t TemporalRelation) String() string {
+	switch t {
+	case Before:
+		return "Before"
+	case After:
+		return "After"
+	}
+	return "Same"
+}
+
+// MemLoc is a memory location: a pointer SSA value plus an access size in
+// bytes (UnknownSize when not statically known).
+type MemLoc struct {
+	Ptr  ir.Value
+	Size int64
+}
+
+// UnknownSize marks a location of statically unknown extent.
+const UnknownSize int64 = -1
+
+func (l MemLoc) String() string {
+	if l.Size == UnknownSize {
+		return fmt.Sprintf("(%s, ?)", l.Ptr)
+	}
+	return fmt.Sprintf("(%s, %d)", l.Ptr, l.Size)
+}
+
+// DesiredAlias is the desired-result query parameter introduced by the
+// paper (§3.2.2): a factored module that only benefits from one specific
+// alias answer says so, letting base modules bail out early.
+type DesiredAlias int
+
+const (
+	AnyAlias DesiredAlias = iota
+	WantNoAlias
+	WantMustAlias
+)
+
+func (d DesiredAlias) String() string {
+	switch d {
+	case WantNoAlias:
+		return "NoAlias"
+	case WantMustAlias:
+		return "MustAlias"
+	}
+	return "Any"
+}
+
+// CallCtx is the optional calling-context parameter (§3.2.2): the chain of
+// call sites that disambiguates dynamic instances of one static
+// instruction. nil means "any context".
+type CallCtx struct {
+	Sites []*ir.Instr
+}
+
+// AliasQuery asks how two memory locations may overlap.
+type AliasQuery struct {
+	L1, L2  MemLoc
+	Rel     TemporalRelation
+	Loop    *cfg.Loop
+	Ctx     *CallCtx
+	Desired DesiredAlias
+	// DT and PDT carry control-flow information. They may be speculative:
+	// modules must treat them as ground truth (paper §3.2.2 — "modules are
+	// agnostic to whether the control flow information contained in the
+	// received query is speculative or not").
+	DT, PDT *cfg.Tree
+}
+
+// ModRefQuery asks whether instruction I1 may read or write the footprint
+// of instruction I2 (or an explicit location, when I2 is nil), under the
+// given temporal relation within Loop.
+type ModRefQuery struct {
+	I1      *ir.Instr
+	I2      *ir.Instr
+	Loc     MemLoc // used when I2 == nil
+	Rel     TemporalRelation
+	Loop    *cfg.Loop
+	Ctx     *CallCtx
+	DT, PDT *cfg.Tree
+}
+
+// TargetLoc returns the queried footprint: I2's when present, else Loc.
+// ok is false when the footprint is statically unknown (e.g. a call).
+func (q *ModRefQuery) TargetLoc() (MemLoc, bool) {
+	if q.I2 == nil {
+		return q.Loc, q.Loc.Ptr != nil
+	}
+	if ptr, size, ok := q.I2.PointerOperand(); ok {
+		return MemLoc{Ptr: ptr, Size: size}, true
+	}
+	return MemLoc{}, false
+}
+
+// Flip returns the query with operands swapped and the temporal relation
+// mirrored (Before ↔ After), preserving meaning.
+func (q *AliasQuery) Flip() *AliasQuery {
+	out := *q
+	out.L1, out.L2 = q.L2, q.L1
+	switch q.Rel {
+	case Before:
+		out.Rel = After
+	case After:
+		out.Rel = Before
+	}
+	return &out
+}
+
+// AliasResult is the alias lattice (paper Fig. 3/4). SubAlias, introduced
+// by SCAF, means L1 is fully contained within L2.
+type AliasResult int
+
+const (
+	MayAlias AliasResult = iota
+	PartialAlias
+	SubAlias
+	MustAlias
+	NoAlias
+)
+
+func (r AliasResult) String() string {
+	switch r {
+	case NoAlias:
+		return "NoAlias"
+	case MustAlias:
+		return "MustAlias"
+	case SubAlias:
+		return "SubAlias"
+	case PartialAlias:
+		return "PartialAlias"
+	}
+	return "MayAlias"
+}
+
+// aliasPrecision implements the paper's order: NoAlias == MustAlias >
+// SubAlias > PartialAlias > MayAlias.
+func aliasPrecision(r AliasResult) int {
+	switch r {
+	case NoAlias, MustAlias:
+		return 3
+	case SubAlias:
+		return 2
+	case PartialAlias:
+		return 1
+	}
+	return 0
+}
+
+// ModRefResult is the mod-ref lattice. Results are upper bounds: Mod
+// means "may write but provably never reads".
+type ModRefResult int
+
+const (
+	NoModRef ModRefResult = 0
+	Ref      ModRefResult = 1
+	Mod      ModRefResult = 2
+	ModRef   ModRefResult = 3
+)
+
+func (r ModRefResult) String() string {
+	switch r {
+	case NoModRef:
+		return "NoModRef"
+	case Ref:
+		return "Ref"
+	case Mod:
+		return "Mod"
+	}
+	return "ModRef"
+}
+
+// modrefPrecision: NoModRef > Mod == Ref > ModRef.
+func modrefPrecision(r ModRefResult) int {
+	switch r {
+	case NoModRef:
+		return 2
+	case Mod, Ref:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,438 @@
+package interp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"scaf/internal/ir"
+)
+
+// Observer receives execution events. Profilers implement this interface.
+// The zero-cost way to observe a subset of events is to embed BaseObserver.
+type Observer interface {
+	// Edge fires on every control transfer between blocks of one function.
+	Edge(fn *ir.Func, from, to *ir.Block)
+	// Load fires after a successful load. val holds the raw 8-byte word.
+	Load(in *ir.Instr, addr uint64, size int64, val uint64, obj *Object)
+	// Store fires after a successful store.
+	Store(in *ir.Instr, addr uint64, size int64, val uint64, obj *Object)
+	// Alloc fires when an object is created (globals, allocas, mallocs).
+	Alloc(obj *Object)
+	// Free fires when an object dies; in is nil for stack deallocation at
+	// function return.
+	Free(in *ir.Instr, obj *Object)
+	// Call fires before entering a defined callee.
+	Call(site *ir.Instr, callee *ir.Func)
+	// Return fires when a defined callee returns.
+	Return(callee *ir.Func)
+}
+
+// BaseObserver is a no-op Observer for embedding.
+type BaseObserver struct{}
+
+func (BaseObserver) Edge(*ir.Func, *ir.Block, *ir.Block)             {}
+func (BaseObserver) Load(*ir.Instr, uint64, int64, uint64, *Object)  {}
+func (BaseObserver) Store(*ir.Instr, uint64, int64, uint64, *Object) {}
+func (BaseObserver) Alloc(*Object)                                   {}
+func (BaseObserver) Free(*ir.Instr, *Object)                         {}
+func (BaseObserver) Call(*ir.Instr, *ir.Func)                        {}
+func (BaseObserver) Return(*ir.Func)                                 {}
+
+// Options configures a run.
+type Options struct {
+	MaxSteps  int64 // dynamic instruction budget; 0 means 200M
+	MaxDepth  int   // call-stack depth limit; 0 means 10000
+	Observers []Observer
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Output []string
+	Steps  int64
+	Mem    *Memory
+}
+
+// Run executes module m starting at main().
+func Run(m *ir.Module, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 200_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 10000
+	}
+	main := m.FuncNamed("main")
+	if main == nil {
+		return nil, fmt.Errorf("interp: module %s has no main", m.Name)
+	}
+	if len(main.Params) != 0 {
+		return nil, fmt.Errorf("interp: main must take no parameters")
+	}
+	it := &Interp{
+		mod:     m,
+		mem:     NewMemory(),
+		opts:    opts,
+		obs:     opts.Observers,
+		globals: map[*ir.Global]uint64{},
+	}
+	for _, g := range m.Globals {
+		o := it.mem.Allocate(g.Elem.Size(), nil, g, 0)
+		for i, v := range g.InitInt {
+			if int64(i*8+8) <= o.Size {
+				if _, err := it.mem.Store(o.Base+uint64(i*8), 8, uint64(v)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		it.globals[g] = o.Base
+		it.alloc(o)
+	}
+	if _, err := it.call(main, nil, 0, 0); err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	return &Result{Output: it.output, Steps: it.steps, Mem: it.mem}, nil
+}
+
+// Interp is the execution engine.
+type Interp struct {
+	mod     *ir.Module
+	mem     *Memory
+	opts    Options
+	obs     []Observer
+	globals map[*ir.Global]uint64
+	steps   int64
+	output  []string
+}
+
+func (it *Interp) alloc(o *Object) {
+	for _, ob := range it.obs {
+		ob.Alloc(o)
+	}
+}
+
+// Raw value conversions: every value is a raw 8-byte word.
+func b2f(v uint64) float64 { return math.Float64frombits(v) }
+func f2b(v float64) uint64 { return math.Float64bits(v) }
+func b2i(v uint64) int64   { return int64(v) }
+func i2b(v int64) uint64   { return uint64(v) }
+
+func ctxHash(parent uint64, fn *ir.Func, site *ir.Instr) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(parent >> (8 * uint(i)))
+	}
+	id := uint64(site.ID)
+	for i := 0; i < 8; i++ {
+		buf[8+i] = byte(id >> (8 * uint(i)))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(fn.Name))
+	return h.Sum64()
+}
+
+func (it *Interp) eval(v ir.Value, regs []uint64, args []uint64) uint64 {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return i2b(x.V)
+	case *ir.ConstFloat:
+		return f2b(x.V)
+	case *ir.ConstNull:
+		return 0
+	case *ir.Global:
+		return it.globals[x]
+	case *ir.Param:
+		return args[x.Idx]
+	case *ir.Instr:
+		return regs[x.ID]
+	}
+	panic(fmt.Sprintf("interp: unknown value %T", v))
+}
+
+// call runs one function activation.
+func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64, error) {
+	if depth > it.opts.MaxDepth {
+		return 0, fmt.Errorf("call depth limit exceeded in %s", f.Name)
+	}
+	regs := make([]uint64, f.NumIDs())
+	var stackObjs []*Object
+	defer func() {
+		for _, o := range stackObjs {
+			if !o.Freed {
+				o.Freed = true
+				o.Data = nil
+				for _, ob := range it.obs {
+					ob.Free(nil, o)
+				}
+			}
+		}
+	}()
+
+	block := f.Entry()
+	var prev *ir.Block
+	for {
+		// Phis first, evaluated as a parallel copy from the incoming edge.
+		nphi := 0
+		for _, in := range block.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			nphi++
+		}
+		if nphi > 0 {
+			vals := make([]uint64, nphi)
+			for i := 0; i < nphi; i++ {
+				inc := ir.PhiIncoming(block.Instrs[i], prev)
+				if inc == nil {
+					return 0, fmt.Errorf("%s: phi with no incoming value from %v", f.Name, prev)
+				}
+				vals[i] = it.eval(inc, regs, args)
+			}
+			for i := 0; i < nphi; i++ {
+				regs[block.Instrs[i].ID] = vals[i]
+			}
+			it.steps += int64(nphi)
+		}
+
+		for _, in := range block.Instrs[nphi:] {
+			it.steps++
+			if it.steps > it.opts.MaxSteps {
+				return 0, fmt.Errorf("instruction budget exceeded (%d)", it.opts.MaxSteps)
+			}
+			switch in.Op {
+			case ir.OpAlloca:
+				o := it.mem.Allocate(in.ElemTy.Size(), in, nil, ctx)
+				stackObjs = append(stackObjs, o)
+				regs[in.ID] = o.Base
+				it.alloc(o)
+			case ir.OpMalloc:
+				size := b2i(it.eval(in.Args[0], regs, args))
+				o := it.mem.Allocate(size, in, nil, ctx)
+				regs[in.ID] = o.Base
+				it.alloc(o)
+			case ir.OpFree:
+				addr := it.eval(in.Args[0], regs, args)
+				if addr == 0 {
+					break // free(NULL) is a no-op
+				}
+				o, err := it.mem.Free(addr)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				for _, ob := range it.obs {
+					ob.Free(in, o)
+				}
+			case ir.OpLoad:
+				addr := it.eval(in.Args[0], regs, args)
+				size := in.Ty.Size()
+				v, o, err := it.mem.Load(addr, size)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				regs[in.ID] = v
+				for _, ob := range it.obs {
+					ob.Load(in, addr, size, v, o)
+				}
+			case ir.OpStore:
+				val := it.eval(in.Args[0], regs, args)
+				addr := it.eval(in.Args[1], regs, args)
+				size := in.Args[0].Type().Size()
+				o, err := it.mem.Store(addr, size, val)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				for _, ob := range it.obs {
+					ob.Store(in, addr, size, val, o)
+				}
+			case ir.OpIndex:
+				base := it.eval(in.Args[0], regs, args)
+				idx := b2i(it.eval(in.Args[1], regs, args))
+				elem := ir.Pointee(in.Ty)
+				regs[in.ID] = base + uint64(idx*elem.Size())
+			case ir.OpField:
+				base := it.eval(in.Args[0], regs, args)
+				st := ir.Pointee(in.Args[0].Type()).(*ir.StructType)
+				regs[in.ID] = base + uint64(st.Fields[in.FieldIdx].Offset)
+			case ir.OpBin:
+				x := it.eval(in.Args[0], regs, args)
+				y := it.eval(in.Args[1], regs, args)
+				v, err := evalBin(in, x, y)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				regs[in.ID] = v
+			case ir.OpCmp:
+				x := it.eval(in.Args[0], regs, args)
+				y := it.eval(in.Args[1], regs, args)
+				regs[in.ID] = evalCmp(in, x, y)
+			case ir.OpCast:
+				x := it.eval(in.Args[0], regs, args)
+				switch in.Cast {
+				case ir.IntToFloat:
+					regs[in.ID] = f2b(float64(b2i(x)))
+				case ir.FloatToInt:
+					regs[in.ID] = i2b(int64(b2f(x)))
+				case ir.Bitcast:
+					regs[in.ID] = x
+				}
+			case ir.OpCall:
+				vals := make([]uint64, len(in.Args))
+				for i, a := range in.Args {
+					vals[i] = it.eval(a, regs, args)
+				}
+				if in.Callee == nil {
+					v, err := it.intrinsic(in, vals)
+					if err != nil {
+						return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+					}
+					regs[in.ID] = v
+					break
+				}
+				for _, ob := range it.obs {
+					ob.Call(in, in.Callee)
+				}
+				v, err := it.call(in.Callee, vals, depth+1, ctxHash(ctx, f, in))
+				if err != nil {
+					return 0, err
+				}
+				for _, ob := range it.obs {
+					ob.Return(in.Callee)
+				}
+				regs[in.ID] = v
+			case ir.OpBr:
+				next := block.Succs[0]
+				for _, ob := range it.obs {
+					ob.Edge(f, block, next)
+				}
+				prev, block = block, next
+				goto nextBlock
+			case ir.OpCondBr:
+				c := it.eval(in.Args[0], regs, args)
+				next := block.Succs[0]
+				if c == 0 {
+					next = block.Succs[1]
+				}
+				for _, ob := range it.obs {
+					ob.Edge(f, block, next)
+				}
+				prev, block = block, next
+				goto nextBlock
+			case ir.OpRet:
+				if len(in.Args) > 0 {
+					return it.eval(in.Args[0], regs, args), nil
+				}
+				return 0, nil
+			case ir.OpPhi:
+				return 0, fmt.Errorf("%s: phi after non-phi in %s", f.Name, block)
+			default:
+				return 0, fmt.Errorf("%s: cannot execute %s", f.Name, ir.FormatInstr(in))
+			}
+		}
+		return 0, fmt.Errorf("%s: block %s fell through without terminator", f.Name, block)
+	nextBlock:
+	}
+}
+
+func evalBin(in *ir.Instr, x, y uint64) (uint64, error) {
+	if ir.Equal(in.Ty, ir.Float) {
+		a, b := b2f(x), b2f(y)
+		switch in.Bin {
+		case ir.Add:
+			return f2b(a + b), nil
+		case ir.Sub:
+			return f2b(a - b), nil
+		case ir.Mul:
+			return f2b(a * b), nil
+		case ir.Div:
+			return f2b(a / b), nil // IEEE semantics: inf/nan allowed
+		}
+		return 0, fmt.Errorf("float %s unsupported", in.Bin)
+	}
+	a, b := b2i(x), b2i(y)
+	switch in.Bin {
+	case ir.Add:
+		return i2b(a + b), nil
+	case ir.Sub:
+		return i2b(a - b), nil
+	case ir.Mul:
+		return i2b(a * b), nil
+	case ir.Div:
+		if b == 0 {
+			return 0, fmt.Errorf("integer division by zero")
+		}
+		return i2b(a / b), nil
+	case ir.Rem:
+		if b == 0 {
+			return 0, fmt.Errorf("integer remainder by zero")
+		}
+		return i2b(a % b), nil
+	case ir.And:
+		return i2b(a & b), nil
+	case ir.Or:
+		return i2b(a | b), nil
+	case ir.Xor:
+		return i2b(a ^ b), nil
+	case ir.Shl:
+		return i2b(a << uint(b&63)), nil
+	case ir.Shr:
+		return i2b(a >> uint(b&63)), nil
+	}
+	return 0, fmt.Errorf("unknown binop")
+}
+
+func evalCmp(in *ir.Instr, x, y uint64) uint64 {
+	var r bool
+	if ir.Equal(in.Args[0].Type(), ir.Float) {
+		a, b := b2f(x), b2f(y)
+		switch in.Cmp {
+		case ir.Eq:
+			r = a == b
+		case ir.Ne:
+			r = a != b
+		case ir.Lt:
+			r = a < b
+		case ir.Le:
+			r = a <= b
+		case ir.Gt:
+			r = a > b
+		case ir.Ge:
+			r = a >= b
+		}
+	} else {
+		a, b := b2i(x), b2i(y)
+		switch in.Cmp {
+		case ir.Eq:
+			r = a == b
+		case ir.Ne:
+			r = a != b
+		case ir.Lt:
+			r = a < b
+		case ir.Le:
+			r = a <= b
+		case ir.Gt:
+			r = a > b
+		case ir.Ge:
+			r = a >= b
+		}
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+func (it *Interp) intrinsic(in *ir.Instr, vals []uint64) (uint64, error) {
+	switch in.Intrinsic {
+	case "print_int":
+		it.output = append(it.output, fmt.Sprintf("%d", b2i(vals[0])))
+		return 0, nil
+	case "print_float":
+		it.output = append(it.output, fmt.Sprintf("%g", b2f(vals[0])))
+		return 0, nil
+	case "sqrt":
+		return f2b(math.Sqrt(b2f(vals[0]))), nil
+	case "fabs":
+		return f2b(math.Abs(b2f(vals[0]))), nil
+	}
+	return 0, fmt.Errorf("unknown intrinsic %s", in.Intrinsic)
+}

@@ -1,0 +1,119 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatInstr renders a single instruction in the textual IR syntax.
+func FormatInstr(in *Instr) string {
+	var b strings.Builder
+	if in.Ty != nil && in.Ty != Type(Void) {
+		fmt.Fprintf(&b, "%s = ", in.String())
+	}
+	switch in.Op {
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", in.ElemTy)
+	case OpMalloc:
+		fmt.Fprintf(&b, "malloc %s, size=%s", in.ElemTy, in.Args[0])
+	case OpFree:
+		fmt.Fprintf(&b, "free %s", in.Args[0])
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s, %s", in.Ty, in.Args[0])
+	case OpStore:
+		fmt.Fprintf(&b, "store %s, %s", in.Args[0], in.Args[1])
+	case OpIndex:
+		fmt.Fprintf(&b, "index %s, %s", in.Args[0], in.Args[1])
+	case OpField:
+		st := Pointee(in.Args[0].Type()).(*StructType)
+		fmt.Fprintf(&b, "field %s, .%s", in.Args[0], st.Fields[in.FieldIdx].Name)
+	case OpBin:
+		fmt.Fprintf(&b, "%s %s, %s", in.Bin, in.Args[0], in.Args[1])
+	case OpCmp:
+		fmt.Fprintf(&b, "cmp.%s %s, %s", in.Cmp, in.Args[0], in.Args[1])
+	case OpCast:
+		fmt.Fprintf(&b, "%s %s to %s", in.Cast, in.Args[0], in.Ty)
+	case OpPhi:
+		b.WriteString("phi ")
+		for i, v := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			pred := "?"
+			if i < len(in.Blk.Preds) {
+				pred = in.Blk.Preds[i].String()
+			}
+			fmt.Fprintf(&b, "[%s, %s]", v, pred)
+		}
+	case OpCall:
+		name := in.Intrinsic
+		if in.Callee != nil {
+			name = in.Callee.Name
+		}
+		fmt.Fprintf(&b, "call @%s(", name)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteString(")")
+	case OpBr:
+		fmt.Fprintf(&b, "br %s", in.Blk.Succs[0])
+	case OpCondBr:
+		fmt.Fprintf(&b, "condbr %s, %s, %s", in.Args[0], in.Blk.Succs[0], in.Blk.Succs[1])
+	case OpRet:
+		b.WriteString("ret")
+		for _, a := range in.Args {
+			fmt.Fprintf(&b, " %s", a)
+		}
+	default:
+		fmt.Fprintf(&b, "%s ...", in.Op)
+	}
+	return b.String()
+}
+
+// FormatFunc renders a whole function.
+func FormatFunc(f *Func) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func @%s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Ty, p)
+	}
+	fmt.Fprintf(&b, ") %s {\n", f.RetTy)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk)
+		if len(blk.Preds) > 0 {
+			b.WriteString("  ; preds:")
+			for _, p := range blk.Preds {
+				fmt.Fprintf(&b, " %s", p)
+			}
+		}
+		b.WriteString("\n")
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", FormatInstr(in))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FormatModule renders a whole module.
+func FormatModule(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	for _, s := range m.Structs {
+		fmt.Fprintf(&b, "%s\n", s.Describe())
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global @%s %s\n", g.GName, g.Elem)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString("\n")
+		b.WriteString(FormatFunc(f))
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package ir
+
+import "fmt"
+
+// VerifySSA checks the SSA dominance property on top of Verify's
+// structural checks: every use of an instruction's value must be
+// dominated by its definition — for phi operands, the incoming value must
+// dominate the matching predecessor's terminator. The dominance relation
+// is supplied by the caller (computed in package cfg) to keep this
+// package dependency-free.
+//
+//	domInstr(def, use) — does def dominate use?
+//	domEdge(def, pred) — does def dominate the end of block pred?
+func VerifySSA(
+	f *Func,
+	domInstr func(def, use *Instr) bool,
+	domEdge func(def *Instr, pred *Block) bool,
+	reachable func(*Block) bool,
+) error {
+	for _, b := range f.Blocks {
+		if !reachable(b) {
+			continue // unreachable code is exempt (its phis keep placeholders)
+		}
+		for _, in := range b.Instrs {
+			for i, arg := range in.Args {
+				def, ok := arg.(*Instr)
+				if !ok {
+					continue
+				}
+				if in.Op == OpPhi {
+					if i >= len(b.Preds) {
+						return fmt.Errorf("ssa: %s: phi %s operand %d has no predecessor", f.Name, in, i)
+					}
+					pred := b.Preds[i]
+					if !reachable(pred) {
+						continue
+					}
+					if !domEdge(def, pred) {
+						return fmt.Errorf("ssa: %s: phi %s operand %d (%s) does not dominate edge %s->%s",
+							f.Name, in, i, def, pred, b)
+					}
+					continue
+				}
+				if !domInstr(def, in) {
+					return fmt.Errorf("ssa: %s: def %s does not dominate use %s in %s",
+						f.Name, def, FormatInstr(in), b)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package ir defines the typed mid-level intermediate representation that
+// every other subsystem (front-end, interpreter, profilers, analysis
+// framework) operates on. The IR is deliberately LLVM-flavoured: functions
+// of basic blocks in SSA form, explicit memory operations (Alloca, Malloc,
+// Load, Store), and explicit pointer arithmetic (Index, Field), because the
+// paper's dependence queries are phrased over exactly these constructs.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface implemented by all IR types. Sizes are in bytes.
+// All scalars are 8 bytes wide, which keeps the interpreter's memory model
+// simple while preserving everything dependence analysis cares about
+// (footprint extents, field offsets, strides, pointer residues).
+type Type interface {
+	Size() int64
+	String() string
+}
+
+// IntType is the 64-bit signed integer type.
+type IntType struct{}
+
+// FloatType is the 64-bit floating point type.
+type FloatType struct{}
+
+// VoidType is the type of functions that return nothing. It has no size.
+type VoidType struct{}
+
+// PtrType is a pointer to Elem.
+type PtrType struct{ Elem Type }
+
+// ArrayType is a fixed-length array of Elem.
+type ArrayType struct {
+	Elem Type
+	Len  int64
+}
+
+// Field is a named member of a StructType at a fixed byte offset.
+type Field struct {
+	Name   string
+	Ty     Type
+	Offset int64
+}
+
+// StructType is a named aggregate with fields at fixed offsets.
+type StructType struct {
+	TypeName string
+	Fields   []Field
+}
+
+// Singleton scalar types. Types are compared with Equal, never with ==,
+// except for these singletons which are safe either way.
+var (
+	Int   = &IntType{}
+	Float = &FloatType{}
+	Void  = &VoidType{}
+)
+
+func (*IntType) Size() int64   { return 8 }
+func (*FloatType) Size() int64 { return 8 }
+func (*VoidType) Size() int64  { return 0 }
+func (*PtrType) Size() int64   { return 8 }
+
+func (t *ArrayType) Size() int64 { return t.Elem.Size() * t.Len }
+
+func (t *StructType) Size() int64 {
+	if len(t.Fields) == 0 {
+		return 0
+	}
+	last := t.Fields[len(t.Fields)-1]
+	return last.Offset + last.Ty.Size()
+}
+
+func (*IntType) String() string   { return "int" }
+func (*FloatType) String() string { return "float" }
+func (*VoidType) String() string  { return "void" }
+
+func (t *PtrType) String() string { return t.Elem.String() + "*" }
+
+func (t *ArrayType) String() string { return fmt.Sprintf("%s[%d]", t.Elem, t.Len) }
+
+func (t *StructType) String() string { return "struct " + t.TypeName }
+
+// Describe renders a struct type with its full field layout, for dumps.
+func (t *StructType) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s {", t.TypeName)
+	for i, f := range t.Fields {
+		if i > 0 {
+			b.WriteString("; ")
+		} else {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s %s @%d", f.Ty, f.Name, f.Offset)
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// PointerTo returns the pointer type to t.
+func PointerTo(t Type) *PtrType { return &PtrType{Elem: t} }
+
+// ArrayOf returns the array type of n elements of t.
+func ArrayOf(t Type, n int64) *ArrayType { return &ArrayType{Elem: t, Len: n} }
+
+// NewStruct builds a struct type, assigning natural (8-byte) aligned
+// offsets cumulatively. Aggregate fields occupy their full size.
+func NewStruct(name string, fields ...Field) *StructType {
+	off := int64(0)
+	out := make([]Field, len(fields))
+	for i, f := range fields {
+		f.Offset = off
+		out[i] = f
+		sz := f.Ty.Size()
+		if sz == 0 {
+			sz = 8
+		}
+		off += align8(sz)
+	}
+	return &StructType{TypeName: name, Fields: out}
+}
+
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// FieldIndex returns the index of the field with the given name, or -1.
+func (t *StructType) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports structural type equality. Struct types are nominal: two
+// struct types are equal iff they have the same name.
+func Equal(a, b Type) bool {
+	switch x := a.(type) {
+	case *IntType:
+		_, ok := b.(*IntType)
+		return ok
+	case *FloatType:
+		_, ok := b.(*FloatType)
+		return ok
+	case *VoidType:
+		_, ok := b.(*VoidType)
+		return ok
+	case *PtrType:
+		y, ok := b.(*PtrType)
+		return ok && Equal(x.Elem, y.Elem)
+	case *ArrayType:
+		y, ok := b.(*ArrayType)
+		return ok && x.Len == y.Len && Equal(x.Elem, y.Elem)
+	case *StructType:
+		y, ok := b.(*StructType)
+		return ok && x.TypeName == y.TypeName
+	}
+	return false
+}
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool {
+	_, ok := t.(*PtrType)
+	return ok
+}
+
+// Pointee returns the element type of a pointer type, or nil.
+func Pointee(t Type) Type {
+	if p, ok := t.(*PtrType); ok {
+		return p.Elem
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package lang
+
+import "scaf/internal/ir"
+
+// File is a parsed MC translation unit.
+type File struct {
+	Name    string
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// TypeExpr is an unresolved type reference: a base type with pointer stars
+// and optional array dimensions (outermost first).
+type TypeExpr struct {
+	Line       int
+	Base       Kind // KWInt, KWFloat, KWVoid, or KWStruct
+	StructName string
+	Stars      int
+	ArrayLens  []int64
+}
+
+// StructDecl declares an aggregate type.
+type StructDecl struct {
+	Line   int
+	Name   string
+	Fields []*VarDecl
+	// Resolved by sema.
+	Ty *ir.StructType
+}
+
+// SymKind classifies symbols.
+type SymKind int
+
+const (
+	SymLocal SymKind = iota
+	SymParam
+	SymGlobal
+	SymFunc
+)
+
+// Symbol is a named entity resolved by sema. Lowering keys its value map
+// on *Symbol.
+type Symbol struct {
+	Name      string
+	Kind      SymKind
+	Ty        ir.Type
+	AddrTaken bool
+	Fn        *FuncDecl // for SymFunc
+}
+
+// VarDecl declares a variable (global, local, parameter, or struct field).
+type VarDecl struct {
+	Line int
+	Name string
+	TE   *TypeExpr
+	Init Expr
+	// Resolved by sema.
+	Ty  ir.Type
+	Sym *Symbol
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Line   int
+	Name   string
+	Ret    *TypeExpr
+	Params []*VarDecl
+	Body   *BlockStmt
+	// Resolved by sema.
+	RetTy ir.Type
+	Sym   *Symbol
+}
+
+// Stmt is the interface of all statements.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Line  int
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Line int
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Line int
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop. Init may be a DeclStmt or ExprStmt or nil.
+type ForStmt struct {
+	Line int
+	Init Stmt
+	Cond Expr // may be nil (infinite)
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Line int
+	X    Expr // may be nil
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is the interface of all expressions; Type is valid after sema.
+type Expr interface {
+	Type() ir.Type
+	Pos() int
+}
+
+type exprBase struct {
+	Line int
+	Ty   ir.Type
+}
+
+func (e *exprBase) Type() ir.Type { return e.Ty }
+func (e *exprBase) Pos() int      { return e.Line }
+
+// Ident references a variable or function by name.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol
+	// Decayed is set when an array-typed variable is used as a value and
+	// decays to a pointer to its first element.
+	Decayed bool
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	V int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	V float64
+}
+
+// Unary is -x, !x, *p, &lv.
+type Unary struct {
+	exprBase
+	Op Kind
+	X  Expr
+}
+
+// Binary is x op y, including && and || (short-circuit).
+type Binary struct {
+	exprBase
+	Op   Kind
+	X, Y Expr
+}
+
+// Assign is lv = rhs and compound forms (+=, -=, *=, /=).
+type Assign struct {
+	exprBase
+	Op       Kind
+	LHS, RHS Expr
+}
+
+// CastExpr converts between int and float: (int)x, (float)x. Sema inserts
+// implicit casts as needed.
+type CastExpr struct {
+	exprBase
+	To Kind // KWInt or KWFloat
+	X  Expr
+}
+
+// Builtin identifies intrinsic callees.
+type Builtin int
+
+const (
+	NotBuiltin Builtin = iota
+	BuiltinMalloc
+	BuiltinFree
+	BuiltinPrint
+	BuiltinSqrt
+	BuiltinFabs
+)
+
+// Call invokes a function or builtin. For malloc, TypeArg carries the
+// element type: malloc(T, n) allocates n elements of T and yields T*.
+type Call struct {
+	exprBase
+	Name    string
+	TypeArg *TypeExpr
+	Args    []Expr
+	// Resolved by sema.
+	Builtin Builtin
+	Fn      *FuncDecl
+}
+
+// Index is x[i]; x is a pointer or array.
+type Index struct {
+	exprBase
+	X   Expr
+	Idx Expr
+	// Decayed is set when the element itself is an array used as a value.
+	Decayed bool
+}
+
+// Member is s.f or p->f.
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	// Resolved by sema.
+	StructTy *ir.StructType
+	FieldIdx int
+	Decayed  bool
+}

@@ -1,0 +1,351 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"scaf/internal/ir"
+)
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := Lex(`int x = 42; float f = 3.5e2; // comment
+/* block
+comment */ x += f->g[1] && !y || z != 0 << 2 >> 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []Kind{
+		KWInt, IDENT, ASSIGN, INTLIT, SEMI,
+		KWFloat, IDENT, ASSIGN, FLOATLIT, SEMI,
+		IDENT, PLUSEQ, IDENT, ARROW, IDENT, LBRACK, INTLIT, RBRACK,
+		ANDAND, NOT, IDENT, OROR, IDENT, NE, INTLIT, SHL, INTLIT, SHR, INTLIT, SEMI,
+		EOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerLiterals(t *testing.T) {
+	toks, err := Lex("123 4.5 1e3 2.5e-2 7e+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != INTLIT || toks[0].Int != 123 {
+		t.Errorf("int literal: %v", toks[0])
+	}
+	if toks[1].Kind != FLOATLIT || toks[1].Float != 4.5 {
+		t.Errorf("float literal: %v", toks[1])
+	}
+	if toks[2].Kind != FLOATLIT || toks[2].Float != 1000 {
+		t.Errorf("exponent literal: %v", toks[2])
+	}
+	if toks[3].Kind != FLOATLIT || toks[3].Float != 0.025 {
+		t.Errorf("negative exponent: %v", toks[3])
+	}
+	if toks[4].Kind != FLOATLIT || toks[4].Float != 70 {
+		t.Errorf("positive exponent: %v", toks[4])
+	}
+}
+
+func TestLexerLineNumbers(t *testing.T) {
+	toks, err := Lex("a\nb\n\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []int{1, 2, 4}
+	for i, w := range wantLines {
+		if toks[i].Line != w {
+			t.Errorf("token %d line = %d, want %d", i, toks[i].Line, w)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Lex("a $ b"); err == nil || !strings.Contains(err.Error(), "unexpected") {
+		t.Errorf("bad char: %v", err)
+	}
+	if _, err := Lex("/* unterminated"); err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("unterminated comment: %v", err)
+	}
+}
+
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Lex(s)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parseOK(t, `void main() { int x = 1 + 2 * 3; }`)
+	decl := f.Funcs[0].Body.Stmts[0].(*DeclStmt).Decl
+	add, ok := decl.Init.(*Binary)
+	if !ok || add.Op != PLUS {
+		t.Fatalf("top is %T, want + binary", decl.Init)
+	}
+	mul, ok := add.Y.(*Binary)
+	if !ok || mul.Op != STAR {
+		t.Fatalf("rhs is %T, want * binary", add.Y)
+	}
+}
+
+func TestParseAssocAndUnary(t *testing.T) {
+	f := parseOK(t, `void main() { int x = 10 - 3 - 2; int y = -x; }`)
+	d := f.Funcs[0].Body.Stmts[0].(*DeclStmt).Decl
+	sub := d.Init.(*Binary)
+	// Left associative: (10-3)-2.
+	if _, ok := sub.X.(*Binary); !ok {
+		t.Error("subtraction must associate left")
+	}
+	u := f.Funcs[0].Body.Stmts[1].(*DeclStmt).Decl.Init.(*Unary)
+	if u.Op != MINUS {
+		t.Error("unary minus")
+	}
+}
+
+func TestParsePostfixChain(t *testing.T) {
+	f := parseOK(t, `
+struct s { int v; };
+void main(struct s* p) { int x = p->v; }`)
+	_ = f
+	// Arrow chains and index chains.
+	f = parseOK(t, `void main(int** m) { int x = m[1][2]; m[0][0] = 3; }`)
+	st := f.Funcs[0].Body.Stmts[0].(*DeclStmt).Decl
+	idx := st.Init.(*Index)
+	if _, ok := idx.X.(*Index); !ok {
+		t.Error("nested index")
+	}
+}
+
+func TestParseIncrementDesugar(t *testing.T) {
+	f := parseOK(t, `void main() { int i = 0; i++; i--; }`)
+	inc := f.Funcs[0].Body.Stmts[1].(*ExprStmt).X.(*Assign)
+	if inc.Op != PLUSEQ {
+		t.Errorf("i++ desugars to +=, got %s", inc.Op)
+	}
+	dec := f.Funcs[0].Body.Stmts[2].(*ExprStmt).X.(*Assign)
+	if dec.Op != MINUSEQ {
+		t.Errorf("i-- desugars to -=, got %s", dec.Op)
+	}
+}
+
+func TestParseMallocTypeArg(t *testing.T) {
+	f := parseOK(t, `
+struct node { int v; };
+void main() {
+    struct node* p = malloc(struct node, 4);
+    int* q = malloc(int, 8);
+    float** r = malloc(float*, 2);
+    free(p); free(q); free(r);
+}`)
+	d := f.Funcs[0].Body.Stmts[0].(*DeclStmt).Decl
+	call := d.Init.(*Call)
+	if call.TypeArg == nil || call.TypeArg.StructName != "node" {
+		t.Errorf("malloc type arg: %+v", call.TypeArg)
+	}
+	r := f.Funcs[0].Body.Stmts[2].(*DeclStmt).Decl.Init.(*Call)
+	if r.TypeArg.Stars != 1 || r.TypeArg.Base != KWFloat {
+		t.Errorf("malloc pointer type arg: %+v", r.TypeArg)
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	f := parseOK(t, `void main() { if (1) if (2) print(1); else print(2); }`)
+	outer := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if outer.Else != nil {
+		t.Error("else must bind to the inner if")
+	}
+	inner := outer.Then.(*IfStmt)
+	if inner.Else == nil {
+		t.Error("inner if lost its else")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`void main() { int x = ; }`,
+		`void main() { if 1 {} }`,
+		`void main() { for (;;) }`,
+		`void main( { }`,
+		`int;`,
+		`void main() { x[; }`,
+		`void main() { return 1 }`,
+		`struct s { int a }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func checkOK(t *testing.T, src string) *File {
+	t.Helper()
+	f := parseOK(t, src)
+	if err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return f
+}
+
+func TestSemaTypes(t *testing.T) {
+	f := checkOK(t, `
+struct vec { float x; float y; };
+struct vec vs[10];
+void main() {
+    vs[2].x = 1.5;
+    float m = vs[2].x * 2.0;
+    int i = (int)m;
+    float g = (float)i + 1;
+    print(g);
+}`)
+	sd := f.Structs[0]
+	if sd.Ty.Size() != 16 {
+		t.Errorf("vec size = %d", sd.Ty.Size())
+	}
+	g := f.Globals[0]
+	if !ir.Equal(g.Ty, ir.ArrayOf(sd.Ty, 10)) {
+		t.Errorf("vs type = %s", g.Ty)
+	}
+}
+
+func TestSemaImplicitConversions(t *testing.T) {
+	// int literal in float context, float to int on assignment, int->float
+	// promotion in mixed arithmetic.
+	checkOK(t, `
+void main() {
+    float f = 3;
+    int i = f;
+    float g = i / 2 + 0.5;
+    print(g);
+}`)
+}
+
+func TestSemaRecursiveStructNeedsPointer(t *testing.T) {
+	if err := Check(parseOK(t, `
+struct bad { int v; struct bad inner; };
+void main() {}`)); err == nil {
+		t.Error("direct self-embedding must fail")
+	}
+	checkOK(t, `
+struct ok { int v; struct ok* next; };
+void main() { struct ok* p = 0; if (p != 0) { print(p->v); } }`)
+}
+
+func TestSemaAddrTaken(t *testing.T) {
+	f := checkOK(t, `
+void main() {
+    int x = 1;
+    int y = 2;
+    int* p = &x;
+    *p = 3;
+    print(y);
+}`)
+	body := f.Funcs[0].Body
+	xd := body.Stmts[0].(*DeclStmt).Decl
+	yd := body.Stmts[1].(*DeclStmt).Decl
+	if !xd.Sym.AddrTaken {
+		t.Error("x is address-taken")
+	}
+	if yd.Sym.AddrTaken {
+		t.Error("y is not address-taken")
+	}
+}
+
+func TestSemaScoping(t *testing.T) {
+	checkOK(t, `
+void main() {
+    int x = 1;
+    { int x = 2; print(x); }
+    for (int x = 0; x < 3; x++) { print(x); }
+    print(x);
+}`)
+	if err := Check(parseOK(t, `void main() { int x = 1; int x = 2; }`)); err == nil {
+		t.Error("redeclaration in one scope must fail")
+	}
+	if err := Check(parseOK(t, `void main() { { int y = 1; } print(y); }`)); err == nil {
+		t.Error("use after scope exit must fail")
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	bad := []struct{ src, want string }{
+		{`void main() { print(main); }`, "used as value"},
+		{`void main() { int x = 1 + 2.0 * 0; int* p = x; }`, "cannot initialize"},
+		{`void main() { 3 = 4; }`, "non-lvalue"},
+		{`void main() { int x; x(); }`, "undefined function"},
+		{`int f(int a) { return a; } void main() { print(f(1, 2)); }`, "takes 1 arguments"},
+		{`void main() { int* p = 0; int x = p + p; }`, "+"},
+		{`struct s { int a; }; void main() { struct s v; v = v; }`, "struct assignment"},
+		{`void main() { float f = 1.0 % 2.0; }`, "requires ints"},
+		{`void main() { int a[3]; a = 0; }`, ""},
+		{`void main() { continue; }`, "continue outside"},
+		{`struct s { int a; }; void main() { struct s v; print(v.b); }`, "no field"},
+		{`struct s { int a; }; void main() { struct s* p = 0; print(p.a); }`, "did you mean"},
+		{`void print() {} void main() {}`, "builtin"},
+	}
+	for _, c := range bad {
+		f, err := Parse("bad", c.src)
+		if err != nil {
+			continue // parse-level rejection also fine for some cases
+		}
+		err = Check(f)
+		if err == nil {
+			t.Errorf("expected sema error for %q", c.src)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q missing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestSemaPointerComparisons(t *testing.T) {
+	checkOK(t, `
+void main() {
+    int* p = malloc(int, 2);
+    int* q = p;
+    if (p == q) { print(1); }
+    if (p != 0) { print(2); }
+    if (0 == q) { print(3); }
+    free(p);
+}`)
+	if err := Check(parseOK(t, `
+void main() {
+    int* p = 0;
+    float* q = 0;
+    if (p == q) {}
+}`)); err == nil {
+		t.Error("mixed pointer comparison must fail")
+	}
+}
+
+func TestSemaCondTypes(t *testing.T) {
+	checkOK(t, `void main() { int* p = 0; while (p) { break; } }`)
+	if err := Check(parseOK(t, `void main() { float f = 0.0; if (f) {} }`)); err == nil {
+		t.Error("float condition must fail")
+	}
+}

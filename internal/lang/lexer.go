@@ -1,0 +1,255 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Lexer turns MC source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1} }
+
+// Lex tokenizes the whole input, ending with an EOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos < len(lx.src) {
+		return lx.src[lx.pos]
+	}
+	return 0
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.pos+1 < len(lx.src) {
+		return lx.src[lx.pos+1]
+	}
+	return 0
+}
+
+func (lx *Lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.line
+			lx.pos += 2
+			for {
+				if lx.pos+1 >= len(lx.src) {
+					return fmt.Errorf("line %d: unterminated block comment", start)
+				}
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				if lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/' {
+					lx.pos += 2
+					break
+				}
+				lx.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Line: lx.line}, nil
+	}
+	line := lx.line
+	c := lx.src[lx.pos]
+
+	if isIdentStart(c) {
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isIdentStart(lx.src[lx.pos]) || isDigit(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Line: line}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Line: line}, nil
+	}
+
+	if isDigit(c) {
+		start := lx.pos
+		isFloat := false
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		if lx.peek() == '.' && isDigit(lx.peek2()) {
+			isFloat = true
+			lx.pos++
+			for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+				lx.pos++
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			save := lx.pos
+			lx.pos++
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.pos++
+			}
+			if isDigit(lx.peek()) {
+				isFloat = true
+				for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+					lx.pos++
+				}
+			} else {
+				lx.pos = save
+			}
+		}
+		text := lx.src[start:lx.pos]
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return Token{}, fmt.Errorf("line %d: bad float literal %q", line, text)
+			}
+			return Token{Kind: FLOATLIT, Float: f, Text: text, Line: line}, nil
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("line %d: bad int literal %q", line, text)
+		}
+		return Token{Kind: INTLIT, Int: v, Text: text, Line: line}, nil
+	}
+
+	two := func(k Kind) (Token, error) {
+		lx.pos += 2
+		return Token{Kind: k, Line: line}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		lx.pos++
+		return Token{Kind: k, Line: line}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '[':
+		return one(LBRACK)
+	case ']':
+		return one(RBRACK)
+	case ';':
+		return one(SEMI)
+	case ',':
+		return one(COMMA)
+	case '.':
+		return one(DOT)
+	case '+':
+		if lx.peek2() == '=' {
+			return two(PLUSEQ)
+		}
+		if lx.peek2() == '+' {
+			return two(PLUSPLUS)
+		}
+		return one(PLUS)
+	case '-':
+		if lx.peek2() == '=' {
+			return two(MINUSEQ)
+		}
+		if lx.peek2() == '>' {
+			return two(ARROW)
+		}
+		if lx.peek2() == '-' {
+			return two(MINUSMINUS)
+		}
+		return one(MINUS)
+	case '*':
+		if lx.peek2() == '=' {
+			return two(STAREQ)
+		}
+		return one(STAR)
+	case '/':
+		if lx.peek2() == '=' {
+			return two(SLASHEQ)
+		}
+		return one(SLASH)
+	case '%':
+		return one(PERCENT)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(ANDAND)
+		}
+		return one(AMP)
+	case '|':
+		if lx.peek2() == '|' {
+			return two(OROR)
+		}
+		return one(PIPE)
+	case '^':
+		return one(CARET)
+	case '<':
+		if lx.peek2() == '<' {
+			return two(SHL)
+		}
+		if lx.peek2() == '=' {
+			return two(LE)
+		}
+		return one(LT)
+	case '>':
+		if lx.peek2() == '>' {
+			return two(SHR)
+		}
+		if lx.peek2() == '=' {
+			return two(GE)
+		}
+		return one(GT)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(EQ)
+		}
+		return one(ASSIGN)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(NE)
+		}
+		return one(NOT)
+	}
+	return Token{}, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+}

@@ -1,0 +1,601 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses an MC source file.
+func Parse(name, src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	p := &Parser{toks: toks}
+	f, err := p.file(name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return f, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) la(n int) Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind == k {
+		return p.advance(), nil
+	}
+	return Token{}, fmt.Errorf("line %d: expected %s, found %s", p.cur().Line, k, p.cur())
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *Parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case KWInt, KWFloat, KWVoid:
+		return true
+	case KWStruct:
+		// "struct name" followed by anything other than "{" is a type use.
+		return p.la(1).Kind == IDENT && p.la(2).Kind != LBRACE
+	}
+	return false
+}
+
+// typeExpr parses a base type with trailing stars: int**, struct node*, ...
+func (p *Parser) typeExpr() (*TypeExpr, error) {
+	te := &TypeExpr{Line: p.cur().Line}
+	switch p.cur().Kind {
+	case KWInt, KWFloat, KWVoid:
+		te.Base = p.advance().Kind
+	case KWStruct:
+		p.advance()
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		te.Base = KWStruct
+		te.StructName = id.Text
+	default:
+		return nil, p.errf("expected type, found %s", p.cur())
+	}
+	for p.accept(STAR) {
+		te.Stars++
+	}
+	return te, nil
+}
+
+// arraySuffix parses zero or more [N] dimensions into te.
+func (p *Parser) arraySuffix(te *TypeExpr) error {
+	for p.cur().Kind == LBRACK {
+		p.advance()
+		n, err := p.expect(INTLIT)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(RBRACK); err != nil {
+			return err
+		}
+		te.ArrayLens = append(te.ArrayLens, n.Int)
+	}
+	return nil
+}
+
+func (p *Parser) file(name string) (*File, error) {
+	f := &File{Name: name}
+	for p.cur().Kind != EOF {
+		if p.cur().Kind == KWStruct && p.la(1).Kind == IDENT && p.la(2).Kind == LBRACE {
+			sd, err := p.structDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, sd)
+			continue
+		}
+		te, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == LPAREN {
+			fd, err := p.funcDecl(te, id)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fd)
+		} else {
+			g := &VarDecl{Line: id.Line, Name: id.Text, TE: te}
+			if err := p.arraySuffix(te); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) structDecl() (*StructDecl, error) {
+	start := p.advance() // struct
+	id, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Line: start.Line, Name: id.Text}
+	for p.cur().Kind != RBRACE {
+		te, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		fid, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.arraySuffix(te); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, &VarDecl{Line: fid.Line, Name: fid.Text, TE: te})
+	}
+	p.advance() // }
+	p.accept(SEMI)
+	return sd, nil
+}
+
+func (p *Parser) funcDecl(ret *TypeExpr, id Token) (*FuncDecl, error) {
+	fd := &FuncDecl{Line: id.Line, Name: id.Text, Ret: ret}
+	p.advance() // (
+	if p.cur().Kind != RPAREN {
+		for {
+			te, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			pid, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			fd.Params = append(fd.Params, &VarDecl{Line: pid.Line, Name: pid.Text, TE: te})
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: lb.Line}
+	for p.cur().Kind != RBRACE {
+		if p.cur().Kind == EOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case LBRACE:
+		return p.block()
+	case SEMI:
+		p.advance()
+		return nil, nil
+	case KWIf:
+		return p.ifStmt()
+	case KWWhile:
+		return p.whileStmt()
+	case KWFor:
+		return p.forStmt()
+	case KWReturn:
+		t := p.advance()
+		var x Expr
+		if p.cur().Kind != SEMI {
+			var err error
+			x, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Line: t.Line, X: x}, nil
+	case KWBreak:
+		t := p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case KWContinue:
+		t := p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	}
+	if p.isTypeStart() {
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+func (p *Parser) varDecl() (*VarDecl, error) {
+	te, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	id, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Line: id.Line, Name: id.Text, TE: te}
+	if err := p.arraySuffix(te); err != nil {
+		return nil, err
+	}
+	if p.accept(ASSIGN) {
+		d.Init, err = p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t := p.advance()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Line: t.Line, Cond: cond, Then: then}
+	if p.accept(KWElse) {
+		s.Else, err = p.stmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	t := p.advance()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Line: t.Line, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	t := p.advance()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: t.Line}
+	// Init clause.
+	if p.cur().Kind == SEMI {
+		p.advance()
+	} else if p.isTypeStart() {
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = &DeclStmt{Decl: d}
+	} else {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		s.Init = &ExprStmt{X: x}
+	}
+	// Condition.
+	if p.cur().Kind != SEMI {
+		var err error
+		s.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	// Post.
+	if p.cur().Kind != RPAREN {
+		var err error
+		s.Post, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression grammar, lowest to highest precedence.
+
+func (p *Parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *Parser) assignExpr() (Expr, error) {
+	lhs, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ:
+		op := p.advance()
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{exprBase: exprBase{Line: op.Line}, Op: op.Kind, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+// binLevel builds a left-associative binary level.
+func (p *Parser) binLevel(next func() (Expr, error), kinds ...Kind) (Expr, error) {
+	x, err := next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, k := range kinds {
+			if p.cur().Kind == k {
+				op := p.advance()
+				y, err := next()
+				if err != nil {
+					return nil, err
+				}
+				x = &Binary{exprBase: exprBase{Line: op.Line}, Op: k, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) orExpr() (Expr, error)     { return p.binLevel(p.andExpr, OROR) }
+func (p *Parser) andExpr() (Expr, error)    { return p.binLevel(p.bitorExpr, ANDAND) }
+func (p *Parser) bitorExpr() (Expr, error)  { return p.binLevel(p.bitxorExpr, PIPE) }
+func (p *Parser) bitxorExpr() (Expr, error) { return p.binLevel(p.bitandExpr, CARET) }
+func (p *Parser) bitandExpr() (Expr, error) { return p.binLevel(p.eqExpr, AMP) }
+func (p *Parser) eqExpr() (Expr, error)     { return p.binLevel(p.relExpr, EQ, NE) }
+func (p *Parser) relExpr() (Expr, error)    { return p.binLevel(p.shiftExpr, LT, LE, GT, GE) }
+func (p *Parser) shiftExpr() (Expr, error)  { return p.binLevel(p.addExpr, SHL, SHR) }
+func (p *Parser) addExpr() (Expr, error)    { return p.binLevel(p.mulExpr, PLUS, MINUS) }
+func (p *Parser) mulExpr() (Expr, error)    { return p.binLevel(p.unaryExpr, STAR, SLASH, PERCENT) }
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	switch p.cur().Kind {
+	case MINUS, NOT, STAR, AMP:
+		op := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{Line: op.Line}, Op: op.Kind, X: x}, nil
+	case LPAREN:
+		// Cast: (int)x or (float)x.
+		if (p.la(1).Kind == KWInt || p.la(1).Kind == KWFloat) && p.la(2).Kind == RPAREN {
+			p.advance()
+			to := p.advance().Kind
+			p.advance()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{exprBase: exprBase{Line: x.Pos()}, To: to, X: x}, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case LBRACK:
+			t := p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{Line: t.Line}, X: x, Idx: idx}
+		case DOT, ARROW:
+			t := p.advance()
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{exprBase: exprBase{Line: t.Line}, X: x, Name: id.Text, Arrow: t.Kind == ARROW}
+		case PLUSPLUS, MINUSMINUS:
+			// Desugar x++ / x-- to x += 1 / x -= 1 (statement position only;
+			// MC does not use the pre-increment value).
+			t := p.advance()
+			op := PLUSEQ
+			if t.Kind == MINUSMINUS {
+				op = MINUSEQ
+			}
+			one := &IntLit{exprBase: exprBase{Line: t.Line}, V: 1}
+			x = &Assign{exprBase: exprBase{Line: t.Line}, Op: op, LHS: x, RHS: one}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	switch p.cur().Kind {
+	case INTLIT:
+		t := p.advance()
+		return &IntLit{exprBase: exprBase{Line: t.Line}, V: t.Int}, nil
+	case FLOATLIT:
+		t := p.advance()
+		return &FloatLit{exprBase: exprBase{Line: t.Line}, V: t.Float}, nil
+	case LPAREN:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case IDENT:
+		t := p.advance()
+		if p.cur().Kind != LPAREN {
+			return &Ident{exprBase: exprBase{Line: t.Line}, Name: t.Text}, nil
+		}
+		p.advance() // (
+		c := &Call{exprBase: exprBase{Line: t.Line}, Name: t.Text}
+		if t.Text == "malloc" {
+			te, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.TypeArg = te
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+			n, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, n)
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		if p.cur().Kind != RPAREN {
+			for {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.cur())
+}

@@ -1,0 +1,734 @@
+package lang
+
+import (
+	"fmt"
+
+	"scaf/internal/ir"
+)
+
+// Checker performs semantic analysis: it resolves types and symbols,
+// enforces MC's typing rules, inserts implicit numeric casts, and
+// annotates the AST for lowering.
+type Checker struct {
+	file    *File
+	structs map[string]*ir.StructType
+	filled  map[string]bool
+	globals map[string]*Symbol
+	funcs   map[string]*FuncDecl
+	scopes  []map[string]*Symbol
+	curFn   *FuncDecl
+	loops   int
+}
+
+// Check runs semantic analysis over the file.
+func Check(f *File) error {
+	c := &Checker{
+		file:    f,
+		structs: map[string]*ir.StructType{},
+		filled:  map[string]bool{},
+		globals: map[string]*Symbol{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	return c.run()
+}
+
+func errAt(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (c *Checker) run() error {
+	// Pass 1: struct shells.
+	for _, sd := range c.file.Structs {
+		if c.structs[sd.Name] != nil {
+			return errAt(sd.Line, "duplicate struct %s", sd.Name)
+		}
+		sd.Ty = &ir.StructType{TypeName: sd.Name}
+		c.structs[sd.Name] = sd.Ty
+	}
+	// Pass 2: fill fields in declaration order.
+	for _, sd := range c.file.Structs {
+		off := int64(0)
+		for _, fd := range sd.Fields {
+			ft, err := c.resolveType(fd.TE, false)
+			if err != nil {
+				return err
+			}
+			if st, ok := ft.(*ir.StructType); ok && !c.filled[st.TypeName] {
+				return errAt(fd.Line, "struct %s embeds struct %s before its definition (use a pointer for recursive types)", sd.Name, st.TypeName)
+			}
+			fd.Ty = ft
+			sd.Ty.Fields = append(sd.Ty.Fields, ir.Field{Name: fd.Name, Ty: ft, Offset: off})
+			sz := ft.Size()
+			if sz == 0 {
+				sz = 8
+			}
+			off += (sz + 7) &^ 7
+		}
+		c.filled[sd.Name] = true
+	}
+	// Pass 3: globals.
+	for _, g := range c.file.Globals {
+		t, err := c.resolveType(g.TE, false)
+		if err != nil {
+			return err
+		}
+		if c.globals[g.Name] != nil {
+			return errAt(g.Line, "duplicate global %s", g.Name)
+		}
+		g.Ty = t
+		g.Sym = &Symbol{Name: g.Name, Kind: SymGlobal, Ty: t}
+		c.globals[g.Name] = g.Sym
+	}
+	// Pass 4: function signatures.
+	for _, fd := range c.file.Funcs {
+		if c.funcs[fd.Name] != nil {
+			return errAt(fd.Line, "duplicate function %s", fd.Name)
+		}
+		if isBuiltinName(fd.Name) {
+			return errAt(fd.Line, "function name %s shadows a builtin", fd.Name)
+		}
+		rt, err := c.resolveType(fd.Ret, true)
+		if err != nil {
+			return err
+		}
+		fd.RetTy = rt
+		for _, p := range fd.Params {
+			pt, err := c.resolveType(p.TE, false)
+			if err != nil {
+				return err
+			}
+			if len(p.TE.ArrayLens) > 0 {
+				return errAt(p.Line, "array parameters are not supported; pass a pointer")
+			}
+			if _, ok := pt.(*ir.StructType); ok {
+				return errAt(p.Line, "struct parameters must be pointers")
+			}
+			p.Ty = pt
+		}
+		fd.Sym = &Symbol{Name: fd.Name, Kind: SymFunc, Fn: fd}
+		c.funcs[fd.Name] = fd
+	}
+	// Pass 5: bodies.
+	for _, fd := range c.file.Funcs {
+		if err := c.checkFunc(fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isBuiltinName(n string) bool {
+	switch n {
+	case "malloc", "free", "print", "sqrt", "fabs":
+		return true
+	}
+	return false
+}
+
+func (c *Checker) resolveType(te *TypeExpr, allowVoid bool) (ir.Type, error) {
+	var t ir.Type
+	switch te.Base {
+	case KWInt:
+		t = ir.Int
+	case KWFloat:
+		t = ir.Float
+	case KWVoid:
+		t = ir.Void
+	case KWStruct:
+		st := c.structs[te.StructName]
+		if st == nil {
+			return nil, errAt(te.Line, "unknown struct %s", te.StructName)
+		}
+		t = st
+	default:
+		return nil, errAt(te.Line, "bad type")
+	}
+	for i := 0; i < te.Stars; i++ {
+		t = ir.PointerTo(t)
+	}
+	if ir.Equal(t, ir.Void) && (!allowVoid || len(te.ArrayLens) > 0) {
+		return nil, errAt(te.Line, "void is only valid as a return type")
+	}
+	for i := len(te.ArrayLens) - 1; i >= 0; i-- {
+		if te.ArrayLens[i] <= 0 {
+			return nil, errAt(te.Line, "array length must be positive")
+		}
+		t = ir.ArrayOf(t, te.ArrayLens[i])
+	}
+	return t, nil
+}
+
+func (c *Checker) pushScope() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *Checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *Checker) declare(line int, sym *Symbol) error {
+	top := c.scopes[len(c.scopes)-1]
+	if top[sym.Name] != nil {
+		return errAt(line, "duplicate declaration of %s", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (c *Checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s := c.scopes[i][name]; s != nil {
+			return s
+		}
+	}
+	if s := c.globals[name]; s != nil {
+		return s
+	}
+	if fd := c.funcs[name]; fd != nil {
+		return fd.Sym
+	}
+	return nil
+}
+
+func (c *Checker) checkFunc(fd *FuncDecl) error {
+	c.curFn = fd
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fd.Params {
+		p.Sym = &Symbol{Name: p.Name, Kind: SymParam, Ty: p.Ty}
+		if err := c.declare(p.Line, p.Sym); err != nil {
+			return err
+		}
+	}
+	return c.checkBlock(fd.Body)
+}
+
+func (c *Checker) checkBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		return c.checkDecl(st.Decl)
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+	case *IfStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if _, err := c.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *ReturnStmt:
+		if st.X == nil {
+			if !ir.Equal(c.curFn.RetTy, ir.Void) {
+				return errAt(st.Line, "missing return value in %s", c.curFn.Name)
+			}
+			return nil
+		}
+		if ir.Equal(c.curFn.RetTy, ir.Void) {
+			return errAt(st.Line, "void function %s returns a value", c.curFn.Name)
+		}
+		t, err := c.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		conv, err := c.convert(st.X, t, c.curFn.RetTy)
+		if err != nil {
+			return errAt(st.Line, "cannot return %s from %s returning %s", t, c.curFn.Name, c.curFn.RetTy)
+		}
+		st.X = conv
+		return nil
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errAt(st.Line, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errAt(st.Line, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+func (c *Checker) checkDecl(d *VarDecl) error {
+	t, err := c.resolveType(d.TE, false)
+	if err != nil {
+		return err
+	}
+	d.Ty = t
+	d.Sym = &Symbol{Name: d.Name, Kind: SymLocal, Ty: t}
+	if d.Init != nil {
+		it, err := c.checkExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		conv, err := c.convert(d.Init, it, t)
+		if err != nil {
+			return errAt(d.Line, "cannot initialize %s %s with %s", t, d.Name, it)
+		}
+		d.Init = conv
+	}
+	return c.declare(d.Line, d.Sym)
+}
+
+// checkCond verifies a branch condition: int, or a pointer (tested against
+// null by lowering).
+func (c *Checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if ir.Equal(t, ir.Int) || ir.IsPointer(t) {
+		return nil
+	}
+	return errAt(e.Pos(), "condition must be int or pointer, got %s", t)
+}
+
+// convert returns e adapted to type want, inserting an implicit numeric
+// cast if needed, or an error when the types are incompatible.
+func (c *Checker) convert(e Expr, have, want ir.Type) (Expr, error) {
+	if ir.Equal(have, want) {
+		return e, nil
+	}
+	if ir.Equal(have, ir.Int) && ir.Equal(want, ir.Float) {
+		return &CastExpr{exprBase: exprBase{Line: e.Pos(), Ty: ir.Float}, To: KWFloat, X: e}, nil
+	}
+	if ir.Equal(have, ir.Float) && ir.Equal(want, ir.Int) {
+		return &CastExpr{exprBase: exprBase{Line: e.Pos(), Ty: ir.Int}, To: KWInt, X: e}, nil
+	}
+	// Literal 0 converts to any pointer type (null).
+	if lit, ok := e.(*IntLit); ok && lit.V == 0 && ir.IsPointer(want) {
+		lit.Ty = want
+		return lit, nil
+	}
+	return nil, fmt.Errorf("type mismatch %s vs %s", have, want)
+}
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Sym != nil && x.Sym.Kind != SymFunc && !x.Decayed
+	case *Index:
+		return !x.Decayed
+	case *Member:
+		return !x.Decayed
+	case *Unary:
+		return x.Op == STAR
+	}
+	return false
+}
+
+// decay rewrites array-typed results to pointers to their first element.
+func decay(t ir.Type, setFlag func()) ir.Type {
+	if at, ok := t.(*ir.ArrayType); ok {
+		setFlag()
+		return ir.PointerTo(at.Elem)
+	}
+	return t
+}
+
+func (c *Checker) checkExpr(e Expr) (ir.Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.Ty = ir.Int
+		return x.Ty, nil
+	case *FloatLit:
+		x.Ty = ir.Float
+		return x.Ty, nil
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return nil, errAt(x.Line, "undefined: %s", x.Name)
+		}
+		if sym.Kind == SymFunc {
+			return nil, errAt(x.Line, "function %s used as value", x.Name)
+		}
+		x.Sym = sym
+		x.Ty = decay(sym.Ty, func() { x.Decayed = true })
+		return x.Ty, nil
+	case *Unary:
+		return c.checkUnary(x)
+	case *Binary:
+		return c.checkBinary(x)
+	case *Assign:
+		return c.checkAssign(x)
+	case *CastExpr:
+		t, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !ir.Equal(t, ir.Int) && !ir.Equal(t, ir.Float) {
+			return nil, errAt(x.Line, "cannot cast %s", t)
+		}
+		if x.To == KWInt {
+			x.Ty = ir.Int
+		} else {
+			x.Ty = ir.Float
+		}
+		return x.Ty, nil
+	case *Call:
+		return c.checkCall(x)
+	case *Index:
+		bt, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		pt, ok := bt.(*ir.PtrType)
+		if !ok {
+			return nil, errAt(x.Line, "indexing non-pointer %s", bt)
+		}
+		it, err := c.checkExpr(x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if !ir.Equal(it, ir.Int) {
+			return nil, errAt(x.Line, "index must be int, got %s", it)
+		}
+		x.Ty = decay(pt.Elem, func() { x.Decayed = true })
+		return x.Ty, nil
+	case *Member:
+		return c.checkMember(x)
+	}
+	return nil, fmt.Errorf("unknown expression %T", e)
+}
+
+func (c *Checker) checkUnary(x *Unary) (ir.Type, error) {
+	if x.Op == AMP {
+		// Address-of: operand must be an lvalue; mark symbols address-taken.
+		t, err := c.checkExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(x.X) {
+			return nil, errAt(x.Line, "cannot take address of non-lvalue")
+		}
+		if id, ok := x.X.(*Ident); ok {
+			id.Sym.AddrTaken = true
+		}
+		x.Ty = ir.PointerTo(t)
+		return x.Ty, nil
+	}
+	t, err := c.checkExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case MINUS:
+		if !ir.Equal(t, ir.Int) && !ir.Equal(t, ir.Float) {
+			return nil, errAt(x.Line, "unary - on %s", t)
+		}
+		x.Ty = t
+	case NOT:
+		if !ir.Equal(t, ir.Int) && !ir.IsPointer(t) {
+			return nil, errAt(x.Line, "! on %s", t)
+		}
+		x.Ty = ir.Int
+	case STAR:
+		pt, ok := t.(*ir.PtrType)
+		if !ok {
+			return nil, errAt(x.Line, "dereference of non-pointer %s", t)
+		}
+		x.Ty = decay(pt.Elem, func() {})
+		if _, isArr := pt.Elem.(*ir.ArrayType); isArr {
+			// *p where p points to an array: yields the decayed pointer.
+			x.Ty = ir.PointerTo(pt.Elem.(*ir.ArrayType).Elem)
+		}
+	default:
+		return nil, errAt(x.Line, "bad unary operator")
+	}
+	return x.Ty, nil
+}
+
+func (c *Checker) checkBinary(x *Binary) (ir.Type, error) {
+	xt, err := c.checkExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	yt, err := c.checkExpr(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	isNum := func(t ir.Type) bool { return ir.Equal(t, ir.Int) || ir.Equal(t, ir.Float) }
+
+	switch x.Op {
+	case ANDAND, OROR:
+		for _, t := range []ir.Type{xt, yt} {
+			if !ir.Equal(t, ir.Int) && !ir.IsPointer(t) {
+				return nil, errAt(x.Line, "%s on %s", x.Op, t)
+			}
+		}
+		x.Ty = ir.Int
+		return x.Ty, nil
+	case PERCENT, AMP, PIPE, CARET, SHL, SHR:
+		if !ir.Equal(xt, ir.Int) || !ir.Equal(yt, ir.Int) {
+			return nil, errAt(x.Line, "%s requires ints, got %s and %s", x.Op, xt, yt)
+		}
+		x.Ty = ir.Int
+		return x.Ty, nil
+	case PLUS, MINUS:
+		// Pointer arithmetic.
+		if ir.IsPointer(xt) && ir.Equal(yt, ir.Int) {
+			x.Ty = xt
+			return x.Ty, nil
+		}
+		if x.Op == PLUS && ir.Equal(xt, ir.Int) && ir.IsPointer(yt) {
+			x.Ty = yt
+			return x.Ty, nil
+		}
+		fallthrough
+	case STAR, SLASH:
+		if !isNum(xt) || !isNum(yt) {
+			return nil, errAt(x.Line, "%s on %s and %s", x.Op, xt, yt)
+		}
+		if ir.Equal(xt, ir.Float) || ir.Equal(yt, ir.Float) {
+			x.X, _ = c.convert(x.X, xt, ir.Float)
+			x.Y, _ = c.convert(x.Y, yt, ir.Float)
+			x.Ty = ir.Float
+		} else {
+			x.Ty = ir.Int
+		}
+		return x.Ty, nil
+	case EQ, NE, LT, LE, GT, GE:
+		if ir.IsPointer(xt) || ir.IsPointer(yt) {
+			// Pointer comparisons: same pointer type, or against literal 0.
+			if ir.IsPointer(xt) && ir.IsPointer(yt) && ir.Equal(xt, yt) {
+				x.Ty = ir.Int
+				return x.Ty, nil
+			}
+			if ir.IsPointer(xt) {
+				if conv, err := c.convert(x.Y, yt, xt); err == nil {
+					x.Y = conv
+					x.Ty = ir.Int
+					return x.Ty, nil
+				}
+			}
+			if ir.IsPointer(yt) {
+				if conv, err := c.convert(x.X, xt, yt); err == nil {
+					x.X = conv
+					x.Ty = ir.Int
+					return x.Ty, nil
+				}
+			}
+			return nil, errAt(x.Line, "invalid pointer comparison %s vs %s", xt, yt)
+		}
+		if !isNum(xt) || !isNum(yt) {
+			return nil, errAt(x.Line, "comparison of %s and %s", xt, yt)
+		}
+		if ir.Equal(xt, ir.Float) || ir.Equal(yt, ir.Float) {
+			x.X, _ = c.convert(x.X, xt, ir.Float)
+			x.Y, _ = c.convert(x.Y, yt, ir.Float)
+		}
+		x.Ty = ir.Int
+		return x.Ty, nil
+	}
+	return nil, errAt(x.Line, "bad binary operator")
+}
+
+func (c *Checker) checkAssign(x *Assign) (ir.Type, error) {
+	lt, err := c.checkExpr(x.LHS)
+	if err != nil {
+		return nil, err
+	}
+	if !isLvalue(x.LHS) {
+		return nil, errAt(x.Line, "assignment to non-lvalue")
+	}
+	if _, isStruct := lt.(*ir.StructType); isStruct {
+		return nil, errAt(x.Line, "struct assignment is not supported; copy fields")
+	}
+	rt, err := c.checkExpr(x.RHS)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case ASSIGN:
+		conv, err := c.convert(x.RHS, rt, lt)
+		if err != nil {
+			return nil, errAt(x.Line, "cannot assign %s to %s", rt, lt)
+		}
+		x.RHS = conv
+	case PLUSEQ, MINUSEQ:
+		if ir.IsPointer(lt) {
+			if !ir.Equal(rt, ir.Int) {
+				return nil, errAt(x.Line, "pointer %s needs int offset", x.Op)
+			}
+			break
+		}
+		fallthrough
+	case STAREQ, SLASHEQ:
+		if !ir.Equal(lt, ir.Int) && !ir.Equal(lt, ir.Float) {
+			return nil, errAt(x.Line, "%s on %s", x.Op, lt)
+		}
+		conv, err := c.convert(x.RHS, rt, lt)
+		if err != nil {
+			return nil, errAt(x.Line, "cannot combine %s with %s", rt, lt)
+		}
+		x.RHS = conv
+	}
+	x.Ty = lt
+	return x.Ty, nil
+}
+
+func (c *Checker) checkCall(x *Call) (ir.Type, error) {
+	switch x.Name {
+	case "malloc":
+		t, err := c.resolveType(x.TypeArg, false)
+		if err != nil {
+			return nil, err
+		}
+		nt, err := c.checkExpr(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !ir.Equal(nt, ir.Int) {
+			return nil, errAt(x.Line, "malloc count must be int")
+		}
+		x.Builtin = BuiltinMalloc
+		x.Ty = ir.PointerTo(t)
+		return x.Ty, nil
+	case "free":
+		if len(x.Args) != 1 {
+			return nil, errAt(x.Line, "free takes one argument")
+		}
+		t, err := c.checkExpr(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !ir.IsPointer(t) {
+			return nil, errAt(x.Line, "free of non-pointer %s", t)
+		}
+		x.Builtin = BuiltinFree
+		x.Ty = ir.Void
+		return x.Ty, nil
+	case "print":
+		if len(x.Args) != 1 {
+			return nil, errAt(x.Line, "print takes one argument")
+		}
+		t, err := c.checkExpr(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !ir.Equal(t, ir.Int) && !ir.Equal(t, ir.Float) {
+			return nil, errAt(x.Line, "print of %s", t)
+		}
+		x.Builtin = BuiltinPrint
+		x.Ty = ir.Void
+		return x.Ty, nil
+	case "sqrt", "fabs":
+		if len(x.Args) != 1 {
+			return nil, errAt(x.Line, "%s takes one argument", x.Name)
+		}
+		t, err := c.checkExpr(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		conv, err := c.convert(x.Args[0], t, ir.Float)
+		if err != nil {
+			return nil, errAt(x.Line, "%s of %s", x.Name, t)
+		}
+		x.Args[0] = conv
+		if x.Name == "sqrt" {
+			x.Builtin = BuiltinSqrt
+		} else {
+			x.Builtin = BuiltinFabs
+		}
+		x.Ty = ir.Float
+		return x.Ty, nil
+	}
+	fd := c.funcs[x.Name]
+	if fd == nil {
+		return nil, errAt(x.Line, "undefined function %s", x.Name)
+	}
+	if len(x.Args) != len(fd.Params) {
+		return nil, errAt(x.Line, "%s takes %d arguments, got %d", x.Name, len(fd.Params), len(x.Args))
+	}
+	for i, a := range x.Args {
+		at, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		conv, err := c.convert(a, at, fd.Params[i].Ty)
+		if err != nil {
+			return nil, errAt(x.Line, "argument %d of %s: cannot use %s as %s", i+1, x.Name, at, fd.Params[i].Ty)
+		}
+		x.Args[i] = conv
+	}
+	x.Fn = fd
+	x.Ty = fd.RetTy
+	return x.Ty, nil
+}
+
+func (c *Checker) checkMember(x *Member) (ir.Type, error) {
+	bt, err := c.checkExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	var st *ir.StructType
+	if x.Arrow {
+		pt, ok := bt.(*ir.PtrType)
+		if !ok {
+			return nil, errAt(x.Line, "-> on non-pointer %s", bt)
+		}
+		st, ok = pt.Elem.(*ir.StructType)
+		if !ok {
+			return nil, errAt(x.Line, "-> on pointer to non-struct %s", pt.Elem)
+		}
+	} else {
+		var ok bool
+		st, ok = bt.(*ir.StructType)
+		if !ok {
+			return nil, errAt(x.Line, ". on non-struct %s (did you mean ->?)", bt)
+		}
+		if !isLvalue(x.X) {
+			return nil, errAt(x.Line, ". requires an addressable struct")
+		}
+	}
+	idx := st.FieldIndex(x.Name)
+	if idx < 0 {
+		return nil, errAt(x.Line, "struct %s has no field %s", st.TypeName, x.Name)
+	}
+	x.StructTy = st
+	x.FieldIdx = idx
+	x.Ty = decay(st.Fields[idx].Ty, func() { x.Decayed = true })
+	return x.Ty, nil
+}

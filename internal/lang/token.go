@@ -1,0 +1,119 @@
+// Package lang implements the front-end for MC, a miniature C dialect used
+// to author the benchmark programs the framework is evaluated on. MC has
+// ints, floats, pointers, fixed arrays, structs, globals, functions,
+// short-circuit booleans, malloc/free, and nothing else — enough to express
+// the memory idioms (biased error paths, read-only tables, per-iteration
+// scratch buffers, pointer-chasing) that drive the paper's evaluation.
+package lang
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Keywords.
+	KWInt
+	KWFloat
+	KWVoid
+	KWStruct
+	KWIf
+	KWElse
+	KWWhile
+	KWFor
+	KWReturn
+	KWBreak
+	KWContinue
+
+	// Punctuation and operators.
+	LPAREN     // (
+	RPAREN     // )
+	LBRACE     // {
+	RBRACE     // }
+	LBRACK     // [
+	RBRACK     // ]
+	SEMI       // ;
+	COMMA      // ,
+	DOT        // .
+	ARROW      // ->
+	ASSIGN     // =
+	PLUSEQ     // +=
+	MINUSEQ    // -=
+	STAREQ     // *=
+	SLASHEQ    // /=
+	PLUS       // +
+	MINUS      // -
+	STAR       // *
+	SLASH      // /
+	PERCENT    // %
+	AMP        // &
+	PIPE       // |
+	CARET      // ^
+	SHL        // <<
+	SHR        // >>
+	ANDAND     // &&
+	OROR       // ||
+	NOT        // !
+	EQ         // ==
+	NE         // !=
+	LT         // <
+	LE         // <=
+	GT         // >
+	GE         // >=
+	PLUSPLUS   // ++
+	MINUSMINUS // --
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "int literal", FLOATLIT: "float literal",
+	KWInt: "int", KWFloat: "float", KWVoid: "void", KWStruct: "struct",
+	KWIf: "if", KWElse: "else", KWWhile: "while", KWFor: "for",
+	KWReturn: "return", KWBreak: "break", KWContinue: "continue",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	SEMI: ";", COMMA: ",", DOT: ".", ARROW: "->",
+	ASSIGN: "=", PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>",
+	ANDAND: "&&", OROR: "||", NOT: "!",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	PLUSPLUS: "++", MINUSMINUS: "--",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KWInt, "float": KWFloat, "void": KWVoid, "struct": KWStruct,
+	"if": KWIf, "else": KWElse, "while": KWWhile, "for": KWFor,
+	"return": KWReturn, "break": KWBreak, "continue": KWContinue,
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind  Kind
+	Text  string
+	Int   int64
+	Float float64
+	Line  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case INTLIT:
+		return fmt.Sprintf("%d", t.Int)
+	case FLOATLIT:
+		return fmt.Sprintf("%g", t.Float)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,86 @@
+package lower
+
+import (
+	"reflect"
+	"testing"
+
+	"scaf/internal/interp"
+	"scaf/internal/lang"
+	"scaf/internal/mcgen"
+)
+
+// TestRandomProgramsSSAEquivalence: for hundreds of random programs, the
+// alloca-form and SSA-form executions must observably agree, and the SSA
+// form must never execute more instructions.
+func TestRandomProgramsSSAEquivalence(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 40
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		src := mcgen.New(seed).Program()
+		file, err := lang.Parse("gen", src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if err := lang.Check(file); err != nil {
+			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
+		}
+		pre, err := Lower(file)
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v\n%s", seed, err, src)
+		}
+		preRes, err := interp.Run(pre, interp.Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: pre-SSA run: %v\n%s", seed, err, src)
+		}
+
+		post, err := Compile("gen", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		postRes, err := interp.Run(post, interp.Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: post-SSA run: %v\n%s", seed, err, src)
+		}
+		if !reflect.DeepEqual(preRes.Output, postRes.Output) {
+			t.Fatalf("seed %d: outputs differ\n pre: %v\npost: %v\n%s",
+				seed, preRes.Output, postRes.Output, src)
+		}
+		if postRes.Steps > preRes.Steps {
+			t.Errorf("seed %d: SSA form slower (%d > %d)", seed, postRes.Steps, preRes.Steps)
+		}
+	}
+}
+
+// TestRandomProgramsDeterministic: running the same program twice yields
+// identical observable results and step counts (the profiling substrate
+// must be deterministic for the whole evaluation to be).
+func TestRandomProgramsDeterministic(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for seed := int64(1000); seed < int64(1000+trials); seed++ {
+		src := mcgen.New(seed).Program()
+		mod1, err := Compile("gen", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r1, err := interp.Run(mod1, interp.Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: run1: %v", seed, err)
+		}
+		mod2, err := Compile("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := interp.Run(mod2, interp.Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: run2: %v", seed, err)
+		}
+		if !reflect.DeepEqual(r1.Output, r2.Output) || r1.Steps != r2.Steps {
+			t.Fatalf("seed %d: nondeterministic execution", seed)
+		}
+	}
+}

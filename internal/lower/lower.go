@@ -1,0 +1,638 @@
+// Package lower translates checked MC ASTs into IR and then promotes
+// scalar locals to SSA registers (mem2reg), mirroring the clang -O0 +
+// mem2reg pipeline the paper's LLVM implementation analyzes.
+package lower
+
+import (
+	"fmt"
+
+	"scaf/internal/ir"
+	"scaf/internal/lang"
+)
+
+// Compile parses, checks, lowers and SSA-converts an MC source file.
+func Compile(name, src string) (*ir.Module, error) {
+	file, err := lang.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := lang.Check(file); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	m, err := Lower(file)
+	if err != nil {
+		return nil, err
+	}
+	PromoteToSSA(m)
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("%s: post-SSA verify: %w", name, err)
+	}
+	return m, nil
+}
+
+// Lower translates a checked file into (pre-SSA) IR.
+func Lower(file *lang.File) (*ir.Module, error) {
+	lw := &lowerer{
+		mod:   ir.NewModule(file.Name),
+		vals:  map[*lang.Symbol]ir.Value{},
+		funcs: map[*lang.FuncDecl]*ir.Func{},
+	}
+	for _, sd := range file.Structs {
+		lw.mod.Structs = append(lw.mod.Structs, sd.Ty)
+	}
+	for _, g := range file.Globals {
+		gv := lw.mod.NewGlobal(g.Name, g.Ty)
+		lw.vals[g.Sym] = gv
+	}
+	for _, fd := range file.Funcs {
+		params := make([]*ir.Param, len(fd.Params))
+		for i, p := range fd.Params {
+			params[i] = &ir.Param{PName: p.Name, Ty: p.Ty}
+		}
+		lw.funcs[fd] = lw.mod.NewFunc(fd.Name, fd.RetTy, params...)
+	}
+	for _, fd := range file.Funcs {
+		if err := lw.lowerFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	if err := ir.Verify(lw.mod); err != nil {
+		return nil, fmt.Errorf("%s: pre-SSA verify: %w", file.Name, err)
+	}
+	return lw.mod, nil
+}
+
+type loopCtx struct {
+	continueTo *ir.Block
+	breakTo    *ir.Block
+}
+
+type lowerer struct {
+	mod   *ir.Module
+	vals  map[*lang.Symbol]ir.Value
+	funcs map[*lang.FuncDecl]*ir.Func
+
+	fn    *ir.Func
+	entry *ir.Block // receives allocas; branches to body at the end
+	cur   *ir.Block // nil after a terminator
+	loops []loopCtx
+}
+
+// block returns the current block, starting a fresh (unreachable) one if
+// the previous statement terminated control flow.
+func (lw *lowerer) block() *ir.Block {
+	if lw.cur == nil {
+		lw.cur = lw.fn.NewBlock("dead")
+	}
+	return lw.cur
+}
+
+func (lw *lowerer) lowerFunc(fd *lang.FuncDecl) error {
+	lw.fn = lw.funcs[fd]
+	lw.entry = lw.fn.NewBlock("entry")
+	body := lw.fn.NewBlock("body")
+	lw.cur = body
+
+	// Spill parameters to stack slots; mem2reg promotes them back.
+	for i, p := range fd.Params {
+		a := lw.entry.Alloca(p.Ty, p.Name)
+		a.Line = p.Line
+		lw.entry.Store(lw.fn.Params[i], a)
+		lw.vals[p.Sym] = a
+	}
+	if err := lw.stmt(fd.Body); err != nil {
+		return err
+	}
+	// Implicit return.
+	if lw.cur != nil {
+		switch {
+		case ir.Equal(fd.RetTy, ir.Void):
+			lw.cur.Ret()
+		case ir.Equal(fd.RetTy, ir.Float):
+			lw.cur.Ret(ir.CF(0))
+		case ir.IsPointer(fd.RetTy):
+			lw.cur.Ret(ir.Null(fd.RetTy.(*ir.PtrType)))
+		default:
+			lw.cur.Ret(ir.CI(0))
+		}
+		lw.cur = nil
+	}
+	// Terminate any dangling dead blocks so the verifier is happy.
+	for _, b := range lw.fn.Blocks {
+		if b.Term() == nil && b != lw.entry {
+			b.Ret(zeroOf(fd.RetTy)...)
+		}
+	}
+	lw.entry.Br(body)
+	return nil
+}
+
+func zeroOf(t ir.Type) []ir.Value {
+	switch {
+	case ir.Equal(t, ir.Void):
+		return nil
+	case ir.Equal(t, ir.Float):
+		return []ir.Value{ir.CF(0)}
+	case ir.IsPointer(t):
+		return []ir.Value{ir.Null(t.(*ir.PtrType))}
+	default:
+		return []ir.Value{ir.CI(0)}
+	}
+}
+
+func (lw *lowerer) stmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		for _, sub := range st.Stmts {
+			if err := lw.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *lang.DeclStmt:
+		return lw.decl(st.Decl)
+	case *lang.ExprStmt:
+		_, err := lw.rvalue(st.X)
+		return err
+	case *lang.IfStmt:
+		return lw.ifStmt(st)
+	case *lang.WhileStmt:
+		return lw.whileStmt(st)
+	case *lang.ForStmt:
+		return lw.forStmt(st)
+	case *lang.ReturnStmt:
+		b := lw.block()
+		if st.X == nil {
+			b.Ret()
+		} else {
+			v, err := lw.rvalue(st.X)
+			if err != nil {
+				return err
+			}
+			lw.block().Ret(v)
+		}
+		lw.cur = nil
+		return nil
+	case *lang.BreakStmt:
+		lw.block().Br(lw.loops[len(lw.loops)-1].breakTo)
+		lw.cur = nil
+		return nil
+	case *lang.ContinueStmt:
+		lw.block().Br(lw.loops[len(lw.loops)-1].continueTo)
+		lw.cur = nil
+		return nil
+	}
+	return fmt.Errorf("lower: unknown statement %T", s)
+}
+
+func (lw *lowerer) decl(d *lang.VarDecl) error {
+	a := lw.entry.Alloca(d.Ty, d.Name)
+	a.Line = d.Line
+	lw.vals[d.Sym] = a
+	if d.Init != nil {
+		v, err := lw.rvalue(d.Init)
+		if err != nil {
+			return err
+		}
+		lw.block().Store(v, a)
+	}
+	return nil
+}
+
+// toBool converts a value to a branch condition (int 0/1).
+func (lw *lowerer) toBool(v ir.Value) ir.Value {
+	if ir.IsPointer(v.Type()) {
+		return lw.block().CmpIns(ir.Ne, v, ir.Null(v.Type().(*ir.PtrType)))
+	}
+	if in, ok := v.(*ir.Instr); ok && in.Op == ir.OpCmp {
+		return v
+	}
+	return lw.block().CmpIns(ir.Ne, v, ir.CI(0))
+}
+
+func (lw *lowerer) cond(e lang.Expr, t, f *ir.Block) error {
+	v, err := lw.rvalue(e)
+	if err != nil {
+		return err
+	}
+	lw.block().CondBr(lw.toBool(v), t, f)
+	lw.cur = nil
+	return nil
+}
+
+func (lw *lowerer) ifStmt(st *lang.IfStmt) error {
+	then := lw.fn.NewBlock("then")
+	join := lw.fn.NewBlock("endif")
+	els := join
+	if st.Else != nil {
+		els = lw.fn.NewBlock("else")
+	}
+	if err := lw.cond(st.Cond, then, els); err != nil {
+		return err
+	}
+	lw.cur = then
+	if err := lw.stmt(st.Then); err != nil {
+		return err
+	}
+	if lw.cur != nil {
+		lw.cur.Br(join)
+	}
+	if st.Else != nil {
+		lw.cur = els
+		if err := lw.stmt(st.Else); err != nil {
+			return err
+		}
+		if lw.cur != nil {
+			lw.cur.Br(join)
+		}
+	}
+	lw.cur = join
+	return nil
+}
+
+func (lw *lowerer) whileStmt(st *lang.WhileStmt) error {
+	head := lw.fn.NewBlock("while_head")
+	body := lw.fn.NewBlock("while_body")
+	exit := lw.fn.NewBlock("while_exit")
+	lw.block().Br(head)
+	lw.cur = head
+	if err := lw.cond(st.Cond, body, exit); err != nil {
+		return err
+	}
+	lw.cur = body
+	lw.loops = append(lw.loops, loopCtx{continueTo: head, breakTo: exit})
+	if err := lw.stmt(st.Body); err != nil {
+		return err
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	if lw.cur != nil {
+		lw.cur.Br(head)
+	}
+	lw.cur = exit
+	return nil
+}
+
+func (lw *lowerer) forStmt(st *lang.ForStmt) error {
+	if st.Init != nil {
+		if err := lw.stmt(st.Init); err != nil {
+			return err
+		}
+	}
+	head := lw.fn.NewBlock("for_head")
+	body := lw.fn.NewBlock("for_body")
+	post := lw.fn.NewBlock("for_post")
+	exit := lw.fn.NewBlock("for_exit")
+	lw.block().Br(head)
+	lw.cur = head
+	if st.Cond != nil {
+		if err := lw.cond(st.Cond, body, exit); err != nil {
+			return err
+		}
+	} else {
+		head.Br(body)
+		lw.cur = nil
+	}
+	lw.cur = body
+	lw.loops = append(lw.loops, loopCtx{continueTo: post, breakTo: exit})
+	if err := lw.stmt(st.Body); err != nil {
+		return err
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	if lw.cur != nil {
+		lw.cur.Br(post)
+	}
+	lw.cur = post
+	if st.Post != nil {
+		if _, err := lw.rvalue(st.Post); err != nil {
+			return err
+		}
+	}
+	lw.block().Br(head)
+	lw.cur = exit
+	return nil
+}
+
+// lvalue computes the address of an assignable expression.
+func (lw *lowerer) lvalue(e lang.Expr) (ir.Value, error) {
+	switch x := e.(type) {
+	case *lang.Ident:
+		v := lw.vals[x.Sym]
+		if v == nil {
+			return nil, fmt.Errorf("lower: line %d: no storage for %s", x.Line, x.Name)
+		}
+		return v, nil
+	case *lang.Unary:
+		if x.Op == lang.STAR {
+			return lw.rvalue(x.X)
+		}
+	case *lang.Index:
+		base, err := lw.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := lw.rvalue(x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		in := lw.block().IndexPtr(base, idx)
+		in.Line = x.Line
+		return in, nil
+	case *lang.Member:
+		var base ir.Value
+		var err error
+		if x.Arrow {
+			base, err = lw.rvalue(x.X)
+		} else {
+			base, err = lw.lvalue(x.X)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// The base may be typed as a pointer to the struct already; if it is
+		// a pointer to an array of structs the checker rejected it earlier.
+		if !ir.Equal(ir.Pointee(base.Type()), x.StructTy) {
+			base = lw.block().CastIns(ir.Bitcast, ir.PointerTo(x.StructTy), base)
+		}
+		in := lw.block().FieldAddr(base, x.FieldIdx)
+		in.Line = x.Line
+		return in, nil
+	}
+	return nil, fmt.Errorf("lower: not an lvalue: %T", e)
+}
+
+// decayAddr converts the address of an array into a pointer to its first
+// element.
+func (lw *lowerer) decayAddr(addr ir.Value) ir.Value {
+	at, ok := ir.Pointee(addr.Type()).(*ir.ArrayType)
+	if !ok {
+		return addr
+	}
+	return lw.block().CastIns(ir.Bitcast, ir.PointerTo(at.Elem), addr)
+}
+
+func (lw *lowerer) rvalue(e lang.Expr) (ir.Value, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		if pt, ok := x.Type().(*ir.PtrType); ok {
+			return ir.Null(pt), nil
+		}
+		return ir.CI(x.V), nil
+	case *lang.FloatLit:
+		return ir.CF(x.V), nil
+	case *lang.Ident:
+		addr, err := lw.lvalue(x)
+		if err != nil {
+			return nil, err
+		}
+		if x.Decayed {
+			return lw.decayAddr(addr), nil
+		}
+		in := lw.block().Load(addr)
+		in.Line = x.Line
+		in.Hint = x.Name
+		return in, nil
+	case *lang.Index:
+		addr, err := lw.lvalue(x)
+		if err != nil {
+			return nil, err
+		}
+		if x.Decayed {
+			return lw.decayAddr(addr), nil
+		}
+		in := lw.block().Load(addr)
+		in.Line = x.Line
+		return in, nil
+	case *lang.Member:
+		addr, err := lw.lvalue(x)
+		if err != nil {
+			return nil, err
+		}
+		if x.Decayed {
+			return lw.decayAddr(addr), nil
+		}
+		in := lw.block().Load(addr)
+		in.Line = x.Line
+		return in, nil
+	case *lang.Unary:
+		return lw.unary(x)
+	case *lang.Binary:
+		return lw.binary(x)
+	case *lang.Assign:
+		return lw.assign(x)
+	case *lang.CastExpr:
+		v, err := lw.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if ir.Equal(v.Type(), x.Type()) {
+			return v, nil
+		}
+		kind := ir.IntToFloat
+		if x.To == lang.KWInt {
+			kind = ir.FloatToInt
+		}
+		return lw.block().CastIns(kind, x.Type(), v), nil
+	case *lang.Call:
+		return lw.call(x)
+	}
+	return nil, fmt.Errorf("lower: unknown expression %T", e)
+}
+
+func (lw *lowerer) unary(x *lang.Unary) (ir.Value, error) {
+	switch x.Op {
+	case lang.AMP:
+		return lw.lvalue(x.X)
+	case lang.STAR:
+		p, err := lw.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if _, isArr := ir.Pointee(p.Type()).(*ir.ArrayType); isArr {
+			return lw.decayAddr(p), nil
+		}
+		in := lw.block().Load(p)
+		in.Line = x.Line
+		return in, nil
+	case lang.MINUS:
+		v, err := lw.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		zero := ir.Value(ir.CI(0))
+		if ir.Equal(v.Type(), ir.Float) {
+			zero = ir.CF(0)
+		}
+		return lw.block().BinIns(ir.Sub, zero, v), nil
+	case lang.NOT:
+		v, err := lw.rvalue(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if ir.IsPointer(v.Type()) {
+			return lw.block().CmpIns(ir.Eq, v, ir.Null(v.Type().(*ir.PtrType))), nil
+		}
+		return lw.block().CmpIns(ir.Eq, v, ir.CI(0)), nil
+	}
+	return nil, fmt.Errorf("lower: bad unary %s", x.Op)
+}
+
+var binOps = map[lang.Kind]ir.BinOp{
+	lang.PLUS: ir.Add, lang.MINUS: ir.Sub, lang.STAR: ir.Mul,
+	lang.SLASH: ir.Div, lang.PERCENT: ir.Rem, lang.AMP: ir.And,
+	lang.PIPE: ir.Or, lang.CARET: ir.Xor, lang.SHL: ir.Shl, lang.SHR: ir.Shr,
+}
+
+var cmpOps = map[lang.Kind]ir.CmpOp{
+	lang.EQ: ir.Eq, lang.NE: ir.Ne, lang.LT: ir.Lt,
+	lang.LE: ir.Le, lang.GT: ir.Gt, lang.GE: ir.Ge,
+}
+
+func (lw *lowerer) binary(x *lang.Binary) (ir.Value, error) {
+	switch x.Op {
+	case lang.ANDAND, lang.OROR:
+		return lw.shortCircuit(x)
+	}
+	xv, err := lw.rvalue(x.X)
+	if err != nil {
+		return nil, err
+	}
+	yv, err := lw.rvalue(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[x.Op]; ok {
+		in := lw.block().CmpIns(op, xv, yv)
+		in.Line = x.Line
+		return in, nil
+	}
+	// Pointer arithmetic becomes explicit indexing.
+	if ir.IsPointer(x.Type()) {
+		switch {
+		case ir.IsPointer(xv.Type()) && x.Op == lang.PLUS:
+			return lw.block().IndexPtr(xv, yv), nil
+		case ir.IsPointer(yv.Type()) && x.Op == lang.PLUS:
+			return lw.block().IndexPtr(yv, xv), nil
+		case ir.IsPointer(xv.Type()) && x.Op == lang.MINUS:
+			neg := lw.block().BinIns(ir.Sub, ir.CI(0), yv)
+			return lw.block().IndexPtr(xv, neg), nil
+		}
+	}
+	op, ok := binOps[x.Op]
+	if !ok {
+		return nil, fmt.Errorf("lower: bad binary %s", x.Op)
+	}
+	in := lw.block().BinIns(op, xv, yv)
+	in.Line = x.Line
+	return in, nil
+}
+
+// shortCircuit lowers && and || through a stack temporary that mem2reg
+// later promotes to a phi.
+func (lw *lowerer) shortCircuit(x *lang.Binary) (ir.Value, error) {
+	res := lw.entry.Alloca(ir.Int, "sc")
+	xv, err := lw.rvalue(x.X)
+	if err != nil {
+		return nil, err
+	}
+	xb := lw.toBool(xv)
+	lw.block().Store(xb, res)
+	rhs := lw.fn.NewBlock("sc_rhs")
+	end := lw.fn.NewBlock("sc_end")
+	if x.Op == lang.ANDAND {
+		lw.block().CondBr(xb, rhs, end)
+	} else {
+		lw.block().CondBr(xb, end, rhs)
+	}
+	lw.cur = rhs
+	yv, err := lw.rvalue(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	yb := lw.toBool(yv)
+	lw.block().Store(yb, res)
+	lw.block().Br(end)
+	lw.cur = end
+	return end.Load(res), nil
+}
+
+func (lw *lowerer) assign(x *lang.Assign) (ir.Value, error) {
+	addr, err := lw.lvalue(x.LHS)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := lw.rvalue(x.RHS)
+	if err != nil {
+		return nil, err
+	}
+	var val ir.Value
+	if x.Op == lang.ASSIGN {
+		val = rv
+	} else {
+		old := lw.block().Load(addr)
+		old.Line = x.Line
+		if ir.IsPointer(old.Type()) {
+			off := rv
+			if x.Op == lang.MINUSEQ {
+				off = lw.block().BinIns(ir.Sub, ir.CI(0), rv)
+			}
+			val = lw.block().IndexPtr(old, off)
+		} else {
+			var op ir.BinOp
+			switch x.Op {
+			case lang.PLUSEQ:
+				op = ir.Add
+			case lang.MINUSEQ:
+				op = ir.Sub
+			case lang.STAREQ:
+				op = ir.Mul
+			case lang.SLASHEQ:
+				op = ir.Div
+			}
+			val = lw.block().BinIns(op, old, rv)
+		}
+	}
+	st := lw.block().Store(val, addr)
+	st.Line = x.Line
+	return val, nil
+}
+
+func (lw *lowerer) call(x *lang.Call) (ir.Value, error) {
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := lw.rvalue(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	b := lw.block()
+	switch x.Builtin {
+	case lang.BuiltinMalloc:
+		elem := ir.Pointee(x.Type())
+		size := b.BinIns(ir.Mul, args[0], ir.CI(elem.Size()))
+		in := b.Malloc(elem, size, "")
+		in.Line = x.Line
+		return in, nil
+	case lang.BuiltinFree:
+		in := b.Free(args[0])
+		in.Line = x.Line
+		return in, nil
+	case lang.BuiltinPrint:
+		name := "print_int"
+		if ir.Equal(args[0].Type(), ir.Float) {
+			name = "print_float"
+		}
+		return b.CallIntrinsic(name, ir.Void, args[0]), nil
+	case lang.BuiltinSqrt:
+		return b.CallIntrinsic("sqrt", ir.Float, args[0]), nil
+	case lang.BuiltinFabs:
+		return b.CallIntrinsic("fabs", ir.Float, args[0]), nil
+	}
+	callee := lw.funcs[x.Fn]
+	if callee == nil {
+		return nil, fmt.Errorf("lower: line %d: unresolved callee %s", x.Line, x.Name)
+	}
+	in := b.Call(callee, args...)
+	in.Line = x.Line
+	return in, nil
+}

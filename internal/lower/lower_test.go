@@ -1,0 +1,271 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"scaf/internal/ir"
+)
+
+const sumProg = `
+int sum(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += i;
+    }
+    return s;
+}
+
+void main() {
+    print(sum(10));
+}
+`
+
+func TestCompileSum(t *testing.T) {
+	m, err := Compile("sum", sumProg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := m.FuncNamed("sum")
+	if f == nil {
+		t.Fatal("missing func sum")
+	}
+	// After mem2reg there must be no loads/stores left in sum (pure scalar
+	// code) and at least one phi.
+	phis, mems := 0, 0
+	f.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.OpPhi:
+			phis++
+		case ir.OpLoad, ir.OpStore, ir.OpAlloca:
+			mems++
+		}
+	})
+	if mems != 0 {
+		t.Errorf("sum still has %d memory ops after mem2reg:\n%s", mems, ir.FormatFunc(f))
+	}
+	if phis == 0 {
+		t.Errorf("sum has no phis:\n%s", ir.FormatFunc(f))
+	}
+}
+
+const arrayProg = `
+int a[100];
+
+void fill(int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = i * 2;
+    }
+}
+
+int get(int i) {
+    return a[i];
+}
+
+void main() {
+    fill(100);
+    print(get(5));
+}
+`
+
+func TestCompileGlobalArray(t *testing.T) {
+	m, err := Compile("arr", arrayProg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	fill := m.FuncNamed("fill")
+	stores := 0
+	fill.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			stores++
+		}
+	})
+	if stores != 1 {
+		t.Errorf("fill should keep exactly the array store, got %d:\n%s", stores, ir.FormatFunc(fill))
+	}
+	if m.GlobalNamed("a") == nil {
+		t.Error("global a missing")
+	}
+}
+
+const structProg = `
+struct node {
+    int val;
+    struct node* next;
+};
+
+struct node* push(struct node* head, int v) {
+    struct node* n = malloc(struct node, 1);
+    n->val = v;
+    n->next = head;
+    return n;
+}
+
+int total(struct node* head) {
+    int s = 0;
+    while (head != 0) {
+        s += head->val;
+        head = head->next;
+    }
+    return s;
+}
+
+void main() {
+    struct node* l = 0;
+    for (int i = 1; i <= 4; i++) {
+        l = push(l, i);
+    }
+    print(total(l));
+}
+`
+
+func TestCompileLinkedList(t *testing.T) {
+	m, err := Compile("list", structProg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	push := m.FuncNamed("push")
+	var mallocs, fields int
+	push.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.OpMalloc:
+			mallocs++
+		case ir.OpField:
+			fields++
+		}
+	})
+	if mallocs != 1 {
+		t.Errorf("push should have 1 malloc, got %d", mallocs)
+	}
+	if fields != 2 {
+		t.Errorf("push should have 2 field addresses, got %d", fields)
+	}
+	st := m.StructNamed("node")
+	if st == nil || len(st.Fields) != 2 {
+		t.Fatalf("struct node wrong: %v", st)
+	}
+	if st.Fields[1].Offset != 8 {
+		t.Errorf("next offset = %d, want 8", st.Fields[1].Offset)
+	}
+}
+
+const shortCircuitProg = `
+int f(int a, int b) {
+    if (a > 0 && b > 0) {
+        return 1;
+    }
+    if (a < 0 || b < 0) {
+        return 2;
+    }
+    return 3;
+}
+void main() { print(f(1, 1)); }
+`
+
+func TestCompileShortCircuit(t *testing.T) {
+	m, err := Compile("sc", shortCircuitProg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// The temporaries must have been promoted.
+	f := m.FuncNamed("f")
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpAlloca || in.Op == ir.OpLoad || in.Op == ir.OpStore {
+			t.Errorf("short-circuit left memory op: %s", ir.FormatInstr(in))
+		}
+	})
+}
+
+const addrTakenProg = `
+void bump(int* p) { *p = *p + 1; }
+int g;
+void main() {
+    int x = 5;
+    bump(&x);
+    g = x;
+    print(g);
+}
+`
+
+func TestAddrTakenNotPromoted(t *testing.T) {
+	m, err := Compile("at", addrTakenProg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	mainFn := m.FuncNamed("main")
+	allocas := 0
+	mainFn.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpAlloca {
+			allocas++
+		}
+	})
+	if allocas != 1 {
+		t.Errorf("main should keep the address-taken alloca, got %d:\n%s", allocas, ir.FormatFunc(mainFn))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []struct {
+		name, src, want string
+	}{
+		{"undefined", `void main() { x = 1; }`, "undefined"},
+		{"typemix", `void main() { int* p; p = 3; }`, "cannot assign"},
+		{"breakout", `void main() { break; }`, "break outside"},
+		{"dupfunc", `void f() {} void f() {} void main() {}`, "duplicate function"},
+		{"badfield", `struct s { int a; }; void main() { struct s* p = malloc(struct s, 1); p->b = 1; }`, "no field"},
+		{"voidvar", `void main() { void x; }`, "void"},
+		{"retmiss", `int f() { return; } void main() {}`, "missing return value"},
+		{"arrparam", `void f(int a[3]) {} void main() {}`, ""},
+		{"structparam", `struct s { int a; }; void f(struct s x) {} void main() {}`, "pointer"},
+		{"parse", `void main() { int; }`, ""},
+		{"lex", "void main() { int x = 1 $ 2; }", "unexpected character"},
+	}
+	for _, c := range bad {
+		_, err := Compile(c.name, c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+const nested2D = `
+float grid[8][16];
+void main() {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 16; j++) {
+            grid[i][j] = (float)(i + j);
+        }
+    }
+    print(grid[3][4]);
+}
+`
+
+func TestCompile2DArray(t *testing.T) {
+	m, err := Compile("grid", nested2D)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	g := m.GlobalNamed("grid")
+	if g == nil {
+		t.Fatal("missing grid")
+	}
+	if g.Elem.Size() != 8*16*8 {
+		t.Errorf("grid size = %d", g.Elem.Size())
+	}
+}
+
+func TestVerifyAfterSSA(t *testing.T) {
+	for _, src := range []string{sumProg, arrayProg, structProg, shortCircuitProg, addrTakenProg, nested2D} {
+		m, err := Compile("p", src)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		if err := ir.Verify(m); err != nil {
+			t.Errorf("verify: %v", err)
+		}
+	}
+}

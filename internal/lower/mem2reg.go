@@ -1,0 +1,296 @@
+package lower
+
+import (
+	"scaf/internal/cfg"
+	"scaf/internal/ir"
+)
+
+// PromoteToSSA rewrites promotable stack slots (scalar allocas whose
+// address never escapes) into SSA values with phi nodes placed at iterated
+// dominance frontiers — the classic mem2reg pass. Without it, every scalar
+// variable would appear to the dependence analyses as memory traffic and
+// drown out the interesting loads and stores.
+func PromoteToSSA(m *ir.Module) {
+	for _, f := range m.Funcs {
+		promoteFunc(f)
+	}
+}
+
+func isScalar(t ir.Type) bool {
+	switch t.(type) {
+	case *ir.IntType, *ir.FloatType, *ir.PtrType:
+		return true
+	}
+	return false
+}
+
+// promotable reports whether alloca a is only ever used as the direct
+// address of loads and stores (and never stored *as a value*).
+func promotable(f *ir.Func, a *ir.Instr) bool {
+	if !isScalar(a.ElemTy) {
+		return false
+	}
+	ok := true
+	f.Instrs(func(in *ir.Instr) {
+		for i, arg := range in.Args {
+			if arg != ir.Value(a) {
+				continue
+			}
+			switch {
+			case in.Op == ir.OpLoad && i == 0:
+			case in.Op == ir.OpStore && i == 1:
+			default:
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+func zeroValue(t ir.Type) ir.Value {
+	switch tt := t.(type) {
+	case *ir.FloatType:
+		return ir.CF(0)
+	case *ir.PtrType:
+		return ir.Null(tt)
+	default:
+		return ir.CI(0)
+	}
+}
+
+func promoteFunc(f *ir.Func) {
+	dt := cfg.Dominators(f, nil)
+	df := cfg.Frontiers(dt)
+
+	// Collect promotable allocas and their defining blocks.
+	var allocas []*ir.Instr
+	slot := map[*ir.Instr]int{}
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpAlloca && promotable(f, in) {
+			slot[in] = len(allocas)
+			allocas = append(allocas, in)
+		}
+	})
+	if len(allocas) == 0 {
+		return
+	}
+
+	defBlocks := make([][]*ir.Block, len(allocas))
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			if a, ok := in.Args[1].(*ir.Instr); ok {
+				if s, isSlot := slot[a]; isSlot {
+					defBlocks[s] = append(defBlocks[s], in.Blk)
+				}
+			}
+		}
+	})
+
+	// Phi placement at iterated dominance frontiers.
+	phiFor := map[*ir.Instr]int{} // phi instruction -> slot
+	phiAt := make([]map[*ir.Block]*ir.Instr, len(allocas))
+	for s, a := range allocas {
+		phiAt[s] = map[*ir.Block]*ir.Instr{}
+		work := append([]*ir.Block(nil), defBlocks[s]...)
+		onWork := map[*ir.Block]bool{}
+		for _, b := range work {
+			onWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range df[b] {
+				if phiAt[s][fb] != nil {
+					continue
+				}
+				phi := &ir.Instr{
+					Op: ir.OpPhi, Ty: a.ElemTy, Blk: fb,
+					Args: make([]ir.Value, len(fb.Preds)),
+					Hint: a.Hint,
+				}
+				// Assign a fresh ID by reusing the builder counter: append
+				// then move to front.
+				tmp := fb.Phi(a.ElemTy, a.Hint)
+				fb.Instrs = fb.Instrs[:len(fb.Instrs)-1]
+				phi.ID = tmp.ID
+				for i := range phi.Args {
+					phi.Args[i] = zeroValue(a.ElemTy)
+				}
+				fb.Instrs = append([]*ir.Instr{phi}, fb.Instrs...)
+				phiAt[s][fb] = phi
+				phiFor[phi] = s
+				if !onWork[fb] {
+					onWork[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+
+	// Rename along the dominator tree.
+	repl := map[*ir.Instr]ir.Value{} // dead load -> replacement
+	dead := map[*ir.Instr]bool{}
+	resolve := func(v ir.Value) ir.Value {
+		for {
+			in, ok := v.(*ir.Instr)
+			if !ok {
+				return v
+			}
+			r, ok := repl[in]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+
+	cur := make([]ir.Value, len(allocas))
+	for s, a := range allocas {
+		cur[s] = zeroValue(a.ElemTy)
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		saved := append([]ir.Value(nil), cur...)
+		defer func() { copy(cur, saved) }()
+
+		for _, in := range b.Instrs {
+			if s, isPhi := phiFor[in]; isPhi {
+				cur[s] = in
+				continue
+			}
+			for i, arg := range in.Args {
+				in.Args[i] = resolve(arg)
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				if a, ok := in.Args[0].(*ir.Instr); ok {
+					if s, isSlot := slot[a]; isSlot {
+						repl[in] = cur[s]
+						dead[in] = true
+					}
+				}
+			case ir.OpStore:
+				if a, ok := in.Args[1].(*ir.Instr); ok {
+					if s, isSlot := slot[a]; isSlot {
+						cur[s] = in.Args[0]
+						dead[in] = true
+					}
+				}
+			case ir.OpAlloca:
+				if _, isSlot := slot[in]; isSlot {
+					dead[in] = true
+				}
+			}
+		}
+		for _, succ := range b.Succs {
+			pi := predIndex(succ, b)
+			for _, in := range succ.Instrs {
+				if in.Op != ir.OpPhi {
+					break
+				}
+				if s, isPhi := phiFor[in]; isPhi && pi >= 0 {
+					in.Args[pi] = cur[s]
+				}
+			}
+		}
+		for _, child := range dt.Children(b) {
+			rename(child)
+		}
+	}
+	for _, root := range dt.Roots() {
+		rename(root)
+	}
+
+	// Phi operands may still reference replaced loads (when the phi's
+	// predecessor was renamed before the load's replacement settled —
+	// resolve everything once more).
+	f.Instrs(func(in *ir.Instr) {
+		for i, arg := range in.Args {
+			in.Args[i] = resolve(arg)
+		}
+	})
+
+	// Remove dead instructions (also blocks unreachable phis keep their
+	// zero placeholder operands, which is fine: they are never executed).
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if !dead[in] {
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = kept
+	}
+
+	simplifyTrivialPhis(f)
+}
+
+func predIndex(b, p *ir.Block) int {
+	for i, q := range b.Preds {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// simplifyTrivialPhis removes phis whose incoming values are all the same
+// value (or the phi itself), iterating to a fixed point.
+func simplifyTrivialPhis(f *ir.Func) {
+	for {
+		repl := map[*ir.Instr]ir.Value{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpPhi {
+					continue
+				}
+				var uniq ir.Value
+				trivial := true
+				for _, a := range in.Args {
+					if a == ir.Value(in) {
+						continue
+					}
+					if uniq == nil {
+						uniq = a
+					} else if uniq != a {
+						trivial = false
+						break
+					}
+				}
+				if trivial && uniq != nil {
+					repl[in] = uniq
+				}
+			}
+		}
+		if len(repl) == 0 {
+			return
+		}
+		resolve := func(v ir.Value) ir.Value {
+			for {
+				in, ok := v.(*ir.Instr)
+				if !ok {
+					return v
+				}
+				r, ok := repl[in]
+				if !ok {
+					return v
+				}
+				v = r
+			}
+		}
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if _, isDead := repl[in]; isDead {
+					continue
+				}
+				for i, a := range in.Args {
+					in.Args[i] = resolve(a)
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+	}
+}

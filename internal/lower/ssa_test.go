@@ -1,0 +1,198 @@
+package lower
+
+import (
+	"reflect"
+	"testing"
+
+	"scaf/internal/cfg"
+	"scaf/internal/interp"
+	"scaf/internal/ir"
+	"scaf/internal/lang"
+)
+
+// ssaTestPrograms exercises varied control flow: loops, breaks, nested
+// conditionals, short-circuiting, recursion, and address-taken locals.
+var ssaTestPrograms = []string{
+	`
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() { print(fib(15)); }`,
+	`
+int seed;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >> 16) & 32767; }
+int hist[16];
+void main() {
+    seed = 9;
+    for (int i = 0; i < 500; i++) {
+        int v = rnd() % 16;
+        if (v % 3 == 0) { continue; }
+        if (v == 13) { break; }
+        hist[v] = hist[v] + 1;
+    }
+    int s = 0;
+    for (int i = 0; i < 16; i++) { s = s + hist[i] * i; }
+    print(s);
+}`,
+	`
+void main() {
+    int x = 0;
+    int limit = 37;
+    while (x * x < limit) {
+        x++;
+    }
+    int y = 0;
+    for (;;) {
+        y = y + x;
+        if (y > 40 && x > 2 || y == 41) { break; }
+    }
+    print(x);
+    print(y);
+}`,
+	`
+struct node { int v; struct node* next; };
+void main() {
+    struct node* head = 0;
+    for (int i = 0; i < 20; i++) {
+        struct node* n = malloc(struct node, 1);
+        n->v = i * i;
+        n->next = head;
+        head = n;
+    }
+    int s = 0;
+    struct node* p = head;
+    while (p != 0) {
+        s = s + p->v;
+        struct node* d = p;
+        p = p->next;
+        free(d);
+    }
+    print(s);
+}`,
+	`
+void swap(int* a, int* b) { int t = *a; *a = *b; *b = t; }
+void main() {
+    int arr[8];
+    for (int i = 0; i < 8; i++) { arr[i] = 7 - i; }
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 7; j++) {
+            if (arr[j] > arr[j + 1]) { swap(&arr[j], &arr[j + 1]); }
+        }
+    }
+    for (int i = 0; i < 8; i++) { print(arr[i]); }
+}`,
+	`
+float poly(float x) {
+    float acc = 0.0;
+    for (int k = 0; k < 5; k++) {
+        acc = acc * x + (float)(k + 1);
+    }
+    return acc;
+}
+void main() {
+    print(poly(1.5));
+    print(sqrt(poly(2.0)));
+}`,
+}
+
+// TestMem2RegPreservesSemantics compiles each program twice — once in
+// alloca form, once SSA-promoted — runs both, and demands identical
+// observable behaviour. This is the strongest correctness statement about
+// the mem2reg pass.
+func TestMem2RegPreservesSemantics(t *testing.T) {
+	for i, src := range ssaTestPrograms {
+		file, err := lang.Parse("p", src)
+		if err != nil {
+			t.Fatalf("program %d: parse: %v", i, err)
+		}
+		if err := lang.Check(file); err != nil {
+			t.Fatalf("program %d: check: %v", i, err)
+		}
+		pre, err := Lower(file)
+		if err != nil {
+			t.Fatalf("program %d: lower: %v", i, err)
+		}
+		preRes, err := interp.Run(pre, interp.Options{})
+		if err != nil {
+			t.Fatalf("program %d: pre-SSA run: %v", i, err)
+		}
+
+		// Recompile (Lower mutates in place) and promote.
+		file2, _ := lang.Parse("p", src)
+		if err := lang.Check(file2); err != nil {
+			t.Fatal(err)
+		}
+		post, err := Lower(file2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		PromoteToSSA(post)
+		if err := ir.Verify(post); err != nil {
+			t.Fatalf("program %d: post-SSA verify: %v", i, err)
+		}
+		postRes, err := interp.Run(post, interp.Options{})
+		if err != nil {
+			t.Fatalf("program %d: post-SSA run: %v", i, err)
+		}
+		if !reflect.DeepEqual(preRes.Output, postRes.Output) {
+			t.Errorf("program %d: outputs differ:\n pre: %v\npost: %v", i, preRes.Output, postRes.Output)
+		}
+		if postRes.Steps > preRes.Steps {
+			t.Errorf("program %d: SSA form executes more instructions (%d > %d)",
+				i, postRes.Steps, preRes.Steps)
+		}
+	}
+}
+
+// TestSSADominance verifies the def-dominates-use property on every
+// promoted program (including the benchmark-style ones above).
+func TestSSADominance(t *testing.T) {
+	for i, src := range ssaTestPrograms {
+		mod, err := Compile("p", src)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		for _, f := range mod.Funcs {
+			dt := cfg.Dominators(f, nil)
+			err := ir.VerifySSA(f,
+				dt.DominatesInstr,
+				func(def *ir.Instr, pred *ir.Block) bool {
+					// def dominates the edge if it dominates pred's end.
+					if def.Blk == pred {
+						return true
+					}
+					return dt.Dominates(def.Blk, pred)
+				},
+				dt.Reachable,
+			)
+			if err != nil {
+				t.Errorf("program %d, func %s: %v\n%s", i, f.Name, err, ir.FormatFunc(f))
+			}
+		}
+	}
+}
+
+// TestSSADominanceCatchesViolations builds a broken function by hand.
+func TestSSADominanceCatchesViolations(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.Void, &ir.Param{PName: "c", Ty: ir.Int})
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	join := f.NewBlock("join")
+	entry.CondBr(f.Params[0], then, join)
+	bad := then.BinIns(ir.Add, ir.CI(1), ir.CI(2)) // defined only on one path
+	then.Br(join)
+	use := join.BinIns(ir.Add, bad, ir.CI(3)) // uses it unconditionally
+	_ = use
+	join.Ret()
+
+	dt := cfg.Dominators(f, nil)
+	err := ir.VerifySSA(f, dt.DominatesInstr,
+		func(def *ir.Instr, pred *ir.Block) bool {
+			return def.Blk == pred || dt.Dominates(def.Blk, pred)
+		}, dt.Reachable)
+	if err == nil {
+		t.Fatal("expected an SSA dominance violation")
+	}
+}

@@ -1,0 +1,217 @@
+// Package mcgen generates random, UB-free, always-terminating MC
+// programs for differential and soundness fuzzing: loops have fixed small
+// bounds, array indices are masked into range, divisions and remainders
+// use non-zero constant divisors, loop counters are never reassigned, and
+// every variable is initialized at declaration.
+package mcgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Gen generates random, UB-free, always-terminating MC programs:
+// loops have fixed small bounds, array indices are masked into range,
+// divisions and remainders use non-zero constant divisors, and every
+// variable is initialized at declaration.
+type Gen struct {
+	rng     *rand.Rand
+	b       strings.Builder
+	ints    []string // in-scope int variables (readable)
+	mut     []string // subset of ints that may be assigned (loop counters excluded)
+	arrays  []arr    // global int arrays (power-of-two sizes)
+	helpers []string // generated helper functions (int* , int) -> int
+	depth   int
+	nextID  int
+}
+
+type arr struct {
+	name string
+	size int
+}
+
+func New(seed int64) *Gen {
+	g := &Gen{rng: rand.New(rand.NewSource(seed))}
+	return g
+}
+
+func (g *Gen) fresh(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+func (g *Gen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch {
+		case len(g.ints) > 0 && g.rng.Intn(2) == 0:
+			return g.ints[g.rng.Intn(len(g.ints))]
+		default:
+			return fmt.Sprintf("%d", g.rng.Intn(200)-100)
+		}
+	}
+	x := g.intExpr(depth - 1)
+	y := g.intExpr(depth - 1)
+	switch g.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", x, y)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", x, y)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", x, y)
+	case 3:
+		return fmt.Sprintf("(%s / %d)", x, 1+g.rng.Intn(9))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", x, 1+g.rng.Intn(9))
+	case 5:
+		return fmt.Sprintf("(%s & %s)", x, y)
+	case 6:
+		return fmt.Sprintf("(%s ^ %s)", x, y)
+	default:
+		return fmt.Sprintf("(%s >> %d)", x, g.rng.Intn(5))
+	}
+}
+
+func (g *Gen) load(a arr) string {
+	return fmt.Sprintf("%s[(%s) & %d]", a.name, g.intExpr(1), a.size-1)
+}
+
+func (g *Gen) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s",
+		g.intExpr(1), ops[g.rng.Intn(len(ops))], g.intExpr(1))
+}
+
+func (g *Gen) indent() string { return strings.Repeat("    ", g.depth+1) }
+
+func (g *Gen) stmt() {
+	switch g.rng.Intn(8) {
+	case 0: // declaration
+		v := g.fresh("v")
+		fmt.Fprintf(&g.b, "%sint %s = %s;\n", g.indent(), v, g.intExpr(2))
+		g.ints = append(g.ints, v)
+		g.mut = append(g.mut, v)
+	case 1: // assignment (never to a loop counter: termination!)
+		if len(g.mut) == 0 {
+			g.stmt()
+			return
+		}
+		v := g.mut[g.rng.Intn(len(g.mut))]
+		ops := []string{"=", "+=", "-=", "*="}
+		fmt.Fprintf(&g.b, "%s%s %s %s;\n", g.indent(), v, ops[g.rng.Intn(len(ops))], g.intExpr(2))
+	case 2: // array store
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		fmt.Fprintf(&g.b, "%s%s[(%s) & %d] = %s;\n",
+			g.indent(), a.name, g.intExpr(1), a.size-1, g.intExpr(2))
+	case 3: // array load into existing var
+		if len(g.mut) == 0 {
+			g.stmt()
+			return
+		}
+		v := g.mut[g.rng.Intn(len(g.mut))]
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		fmt.Fprintf(&g.b, "%s%s = %s + %s;\n", g.indent(), v, v, g.load(a))
+	case 4: // if / if-else
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", g.indent(), g.cond())
+		g.block(1 + g.rng.Intn(2))
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&g.b, "%s} else {\n", g.indent())
+			g.block(1 + g.rng.Intn(2))
+		}
+		fmt.Fprintf(&g.b, "%s}\n", g.indent())
+	case 5: // bounded for loop
+		if g.depth >= 2 {
+			g.stmt()
+			return
+		}
+		i := g.fresh("i")
+		n := 2 + g.rng.Intn(7)
+		fmt.Fprintf(&g.b, "%sfor (int %s = 0; %s < %d; %s++) {\n", g.indent(), i, i, n, i)
+		saved := len(g.ints)
+		g.ints = append(g.ints, i) // readable, not assignable
+		g.block(1 + g.rng.Intn(3))
+		g.ints = g.ints[:saved]
+		fmt.Fprintf(&g.b, "%s}\n", g.indent())
+	case 6: // helper call
+		if len(g.helpers) == 0 || len(g.mut) == 0 {
+			fmt.Fprintf(&g.b, "%sprint(%s);\n", g.indent(), g.intExpr(2))
+			return
+		}
+		h := g.helpers[g.rng.Intn(len(g.helpers))]
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		v := g.mut[g.rng.Intn(len(g.mut))]
+		fmt.Fprintf(&g.b, "%s%s = %s + %s(%s, %s);\n",
+			g.indent(), v, v, h, a.name, g.intExpr(1))
+	default: // print
+		fmt.Fprintf(&g.b, "%sprint(%s);\n", g.indent(), g.intExpr(2))
+	}
+}
+
+// block emits n statements one level deeper.
+func (g *Gen) block(n int) {
+	g.depth++
+	saved := len(g.ints)
+	savedMut := len(g.mut)
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+	g.ints = g.ints[:saved]
+	g.mut = g.mut[:savedMut]
+	g.depth--
+}
+
+// helper emits a function with one pointer parameter and bounded masked
+// accesses, exercising interprocedural reasoning (callee summaries, param
+// aliasing, calling contexts) in fuzzed analyses.
+func (g *Gen) helper(name string, size int) {
+	fmt.Fprintf(&g.b, "int %s(int* p, int x) {\n", name)
+	fmt.Fprintf(&g.b, "    int acc = x;\n")
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		idx := fmt.Sprintf("(x + %d) & %d", g.rng.Intn(16), size-1)
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&g.b, "    acc = acc + p[%s];\n", idx)
+		} else {
+			fmt.Fprintf(&g.b, "    p[%s] = acc * %d;\n", idx, 1+g.rng.Intn(7))
+		}
+	}
+	fmt.Fprintf(&g.b, "    return acc;\n}\n")
+}
+
+// Program generates a complete MC source.
+func (g *Gen) Program() string {
+	for i := 0; i < 2+g.rng.Intn(2); i++ {
+		size := 1 << (3 + g.rng.Intn(3)) // 8, 16, 32
+		a := arr{name: g.fresh("g"), size: size}
+		g.arrays = append(g.arrays, a)
+		fmt.Fprintf(&g.b, "int %s[%d];\n", a.name, a.size)
+	}
+	// Helpers take pointers into the smallest array's index space so any
+	// array argument is safe (sizes are powers of two ≥ 8; mask with the
+	// smallest size used at generation).
+	minSize := g.arrays[0].size
+	for _, a := range g.arrays {
+		if a.size < minSize {
+			minSize = a.size
+		}
+	}
+	nHelpers := g.rng.Intn(3)
+	for i := 0; i < nHelpers; i++ {
+		g.helpers = append(g.helpers, g.fresh("h"))
+		g.helper(g.helpers[i], minSize)
+	}
+	g.b.WriteString("void main() {\n")
+	for i := 0; i < 6+g.rng.Intn(8); i++ {
+		g.stmt()
+	}
+	// Observable summary of array contents.
+	for _, a := range g.arrays {
+		acc := g.fresh("acc")
+		fmt.Fprintf(&g.b, "    int %s = 0;\n", acc)
+		fmt.Fprintf(&g.b, "    for (int k = 0; k < %d; k++) { %s = %s * 31 + %s[k]; }\n",
+			a.size, acc, acc, a.name)
+		fmt.Fprintf(&g.b, "    print(%s);\n", acc)
+	}
+	g.b.WriteString("}\n")
+	return g.b.String()
+}

@@ -1,0 +1,54 @@
+package pdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// ToDOT renders a loop's dependence graph in Graphviz format: one node
+// per memory operation, solid edges for remaining dependences, dashed
+// edges for dependences removed speculatively (labelled with the
+// validation cost), and no edge where analysis disproved the dependence
+// outright. Cross-iteration dependences are drawn in red.
+func (r *LoopResult) ToDOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", r.Loop.Name())
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+
+	nodes := map[*ir.Instr]bool{}
+	for _, q := range r.Queries {
+		nodes[q.I1] = true
+		nodes[q.I2] = true
+	}
+	var order []*ir.Instr
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	for _, n := range order {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.ID, ir.FormatInstr(n))
+	}
+
+	for _, q := range r.Queries {
+		attrs := []string{}
+		if q.Rel == core.Before {
+			attrs = append(attrs, "color=red", `xlabel="loop-carried"`)
+		}
+		switch {
+		case q.NoDep && q.Cost > 0:
+			attrs = append(attrs, "style=dashed",
+				fmt.Sprintf(`label="speculated (cost %.0f)"`, q.Cost))
+		case q.NoDep:
+			continue // disproven: no edge at all
+		default:
+			attrs = append(attrs, fmt.Sprintf("label=%q", q.Resp.Result.String()))
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", q.I1.ID, q.I2.ID, strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Package pdg implements the evaluation client of the paper (§5): a
+// Program Dependence Graph builder that, for each hot loop, issues an
+// intra-iteration and a cross-iteration mod-ref query for every pair of
+// memory operations, and scores analysis precision with the %NoDep metric.
+package pdg
+
+import (
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// Query is one dependence query the client issued, with its outcome.
+type Query struct {
+	I1, I2 *ir.Instr
+	Rel    core.TemporalRelation
+	Resp   core.ModRefResponse
+	// NoDep is true when the response rules out any flow/anti/output
+	// dependence I1→I2 at an affordable validation cost.
+	NoDep bool
+	// Cost is the cheapest affordable option's validation cost when NoDep
+	// (0 for validation-free results).
+	Cost float64
+}
+
+// Key identifies a query independent of which scheme answered it.
+type Key struct {
+	I1, I2 *ir.Instr
+	Rel    core.TemporalRelation
+}
+
+// LoopResult is the PDG of one loop.
+type LoopResult struct {
+	Loop    *cfg.Loop
+	Queries []Query
+}
+
+// NoDepPct returns the fraction (0..100) of queries with no dependence.
+func (r *LoopResult) NoDepPct() float64 {
+	if len(r.Queries) == 0 {
+		return 100
+	}
+	n := 0
+	for _, q := range r.Queries {
+		if q.NoDep {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(r.Queries))
+}
+
+// ByKey indexes the queries.
+func (r *LoopResult) ByKey() map[Key]*Query {
+	out := make(map[Key]*Query, len(r.Queries))
+	for i := range r.Queries {
+		q := &r.Queries[i]
+		out[Key{q.I1, q.I2, q.Rel}] = q
+	}
+	return out
+}
+
+// Client drives dependence queries against an Orchestrator.
+type Client struct {
+	Prog *cfg.Program
+}
+
+// NewClient creates a PDG client for prog.
+func NewClient(prog *cfg.Program) *Client { return &Client{Prog: prog} }
+
+// depPossible reports whether a pair can carry any dependence at all
+// (at least one endpoint must be able to write).
+func depPossible(i1, i2 *ir.Instr) bool {
+	return i1.Writes() || i2.Writes()
+}
+
+// noDep interprets a mod-ref response as the absence of any dependence
+// I1→I2: results are upper bounds on I1's access to I2's footprint, so
+//
+//	flow:   I1 mods ∧ I2 reads
+//	anti:   I1 refs ∧ I2 writes
+//	output: I1 mods ∧ I2 writes
+//
+// are all ruled out exactly when the surviving access bits cannot pair
+// with I2's capabilities.
+func noDep(resp core.ModRefResponse, i2 *ir.Instr) bool {
+	mayMod := resp.Result == core.Mod || resp.Result == core.ModRef
+	mayRef := resp.Result == core.Ref || resp.Result == core.ModRef
+	if mayMod && (i2.Reads() || i2.Writes()) {
+		return false
+	}
+	if mayRef && i2.Writes() {
+		return false
+	}
+	return true
+}
+
+// AnalyzeLoop builds the dependence query set of loop l and resolves it
+// through o. Responses whose every option is prohibitively expensive are
+// treated as unresolved (the client cannot afford them), mirroring the
+// paper's discarding of points-to-predicated answers.
+func (c *Client) AnalyzeLoop(o *core.Orchestrator, l *cfg.Loop) *LoopResult {
+	dt := c.Prog.Dom[l.Fn]
+	pdt := c.Prog.PostDom[l.Fn]
+	ops := l.MemOps()
+	res := &LoopResult{Loop: l}
+	for _, i1 := range ops {
+		for _, i2 := range ops {
+			for _, rel := range []core.TemporalRelation{core.Same, core.Before} {
+				if rel == core.Same && i1 == i2 {
+					continue
+				}
+				if !depPossible(i1, i2) {
+					continue
+				}
+				resp := o.ModRef(&core.ModRefQuery{
+					I1: i1, I2: i2, Rel: rel, Loop: l, DT: dt, PDT: pdt,
+				})
+				q := Query{I1: i1, I2: i2, Rel: rel, Resp: resp}
+				afford := core.AffordableOptions(resp.Options)
+				if len(afford) == 0 {
+					// Unaffordable: fall back to the conservative result.
+					q.NoDep = false
+				} else {
+					q.NoDep = noDep(resp, i2)
+					if q.NoDep {
+						q.Cost = core.MinCost(afford)
+					}
+				}
+				res.Queries = append(res.Queries, q)
+			}
+		}
+	}
+	return res
+}
+
+// WeightedNoDep aggregates per-loop %NoDep values weighted by loop
+// execution weight (the paper's benchmark-level metric).
+func WeightedNoDep(results []*LoopResult, weight func(*cfg.Loop) float64) float64 {
+	var wsum, acc float64
+	for _, r := range results {
+		w := weight(r.Loop)
+		if w <= 0 {
+			w = 1e-9
+		}
+		wsum += w
+		acc += w * r.NoDepPct()
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return acc / wsum
+}

@@ -1,0 +1,107 @@
+package pdg
+
+import (
+	"sort"
+
+	"scaf/internal/core"
+)
+
+// Plan is a validation plan: one set of speculative assertions whose
+// validation makes every covered query's NoDep answer sound. Building it
+// is the "global reasoning" the paper motivates in §3.4 — one cheap
+// assertion (say, a read-only heap separation) often discharges many
+// dependences at once, so the planner optimizes the assertion UNION, not
+// each query locally.
+type Plan struct {
+	// Assertions is the deduplicated, mutually conflict-free set to
+	// validate.
+	Assertions []core.Assertion
+	// TotalCost is the union's validation cost (not the per-query sum).
+	TotalCost float64
+	// Free counts queries resolved without any validation.
+	Free int
+	// Covered counts queries resolved by assertions in the plan.
+	Covered int
+	// Dropped counts speculatively-resolvable queries abandoned because
+	// every option conflicted with the plan built so far.
+	Dropped int
+	// Unresolved counts queries no scheme could remove.
+	Unresolved int
+}
+
+// BuildPlan greedily selects one affordable option per resolvable query,
+// minimizing the marginal cost added to the plan. Queries are processed
+// cheapest-first so widely-shared cheap assertions enter the plan early
+// and subsequent queries ride along for free. Run the PDG under
+// core.JoinAll + core.BailExhaustive to give the planner real
+// alternatives per query.
+func BuildPlan(queries []Query) *Plan {
+	p := &Plan{}
+	merged := core.Option{} // running union as one big option
+	chosen := map[string]bool{}
+
+	type cand struct {
+		q    *Query
+		opts []core.Option
+		min  float64
+	}
+	var cands []cand
+	for i := range queries {
+		q := &queries[i]
+		if !q.NoDep {
+			p.Unresolved++
+			continue
+		}
+		opts := core.AffordableOptions(q.Resp.Options)
+		if core.HasFree(opts) {
+			p.Free++
+			continue
+		}
+		cands = append(cands, cand{q: q, opts: opts, min: core.MinCost(opts)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].min < cands[j].min })
+
+	marginal := func(o core.Option) (float64, core.Option, bool) {
+		m, ok := core.TryMerge(merged, o)
+		if !ok {
+			return 0, core.Option{}, false
+		}
+		var added float64
+		for _, a := range o.Asserts {
+			if !chosen[a.String()] {
+				added += a.Cost
+			}
+		}
+		return added, m, true
+	}
+
+	for _, c := range cands {
+		bestCost := -1.0
+		var bestMerged core.Option
+		var bestOpt core.Option
+		for _, o := range c.opts {
+			add, m, ok := marginal(o)
+			if !ok {
+				continue
+			}
+			if bestCost < 0 || add < bestCost {
+				bestCost, bestMerged, bestOpt = add, m, o
+			}
+		}
+		if bestCost < 0 {
+			p.Dropped++
+			continue
+		}
+		merged = bestMerged
+		for _, a := range bestOpt.Asserts {
+			chosen[a.String()] = true
+		}
+		p.Covered++
+	}
+
+	p.Assertions = merged.Asserts
+	for _, a := range p.Assertions {
+		p.TotalCost += a.Cost
+	}
+	return p
+}

@@ -1,0 +1,107 @@
+package pdg
+
+import (
+	"testing"
+
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+func mkAssertion(mod, kind string, cost float64, conflict *ir.Global) core.Assertion {
+	a := core.Assertion{Module: mod, Kind: kind, Cost: cost}
+	if conflict != nil {
+		a.Conflicts = []core.Point{{G: conflict}}
+	}
+	return a
+}
+
+func specQuery(opts ...core.Option) Query {
+	return Query{
+		NoDep: true,
+		Cost:  core.MinCost(opts),
+		Resp:  core.ModRefResponse{Result: core.NoModRef, Options: opts},
+	}
+}
+
+func TestBuildPlanSharesAssertions(t *testing.T) {
+	shared := mkAssertion("ctrl", "edges", 5, nil)
+	exp := mkAssertion("residue", "mask", 100, nil)
+
+	// Three queries all resolvable by the same shared assertion; the
+	// second also has a locally-cheaper-looking exclusive alternative...
+	qs := []Query{
+		specQuery(core.Option{Asserts: []core.Assertion{shared}}),
+		specQuery(
+			core.Option{Asserts: []core.Assertion{exp}},
+			core.Option{Asserts: []core.Assertion{shared}},
+		),
+		specQuery(core.Option{Asserts: []core.Assertion{shared}}),
+	}
+	p := BuildPlan(qs)
+	if p.Covered != 3 || p.Dropped != 0 {
+		t.Fatalf("covered=%d dropped=%d", p.Covered, p.Dropped)
+	}
+	// The global optimum pays for `shared` once (cost 5), never for exp.
+	if p.TotalCost != 5 {
+		t.Errorf("total cost = %g, want 5 (shared assertion paid once)", p.TotalCost)
+	}
+	if len(p.Assertions) != 1 {
+		t.Errorf("assertions = %v", p.Assertions)
+	}
+}
+
+func TestBuildPlanHandlesConflicts(t *testing.T) {
+	site := &ir.Global{GName: "site", Elem: ir.Int}
+	ro := mkAssertion("read-only", "ro-heap", 3, site)
+	sl := mkAssertion("short-lived", "sl-heap", 3, site)
+
+	qs := []Query{
+		specQuery(core.Option{Asserts: []core.Assertion{ro}}),
+		// Only resolvable via the conflicting short-lived separation.
+		specQuery(core.Option{Asserts: []core.Assertion{sl}}),
+	}
+	p := BuildPlan(qs)
+	if p.Covered != 1 || p.Dropped != 1 {
+		t.Fatalf("covered=%d dropped=%d, want 1/1", p.Covered, p.Dropped)
+	}
+	if len(p.Assertions) != 1 {
+		t.Errorf("plan must keep exactly one of the conflicting heaps: %v", p.Assertions)
+	}
+}
+
+func TestBuildPlanCounts(t *testing.T) {
+	free := Query{NoDep: true, Resp: core.ModRefResponse{
+		Result: core.NoModRef, Options: core.Unconditional()}}
+	unresolved := Query{NoDep: false, Resp: core.ModRefConservative()}
+	prohibitive := Query{NoDep: true, Resp: core.ModRefResponse{
+		Result:  core.NoModRef,
+		Options: []core.Option{{Asserts: []core.Assertion{mkAssertion("pts", "obj", core.Prohibitive, nil)}}},
+	}}
+	// NoDep with only prohibitive options never happens from the client
+	// (AnalyzeLoop downgrades it), but the planner must not crash on it.
+	p := BuildPlan([]Query{free, unresolved, prohibitive})
+	if p.Free != 1 || p.Unresolved != 1 {
+		t.Errorf("free=%d unresolved=%d", p.Free, p.Unresolved)
+	}
+	if p.Covered != 0 || p.Dropped != 1 {
+		t.Errorf("covered=%d dropped=%d", p.Covered, p.Dropped)
+	}
+	if p.TotalCost != 0 {
+		t.Errorf("cost = %g", p.TotalCost)
+	}
+}
+
+func TestBuildPlanEndToEnd(t *testing.T) {
+	prog, _ := build(t, `
+int cfg;
+int out;
+void main() {
+    cfg = 7;
+    for (int i = 0; i < 120; i++) {
+        out = out + cfg;    // predictable load resolves speculatively
+        cfg = 7;
+    }
+    print(out);
+}`)
+	_ = prog
+}

@@ -1,0 +1,167 @@
+package profile
+
+import (
+	"scaf/internal/cfg"
+	"scaf/internal/interp"
+	"scaf/internal/ir"
+)
+
+// DepKind classifies memory dependences.
+type DepKind int
+
+const (
+	Flow   DepKind = iota // store → load (true dependence)
+	Anti                  // load → store
+	Output                // store → store
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	}
+	return "output"
+}
+
+// DepKey identifies one loop-relative observed dependence. Src and Dst are
+// the instructions *as seen from the loop's own function*: an access in a
+// callee is represented by the call site through which the loop reached it.
+type DepKey struct {
+	Loop  *cfg.Loop
+	Src   *ir.Instr
+	Dst   *ir.Instr
+	Kind  DepKind
+	Cross bool // cross-iteration (Src in a strictly earlier iteration)
+}
+
+type loopTag struct {
+	act  uint64
+	iter int64
+	loop *cfg.Loop
+	rep  *ir.Instr
+}
+
+type accessRec struct {
+	tags []loopTag
+}
+
+// maxReadRecs bounds the per-word reader list; anti dependences beyond the
+// cap within one write-free window are dropped (documented approximation).
+const maxReadRecs = 16
+
+// MemDepProfile is the loop-aware memory-dependence profiler (paper
+// §4.2.2, after Chen et al.): it records which loop-relative dependences
+// actually manifest, at 8-byte word granularity. It powers the
+// memory-speculation baseline and the "observed deps" series of Fig. 8.
+type MemDepProfile struct {
+	interp.BaseObserver
+	tracker   *Tracker
+	lastWrite map[uint64]*accessRec
+	reads     map[uint64][]*accessRec
+	deps      map[DepKey]int64
+}
+
+// NewMemDepProfile creates a memory-dependence profiler reading loop state
+// from tracker.
+func NewMemDepProfile(tracker *Tracker) *MemDepProfile {
+	return &MemDepProfile{
+		tracker:   tracker,
+		lastWrite: map[uint64]*accessRec{},
+		reads:     map[uint64][]*accessRec{},
+		deps:      map[DepKey]int64{},
+	}
+}
+
+func (p *MemDepProfile) snap(cur *ir.Instr) *accessRec {
+	rec := &accessRec{}
+	p.tracker.ActiveLoops(cur, func(e *LoopEntry, rep *ir.Instr) {
+		if rep == nil {
+			return
+		}
+		rec.tags = append(rec.tags, loopTag{act: e.Act, iter: e.Iter, loop: e.Loop, rep: rep})
+	})
+	return rec
+}
+
+func (p *MemDepProfile) emit(from, to *accessRec, kind DepKind) {
+	for _, tf := range from.tags {
+		for _, tt := range to.tags {
+			if tt.act != tf.act {
+				continue
+			}
+			p.deps[DepKey{
+				Loop:  tf.loop,
+				Src:   tf.rep,
+				Dst:   tt.rep,
+				Kind:  kind,
+				Cross: tt.iter > tf.iter,
+			}]++
+		}
+	}
+}
+
+func sameRec(a, b *accessRec) bool {
+	if len(a.tags) != len(b.tags) {
+		return false
+	}
+	for i := range a.tags {
+		if a.tags[i] != b.tags[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *MemDepProfile) Load(in *ir.Instr, addr uint64, size int64, val uint64, o *interp.Object) {
+	rec := p.snap(in)
+	if len(rec.tags) == 0 {
+		return // outside any loop: no loop-relative dependence to record
+	}
+	if w := p.lastWrite[addr]; w != nil {
+		p.emit(w, rec, Flow)
+	}
+	rs := p.reads[addr]
+	if n := len(rs); n > 0 && sameRec(rs[n-1], rec) {
+		return
+	}
+	if len(rs) < maxReadRecs {
+		p.reads[addr] = append(rs, rec)
+	}
+}
+
+func (p *MemDepProfile) Store(in *ir.Instr, addr uint64, size int64, val uint64, o *interp.Object) {
+	rec := p.snap(in)
+	for _, r := range p.reads[addr] {
+		p.emit(r, rec, Anti)
+	}
+	if w := p.lastWrite[addr]; w != nil {
+		p.emit(w, rec, Output)
+	}
+	if len(rec.tags) == 0 {
+		// A write outside all loops still kills earlier records.
+		delete(p.lastWrite, addr)
+		delete(p.reads, addr)
+		return
+	}
+	p.lastWrite[addr] = rec
+	delete(p.reads, addr)
+}
+
+// Observed reports whether any dependence src→dst (of any kind) with the
+// given iteration relation manifested within loop during profiling.
+func (p *MemDepProfile) Observed(loop *cfg.Loop, src, dst *ir.Instr, cross bool) bool {
+	for _, k := range []DepKind{Flow, Anti, Output} {
+		if p.deps[DepKey{loop, src, dst, k, cross}] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of times the exact dependence manifested.
+func (p *MemDepProfile) Count(k DepKey) int64 { return p.deps[k] }
+
+// Deps exposes the raw dependence table.
+func (p *MemDepProfile) Deps() map[DepKey]int64 { return p.deps }

@@ -1,0 +1,102 @@
+package profile
+
+import (
+	"sort"
+
+	"scaf/internal/cfg"
+	"scaf/internal/interp"
+)
+
+// Data bundles every profile one training run produces. It is the input
+// the speculation modules consume.
+type Data struct {
+	Prog      *cfg.Program
+	Edge      *EdgeProfile
+	Value     *ValueProfile
+	PointsTo  *PointsToProfile
+	Residue   *ResidueProfile
+	Lifetime  *LifetimeProfile
+	MemDep    *MemDepProfile
+	Steps     int64
+	Output    []string
+	LoopStats map[*cfg.Loop]*LoopStat
+}
+
+// Collect runs the program once under all profilers ("the train input
+// run") and returns the gathered profiles.
+func Collect(prog *cfg.Program, opts interp.Options) (*Data, error) {
+	tracker := NewTracker(prog)
+	d := &Data{
+		Prog:  prog,
+		Edge:  NewEdgeProfile(prog.Mod),
+		Value: NewValueProfile(),
+
+		Residue: NewResidueProfile(),
+	}
+	d.PointsTo = NewPointsToProfile(tracker)
+	d.Lifetime = NewLifetimeProfile(tracker)
+	d.MemDep = NewMemDepProfile(tracker)
+
+	main := prog.Mod.FuncNamed("main")
+	if main != nil {
+		tracker.Begin(main)
+	}
+	// The tracker MUST observe first so loop state is current when the
+	// loop-sensitive profilers see the same event.
+	opts.Observers = append([]interp.Observer{
+		tracker, d.Edge, d.Value, d.PointsTo, d.Residue, d.Lifetime, d.MemDep,
+	}, opts.Observers...)
+
+	res, err := interp.Run(prog.Mod, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.Edge.Finish()
+	d.Steps = res.Steps
+	d.Output = res.Output
+	d.LoopStats = d.Edge.LoopStats(prog)
+	return d, nil
+}
+
+// HotLoopParams mirrors the paper's hot-loop selection (§5): loops that
+// account for at least MinWeightFrac of the dynamic instruction count and
+// iterate at least MinAvgIters times per invocation on average.
+type HotLoopParams struct {
+	MinWeightFrac float64 // default 0.10
+	MinAvgIters   float64 // default 50
+}
+
+// DefaultHotLoopParams returns the paper's thresholds.
+func DefaultHotLoopParams() HotLoopParams {
+	return HotLoopParams{MinWeightFrac: 0.10, MinAvgIters: 50}
+}
+
+// HotLoops selects hot loops, heaviest first.
+func (d *Data) HotLoops(p HotLoopParams) []*cfg.Loop {
+	var out []*cfg.Loop
+	for l, st := range d.LoopStats {
+		if d.Steps == 0 {
+			continue
+		}
+		frac := float64(st.Weight) / float64(d.Steps)
+		if frac >= p.MinWeightFrac && st.AvgIters() >= p.MinAvgIters {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := d.LoopStats[out[i]].Weight, d.LoopStats[out[j]].Weight
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// LoopWeightFrac returns the fraction of dynamic instructions spent in l.
+func (d *Data) LoopWeightFrac(l *cfg.Loop) float64 {
+	if d.Steps == 0 {
+		return 0
+	}
+	return float64(d.LoopStats[l].Weight) / float64(d.Steps)
+}

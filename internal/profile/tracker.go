@@ -1,0 +1,186 @@
+// Package profile implements the offline profilers that feed SCAF's
+// speculation modules (paper §4.2.2): an edge profiler, a value-prediction
+// profiler, a points-to profiler, an object-lifetime profiler, a
+// pointer-residue profiler, and the loop-aware memory-dependence profiler
+// used by the memory-speculation baseline. All of them observe executions
+// of the interpreter.
+package profile
+
+import (
+	"scaf/internal/cfg"
+	"scaf/internal/interp"
+	"scaf/internal/ir"
+)
+
+// LoopEntry is one activation of a loop on the tracker's stack.
+type LoopEntry struct {
+	Loop *cfg.Loop
+	// Act is a globally unique activation (invocation) id.
+	Act uint64
+	// Iter counts iterations within this activation, starting at 0.
+	Iter int64
+	// liveObjs is used by the lifetime profiler: objects allocated in the
+	// current iteration that have not been freed yet.
+	liveObjs map[*interp.Object]bool
+}
+
+// Frame mirrors one interpreter call frame.
+type Frame struct {
+	Fn *ir.Func
+	// CallSite is the call instruction in THIS frame currently executing a
+	// callee (set just before the Call event pushes the next frame).
+	CallSite *ir.Instr
+	loops    []*LoopEntry
+}
+
+// IterListener is notified at loop-iteration boundaries.
+type IterListener interface {
+	// IterEnd fires when an iteration of e completes (including the last
+	// one, just before the loop exits or its frame unwinds).
+	IterEnd(e *LoopEntry)
+	// LoopExit fires when the activation e ends.
+	LoopExit(e *LoopEntry)
+}
+
+// Tracker maintains the dynamic loop-nest/call-stack state all the
+// loop-sensitive profilers share. It must be registered BEFORE any
+// profiler that reads it, so its state is current when they observe the
+// same event.
+type Tracker struct {
+	interp.BaseObserver
+	prog    *cfg.Program
+	frames  []*Frame
+	nextAct uint64
+	iterLis []IterListener
+}
+
+// NewTracker creates a tracker over prog. Run registers the initial main
+// frame via Begin.
+func NewTracker(prog *cfg.Program) *Tracker { return &Tracker{prog: prog} }
+
+// AddIterListener subscribes l to iteration boundaries.
+func (t *Tracker) AddIterListener(l IterListener) { t.iterLis = append(t.iterLis, l) }
+
+// Begin resets the tracker to a single main frame.
+func (t *Tracker) Begin(main *ir.Func) {
+	t.frames = []*Frame{{Fn: main}}
+}
+
+// Frames exposes the current frame stack (bottom first).
+func (t *Tracker) Frames() []*Frame { return t.frames }
+
+// Loops exposes the frame's active loop entries, outermost first.
+func (f *Frame) Loops() []*LoopEntry { return f.loops }
+
+// Top returns the current frame.
+func (t *Tracker) Top() *Frame {
+	if len(t.frames) == 0 {
+		return nil
+	}
+	return t.frames[len(t.frames)-1]
+}
+
+// CallChain returns the call sites leading to the current frame, outermost
+// first (empty in main).
+func (t *Tracker) CallChain() []*ir.Instr {
+	var out []*ir.Instr
+	for _, fr := range t.frames[:max(len(t.frames)-1, 0)] {
+		if fr.CallSite != nil {
+			out = append(out, fr.CallSite)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ActiveLoops invokes fn for every active loop entry, innermost frame
+// last; rep is the instruction representing the current activity for that
+// entry's loop: the current instruction for the top frame, or the
+// call site through which control left the entry's frame.
+func (t *Tracker) ActiveLoops(cur *ir.Instr, fn func(e *LoopEntry, rep *ir.Instr)) {
+	for fi, fr := range t.frames {
+		var rep *ir.Instr
+		if fi == len(t.frames)-1 {
+			rep = cur
+		} else {
+			rep = fr.CallSite
+		}
+		for _, e := range fr.loops {
+			fn(e, rep)
+		}
+	}
+}
+
+func (t *Tracker) Call(site *ir.Instr, callee *ir.Func) {
+	if top := t.Top(); top != nil {
+		top.CallSite = site
+	}
+	t.frames = append(t.frames, &Frame{Fn: callee})
+}
+
+func (t *Tracker) Return(callee *ir.Func) {
+	if top := t.Top(); top != nil {
+		// Defensively close any loop activations that survived to return.
+		for i := len(top.loops) - 1; i >= 0; i-- {
+			t.endIter(top.loops[i])
+			t.exitLoop(top.loops[i])
+		}
+	}
+	if len(t.frames) > 0 {
+		t.frames = t.frames[:len(t.frames)-1]
+	}
+	if top := t.Top(); top != nil {
+		top.CallSite = nil
+	}
+}
+
+func (t *Tracker) endIter(e *LoopEntry) {
+	for _, l := range t.iterLis {
+		l.IterEnd(e)
+	}
+}
+
+func (t *Tracker) exitLoop(e *LoopEntry) {
+	for _, l := range t.iterLis {
+		l.LoopExit(e)
+	}
+}
+
+func (t *Tracker) Edge(fn *ir.Func, from, to *ir.Block) {
+	top := t.Top()
+	if top == nil || top.Fn != fn {
+		return
+	}
+	// Pop loops the edge leaves.
+	for len(top.loops) > 0 {
+		e := top.loops[len(top.loops)-1]
+		if e.Loop.Contains(to) {
+			break
+		}
+		t.endIter(e)
+		t.exitLoop(e)
+		top.loops = top.loops[:len(top.loops)-1]
+	}
+	// Header entry: back edge advances the iteration, outside entry starts
+	// a new activation.
+	forest := t.prog.Forests[fn]
+	if l := forest.ByHeader[to]; l != nil {
+		if len(top.loops) > 0 && top.loops[len(top.loops)-1].Loop == l {
+			e := top.loops[len(top.loops)-1]
+			t.endIter(e)
+			e.Iter++
+			if e.liveObjs != nil && len(e.liveObjs) > 0 {
+				e.liveObjs = map[*interp.Object]bool{}
+			}
+		} else {
+			t.nextAct++
+			top.loops = append(top.loops, &LoopEntry{Loop: l, Act: t.nextAct})
+		}
+	}
+}

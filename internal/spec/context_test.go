@@ -1,0 +1,137 @@
+package spec
+
+import (
+	"testing"
+
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// ctxProgram calls one helper with two different buffers. The helper's
+// static store pointer addresses BOTH allocation sites context-
+// insensitively, but exactly one under each call site.
+const ctxProgram = `
+int* bufA;
+int* bufB;
+int out;
+
+void fill(int* p, int v) {
+    for (int i = 0; i < 60; i++) {
+        p[i % 8] = v + i;
+    }
+}
+
+void main() {
+    bufA = malloc(int, 8);
+    bufB = malloc(int, 8);
+    for (int r = 0; r < 50; r++) {
+        fill(bufA, 1);      // call site 1
+        fill(bufB, 100);    // call site 2
+    }
+    int* a = bufA;
+    out = a[3];
+    print(out);
+}
+`
+
+// TestCallingContextRefinesPointsTo exercises the cc query parameter
+// (§3.2.2): without a context the helper's store may target either
+// buffer; scoped to one call site, points-to speculation separates them.
+func TestCallingContextRefinesPointsTo(t *testing.T) {
+	w := load(t, ctxProgram)
+	pt := NewPointsTo(w.data)
+
+	// The store inside fill and its pointer value.
+	var st *ir.Instr
+	w.mod.FuncNamed("fill").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			st = in
+		}
+	})
+	if st == nil {
+		t.Fatal("store not found")
+	}
+	ptr, _, _ := st.PointerOperand()
+
+	// The two call sites in main, and the malloc site of bufB.
+	var calls []*ir.Instr
+	var mallocs []*ir.Instr
+	w.mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpCall && in.Callee != nil && in.Callee.Name == "fill" {
+			calls = append(calls, in)
+		}
+		if in.Op == ir.OpMalloc {
+			mallocs = append(mallocs, in)
+		}
+	})
+	if len(calls) != 2 || len(mallocs) != 2 {
+		t.Fatalf("calls=%d mallocs=%d", len(calls), len(mallocs))
+	}
+	mallocB := mallocs[1]
+
+	repB := core.MemLoc{Ptr: mallocB, Size: core.UnknownSize}
+	locStore := core.MemLoc{Ptr: ptr, Size: 8}
+
+	// Context-insensitive: the pointer was observed addressing both
+	// buffers, so nothing can be concluded against either site.
+	r := pt.Alias(&core.AliasQuery{L1: locStore, L2: repB}, core.NoHelp{})
+	if r.Result != core.MayAlias {
+		t.Fatalf("context-insensitive: %s, want MayAlias", r.Result)
+	}
+
+	// Scoped to call site 1 (the bufA call): disjoint from bufB's site.
+	r = pt.Alias(&core.AliasQuery{
+		L1: locStore, L2: repB,
+		Ctx: &core.CallCtx{Sites: []*ir.Instr{calls[0]}},
+	}, core.NoHelp{})
+	if r.Result != core.NoAlias {
+		t.Fatalf("ctx=call1 vs bufB: %s, want NoAlias", r.Result)
+	}
+
+	// Scoped to call site 2: contained in bufB's site.
+	r = pt.Alias(&core.AliasQuery{
+		L1: locStore, L2: repB,
+		Ctx: &core.CallCtx{Sites: []*ir.Instr{calls[1]}},
+	}, core.NoHelp{})
+	if r.Result != core.SubAlias {
+		t.Fatalf("ctx=call2 vs bufB: %s, want SubAlias", r.Result)
+	}
+
+	// An unobserved context falls back to the context-insensitive set.
+	bogus := calls[0]
+	r = pt.Alias(&core.AliasQuery{
+		L1: locStore, L2: repB,
+		Ctx: &core.CallCtx{Sites: []*ir.Instr{bogus, bogus, bogus, bogus}},
+	}, core.NoHelp{})
+	if r.Result != core.MayAlias {
+		t.Fatalf("bogus deep ctx: %s, want MayAlias fallback", r.Result)
+	}
+}
+
+// TestCalleeSummaryUsesContext: the factored path — a mod-ref query about
+// one call site resolves through a context-scoped premise even though the
+// callee's accesses are context-insensitively ambiguous.
+func TestCalleeSummaryUsesContext(t *testing.T) {
+	w := load(t, ctxProgram)
+	o := w.scafOrch()
+
+	var calls []*ir.Instr
+	w.mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpCall && in.Callee != nil && in.Callee.Name == "fill" {
+			calls = append(calls, in)
+		}
+	})
+	// Does fill(bufA, ..) touch the footprint of fill(bufB, ..)? The
+	// callee-summary module maps both calls' param roots to their
+	// arguments (loads of different single-site globals), which
+	// global-malloc separates; the context plumbing must not break this.
+	main := w.mod.FuncNamed("main")
+	loop := w.prog.Forests[main].All[0]
+	r := o.ModRef(&core.ModRefQuery{
+		I1: calls[0], I2: calls[1], Rel: core.Same, Loop: loop,
+		DT: w.prog.Dom[main], PDT: w.prog.PostDom[main],
+	})
+	if r.Result != core.NoModRef {
+		t.Fatalf("call1 vs call2: %s via %v, want NoModRef", r.Result, r.Contribs)
+	}
+}

@@ -1,0 +1,128 @@
+package spec
+
+import (
+	"scaf/internal/core"
+	"scaf/internal/ir"
+	"scaf/internal/profile"
+)
+
+// PointsTo is the points-to speculation module (paper §4.2.3), a base
+// module: the points-to profiler maps every pointer to the allocation
+// sites it was observed addressing. Disjoint site sets give NoAlias;
+// containment in a single site's object gives SubAlias — including
+// against *allocation-site representatives*, the idiom factored modules
+// (read-only, short-lived) use in their premise queries.
+//
+// Raw points-to assertions are prohibitively expensive to validate, so
+// clients never pay for them directly; factored modules replace them with
+// their own cheap heap checks (§4.2.3).
+type PointsTo struct {
+	core.BaseModule
+	data *profile.Data
+}
+
+// NewPointsTo constructs the module.
+func NewPointsTo(d *profile.Data) *PointsTo { return &PointsTo{data: d} }
+
+func (m *PointsTo) Name() string          { return NamePointsTo }
+func (m *PointsTo) Kind() core.ModuleKind { return core.Speculation }
+
+// assertion is the (prohibitive) points-to objects assertion for ptrs.
+func (m *PointsTo) assertion(ptrs ...ir.Value) core.Assertion {
+	a := core.Assertion{
+		Module: NamePointsTo,
+		Kind:   "points-to-objects",
+		Cost:   core.Prohibitive,
+	}
+	for _, p := range ptrs {
+		if in, ok := p.(*ir.Instr); ok {
+			a.Points = append(a.Points, core.Point{Instr: in})
+		}
+	}
+	return a
+}
+
+// siteRep recognizes an allocation-site representative location: a
+// pointer that IS an allocation base (offset 0), denoting the whole
+// object(s) of that site.
+func siteRep(l core.MemLoc) (profile.Site, bool) {
+	d := core.Decompose(l.Ptr)
+	if !d.KnownOff || d.Off != 0 {
+		return profile.Site{}, false
+	}
+	switch b := d.Base.(type) {
+	case *ir.Global:
+		if l.Size == core.UnknownSize || l.Size >= b.Elem.Size() {
+			return profile.Site{G: b}, true
+		}
+	case *ir.Instr:
+		if b.IsAllocation() {
+			sz, known := core.BaseObjectSize(b)
+			if l.Size == core.UnknownSize || !known || l.Size >= sz {
+				return profile.Site{In: b}, true
+			}
+		}
+	}
+	return profile.Site{}, false
+}
+
+func (m *PointsTo) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	pt := m.data.PointsTo
+
+	// The calling-context parameter (§3.2.2) refines the observed set to
+	// one chain of call sites, separating dynamic instances of a static
+	// pointer.
+	setsOf := func(v ir.Value) map[profile.Site]bool {
+		if q.Ctx != nil && len(q.Ctx.Sites) > 0 {
+			if s := pt.SitesOfCtx(v, q.Ctx.Sites); len(s) > 0 {
+				return s
+			}
+		}
+		return pt.SitesOf(v)
+	}
+
+	// Location vs allocation-site representative.
+	try := func(loc, rep core.MemLoc) (core.AliasResponse, bool) {
+		site, ok := siteRep(rep)
+		if !ok || !pt.Observed(loc.Ptr) {
+			return core.AliasResponse{}, false
+		}
+		sites := setsOf(loc.Ptr)
+		if len(sites) == 1 && sites[site] {
+			return core.AliasSpec(core.SubAlias, NamePointsTo, m.assertion(loc.Ptr)), true
+		}
+		if !sites[site] && q.Desired != core.WantMustAlias {
+			return core.AliasSpec(core.NoAlias, NamePointsTo, m.assertion(loc.Ptr)), true
+		}
+		return core.AliasResponse{}, false
+	}
+	if r, ok := try(q.L1, q.L2); ok {
+		return r
+	}
+	if r, ok := try(q.L2, q.L1); ok {
+		// Containment is directional: L1 ⊆ L2 is what SubAlias reports.
+		if r.Result == core.SubAlias {
+			return core.MayAliasResponse()
+		}
+		return r
+	}
+
+	// General pointer vs pointer disjointness.
+	if q.Desired == core.WantMustAlias {
+		return core.MayAliasResponse()
+	}
+	s1, s2 := setsOf(q.L1.Ptr), setsOf(q.L2.Ptr)
+	if len(s1) > 0 && len(s2) > 0 && disjointSiteSets(s1, s2) {
+		return core.AliasSpec(core.NoAlias, NamePointsTo, m.assertion(q.L1.Ptr, q.L2.Ptr))
+	}
+	return core.MayAliasResponse()
+}
+
+func disjointSiteSets(a, b map[profile.Site]bool) bool {
+	for s := range a {
+		if b[s] {
+			return false
+		}
+	}
+	return true
+}

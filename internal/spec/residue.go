@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"scaf/internal/core"
+	"scaf/internal/ir"
+	"scaf/internal/profile"
+)
+
+// Residue is the pointer-residue speculation module (paper §4.2.3, after
+// Johnson): each pointer is characterized by the observed values of its
+// four least-significant bits; accesses whose expanded residue sets are
+// disjoint cannot overlap. Validation is a mask-and-compare on each
+// pointer and conflicts with nothing (original instructions stay intact).
+type Residue struct {
+	core.BaseModule
+	data *profile.Data
+}
+
+// NewResidue constructs the module.
+func NewResidue(d *profile.Data) *Residue { return &Residue{data: d} }
+
+func (m *Residue) Name() string          { return NameResidue }
+func (m *Residue) Kind() core.ModuleKind { return core.Speculation }
+
+func (m *Residue) assertion(p ir.Value) core.Assertion {
+	a := core.Assertion{
+		Module: NameResidue,
+		Kind:   "residue-mask",
+		Cost:   core.CostResidueCheck * float64(m.data.Residue.ExecCount(p)),
+	}
+	if in, ok := p.(*ir.Instr); ok {
+		a.Points = append(a.Points, core.Point{Instr: in})
+	}
+	return a
+}
+
+func (m *Residue) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	if !knownSizes(q) {
+		return core.MayAliasResponse()
+	}
+	if m.data.Residue.DisjointAccesses(q.L1.Ptr, q.L1.Size, q.L2.Ptr, q.L2.Size) {
+		return core.AliasSpec(core.NoAlias, NameResidue,
+			m.assertion(q.L1.Ptr), m.assertion(q.L2.Ptr))
+	}
+	return core.MayAliasResponse()
+}
+
+func knownSizes(q *core.AliasQuery) bool {
+	return q.L1.Size != core.UnknownSize && q.L2.Size != core.UnknownSize
+}

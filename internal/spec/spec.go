@@ -1,0 +1,74 @@
+// Package spec implements SCAF's speculation modules (paper §4.2): the
+// analysis halves of speculative techniques, decomposed per the design
+// pattern of §4.2.1. Each module interprets profiling information in terms
+// of dependence analysis, produces speculative assertions with transform
+// points / costs / conflict points, and collaborates through premise
+// queries like any other module.
+package spec
+
+import (
+	"scaf/internal/core"
+	"scaf/internal/profile"
+)
+
+// Module names (assertion Module ids).
+const (
+	NameControlSpec = "control-spec"
+	NameValuePred   = "value-pred"
+	NamePointsTo    = "points-to"
+	NameReadOnly    = "read-only"
+	NameShortLived  = "short-lived"
+	NameResidue     = "residue"
+)
+
+// DefaultModules returns the six speculation modules in recommended order
+// (cheapest average assertion cost first; points-to last since its own
+// assertions are prohibitive).
+func DefaultModules(d *profile.Data) []core.Module {
+	return []core.Module{
+		NewControlSpec(d),
+		NewValuePred(d),
+		NewResidue(d),
+		NewReadOnly(d),
+		NewShortLived(d),
+		NewPointsTo(d),
+	}
+}
+
+// Groups maps each speculation module to its confluence-routing group.
+// The paper's composition-by-confluence baseline passes each query "to
+// each module in isolation" (§5): every speculation module is its own
+// group, so e.g. the read-only module cannot consult the points-to module
+// for its containment premises. Only the memory-analysis modules stay
+// bundled (CAF is credited as prior collaborative work).
+func Groups() map[string]string {
+	return map[string]string{
+		NameControlSpec: NameControlSpec,
+		NameValuePred:   NameValuePred,
+		NameResidue:     NameResidue,
+		NameReadOnly:    NameReadOnly,
+		NameShortLived:  NameShortLived,
+		NamePointsTo:    NamePointsTo,
+	}
+}
+
+// BundledGroups is an ablation variant of Groups that re-bundles the
+// three modules decomposed out of monolithic speculative separation
+// (Johnson et al. [25]) — read-only, short-lived, points-to — modelling a
+// stronger hypothetical baseline where that prior monolith participates
+// as one unit.
+func BundledGroups() map[string]string {
+	g := Groups()
+	g[NameReadOnly] = "separation"
+	g[NameShortLived] = "separation"
+	g[NamePointsTo] = "separation"
+	return g
+}
+
+// SpecNames lists the speculation module names (reporting order).
+func SpecNames() []string {
+	return []string{
+		NameReadOnly, NameValuePred, NameResidue,
+		NameControlSpec, NamePointsTo, NameShortLived,
+	}
+}

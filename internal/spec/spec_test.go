@@ -1,0 +1,673 @@
+package spec
+
+import (
+	"testing"
+
+	"scaf/internal/analysis"
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/interp"
+	"scaf/internal/ir"
+	"scaf/internal/lower"
+	"scaf/internal/profile"
+)
+
+// world compiles AND profiles a program.
+type world struct {
+	t    *testing.T
+	mod  *ir.Module
+	prog *cfg.Program
+	data *profile.Data
+}
+
+func load(t *testing.T, src string) *world {
+	t.Helper()
+	mod, err := lower.Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog := cfg.NewProgram(mod)
+	data, err := profile.Collect(prog, interp.Options{})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return &world{t: t, mod: mod, prog: prog, data: data}
+}
+
+func (w *world) storeOf(fn, global string, n int) *ir.Instr {
+	return w.memOp(fn, global, ir.OpStore, n)
+}
+
+func (w *world) loadOf(fn, global string) *ir.Instr {
+	return w.memOp(fn, global, ir.OpLoad, 0)
+}
+
+func (w *world) memOp(fn, global string, op ir.Op, n int) *ir.Instr {
+	w.t.Helper()
+	g := w.mod.GlobalNamed(global)
+	var found *ir.Instr
+	i := 0
+	w.mod.FuncNamed(fn).Instrs(func(in *ir.Instr) {
+		if in.Op != op {
+			return
+		}
+		ptr, _, ok := in.PointerOperand()
+		if !ok {
+			return
+		}
+		if core.Decompose(ptr).Base == ir.Value(g) {
+			if i == n {
+				found = in
+			}
+			i++
+		}
+	})
+	if found == nil {
+		w.t.Fatalf("no %s #%d of @%s in %s:\n%s", op, n, global, fn, ir.FormatFunc(w.mod.FuncNamed(fn)))
+	}
+	return found
+}
+
+func (w *world) onlyLoop(fn string) *cfg.Loop {
+	w.t.Helper()
+	f := w.mod.FuncNamed(fn)
+	all := w.prog.Forests[f].All
+	if len(all) != 1 {
+		w.t.Fatalf("%s has %d loops", fn, len(all))
+	}
+	return all[0]
+}
+
+// scafOrch assembles the full collaborative ensemble.
+func (w *world) scafOrch() *core.Orchestrator {
+	mods := analysis.DefaultModules(w.prog)
+	groups := analysis.Groups(mods)
+	mods = append(mods, DefaultModules(w.data)...)
+	for k, v := range Groups() {
+		groups[k] = v
+	}
+	return core.NewOrchestrator(core.Config{Modules: mods, Groups: groups})
+}
+
+func (w *world) mrq(i1, i2 *ir.Instr, rel core.TemporalRelation, l *cfg.Loop) *core.ModRefQuery {
+	return &core.ModRefQuery{
+		I1: i1, I2: i2, Rel: rel, Loop: l,
+		DT: w.prog.Dom[l.Fn], PDT: w.prog.PostDom[l.Fn],
+	}
+}
+
+func hasAssert(r core.ModRefResponse, module string) bool {
+	for _, o := range r.Options {
+		for _, a := range o.Asserts {
+			if a.Module == module {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestControlSpecDeadEndpoint(t *testing.T) {
+	w := load(t, `
+int a;
+int errs;
+void main() {
+    for (int i = 0; i < 200; i++) {
+        if (i > 1000000) {
+            errs = errs + 1;   // speculatively dead store
+        }
+        a = a + i;
+    }
+    print(a);
+}`)
+	l := w.onlyLoop("main")
+	cs := NewControlSpec(w.data)
+	deadStore := w.storeOf("main", "errs", 0)
+	liveLoad := w.loadOf("main", "a")
+
+	r := cs.ModRef(w.mrq(deadStore, liveLoad, core.Same, l), core.NoHelp{})
+	if r.Result != core.NoModRef {
+		t.Fatalf("spec-dead source: %s", r.Result)
+	}
+	if !hasAssert(r, NameControlSpec) {
+		t.Error("missing control-spec assertion")
+	}
+	if core.MinCost(r.Options) != core.CostCtrlCheck {
+		t.Errorf("cost = %g", core.MinCost(r.Options))
+	}
+	// Live endpoints: the module alone cannot answer.
+	liveStore := w.storeOf("main", "a", 0)
+	r = cs.ModRef(w.mrq(liveStore, liveLoad, core.Same, l), core.NoHelp{})
+	if r.Result == core.NoModRef {
+		t.Error("live endpoints must not resolve via spec-dead rule alone")
+	}
+}
+
+func TestControlSpecTreeSubstitution(t *testing.T) {
+	// The motivating-example shape, reduced: the common path's store kills
+	// the recurrence only under speculative control flow.
+	w := load(t, `
+int x;
+int out;
+void main() {
+    for (int i = 0; i < 300; i++) {
+        if (i > 1000000) {
+            out = out + 1;     // rare path: no write to x
+        } else {
+            x = i;             // kill
+        }
+        out = out + x;         // read at join
+        x = i * 2;             // cross-iteration source
+    }
+    print(out);
+}`)
+	l := w.onlyLoop("main")
+	o := w.scafOrch()
+	// i3 is the trailing store (the largest instruction id).
+	i3 := w.storeOf("main", "x", 0)
+	if other := w.storeOf("main", "x", 1); other.ID > i3.ID {
+		i3 = other
+	}
+	i2 := w.loadOf("main", "x")
+	r := o.ModRef(w.mrq(i3, i2, core.Before, l))
+	if r.Result != core.NoModRef {
+		t.Fatalf("tree substitution failed: %s via %v", r.Result, r.Contribs)
+	}
+	if !hasAssert(r, NameControlSpec) {
+		t.Error("result must carry the control-flow assertion")
+	}
+	found := false
+	for _, c := range r.Contribs {
+		if c == "kill-flow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("kill-flow must be credited: %v", r.Contribs)
+	}
+}
+
+func TestValuePredDirectRules(t *testing.T) {
+	w := load(t, `
+int cfg;
+int out;
+void main() {
+    cfg = 42;
+    for (int i = 0; i < 200; i++) {
+        out = out + cfg;       // predictable load of cfg
+        cfg = 42;              // stores the same value back
+    }
+    print(out);
+}`)
+	l := w.onlyLoop("main")
+	vp := NewValuePred(w.data)
+	cfgLoad := w.loadOf("main", "cfg")
+	cfgStore := w.storeOf("main", "cfg", 1) // the in-loop store
+
+	// Dependence sinking INTO the predictable load vanishes.
+	r := vp.ModRef(w.mrq(cfgStore, cfgLoad, core.Before, l), core.NoHelp{})
+	if r.Result != core.NoModRef || !hasAssert(r, NameValuePred) {
+		t.Errorf("sink into predictable load: %s", r.Result)
+	}
+	// Dependence sourcing FROM it vanishes too.
+	r = vp.ModRef(w.mrq(cfgLoad, cfgStore, core.Same, l), core.NoHelp{})
+	if r.Result != core.NoModRef {
+		t.Errorf("source from predictable load: %s", r.Result)
+	}
+	// The validation cost scales with the load's execution count.
+	a := vp.checkAssertion(cfgLoad)
+	if a.Cost != core.CostValueCheck*200 {
+		t.Errorf("cost = %g, want %g", a.Cost, core.CostValueCheck*200)
+	}
+}
+
+func TestValuePredKillNeedsCollaboration(t *testing.T) {
+	w := load(t, `
+int cfg;
+int guard;
+int sum;
+void reader() { sum = sum + cfg; }
+void main() {
+    for (int i = 0; i < 200; i++) {
+        cfg = 6 * 2;           // stores the same value every iteration
+        guard = guard + cfg;   // predictable load between store and call
+        reader();              // callee reads cfg: footprint unknown here
+    }
+    print(sum);
+    print(guard);
+}`)
+	l := w.onlyLoop("main")
+	st := w.storeOf("main", "cfg", 0)
+	var call *ir.Instr
+	w.mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpCall && in.Callee != nil && in.Callee.Name == "reader" {
+			call = in
+		}
+	})
+	if call == nil {
+		t.Fatal("call not found")
+	}
+
+	// Alone, value prediction cannot prove the footprints match.
+	vp := NewValuePred(w.data)
+	r := vp.ModRef(w.mrq(st, call, core.Same, l), core.NoHelp{})
+	if r.Result == core.NoModRef {
+		t.Fatal("VP alone must not resolve the kill")
+	}
+	// With the ensemble, the MustAlias premise resolves and the kill fires.
+	o := w.scafOrch()
+	r2 := o.ModRef(w.mrq(st, call, core.Same, l))
+	if r2.Result != core.NoModRef || !hasAssert(r2, NameValuePred) {
+		t.Fatalf("collaborative VP kill failed: %s via %v", r2.Result, r2.Contribs)
+	}
+}
+
+func TestPointsToDisjointAndContainment(t *testing.T) {
+	w := load(t, `
+int* pa;
+int* pb;
+void main() {
+    pa = malloc(int, 8);
+    pb = malloc(int, 8);
+    for (int i = 0; i < 100; i++) {
+        int* x = pa;
+        int* y = pb;
+        x[i % 8] = i;
+        y[i % 8] = i + 1;
+    }
+}`)
+	pt := NewPointsTo(w.data)
+	sx := w.heapStore("main", 0)
+	sy := w.heapStore("main", 1)
+	lx, _, _ := sx.PointerOperand()
+	ly, _, _ := sy.PointerOperand()
+
+	r := pt.Alias(&core.AliasQuery{L1: core.MemLoc{Ptr: lx, Size: 8}, L2: core.MemLoc{Ptr: ly, Size: 8}}, core.NoHelp{})
+	if r.Result != core.NoAlias {
+		t.Fatalf("disjoint points-to: %s", r.Result)
+	}
+	if core.MinCost(r.Options) < core.Prohibitive {
+		t.Error("raw points-to assertions must be prohibitive")
+	}
+	// Containment against the allocation-site representative.
+	var mallocA *ir.Instr
+	w.mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpMalloc && mallocA == nil {
+			mallocA = in
+		}
+	})
+	r = pt.Alias(&core.AliasQuery{
+		L1: core.MemLoc{Ptr: lx, Size: 8},
+		L2: core.MemLoc{Ptr: mallocA, Size: core.UnknownSize},
+	}, core.NoHelp{})
+	if r.Result != core.SubAlias {
+		t.Fatalf("containment: %s", r.Result)
+	}
+}
+
+// heapStore finds the n-th int-valued store whose pointer is derived from
+// a loaded pointer (i.e. a store into heap memory through a pointer
+// global), in appearance order.
+func (w *world) heapStore(fn string, n int) *ir.Instr {
+	w.t.Helper()
+	var found *ir.Instr
+	i := 0
+	w.mod.FuncNamed(fn).Instrs(func(in *ir.Instr) {
+		if in.Op != ir.OpStore || !ir.Equal(in.Args[0].Type(), ir.Int) {
+			return
+		}
+		base := core.Decompose(in.Args[1]).Base
+		if b, ok := base.(*ir.Instr); ok && b.Op == ir.OpLoad {
+			if i == n {
+				found = in
+			}
+			i++
+		}
+	})
+	if found == nil {
+		w.t.Fatalf("heap store #%d not found", n)
+	}
+	return found
+}
+
+const roProgram = `
+float* table;
+float* out;
+int idx;
+void scale(float* t, float* o) {
+    for (int i = 0; i < 200; i++) {
+        o[i % 64] = t[i % 64] * 2.0;   // t is read-only here; t and o are
+    }                                  // statically indistinguishable
+}
+void main() {
+    table = malloc(float, 64);
+    out = malloc(float, 64);
+    for (int i = 0; i < 64; i++) {
+        float* t = table;
+        t[i] = (float)i;
+    }
+    scale(table, out);
+    print(out[3]);
+}
+`
+
+func TestReadOnlyModule(t *testing.T) {
+	w := load(t, roProgram)
+	f := w.mod.FuncNamed("scale")
+	loops := w.prog.Forests[f].All
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	hot := loops[0]
+	// Identify the store through `out` and the load through `table` in
+	// the second loop.
+	var st, ld *ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		if !hot.ContainsInstr(in) {
+			return
+		}
+		switch in.Op {
+		case ir.OpStore:
+			st = in
+		case ir.OpLoad:
+			if ir.Equal(in.Ty, ir.Float) {
+				ld = in
+			}
+		}
+	})
+	if st == nil || ld == nil {
+		t.Fatalf("accesses not found")
+	}
+	// The site must be read-only for the hot loop.
+	var tableSite profile.Site
+	w.mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpMalloc && tableSite.In == nil {
+			tableSite = profile.Site{In: in}
+		}
+	})
+	if !w.data.Lifetime.ReadOnly(hot, tableSite) {
+		t.Fatal("table site should be read-only in the hot loop")
+	}
+
+	// Alone (isolated), read-only cannot resolve its containment premise.
+	ro := NewReadOnly(w.data)
+	r := ro.ModRef(w.mrq(st, ld, core.Same, hot), core.NoHelp{})
+	if r.Result == core.NoModRef {
+		t.Fatal("read-only alone must not resolve")
+	}
+	// With the ensemble the premise resolves (points-to or global-malloc
+	// containment) and the store provably misses read-only memory.
+	o := w.scafOrch()
+	r2 := o.ModRef(w.mrq(st, ld, core.Same, hot))
+	if r2.Result != core.NoModRef {
+		t.Fatalf("collaborative read-only failed: %s via %v", r2.Result, r2.Contribs)
+	}
+	if !hasAssert(r2, NameReadOnly) {
+		t.Errorf("missing read-only assertion: %v", r2.Options)
+	}
+	// The prohibitive points-to assertion must have been replaced.
+	if core.MinCost(r2.Options) >= core.Prohibitive {
+		t.Error("points-to assertion was not replaced by the heap check")
+	}
+	// Conflict points: the assertion re-allocates the site.
+	for _, opt := range r2.Options {
+		for _, a := range opt.Asserts {
+			if a.Module == NameReadOnly && len(a.Conflicts) == 0 {
+				t.Error("read-only assertion must declare its site conflict")
+			}
+		}
+	}
+}
+
+func TestShortLivedModule(t *testing.T) {
+	w := load(t, `
+int* scratch;
+int out;
+void main() {
+    for (int i = 0; i < 150; i++) {
+        scratch = malloc(int, 16);
+        int* s = scratch;
+        s[i % 16] = i;
+        out = out + s[i % 16];
+        free(scratch);
+    }
+    print(out);
+}`)
+	l := w.onlyLoop("main")
+	var st, ld *ir.Instr
+	w.mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		ptr, _, ok := in.PointerOperand()
+		if !ok {
+			return
+		}
+		base := core.Decompose(ptr).Base
+		if bi, isI := base.(*ir.Instr); isI && bi.Op == ir.OpLoad {
+			if in.Op == ir.OpStore {
+				st = in
+			} else {
+				ld = in
+			}
+		}
+	})
+	if st == nil || ld == nil {
+		t.Fatal("scratch accesses not found")
+	}
+	// Static analysis cannot prove freshness (the pointer went through a
+	// global), but short-lived speculation removes cross-iteration deps.
+	sl := NewShortLived(w.data)
+	if r := sl.ModRef(w.mrq(st, ld, core.Before, l), core.NoHelp{}); r.Result == core.NoModRef {
+		t.Fatal("short-lived alone must not resolve")
+	}
+	o := w.scafOrch()
+	r := o.ModRef(w.mrq(st, ld, core.Before, l))
+	if r.Result != core.NoModRef || !hasAssert(r, NameShortLived) {
+		t.Fatalf("collaborative short-lived failed: %s via %v", r.Result, r.Contribs)
+	}
+	// Intra-iteration the dependence is real: never removed.
+	r = o.ModRef(w.mrq(st, ld, core.Same, l))
+	if r.Result == core.NoModRef {
+		t.Error("intra-iteration dep through scratch must remain")
+	}
+}
+
+func TestResidueModule(t *testing.T) {
+	w := load(t, `
+struct pair { int a; int b; };
+int outA;
+void main() {
+    struct pair* p = malloc(struct pair, 32);
+    for (int i = 0; i < 100; i++) {
+        p[i % 32].a = i;
+        p[i % 32].b = i * 2;
+    }
+    outA = p[3].a;
+    print(outA);
+}`)
+	l := w.onlyLoop("main")
+	res := NewResidue(w.data)
+	var sa, sb *ir.Instr
+	w.mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op != ir.OpStore {
+			return
+		}
+		if f, ok := in.Args[1].(*ir.Instr); ok && f.Op == ir.OpField && l.ContainsInstr(in) {
+			if f.FieldIdx == 0 {
+				sa = in
+			} else {
+				sb = in
+			}
+		}
+	})
+	if sa == nil || sb == nil {
+		t.Fatal("field stores not found")
+	}
+	pa, _, _ := sa.PointerOperand()
+	pb, _, _ := sb.PointerOperand()
+	r := res.Alias(&core.AliasQuery{
+		L1:  core.MemLoc{Ptr: pa, Size: 8},
+		L2:  core.MemLoc{Ptr: pb, Size: 8},
+		Rel: core.Before, Loop: l,
+	}, core.NoHelp{})
+	if r.Result != core.NoAlias {
+		t.Fatalf("residue disjointness: %s", r.Result)
+	}
+	if !hasAssertAlias(r, NameResidue) {
+		t.Error("missing residue assertion")
+	}
+	// Unknown sizes: bail.
+	r = res.Alias(&core.AliasQuery{
+		L1: core.MemLoc{Ptr: pa, Size: core.UnknownSize},
+		L2: core.MemLoc{Ptr: pb, Size: 8},
+	}, core.NoHelp{})
+	if r.Result != core.MayAlias {
+		t.Error("unknown sizes must bail")
+	}
+}
+
+func hasAssertAlias(r core.AliasResponse, module string) bool {
+	for _, o := range r.Options {
+		for _, a := range o.Asserts {
+			if a.Module == module {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestReadOnlyShortLivedConflict(t *testing.T) {
+	// The same allocation site cannot be re-allocated into two heaps: the
+	// assertions must conflict.
+	g := &ir.Global{GName: "site", Elem: ir.Int}
+	roA := core.Assertion{Module: NameReadOnly, Kind: "ro-heap",
+		Conflicts: []core.Point{{G: g}}, Cost: 1}
+	slA := core.Assertion{Module: NameShortLived, Kind: "sl-heap",
+		Conflicts: []core.Point{{G: g}}, Cost: 1}
+	if !core.OptionsConflict(
+		[]core.Option{{Asserts: []core.Assertion{roA}}},
+		[]core.Option{{Asserts: []core.Assertion{slA}}},
+	) {
+		t.Error("ro-heap and sl-heap on one site must conflict")
+	}
+}
+
+func TestGroupsCoverAllModules(t *testing.T) {
+	d := &profile.Data{}
+	_ = d
+	groups := Groups()
+	for _, name := range SpecNames() {
+		if _, ok := groups[name]; !ok {
+			t.Errorf("module %s missing from Groups", name)
+		}
+	}
+	bundled := BundledGroups()
+	if bundled[NameReadOnly] != bundled[NamePointsTo] {
+		t.Error("bundled groups must join separation modules")
+	}
+	if g := Groups(); g[NameReadOnly] == g[NamePointsTo] {
+		t.Error("paper confluence must isolate read-only from points-to")
+	}
+}
+
+// TestGlobalMallocControlSpecCollaboration exercises the paper's §4.2.4
+// reachability collaboration: a speculatively dead store of an unknown
+// pointer into a pointer global would normally destroy the global-malloc
+// property; the premise mod-ref query lets control speculation discount
+// it, and the resulting NoAlias carries the control assertion.
+func TestGlobalMallocControlSpecCollaboration(t *testing.T) {
+	w := load(t, `
+int* pool;
+int* other;
+int out;
+void main() {
+    pool = malloc(int, 16);
+    other = malloc(int, 16);
+    for (int k = 0; k < 16; k++) {
+        int* o = other;
+        o[k] = k * 7;                // varying values: loads not predictable
+    }
+    for (int i = 0; i < 200; i++) {
+        if (i > 1000000) {           // never taken
+            int* stale = pool;
+            pool = stale + 1;        // spec-dead store of an unknown pointer
+        }
+        int* p = pool;
+        int* q = other;
+        p[i % 16] = i;
+        out = out + q[i % 16];
+    }
+    print(out);
+}`)
+	// The main loop is the one with the richer memory-op population (the
+	// init loop only stores).
+	var l *cfg.Loop
+	for _, cand := range w.prog.Forests[w.mod.FuncNamed("main")].All {
+		if l == nil || len(cand.MemOps()) > len(l.MemOps()) {
+			l = cand
+		}
+	}
+	if l == nil {
+		t.Fatal("main loop not found")
+	}
+	var pStore, qLoad *ir.Instr
+	w.mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		ptr, _, ok := in.PointerOperand()
+		if !ok || !l.ContainsInstr(in) {
+			return
+		}
+		base := core.Decompose(ptr).Base
+		ld, isLd := base.(*ir.Instr)
+		if !isLd || ld.Op != ir.OpLoad {
+			return
+		}
+		switch ld.Args[0] {
+		case ir.Value(w.mod.GlobalNamed("pool")):
+			if in.Op == ir.OpStore {
+				pStore = in
+			}
+		case ir.Value(w.mod.GlobalNamed("other")):
+			if in.Op == ir.OpLoad {
+				qLoad = in
+			}
+		}
+	})
+	if pStore == nil || qLoad == nil {
+		t.Fatal("accesses not found")
+	}
+
+	// Confluence: global-malloc's premise cannot reach control speculation
+	// (different routing groups), so the unknown store blocks the property.
+	confMods := analysis.DefaultModules(w.prog)
+	confGroups := analysis.Groups(confMods)
+	confMods = append(confMods, DefaultModules(w.data)...)
+	for k, v := range Groups() {
+		confGroups[k] = v
+	}
+	conf := core.NewOrchestrator(core.Config{
+		Modules: confMods, Groups: confGroups, Routing: core.RouteIsolated,
+	})
+	r := conf.ModRef(w.mrq(pStore, qLoad, core.Same, l))
+	if r.Result == core.NoModRef {
+		t.Fatalf("confluence should not resolve this: %s via %v", r.Result, r.Contribs)
+	}
+
+	// SCAF: premise reaches control speculation; property holds with the
+	// control-flow assertion attached.
+	o := w.scafOrch()
+	r = o.ModRef(w.mrq(pStore, qLoad, core.Same, l))
+	if r.Result != core.NoModRef {
+		t.Fatalf("SCAF should resolve via global-malloc x control-spec: %s via %v", r.Result, r.Contribs)
+	}
+	if !hasAssert(r, NameControlSpec) {
+		t.Errorf("missing control assertion: %v", r.Options)
+	}
+	haveGM := false
+	for _, c := range r.Contribs {
+		if c == "global-malloc" {
+			haveGM = true
+		}
+	}
+	if !haveGM {
+		t.Errorf("global-malloc must be credited: %v", r.Contribs)
+	}
+}

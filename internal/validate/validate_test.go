@@ -1,0 +1,295 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/interp"
+	"scaf/internal/ir"
+	"scaf/internal/lower"
+	"scaf/internal/profile"
+	"scaf/internal/spec"
+)
+
+func load(t *testing.T, src string) (*cfg.Program, *profile.Data) {
+	t.Helper()
+	mod, err := lower.Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog := cfg.NewProgram(mod)
+	data, err := profile.Collect(prog, interp.Options{})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return prog, data
+}
+
+const ctrlProg = `
+int x;
+int out;
+int mode;
+void main() {
+    for (int i = 0; i < 300; i++) {
+        if (i > mode) {
+            out = out + 1;
+        } else {
+            x = i;
+        }
+        out = out + x;
+        x = i * 2;
+    }
+    print(out);
+}
+`
+
+// ctrlAssertion builds the control assertion for main's never-taken edges
+// as the control-speculation module would.
+func ctrlAssertion(t *testing.T, prog *cfg.Program, data *profile.Data) core.Assertion {
+	t.Helper()
+	main := prog.Mod.FuncNamed("main")
+	a := core.Assertion{Module: spec.NameControlSpec, Kind: "never-taken-edges"}
+	for _, e := range data.Edge.BiasedEdges(main) {
+		a.Points = append(a.Points, core.Point{Block: e.From, EdgeTo: e.To})
+	}
+	if len(a.Points) == 0 {
+		t.Fatal("no biased edges")
+	}
+	return a
+}
+
+func TestControlAssertionValidatesOnTrainingInput(t *testing.T) {
+	// mode defaults to 0... the branch i > mode is taken for i >= 1:
+	// initialize mode high so the branch is never taken during profiling.
+	src := strings.Replace(ctrlProg, "int mode;", "int mode;\nvoid init() { mode = 1000000; }", 1)
+	src = strings.Replace(src, "void main() {", "void main() {\n    init();", 1)
+	prog, data := load(t, src)
+	a := ctrlAssertion(t, prog, data)
+	rep, err := Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("violations on the training input: %v", rep.Violations)
+	}
+}
+
+func TestControlAssertionCatchesMisspeculation(t *testing.T) {
+	// Profile with the branch never taken, then "change the input" by
+	// rebuilding the program with a mode that takes it — the dead-edge
+	// check must fire.
+	srcTrain := strings.Replace(ctrlProg, "int mode;", "int mode;\nvoid init() { mode = 1000000; }", 1)
+	srcTrain = strings.Replace(srcTrain, "void main() {", "void main() {\n    init();", 1)
+	prog, data := load(t, srcTrain)
+	a := ctrlAssertion(t, prog, data)
+
+	// Simulate a different production input by mutating the init value in
+	// the IR: find the store of the constant and lower the threshold.
+	init := prog.Mod.FuncNamed("init")
+	patched := false
+	init.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			in.Args[0] = ir.CI(150) // branch taken for i > 150
+			patched = true
+		}
+	})
+	if !patched {
+		t.Fatal("init store not found")
+	}
+	rep, err := Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("expected misspeculation on the changed input")
+	}
+	if !strings.Contains(rep.Violations[0].Detail, "dead edge") {
+		t.Errorf("detail: %s", rep.Violations[0].Detail)
+	}
+}
+
+func TestValueCheckViolation(t *testing.T) {
+	prog, data := load(t, `
+int cfg;
+int out;
+void main() {
+    cfg = 5;
+    for (int i = 0; i < 100; i++) {
+        out = out + cfg;     // predictable during profiling
+    }
+    print(out);
+}`)
+	var cfgLoad *ir.Instr
+	prog.Mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLoad && in.Args[0] == ir.Value(prog.Mod.GlobalNamed("cfg")) {
+			cfgLoad = in
+		}
+	})
+	a := core.Assertion{
+		Module: spec.NameValuePred, Kind: "value-check",
+		Points: []core.Point{{Instr: cfgLoad}},
+	}
+	// Clean on the training input.
+	rep, err := Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() || rep.Checks != 100 {
+		t.Fatalf("train run: failed=%v checks=%d", rep.Failed(), rep.Checks)
+	}
+	// Change the initial store: every check now fails.
+	prog.Mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Args[1] == ir.Value(prog.Mod.GlobalNamed("cfg")) {
+			in.Args[0] = ir.CI(6)
+		}
+	})
+	rep, err = Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("expected value misspeculation")
+	}
+}
+
+func TestReadOnlyHeapViolation(t *testing.T) {
+	prog, data := load(t, `
+int* table;
+int gate;
+int out;
+void fill() {
+    int* t = table;
+    for (int k = 0; k < 16; k++) { t[k] = k; }
+}
+void main() {
+    table = malloc(int, 16);
+    gate = 1000000;
+    fill();
+    for (int i = 0; i < 200; i++) {
+        int* t = table;
+        out = out + t[i % 16];
+        if (i > gate) {
+            t[0] = 0 - 1;        // never during profiling
+        }
+    }
+    print(out);
+}`)
+	main := prog.Mod.FuncNamed("main")
+	var site profile.Site
+	main.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpMalloc {
+			site = profile.Site{In: in}
+		}
+	})
+	var header *ir.Block
+	for _, l := range prog.Forests[main].All {
+		if data.Lifetime.ReadOnly(l, site) {
+			header = l.Header
+		}
+	}
+	if header == nil {
+		t.Fatal("table not read-only in any loop")
+	}
+	a := core.Assertion{
+		Module: spec.NameReadOnly, Kind: "ro-heap",
+		Points:    []core.Point{{Instr: site.In}, {Block: header}},
+		Conflicts: []core.Point{{Instr: site.In}},
+	}
+	rep, err := Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("train run violations: %v", rep.Violations)
+	}
+	// Lower the gate: the loop now writes the protected object.
+	main.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Args[1] == ir.Value(prog.Mod.GlobalNamed("gate")) {
+			in.Args[0] = ir.CI(100)
+		}
+	})
+	rep, err = Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("expected read-only heap misspeculation")
+	}
+}
+
+func TestShortLivedViolationDetected(t *testing.T) {
+	prog, data := load(t, `
+int* scratch;
+int* leak;
+int gate;
+int out;
+void main() {
+    gate = 1000000;
+    leak = 0;
+    for (int i = 0; i < 150; i++) {
+        scratch = malloc(int, 4);
+        int* s = scratch;
+        s[0] = i;
+        out = out + s[0];
+        if (i > gate) {
+            leak = s;            // never during profiling: object escapes
+        } else {
+            free(scratch);
+        }
+    }
+    print(out);
+}`)
+	main := prog.Mod.FuncNamed("main")
+	var site profile.Site
+	main.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpMalloc {
+			site = profile.Site{In: in}
+		}
+	})
+	loop := prog.Forests[main].All[0]
+	if !data.Lifetime.ShortLived(loop, site) {
+		t.Fatal("site should profile as short-lived")
+	}
+	a := core.Assertion{
+		Module: spec.NameShortLived, Kind: "sl-heap",
+		Points:    []core.Point{{Instr: site.In}, {Block: loop.Header}},
+		Conflicts: []core.Point{{Instr: site.In}},
+	}
+	rep, err := Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("train run violations: %v", rep.Violations)
+	}
+	// Change the input: some objects now survive their iteration.
+	main.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Args[1] == ir.Value(prog.Mod.GlobalNamed("gate")) {
+			in.Args[0] = ir.CI(100)
+		}
+	})
+	rep, err = Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("expected short-lived misspeculation")
+	}
+	if !strings.Contains(rep.Violations[0].Detail, "survived iteration") {
+		t.Errorf("detail: %s", rep.Violations[0].Detail)
+	}
+}
+
+func TestRejectsUnvalidatableAssertions(t *testing.T) {
+	prog, data := load(t, `void main() { print(1); }`)
+	_, err := Check(prog, data, []core.Assertion{{Module: spec.NamePointsTo}}, interp.Options{})
+	if err == nil {
+		t.Error("raw points-to assertions must be rejected")
+	}
+	_, err = Check(prog, data, []core.Assertion{{Module: "mystery"}}, interp.Options{})
+	if err == nil {
+		t.Error("unknown modules must be rejected")
+	}
+}

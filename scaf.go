@@ -1,0 +1,210 @@
+// Package scaf is a from-scratch reproduction of "SCAF: A
+// Speculation-Aware Collaborative Dependence Analysis Framework"
+// (Apostolakis et al., PLDI 2020).
+//
+// The package is the public facade over the full stack: the MC mini-C
+// front-end and SSA lowering, the IR interpreter and the profilers that
+// observe training runs, the CAF memory-analysis ensemble, the six
+// speculation modules, and the Orchestrator that lets them collaborate.
+//
+// Typical use:
+//
+//	sys, err := scaf.Load("prog", source, scaf.Options{})
+//	o := sys.Orchestrator(scaf.SchemeSCAF)
+//	for _, loop := range sys.HotLoops() {
+//	    res := sys.Client().AnalyzeLoop(o, loop)
+//	    fmt.Printf("%s: %%NoDep = %.1f\n", loop.Name(), res.NoDepPct())
+//	}
+package scaf
+
+import (
+	"time"
+
+	"scaf/internal/analysis"
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/interp"
+	"scaf/internal/ir"
+	"scaf/internal/lower"
+	"scaf/internal/memspec"
+	"scaf/internal/pdg"
+	"scaf/internal/profile"
+	"scaf/internal/spec"
+	"scaf/internal/validate"
+)
+
+// Scheme selects how analysis and speculation compose (paper Table 1).
+type Scheme int
+
+const (
+	// SchemeCAF uses memory analysis only — the collaborative analysis
+	// framework of prior work, no speculation.
+	SchemeCAF Scheme = iota
+	// SchemeConfluence adds the speculation modules but composes by
+	// confluence: every technique answers in isolation (premise queries
+	// stay within prior-work technique bundles) and the best individual
+	// answer wins.
+	SchemeConfluence
+	// SchemeSCAF is composition by collaboration: premise queries reach
+	// every module.
+	SchemeSCAF
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCAF:
+		return "CAF"
+	case SchemeConfluence:
+		return "Confluence"
+	}
+	return "SCAF"
+}
+
+// Options configures Load.
+type Options struct {
+	// MaxSteps bounds the profiling run (0: interpreter default).
+	MaxSteps int64
+	// HotLoops overrides the paper's hot-loop thresholds.
+	HotLoops *profile.HotLoopParams
+}
+
+// System is a compiled, profiled program ready for dependence analysis.
+type System struct {
+	Mod      *ir.Module
+	Prog     *cfg.Program
+	Profiles *profile.Data
+	hot      profile.HotLoopParams
+}
+
+// Compile parses, checks, lowers and SSA-converts MC source.
+func Compile(name, source string) (*ir.Module, error) {
+	return lower.Compile(name, source)
+}
+
+// Load compiles source and runs the profiling ("train input") execution.
+func Load(name, source string, opts Options) (*System, error) {
+	mod, err := lower.Compile(name, source)
+	if err != nil {
+		return nil, err
+	}
+	prog := cfg.NewProgram(mod)
+	data, err := profile.Collect(prog, interp.Options{MaxSteps: opts.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	hot := profile.DefaultHotLoopParams()
+	if opts.HotLoops != nil {
+		hot = *opts.HotLoops
+	}
+	return &System{Mod: mod, Prog: prog, Profiles: data, hot: hot}, nil
+}
+
+// HotLoops returns the loops the paper evaluates on: ≥10% of execution
+// time and ≥50 average iterations per invocation, heaviest first.
+func (s *System) HotLoops() []*cfg.Loop { return s.Profiles.HotLoops(s.hot) }
+
+// Client returns a PDG client over the program.
+func (s *System) Client() *pdg.Client { return pdg.NewClient(s.Prog) }
+
+// MemSpec returns the memory-speculation baseline.
+func (s *System) MemSpec() *memspec.MemSpec { return memspec.New(s.Profiles) }
+
+// Validate re-runs the program with runtime checks enforcing the given
+// speculative assertions (the validation half of §4.2.1), reporting every
+// misspeculation a client's recovery code would have had to handle. On
+// the training input, assertions produced by this framework must validate
+// cleanly.
+func (s *System) Validate(asserts []core.Assertion) (*validate.Report, error) {
+	return validate.Check(s.Prog, s.Profiles, asserts, interp.Options{})
+}
+
+// OrchOption customizes an Orchestrator.
+type OrchOption func(*core.Config)
+
+// WithLatency records per-query wall-clock latencies (Fig. 10).
+func WithLatency() OrchOption {
+	return func(c *core.Config) { c.RecordLatency = true }
+}
+
+// WithoutDesiredResult strips the desired-result parameter from every
+// query (the Fig. 10 ablation).
+func WithoutDesiredResult() OrchOption {
+	return func(c *core.Config) { c.StripDesired = true }
+}
+
+// WithJoin overrides the join policy.
+func WithJoin(j core.JoinPolicy) OrchOption {
+	return func(c *core.Config) { c.Join = j }
+}
+
+// WithBailout overrides the bail-out policy.
+func WithBailout(b core.BailoutPolicy) OrchOption {
+	return func(c *core.Config) { c.Bailout = b }
+}
+
+// WithExtraModules appends additional modules to the ensemble (e.g. a
+// custom speculation module; see examples/newmodule).
+func WithExtraModules(mods ...core.Module) OrchOption {
+	return func(c *core.Config) { c.Modules = append(c.Modules, mods...) }
+}
+
+// WithGroupOverrides merges replacement premise-routing groups into the
+// scheme's defaults (used by the bundled-confluence ablation).
+func WithGroupOverrides(groups map[string]string) OrchOption {
+	return func(c *core.Config) {
+		for k, v := range groups {
+			c.Groups[k] = v
+		}
+	}
+}
+
+// WithCache memoizes query results for the orchestrator's lifetime.
+func WithCache() OrchOption {
+	return func(c *core.Config) { c.EnableCache = true }
+}
+
+// WithTimeout bounds each top-level query's search time (the
+// compilation-time-sensitive bail-out policy of §3.3).
+func WithTimeout(d time.Duration) OrchOption {
+	return func(c *core.Config) { c.Timeout = d }
+}
+
+// WithoutTreeSubstitution disables control speculation's speculative
+// dominator-tree premise queries (ablation; its spec-dead rule remains).
+func WithoutTreeSubstitution() OrchOption {
+	return func(c *core.Config) {
+		for _, m := range c.Modules {
+			if cs, ok := m.(*spec.ControlSpec); ok {
+				cs.DisableTreeSubstitution = true
+			}
+		}
+	}
+}
+
+// Orchestrator assembles the module ensemble for a scheme. Each call
+// builds fresh module instances, so query caches never leak between
+// configurations.
+func (s *System) Orchestrator(scheme Scheme, opts ...OrchOption) *core.Orchestrator {
+	mods := analysis.DefaultModules(s.Prog)
+	groups := analysis.Groups(mods)
+	if scheme != SchemeCAF {
+		mods = append(mods, spec.DefaultModules(s.Profiles)...)
+		for k, v := range spec.Groups() {
+			groups[k] = v
+		}
+	}
+	cfgn := core.Config{
+		Modules: mods,
+		Groups:  groups,
+		Join:    core.JoinCheapest,
+		Bailout: core.BailDefiniteAffordable,
+		Routing: core.RouteCollaborative,
+	}
+	if scheme == SchemeConfluence {
+		cfgn.Routing = core.RouteIsolated
+	}
+	for _, o := range opts {
+		o(&cfgn)
+	}
+	return core.NewOrchestrator(cfgn)
+}
