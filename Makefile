@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent paths: the parallel PDG client, the shared
+# memo cache, and their equivalence/stress suites.
+race:
+	$(GO) test -race ./internal/pdg/... ./internal/core/...
+
+# Wall-clock comparison of serial vs parallel suite analysis. Needs
+# GOMAXPROCS >= 4 to show a speedup.
+bench:
+	$(GO) test ./internal/bench/ -run '^$$' -bench 'BenchmarkSuiteSerial|BenchmarkSuiteParallel' -benchtime 3x
+
+clean:
+	$(GO) clean ./...

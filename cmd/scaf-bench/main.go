@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"scaf/internal/bench"
@@ -23,6 +24,8 @@ func main() {
 	table := flag.Int("table", 0, "table to regenerate (1, 2); 0 = all")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 16)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory (requires running everything)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"PDG worker-pool size per benchmark (1 = serial; results are identical)")
 	flag.Parse()
 
 	var names []string
@@ -49,10 +52,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	suite.Parallelism = *parallel
 
 	var analyses []*bench.Analysis
 	if wantFig(8) || wantFig(9) || wantTable(2) {
-		fmt.Fprintf(os.Stderr, "analyzing hot loops under CAF / confluence / SCAF...\n")
+		fmt.Fprintf(os.Stderr, "analyzing hot loops under CAF / confluence / SCAF (%d workers)...\n", *parallel)
 		analyses = bench.AnalyzeSuite(suite)
 	}
 

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/csv"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestWriteCSVsRoundTrip writes every experiment CSV into a temp dir,
+// reads each back, and checks the parsed values reproduce the inputs to
+// the 4-decimal precision the writer commits to.
+func TestWriteCSVsRoundTrip(t *testing.T) {
+	rows := []Fig8Row{
+		{Bench: "181.mcf", HotLoops: 3, Queries: 120, CAF: 41.25, ConfExtra: 10.5,
+			SCAFExtra: 20.125, MemSpec: 18.0625, Observed: 10.0625},
+		{Bench: "129.compress", HotLoops: 1, Queries: 48, CAF: 100},
+	}
+	pts := []Fig9Point{
+		{Bench: "181.mcf", Loop: "main/body.2", Conf: 55.5, SCAF: 81.25},
+		{Bench: "181.mcf", Loop: "main/body.5", Conf: 100, SCAF: 100},
+	}
+	t2 := Table2Result{
+		Rows: []Table2Row{
+			{Name: "Memory Analysis (CAF)", BenchLevel: 100, LoopLevel: 87.5, QueryLevel: 63.0625},
+			{Name: "Read-only", BenchLevel: 50, LoopLevel: 25, QueryLevel: 12.5},
+		},
+		Benchmarks: 2, Loops: 8, ImprovedQuery: 16, TotalQueries: 168,
+	}
+	f10 := []Fig10Series{{
+		Name: "SCAF", Count: 2, Geomean: 1500 * time.Nanosecond,
+		P50: time.Microsecond, P95: 2 * time.Microsecond, P99: 3 * time.Microsecond,
+		EvalsPerQuery: 7.25,
+		Latencies:     []time.Duration{time.Microsecond, 2 * time.Microsecond},
+		Fractions:     []float64{0.5, 1.0},
+	}}
+
+	dir := filepath.Join(t.TempDir(), "nested", "out") // MkdirAll path
+	if err := WriteCSVs(dir, rows, pts, t2, f10); err != nil {
+		t.Fatalf("WriteCSVs: %v", err)
+	}
+
+	read := func(name string) [][]string {
+		t.Helper()
+		fh, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		defer fh.Close()
+		recs, err := csv.NewReader(fh).ReadAll()
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		return recs
+	}
+	pf := func(s string) float64 {
+		t.Helper()
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parse float %q: %v", s, err)
+		}
+		return v
+	}
+	close4 := func(got float64, want float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > 5e-5 {
+			t.Errorf("%s = %v, want %v", what, got, want)
+		}
+	}
+
+	f8 := read("fig8.csv")
+	if len(f8) != 1+len(rows) {
+		t.Fatalf("fig8 rows = %d", len(f8))
+	}
+	wantHdr := []string{"benchmark", "caf", "confluence_extra", "scaf_extra",
+		"memspec_residual", "observed", "hot_loops", "queries"}
+	for i, h := range wantHdr {
+		if f8[0][i] != h {
+			t.Errorf("fig8 header[%d] = %q, want %q", i, f8[0][i], h)
+		}
+	}
+	for i, r := range rows {
+		rec := f8[i+1]
+		if rec[0] != r.Bench {
+			t.Errorf("fig8[%d] bench = %q", i, rec[0])
+		}
+		close4(pf(rec[1]), r.CAF, "caf")
+		close4(pf(rec[2]), r.ConfExtra, "confluence_extra")
+		close4(pf(rec[3]), r.SCAFExtra, "scaf_extra")
+		close4(pf(rec[4]), r.MemSpec, "memspec_residual")
+		close4(pf(rec[5]), r.Observed, "observed")
+		if rec[6] != strconv.Itoa(r.HotLoops) || rec[7] != strconv.Itoa(r.Queries) {
+			t.Errorf("fig8[%d] ints = %v/%v", i, rec[6], rec[7])
+		}
+	}
+
+	f9 := read("fig9.csv")
+	if len(f9) != 1+len(pts) {
+		t.Fatalf("fig9 rows = %d", len(f9))
+	}
+	for i, p := range pts {
+		rec := f9[i+1]
+		if rec[0] != p.Bench || rec[1] != p.Loop {
+			t.Errorf("fig9[%d] id = %v", i, rec[:2])
+		}
+		close4(pf(rec[2]), p.Conf, "confluence_nodep")
+		close4(pf(rec[3]), p.SCAF, "scaf_nodep")
+	}
+
+	tb := read("table2.csv")
+	// Header + rows + trailing populations line.
+	if len(tb) != 1+len(t2.Rows)+1 {
+		t.Fatalf("table2 rows = %d", len(tb))
+	}
+	for i, r := range t2.Rows {
+		rec := tb[i+1]
+		if rec[0] != r.Name {
+			t.Errorf("table2[%d] name = %q", i, rec[0])
+		}
+		close4(pf(rec[1]), r.BenchLevel, "benchmark_pct")
+		close4(pf(rec[2]), r.LoopLevel, "loop_pct")
+		close4(pf(rec[3]), r.QueryLevel, "improved_query_pct")
+	}
+
+	ft := read("fig10.csv")
+	if len(ft) != 1+len(f10[0].Fractions) {
+		t.Fatalf("fig10 rows = %d", len(ft))
+	}
+	for i := range f10[0].Fractions {
+		rec := ft[i+1]
+		if rec[0] != "SCAF" {
+			t.Errorf("fig10[%d] config = %q", i, rec[0])
+		}
+		close4(pf(rec[1]), f10[0].Fractions[i], "fraction")
+		if rec[2] != strconv.FormatInt(int64(f10[0].Latencies[i]), 10) {
+			t.Errorf("fig10[%d] latency = %q", i, rec[2])
+		}
+		if rec[3] != strconv.FormatInt(int64(f10[0].Geomean), 10) {
+			t.Errorf("fig10[%d] geomean = %q", i, rec[3])
+		}
+		close4(pf(rec[4]), f10[0].EvalsPerQuery, "evals_per_query")
+	}
+}

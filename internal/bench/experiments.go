@@ -288,10 +288,18 @@ func Fig10(s *Suite) []Fig10Series {
 			client := b.Sys.Client()
 			// Warm-up pass: populate lazy per-orchestrator state (escape
 			// analyses, speculative trees, allocator warmth) outside the
-			// measurement.
-			warm := b.Sys.Orchestrator(cfg.scheme, cfg.opts...)
-			for _, l := range b.Hot {
-				client.AnalyzeLoop(warm, l)
+			// measurement. The warm-up honors s.Parallelism; the measured
+			// pass below stays serial so per-query latencies are free of
+			// scheduler and memory-bandwidth contention.
+			if s.Parallelism >= 2 {
+				pc := pdg.NewParallelClient(client, s.Parallelism,
+					b.Sys.OrchestratorFactory(cfg.scheme, cfg.opts...))
+				pc.AnalyzeLoops(b.Hot)
+			} else {
+				warm := b.Sys.Orchestrator(cfg.scheme, cfg.opts...)
+				for _, l := range b.Hot {
+					client.AnalyzeLoop(warm, l)
+				}
 			}
 			o := b.Sys.Orchestrator(cfg.scheme, append(cfg.opts, scaf.WithLatency())...)
 			for _, l := range b.Hot {

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"scaf/internal/cfg"
+	"scaf/internal/pdg"
+)
+
+// TestAnalyzeWithParallelMatchesSerial checks the suite-level wiring: the
+// Parallelism knob (with and without the shared cache) must reproduce the
+// serial Analysis verdict-for-verdict under all three schemes.
+func TestAnalyzeWithParallelMatchesSerial(t *testing.T) {
+	names := []string{"129.compress", "181.mcf"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		b, err := Load(name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		serial := Analyze(b)
+		for _, opts := range []AnalyzeOptions{
+			{Parallelism: 4},
+			{Parallelism: 4, SharedCache: true},
+		} {
+			par := AnalyzeWith(b, opts)
+			compareScheme(t, b, "CAF", serial.CAF, par.CAF)
+			compareScheme(t, b, "Confluence", serial.Conf, par.Conf)
+			compareScheme(t, b, "SCAF", serial.SCAF, par.SCAF)
+		}
+	}
+}
+
+func compareScheme(t *testing.T, b *Benchmark, scheme string, serial, par map[*cfg.Loop]*pdg.LoopResult) {
+	t.Helper()
+	if len(serial) != len(par) {
+		t.Fatalf("%s/%s: loop count %d vs %d", b.Name, scheme, len(serial), len(par))
+	}
+	for l, sr := range serial {
+		pr := par[l]
+		if pr == nil {
+			t.Fatalf("%s/%s: loop %s missing from parallel analysis", b.Name, scheme, l.Name())
+		}
+		sk, pk := sr.ByKey(), pr.ByKey()
+		if len(sk) != len(pk) {
+			t.Fatalf("%s/%s %s: query count %d vs %d", b.Name, scheme, l.Name(), len(sk), len(pk))
+		}
+		for k, sq := range sk {
+			pq := pk[k]
+			if pq == nil {
+				t.Fatalf("%s/%s %s: missing query %s -> %s (%s)", b.Name, scheme, l.Name(), k.I1, k.I2, k.Rel)
+			}
+			if sq.NoDep != pq.NoDep || sq.Cost != pq.Cost || sq.Resp.Result != pq.Resp.Result {
+				t.Errorf("%s/%s %s: %s -> %s (%s): serial (%v, %v, %s) vs parallel (%v, %v, %s)",
+					b.Name, scheme, l.Name(), k.I1, k.I2, k.Rel,
+					sq.NoDep, sq.Cost, sq.Resp.Result, pq.NoDep, pq.Cost, pq.Resp.Result)
+			}
+		}
+	}
+}
+
+// benchmarkSuite measures AnalyzeSuite over the full 16-program suite at a
+// given pool size. Loading/profiling happens once, outside the timer.
+func benchmarkSuite(b *testing.B, parallelism int) {
+	s, err := LoadSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Parallelism = parallelism
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeSuite(s)
+	}
+}
+
+// BenchmarkSuiteSerial is the baseline: every loop of every benchmark
+// analyzed on one core.
+func BenchmarkSuiteSerial(b *testing.B) { benchmarkSuite(b, 1) }
+
+// BenchmarkSuiteParallel fans each benchmark's hot loops out over
+// GOMAXPROCS workers; compare against BenchmarkSuiteSerial for the
+// wall-clock speedup.
+func BenchmarkSuiteParallel(b *testing.B) { benchmarkSuite(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkSuiteParallelShared additionally shares a memo cache among the
+// workers of each (benchmark, scheme) analysis.
+func BenchmarkSuiteParallelShared(b *testing.B) {
+	s, err := LoadSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bm := range s.Benchmarks {
+			AnalyzeWith(bm, AnalyzeOptions{Parallelism: runtime.GOMAXPROCS(0), SharedCache: true})
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"scaf"
 	"scaf/internal/cfg"
+	"scaf/internal/core"
 	"scaf/internal/pdg"
 )
 
@@ -19,6 +20,12 @@ type Benchmark struct {
 // Suite is the loaded benchmark collection.
 type Suite struct {
 	Benchmarks []*Benchmark
+	// Parallelism is the worker count AnalyzeSuite (and the Fig. 10
+	// warm-up pass) uses for each benchmark's PDG construction: loops fan
+	// out over a pdg.ParallelClient pool of this size. Values < 2 analyze
+	// serially. Results are identical either way; see
+	// pdg.TestParallelMatchesSerial.
+	Parallelism int
 }
 
 // Load compiles and profiles one benchmark by name.
@@ -58,9 +65,24 @@ type Analysis struct {
 	SCAF map[*cfg.Loop]*pdg.LoopResult
 }
 
-// Analyze runs the PDG client over the benchmark's hot loops under CAF,
-// confluence, and SCAF.
-func Analyze(b *Benchmark) *Analysis {
+// AnalyzeOptions tunes how a benchmark's hot loops are analyzed.
+type AnalyzeOptions struct {
+	// Parallelism is the pdg.ParallelClient pool size; < 2 runs serially.
+	Parallelism int
+	// SharedCache, when true and Parallelism ≥ 2, attaches one
+	// core.SharedCache per scheme so workers reuse each other's top-level
+	// resolutions.
+	SharedCache bool
+}
+
+// Analyze runs the PDG client serially over the benchmark's hot loops
+// under CAF, confluence, and SCAF.
+func Analyze(b *Benchmark) *Analysis { return AnalyzeWith(b, AnalyzeOptions{}) }
+
+// AnalyzeWith runs the PDG client over the benchmark's hot loops under
+// CAF, confluence, and SCAF, fanning loops out across a worker pool when
+// opts.Parallelism ≥ 2.
+func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 	a := &Analysis{
 		B:    b,
 		CAF:  map[*cfg.Loop]*pdg.LoopResult{},
@@ -69,27 +91,42 @@ func Analyze(b *Benchmark) *Analysis {
 	}
 	client := b.Sys.Client()
 	for _, scheme := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
-		o := b.Sys.Orchestrator(scheme)
-		for _, l := range b.Hot {
-			res := client.AnalyzeLoop(o, l)
+		var results []*pdg.LoopResult
+		if opts.Parallelism >= 2 {
+			var orchOpts []scaf.OrchOption
+			if opts.SharedCache {
+				// One cache per (benchmark, scheme): caches must never
+				// span configurations.
+				orchOpts = append(orchOpts, scaf.WithSharedCache(core.NewSharedCache()))
+			}
+			pc := pdg.NewParallelClient(client, opts.Parallelism,
+				b.Sys.OrchestratorFactory(scheme, orchOpts...))
+			results, _ = pc.AnalyzeLoops(b.Hot)
+		} else {
+			o := b.Sys.Orchestrator(scheme)
+			for _, l := range b.Hot {
+				results = append(results, client.AnalyzeLoop(o, l))
+			}
+		}
+		for i, l := range b.Hot {
 			switch scheme {
 			case scaf.SchemeCAF:
-				a.CAF[l] = res
+				a.CAF[l] = results[i]
 			case scaf.SchemeConfluence:
-				a.Conf[l] = res
+				a.Conf[l] = results[i]
 			default:
-				a.SCAF[l] = res
+				a.SCAF[l] = results[i]
 			}
 		}
 	}
 	return a
 }
 
-// AnalyzeSuite analyzes every benchmark.
+// AnalyzeSuite analyzes every benchmark, honoring s.Parallelism.
 func AnalyzeSuite(s *Suite) []*Analysis {
 	out := make([]*Analysis, len(s.Benchmarks))
 	for i, b := range s.Benchmarks {
-		out[i] = Analyze(b)
+		out[i] = AnalyzeWith(b, AnalyzeOptions{Parallelism: s.Parallelism})
 	}
 	return out
 }

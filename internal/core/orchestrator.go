@@ -75,23 +75,15 @@ type Config struct {
 	// resolution.
 	EnableCache bool
 	// RecordLatency appends per-top-level-query wall-clock durations to
-	// Stats.Latencies.
+	// Stats.Latencies (capped at MaxLatencySamples).
 	RecordLatency bool
-}
-
-// Stats accumulates orchestration counters.
-type Stats struct {
-	TopQueries     int64
-	PremiseQueries int64
-	Conflicts      int64
-	// ModuleEvals counts individual module consultations — the
-	// deterministic work measure behind query latency.
-	ModuleEvals int64
-	// CacheHits counts handle() invocations served from the memo table.
-	CacheHits int64
-	// Timeouts counts searches cut short by the timeout policy.
-	Timeouts  int64
-	Latencies []time.Duration
+	// Shared, when non-nil, consults and populates a cross-orchestrator
+	// memo cache for top-level queries. Unlike EnableCache it is safe for
+	// concurrent use and only ever publishes canonical (complete, depth-0)
+	// entries, so results stay bit-identical to an uncached run; see
+	// SharedCache. All orchestrators attached to one SharedCache must share
+	// an identical configuration.
+	Shared *SharedCache
 }
 
 // Orchestrator coordinates interactions among modules and between modules
@@ -174,7 +166,7 @@ func (o *Orchestrator) Alias(q *AliasQuery) AliasResponse {
 	}
 	if o.cfg.RecordLatency {
 		start := time.Now()
-		defer func() { o.stats.Latencies = append(o.stats.Latencies, time.Since(start)) }()
+		defer func() { o.stats.recordLatency(time.Since(start)) }()
 	}
 	return o.handleAlias(q, 0, nil)
 }
@@ -187,7 +179,7 @@ func (o *Orchestrator) ModRef(q *ModRefQuery) ModRefResponse {
 	}
 	if o.cfg.RecordLatency {
 		start := time.Now()
-		defer func() { o.stats.Latencies = append(o.stats.Latencies, time.Since(start)) }()
+		defer func() { o.stats.recordLatency(time.Since(start)) }()
 	}
 	return o.handleModRef(q, 0, nil)
 }
@@ -261,6 +253,15 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) AliasR
 			return r
 		}
 	}
+	// Shared-cache participation is restricted to canonical resolutions:
+	// top-level, and (for alias) the desired-result-free form.
+	shared := o.cfg.Shared != nil && depth == 0 && q.Desired == AnyAlias
+	if shared {
+		if r, ok := o.cfg.Shared.getAlias(k); ok {
+			o.stats.SharedHits++
+			return r
+		}
+	}
 	o.actA[k] = true
 	defer delete(o.actA, k)
 
@@ -286,6 +287,9 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) AliasR
 	if o.cacheA != nil && complete {
 		o.cacheA[k] = final
 	}
+	if shared && complete {
+		o.cfg.Shared.putAlias(k, final)
+	}
 	return final
 }
 
@@ -303,6 +307,13 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) ModR
 	if o.cacheM != nil {
 		if r, ok := o.cacheM[k]; ok {
 			o.stats.CacheHits++
+			return r
+		}
+	}
+	shared := o.cfg.Shared != nil && depth == 0
+	if shared {
+		if r, ok := o.cfg.Shared.getModRef(k); ok {
+			o.stats.SharedHits++
 			return r
 		}
 	}
@@ -325,6 +336,9 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) ModR
 	}
 	if o.cacheM != nil && complete {
 		o.cacheM[k] = final
+	}
+	if shared && complete {
+		o.cfg.Shared.putModRef(k, final)
 	}
 	return final
 }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+
+	"scaf/internal/ir"
+)
+
+// SharedCache is a concurrency-safe memo table for query results, shared
+// by several orchestrators (typically one per worker goroutine) analyzing
+// the same program under the same configuration. Cached propositions embed
+// module answers, so a cache must never be shared across orchestrators
+// with different module sets, policies, or routing — build one cache per
+// (program, configuration) pair.
+//
+// Publication rule: the orchestrator publishes only canonical entries —
+// complete (not cut short by the timeout policy), top-level (depth 0, so
+// no enclosing in-flight proposition could have degraded a nested premise
+// into a conservative cycle-break), and for alias queries only the
+// Desired == AnyAlias form (the desired-result parameter changes which
+// modules answer, not the proposition, so other forms are not canonical).
+// Lookups are restricted to the same top-level queries. Because a
+// canonical resolution is a pure function of the proposition and the
+// configuration, a hit is bit-identical to a fresh resolution, and
+// parallel runs sharing a cache stay equivalent to serial runs no matter
+// how workers interleave.
+type SharedCache struct {
+	alias  [sharedShards]aliasShard
+	modref [sharedShards]modrefShard
+}
+
+const sharedShards = 64
+
+type aliasShard struct {
+	mu sync.RWMutex
+	m  map[aliasKey]AliasResponse
+}
+
+type modrefShard struct {
+	mu sync.RWMutex
+	m  map[modrefKey]ModRefResponse
+}
+
+// NewSharedCache returns an empty cache ready for concurrent use.
+func NewSharedCache() *SharedCache {
+	c := &SharedCache{}
+	for i := range c.alias {
+		c.alias[i].m = map[aliasKey]AliasResponse{}
+	}
+	for i := range c.modref {
+		c.modref[i].m = map[modrefKey]ModRefResponse{}
+	}
+	return c
+}
+
+// Len reports the number of published alias and mod-ref entries.
+func (c *SharedCache) Len() (alias, modref int) {
+	for i := range c.alias {
+		c.alias[i].mu.RLock()
+		alias += len(c.alias[i].m)
+		c.alias[i].mu.RUnlock()
+	}
+	for i := range c.modref {
+		c.modref[i].mu.RLock()
+		modref += len(c.modref[i].m)
+		c.modref[i].mu.RUnlock()
+	}
+	return alias, modref
+}
+
+func (c *SharedCache) getAlias(k aliasKey) (AliasResponse, bool) {
+	s := &c.alias[k.shard()%sharedShards]
+	s.mu.RLock()
+	r, ok := s.m[k]
+	s.mu.RUnlock()
+	return r, ok
+}
+
+func (c *SharedCache) putAlias(k aliasKey, r AliasResponse) {
+	s := &c.alias[k.shard()%sharedShards]
+	s.mu.Lock()
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = r
+	}
+	s.mu.Unlock()
+}
+
+func (c *SharedCache) getModRef(k modrefKey) (ModRefResponse, bool) {
+	s := &c.modref[k.shard()%sharedShards]
+	s.mu.RLock()
+	r, ok := s.m[k]
+	s.mu.RUnlock()
+	return r, ok
+}
+
+func (c *SharedCache) putModRef(k modrefKey, r ModRefResponse) {
+	s := &c.modref[k.shard()%sharedShards]
+	s.mu.Lock()
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = r
+	}
+	s.mu.Unlock()
+}
+
+// shard hashes the proposition for shard selection only — collisions are
+// harmless (they just co-locate entries), so a cheap mix of the stable
+// integer fields suffices.
+func (k aliasKey) shard() uint64 {
+	h := uint64(17)
+	h = h*31 + valueID(k.p1)
+	h = h*31 + valueID(k.p2)
+	h = h*31 + uint64(k.s1)
+	h = h*31 + uint64(k.s2)
+	h = h*31 + uint64(k.rel)
+	return h
+}
+
+func (k modrefKey) shard() uint64 {
+	h := uint64(23)
+	if k.i1 != nil {
+		h = h*31 + uint64(k.i1.ID)
+	}
+	if k.i2 != nil {
+		h = h*31 + uint64(k.i2.ID)
+	}
+	h = h*31 + valueID(k.locPtr)
+	h = h*31 + uint64(k.locSize)
+	h = h*31 + uint64(k.rel)
+	return h
+}
+
+// valueID extracts a stable integer from the common ir.Value shapes.
+func valueID(v ir.Value) uint64 {
+	switch t := v.(type) {
+	case nil:
+		return 0
+	case *ir.Instr:
+		return uint64(t.ID) + 1
+	case *ir.Param:
+		return uint64(t.Idx) + 7
+	case *ir.ConstInt:
+		return uint64(t.V)*2 + 3
+	case *ir.Global:
+		h := uint64(1469598103934665603)
+		for i := 0; i < len(t.GName); i++ {
+			h = (h ^ uint64(t.GName[i])) * 1099511628211
+		}
+		return h
+	default:
+		return 5
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import "time"
+
+// MaxLatencySamples bounds Stats.Latencies. RecordLatency keeps the first
+// MaxLatencySamples per-query durations and counts the rest in
+// LatencyDropped, so long-running orchestrators (and merges of many worker
+// stats) stay bounded in memory.
+const MaxLatencySamples = 1 << 16
+
+// Stats accumulates orchestration counters.
+type Stats struct {
+	TopQueries     int64
+	PremiseQueries int64
+	Conflicts      int64
+	// ModuleEvals counts individual module consultations — the
+	// deterministic work measure behind query latency.
+	ModuleEvals int64
+	// CacheHits counts handle() invocations served from the per-orchestrator
+	// memo table (Config.EnableCache).
+	CacheHits int64
+	// SharedHits counts top-level queries served from a cross-orchestrator
+	// SharedCache (Config.Shared).
+	SharedHits int64
+	// Timeouts counts searches cut short by the timeout policy.
+	Timeouts int64
+	// Latencies holds per-top-level-query wall-clock durations when
+	// Config.RecordLatency is set, capped at MaxLatencySamples.
+	Latencies []time.Duration
+	// LatencyDropped counts latency samples discarded past the cap.
+	LatencyDropped int64
+}
+
+// recordLatency appends one sample, enforcing the MaxLatencySamples cap.
+func (s *Stats) recordLatency(d time.Duration) {
+	if len(s.Latencies) >= MaxLatencySamples {
+		s.LatencyDropped++
+		return
+	}
+	s.Latencies = append(s.Latencies, d)
+}
+
+// Merge folds other into s: counters add, and other's latency samples are
+// appended under the same MaxLatencySamples cap (overflow lands in
+// LatencyDropped). Aggregation of the counters is deterministic regardless
+// of merge order; which latency samples survive the cap depends on the
+// order stats are merged in, so callers aggregating worker stats should
+// merge in a fixed (e.g. worker-index) order.
+func (s *Stats) Merge(other *Stats) {
+	if other == nil {
+		return
+	}
+	s.TopQueries += other.TopQueries
+	s.PremiseQueries += other.PremiseQueries
+	s.Conflicts += other.Conflicts
+	s.ModuleEvals += other.ModuleEvals
+	s.CacheHits += other.CacheHits
+	s.SharedHits += other.SharedHits
+	s.Timeouts += other.Timeouts
+	s.LatencyDropped += other.LatencyDropped
+	for _, d := range other.Latencies {
+		s.recordLatency(d)
+	}
+}

@@ -1,0 +1,46 @@
+package pdg
+
+import (
+	"testing"
+
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// TestToDOTGolden pins the exact DOT rendering of a hand-built loop
+// result: a remaining intra-iteration dependence (solid, labelled), a
+// speculatively removed one (dashed, with cost), a loop-carried remaining
+// dependence (red), and a disproven pair (no edge at all).
+func TestToDOTGolden(t *testing.T) {
+	mod := ir.NewModule("t")
+	f := mod.NewFunc("f", ir.Void)
+	b := f.NewBlock("entry")
+	g := mod.NewGlobal("g", ir.Int)
+	st := b.Store(ir.CI(1), g)
+	ld := b.Load(g)
+	b.Ret()
+	loop := &cfg.Loop{Fn: f, Header: b}
+
+	res := &LoopResult{Loop: loop, Queries: []Query{
+		{I1: st, I2: ld, Rel: core.Same, Resp: core.ModRefResponse{Result: core.ModRef}},
+		{I1: ld, I2: st, Rel: core.Same, NoDep: true, Cost: 2},
+		{I1: st, I2: st, Rel: core.Before, Resp: core.ModRefResponse{Result: core.Mod}},
+		{I1: ld, I2: ld, Rel: core.Before, NoDep: true},
+	}}
+
+	got := res.ToDOT()
+	want := `digraph "f/entry.0" {
+  rankdir=TB;
+  node [shape=box, fontname="monospace", fontsize=10];
+  n0 [label="store 1, @g"];
+  n1 [label="%v1 = load int, @g"];
+  n0 -> n1 [label="ModRef"];
+  n1 -> n0 [style=dashed, label="speculated (cost 2)"];
+  n0 -> n0 [color=red, xlabel="loop-carried", label="Mod"];
+}
+`
+	if got != want {
+		t.Errorf("DOT output diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,389 @@
+// Equivalence suite for parallel PDG construction: for every benchmark
+// program and every join/bailout/routing configuration, the parallel
+// client must produce bit-identical per-query results and consistent
+// merged stats compared to the serial client. The package is pdg_test (not
+// pdg) so it can drive the real benchmark programs from internal/bench,
+// which itself imports pdg.
+package pdg_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"scaf"
+	"scaf/internal/bench"
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/pdg"
+	"scaf/internal/profile"
+)
+
+// equivalenceWorkers is the pool size the suite exercises; the acceptance
+// bar is ≥ 4.
+const equivalenceWorkers = 8
+
+var (
+	suiteOnce  sync.Once
+	suiteBench []*bench.Benchmark
+	suiteErr   error
+)
+
+// loadEquivalenceSuite loads the benchmark set once per test binary: the
+// full 16-program suite normally, a representative subset under the race
+// detector or -short (profiling runs dominate otherwise).
+func loadEquivalenceSuite(t *testing.T) []*bench.Benchmark {
+	t.Helper()
+	suiteOnce.Do(func() {
+		names := bench.Names()
+		if raceEnabled {
+			names = []string{"129.compress", "181.mcf", "183.equake", "525.x264"}
+		}
+		if testing.Short() {
+			names = []string{"129.compress", "181.mcf"}
+		}
+		for _, n := range names {
+			b, err := bench.Load(n)
+			if err != nil {
+				suiteErr = err
+				return
+			}
+			suiteBench = append(suiteBench, b)
+		}
+	})
+	if suiteErr != nil {
+		t.Fatalf("load suite: %v", suiteErr)
+	}
+	return suiteBench
+}
+
+// orchConfig is one point of the JoinPolicy × BailoutPolicy × Routing grid.
+type orchConfig struct {
+	name    string
+	join    core.JoinPolicy
+	bailout core.BailoutPolicy
+	routing core.Routing
+}
+
+func allConfigs() []orchConfig {
+	joins := []struct {
+		n string
+		j core.JoinPolicy
+	}{{"cheapest", core.JoinCheapest}, {"all", core.JoinAll}}
+	bails := []struct {
+		n string
+		b core.BailoutPolicy
+	}{
+		{"affordable", core.BailDefiniteAffordable},
+		{"free", core.BailDefiniteFree},
+		{"exhaustive", core.BailExhaustive},
+	}
+	routes := []struct {
+		n string
+		r core.Routing
+	}{{"collab", core.RouteCollaborative}, {"isolated", core.RouteIsolated}}
+	var out []orchConfig
+	for _, j := range joins {
+		for _, b := range bails {
+			for _, r := range routes {
+				out = append(out, orchConfig{
+					name:    fmt.Sprintf("join=%s/bail=%s/route=%s", j.n, b.n, r.n),
+					join:    j.j,
+					bailout: b.b,
+					routing: r.r,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (c orchConfig) opts(extra ...scaf.OrchOption) []scaf.OrchOption {
+	return append([]scaf.OrchOption{
+		scaf.WithJoin(c.join),
+		scaf.WithBailout(c.bailout),
+		scaf.WithRouting(c.routing),
+	}, extra...)
+}
+
+// analyzeSerial resolves every hot loop through one orchestrator, exactly
+// as internal/bench does, returning per-loop results and the stats.
+func analyzeSerial(b *bench.Benchmark, opts []scaf.OrchOption) ([]*pdg.LoopResult, *core.Stats) {
+	client := b.Sys.Client()
+	o := b.Sys.Orchestrator(scaf.SchemeSCAF, opts...)
+	var out []*pdg.LoopResult
+	for _, l := range b.Hot {
+		out = append(out, client.AnalyzeLoop(o, l))
+	}
+	return out, o.Stats()
+}
+
+// analyzeCold resolves every hot loop on its own fresh orchestrator — the
+// maximally cold configuration, and the upper bound on work any parallel
+// partition can do.
+func analyzeCold(b *bench.Benchmark, opts []scaf.OrchOption) ([]*pdg.LoopResult, *core.Stats) {
+	client := b.Sys.Client()
+	merged := &core.Stats{}
+	var out []*pdg.LoopResult
+	for _, l := range b.Hot {
+		o := b.Sys.Orchestrator(scaf.SchemeSCAF, opts...)
+		out = append(out, client.AnalyzeLoop(o, l))
+		merged.Merge(o.Stats())
+	}
+	return out, merged
+}
+
+// requireEqualResults asserts two result sets are identical, comparing the
+// ByKey maps field-by-field so a divergence names the offending query.
+func requireEqualResults(t *testing.T, label string, serial, parallel []*pdg.LoopResult) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s: %d serial results vs %d parallel", label, len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Loop != p.Loop {
+			t.Fatalf("%s: loop %d reordered: %s vs %s", label, i, s.Loop.Name(), p.Loop.Name())
+		}
+		sk, pk := s.ByKey(), p.ByKey()
+		if len(sk) != len(pk) {
+			t.Fatalf("%s %s: %d serial queries vs %d parallel", label, s.Loop.Name(), len(sk), len(pk))
+		}
+		for k, sq := range sk {
+			pq, ok := pk[k]
+			if !ok {
+				t.Fatalf("%s %s: parallel run missing query %s -> %s (%s)",
+					label, s.Loop.Name(), k.I1, k.I2, k.Rel)
+			}
+			if sq.NoDep != pq.NoDep {
+				t.Errorf("%s %s: NoDep diverges for %s -> %s (%s): serial=%v parallel=%v",
+					label, s.Loop.Name(), k.I1, k.I2, k.Rel, sq.NoDep, pq.NoDep)
+			}
+			if sq.Cost != pq.Cost {
+				t.Errorf("%s %s: Cost diverges for %s -> %s (%s): serial=%v parallel=%v",
+					label, s.Loop.Name(), k.I1, k.I2, k.Rel, sq.Cost, pq.Cost)
+			}
+			if sq.Resp.Result != pq.Resp.Result {
+				t.Errorf("%s %s: Result diverges for %s -> %s (%s): serial=%s parallel=%s",
+					label, s.Loop.Name(), k.I1, k.I2, k.Rel, sq.Resp.Result, pq.Resp.Result)
+			}
+		}
+		// Belt and braces: the full structures (options, assertions,
+		// contributors, query order) must match too.
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("%s %s: deep result mismatch beyond per-key fields", label, s.Loop.Name())
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the headline equivalence theorem: over
+// every benchmark program and every JoinPolicy × BailoutPolicy × Routing
+// configuration, an 8-worker parallel run is bit-identical to the serial
+// client, and the merged worker stats agree with the serial counters.
+func TestParallelMatchesSerial(t *testing.T) {
+	bs := loadEquivalenceSuite(t)
+	for _, cfgc := range allConfigs() {
+		cfgc := cfgc
+		t.Run(cfgc.name, func(t *testing.T) {
+			for _, b := range bs {
+				serialRes, serialStats := analyzeSerial(b, cfgc.opts())
+				coldRes, coldStats := analyzeCold(b, cfgc.opts())
+				pc := b.Sys.ParallelClient(equivalenceWorkers, scaf.SchemeSCAF, cfgc.opts()...)
+				parRes, parStats := pc.AnalyzeLoops(b.Hot)
+
+				requireEqualResults(t, b.Name+" (parallel)", serialRes, parRes)
+				requireEqualResults(t, b.Name+" (cold)", serialRes, coldRes)
+
+				// TopQueries is driven by the client and exact. The
+				// premise/eval/conflict counters depend on module-internal
+				// warmth (one serial orchestrator shares modules' lazy
+				// state across all loops; each worker only across its
+				// share), so the merged parallel counters must land
+				// between the warm serial run and the maximally cold
+				// one-orchestrator-per-loop run.
+				if parStats.TopQueries != serialStats.TopQueries {
+					t.Errorf("%s: top queries %d, serial %d", b.Name, parStats.TopQueries, serialStats.TopQueries)
+				}
+				sandwich := func(what string, lo, got, hi int64) {
+					if got < lo || got > hi {
+						t.Errorf("%s: %s = %d outside [serial %d, cold %d]", b.Name, what, got, lo, hi)
+					}
+				}
+				sandwich("premise queries", serialStats.PremiseQueries, parStats.PremiseQueries, coldStats.PremiseQueries)
+				sandwich("module evals", serialStats.ModuleEvals, parStats.ModuleEvals, coldStats.ModuleEvals)
+				sandwich("conflicts", min64(serialStats.Conflicts, coldStats.Conflicts),
+					parStats.Conflicts, max64(serialStats.Conflicts, coldStats.Conflicts))
+				for _, st := range []*core.Stats{serialStats, parStats, coldStats} {
+					if st.CacheHits != 0 || st.SharedHits != 0 || st.Timeouts != 0 {
+						t.Errorf("%s: unexpected cache/timeout activity in uncached config: %+v", b.Name, st)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSharedCacheMatchesSerial: attaching a SharedCache to the
+// workers must not change any result — the publication rule only admits
+// canonical entries — while actually getting hits (the cache is not dead
+// weight). Stats like ModuleEvals legitimately drop on hits, so only
+// results and TopQueries are compared.
+func TestParallelSharedCacheMatchesSerial(t *testing.T) {
+	bs := loadEquivalenceSuite(t)
+	for _, cfgc := range []orchConfig{
+		{name: "default", join: core.JoinCheapest, bailout: core.BailDefiniteAffordable, routing: core.RouteCollaborative},
+		{name: "isolated", join: core.JoinCheapest, bailout: core.BailDefiniteAffordable, routing: core.RouteIsolated},
+	} {
+		cfgc := cfgc
+		t.Run(cfgc.name, func(t *testing.T) {
+			var hits int64
+			for _, b := range bs {
+				serialRes, serialStats := analyzeSerial(b, cfgc.opts())
+				shared := core.NewSharedCache()
+				pc := b.Sys.ParallelClient(equivalenceWorkers, scaf.SchemeSCAF,
+					cfgc.opts(scaf.WithSharedCache(shared))...)
+				// Two passes over the same loops: the second is guaranteed
+				// to be served from the cache.
+				pc.AnalyzeLoops(b.Hot)
+				parRes, parStats := pc.AnalyzeLoops(b.Hot)
+				requireEqualResults(t, b.Name, serialRes, parRes)
+				if parStats.TopQueries != serialStats.TopQueries {
+					t.Errorf("%s: top queries %d vs serial %d", b.Name, parStats.TopQueries, serialStats.TopQueries)
+				}
+				hits += parStats.SharedHits
+			}
+			if hits == 0 {
+				t.Error("shared cache never hit across the whole suite")
+			}
+		})
+	}
+}
+
+// stressSource has several independent small loops so a high worker count
+// genuinely interleaves, with cross-loop repetition of the same global
+// accesses to give a shared cache something to race on.
+const stressSource = `
+int a[32];
+int b[32];
+int acc;
+void main() {
+    for (int i0 = 0; i0 < 40; i0++) { a[i0 % 32] = a[i0 % 32] + 1; }
+    for (int i1 = 0; i1 < 40; i1++) { b[i1 % 32] = b[i1 % 32] + 2; }
+    for (int i2 = 0; i2 < 40; i2++) { acc = acc + a[i2 % 32]; }
+    for (int i3 = 0; i3 < 40; i3++) { acc = acc + b[i3 % 32]; }
+    for (int i4 = 0; i4 < 40; i4++) { a[i4 % 32] = b[i4 % 32]; }
+    for (int i5 = 0; i5 < 40; i5++) { b[i5 % 32] = a[i5 % 32] + acc; }
+    for (int i6 = 0; i6 < 40; i6++) { acc = acc + a[i6 % 32] + b[i6 % 32]; }
+    for (int i7 = 0; i7 < 40; i7++) { a[i7 % 32] = a[i7 % 32] + b[i7 % 32]; }
+    print(acc);
+}`
+
+// TestParallelStressDeterminism floods a 16-worker pool with many small
+// loops, repeatedly, with the shared cache both off and on, and fails
+// loudly on any divergence from the serial baseline — under -race this
+// doubles as the data-race net for the whole parallel path.
+func TestParallelStressDeterminism(t *testing.T) {
+	sys, err := scaf.Load("stress", stressSource, scaf.Options{
+		HotLoops: &profile.HotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := sys.HotLoops()
+	if len(loops) < 8 {
+		t.Fatalf("stress program has %d hot loops, want ≥ 8", len(loops))
+	}
+	client := sys.Client()
+	o := sys.Orchestrator(scaf.SchemeSCAF)
+	var baseline []*pdg.LoopResult
+	for _, l := range loops {
+		baseline = append(baseline, client.AnalyzeLoop(o, l))
+	}
+
+	const workers, rounds = 16, 4
+	for _, sharedOn := range []bool{false, true} {
+		name := "cache=off"
+		var opts []scaf.OrchOption
+		if sharedOn {
+			name = "cache=on"
+			opts = append(opts, scaf.WithSharedCache(core.NewSharedCache()))
+		}
+		t.Run(name, func(t *testing.T) {
+			pc := sys.ParallelClient(workers, scaf.SchemeSCAF, opts...)
+			for round := 0; round < rounds; round++ {
+				res, stats := pc.AnalyzeLoops(loops)
+				requireEqualResults(t, fmt.Sprintf("round %d", round), baseline, res)
+				if want := int64(len(allQueries(baseline))); stats.TopQueries != want {
+					t.Errorf("round %d: top queries %d, want %d", round, stats.TopQueries, want)
+				}
+			}
+		})
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func allQueries(rs []*pdg.LoopResult) []pdg.Query {
+	var out []pdg.Query
+	for _, r := range rs {
+		out = append(out, r.Queries...)
+	}
+	return out
+}
+
+// TestParallelClientEdgeCases covers the degenerate pool shapes: zero
+// loops, one worker, and more workers than loops.
+func TestParallelClientEdgeCases(t *testing.T) {
+	sys, err := scaf.Load("edge", `
+int a;
+void main() {
+    for (int i = 0; i < 60; i++) { a = a + i; }
+    print(a);
+}`, scaf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := sys.HotLoops()
+	if len(loops) != 1 {
+		t.Fatalf("hot loops = %d", len(loops))
+	}
+	serial, serialStats := analyzeSerialSys(sys, loops)
+
+	for _, workers := range []int{0, 1, 4, 64} {
+		pc := sys.ParallelClient(workers, scaf.SchemeSCAF)
+		res, stats := pc.AnalyzeLoops(loops)
+		requireEqualResults(t, fmt.Sprintf("workers=%d", workers), serial, res)
+		if stats.TopQueries != serialStats.TopQueries {
+			t.Errorf("workers=%d: top queries %d vs %d", workers, stats.TopQueries, serialStats.TopQueries)
+		}
+	}
+
+	pc := sys.ParallelClient(4, scaf.SchemeSCAF)
+	res, stats := pc.AnalyzeLoops(nil)
+	if len(res) != 0 || stats.TopQueries != 0 {
+		t.Errorf("empty loop set: res=%d topqueries=%d", len(res), stats.TopQueries)
+	}
+}
+
+func analyzeSerialSys(sys *scaf.System, loops []*cfg.Loop) ([]*pdg.LoopResult, *core.Stats) {
+	client := sys.Client()
+	o := sys.Orchestrator(scaf.SchemeSCAF)
+	var out []*pdg.LoopResult
+	for _, l := range loops {
+		out = append(out, client.AnalyzeLoop(o, l))
+	}
+	return out, o.Stats()
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pdg_test
+
+const raceEnabled = false

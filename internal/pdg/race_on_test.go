@@ -1,0 +1,7 @@
+//go:build race
+
+package pdg_test
+
+// raceEnabled trims the equivalence suite's benchmark set under the race
+// detector, whose ~10× slowdown would otherwise dominate CI.
+const raceEnabled = true

@@ -163,6 +163,22 @@ func WithCache() OrchOption {
 	return func(c *core.Config) { c.EnableCache = true }
 }
 
+// WithSharedCache attaches a concurrency-safe memo cache shared across
+// orchestrators — typically the workers of a pdg.ParallelClient. Every
+// orchestrator attached to one cache must be built from the same scheme
+// and options: cached propositions embed module answers, so sharing a
+// cache across configurations returns answers from the wrong ensemble.
+func WithSharedCache(sc *core.SharedCache) OrchOption {
+	return func(c *core.Config) { c.Shared = sc }
+}
+
+// WithRouting overrides the premise-routing policy independently of the
+// scheme (the scheme's default is collaborative everywhere except
+// SchemeConfluence, which isolates premise queries).
+func WithRouting(r core.Routing) OrchOption {
+	return func(c *core.Config) { c.Routing = r }
+}
+
 // WithTimeout bounds each top-level query's search time (the
 // compilation-time-sensitive bail-out policy of §3.3).
 func WithTimeout(d time.Duration) OrchOption {
@@ -207,4 +223,22 @@ func (s *System) Orchestrator(scheme Scheme, opts ...OrchOption) *core.Orchestra
 		o(&cfgn)
 	}
 	return core.NewOrchestrator(cfgn)
+}
+
+// OrchestratorFactory returns a mint function suitable for
+// pdg.ParallelClient: every call builds an independent Orchestrator (fresh
+// module instances included) for the same scheme and options. Options that
+// capture stateful values — WithExtraModules with a module instance,
+// notably — would share that state across all minted orchestrators and
+// must not be used with a factory unless the captured value is safe for
+// concurrent use (WithSharedCache is; custom modules usually are not).
+func (s *System) OrchestratorFactory(scheme Scheme, opts ...OrchOption) func() *core.Orchestrator {
+	return func() *core.Orchestrator { return s.Orchestrator(scheme, opts...) }
+}
+
+// ParallelClient returns a PDG client that fans loops out over workers
+// goroutines (GOMAXPROCS when workers < 1), each with its own orchestrator
+// for the given scheme and options.
+func (s *System) ParallelClient(workers int, scheme Scheme, opts ...OrchOption) *pdg.ParallelClient {
+	return pdg.NewParallelClient(s.Client(), workers, s.OrchestratorFactory(scheme, opts...))
 }
