@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench bench-json clean
 
 all: vet build test
 
@@ -22,6 +22,14 @@ race:
 # GOMAXPROCS >= 4 to show a speedup.
 bench:
 	$(GO) test ./internal/bench/ -run '^$$' -bench 'BenchmarkSuiteSerial|BenchmarkSuiteParallel' -benchtime 3x
+
+# Machine-readable per-benchmark report plus one traced SCAF analysis.
+# The trace run doubles as a smoke test: scaf-bench exits non-zero if the
+# JSONL event totals do not reconcile with the orchestration counters.
+BENCH_JSON_ARGS ?= -bench 181.mcf
+bench-json:
+	$(GO) run ./cmd/scaf-bench $(BENCH_JSON_ARGS) -fig 8 \
+		-json BENCH.json -trace trace.jsonl -trace-dot trace.dot
 
 clean:
 	$(GO) clean ./...

@@ -16,7 +16,9 @@ import (
 	"runtime"
 	"strings"
 
+	"scaf"
 	"scaf/internal/bench"
+	"scaf/internal/trace"
 )
 
 func main() {
@@ -26,7 +28,15 @@ func main() {
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory (requires running everything)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"PDG worker-pool size per benchmark (1 = serial; results are identical)")
+	jsonPath := flag.String("json", "", "write a machine-readable per-benchmark report (coverage + orchestration counters) to this file")
+	tracePath := flag.String("trace", "", "run one traced SCAF analysis per benchmark and write the query-resolution events (JSONL) to this file")
+	traceDot := flag.String("trace-dot", "", "also render the traced queries as a Graphviz collaboration graph to this file (requires -trace)")
 	flag.Parse()
+
+	if *traceDot != "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "-trace-dot requires -trace")
+		os.Exit(2)
+	}
 
 	var names []string
 	if *benches != "" {
@@ -42,7 +52,9 @@ func main() {
 	if wantTable(1) {
 		fmt.Println(bench.RenderTable1())
 	}
-	if !wantFig(8) && !wantFig(9) && !wantFig(10) && !wantTable(2) {
+	needSuite := wantFig(8) || wantFig(9) || wantFig(10) || wantTable(2) ||
+		*jsonPath != "" || *tracePath != ""
+	if !needSuite {
 		return
 	}
 
@@ -55,7 +67,7 @@ func main() {
 	suite.Parallelism = *parallel
 
 	var analyses []*bench.Analysis
-	if wantFig(8) || wantFig(9) || wantTable(2) {
+	if wantFig(8) || wantFig(9) || wantTable(2) || *jsonPath != "" {
 		fmt.Fprintf(os.Stderr, "analyzing hot loops under CAF / confluence / SCAF (%d workers)...\n", *parallel)
 		analyses = bench.AnalyzeSuite(suite)
 	}
@@ -88,4 +100,77 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "CSVs written to %s\n", *csvDir)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, suite, analyses); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *jsonPath)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, *traceDot, suite, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(path string, suite *bench.Suite, analyses []*bench.Analysis) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteReport(f, bench.BuildReport(suite, analyses)); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// maxDOTTrees caps how many query trees the -trace-dot rendering includes;
+// whole-suite traces hold thousands of queries and Graphviz stops being
+// readable long before that.
+const maxDOTTrees = 40
+
+func writeTrace(path, dotPath string, suite *bench.Suite, parallel int) error {
+	var all []trace.Event
+	for _, b := range suite.Benchmarks {
+		fmt.Fprintf(os.Stderr, "tracing SCAF analysis of %s...\n", b.Name)
+		events, _, st := bench.TracedAnalysis(b, scaf.SchemeSCAF, parallel)
+		fmt.Fprint(os.Stderr, bench.RenderTraceMetrics(b.Name, events, st))
+		if err := trace.Aggregate(events).Reconcile(st); err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		all = trace.Concat(all, events)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteJSONL(f, all); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d trace events written to %s\n", len(all), path)
+	if dotPath == "" {
+		return nil
+	}
+	trees := trace.BuildTrees(all)
+	if len(trees) > maxDOTTrees {
+		fmt.Fprintf(os.Stderr, "rendering first %d of %d query trees to %s\n",
+			maxDOTTrees, len(trees), dotPath)
+		trees = trees[:maxDOTTrees]
+	}
+	df, err := os.Create(dotPath)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if err := trace.WriteDOT(df, trees); err != nil {
+		return err
+	}
+	return df.Close()
 }

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/pdg"
+)
+
+// ReportCounters is the JSON shape of one scheme's orchestration counters
+// (core.Stats without the latency samples).
+type ReportCounters struct {
+	TopQueries     int64 `json:"top_queries"`
+	PremiseQueries int64 `json:"premise_queries"`
+	ModuleEvals    int64 `json:"module_evals"`
+	Conflicts      int64 `json:"conflicts"`
+	CacheHits      int64 `json:"cache_hits"`
+	SharedHits     int64 `json:"shared_hits"`
+	Timeouts       int64 `json:"timeouts"`
+	CycleBreaks    int64 `json:"cycle_breaks"`
+	DepthLimits    int64 `json:"depth_limits"`
+}
+
+func countersOf(st *core.Stats) ReportCounters {
+	if st == nil {
+		return ReportCounters{}
+	}
+	return ReportCounters{
+		TopQueries:     st.TopQueries,
+		PremiseQueries: st.PremiseQueries,
+		ModuleEvals:    st.ModuleEvals,
+		Conflicts:      st.Conflicts,
+		CacheHits:      st.CacheHits,
+		SharedHits:     st.SharedHits,
+		Timeouts:       st.Timeouts,
+		CycleBreaks:    st.CycleBreaks,
+		DepthLimits:    st.DepthLimits,
+	}
+}
+
+// ReportBench is one benchmark's entry in the machine-readable report.
+type ReportBench struct {
+	Name     string `json:"name"`
+	HotLoops int    `json:"hot_loops"`
+	// Queries counts the dependence queries of the SCAF run.
+	Queries int `json:"queries"`
+	// NoDepPct maps scheme name → weighted %NoDep over hot loops.
+	NoDepPct map[string]float64 `json:"nodep_pct"`
+	// Counters maps scheme name → orchestration counters.
+	Counters map[string]ReportCounters `json:"counters"`
+}
+
+// Report is the -json output of scaf-bench: per-benchmark dependence
+// coverage and orchestration accounting, stable enough to diff across
+// commits in CI.
+type Report struct {
+	Parallelism int           `json:"parallelism"`
+	Benchmarks  []ReportBench `json:"benchmarks"`
+}
+
+// BuildReport derives the machine-readable report from analyzed suites.
+func BuildReport(s *Suite, as []*Analysis) *Report {
+	r := &Report{Parallelism: s.Parallelism}
+	for _, a := range as {
+		b := a.B
+		weights := b.LoopWeights()
+		weight := func(l *cfg.Loop) float64 { return weights[l] }
+		rb := ReportBench{
+			Name:     b.Name,
+			HotLoops: len(b.Hot),
+			NoDepPct: map[string]float64{},
+			Counters: map[string]ReportCounters{},
+		}
+		for scheme, byLoop := range map[string]map[*cfg.Loop]*pdg.LoopResult{
+			"CAF": a.CAF, "Confluence": a.Conf, "SCAF": a.SCAF,
+		} {
+			results := make([]*pdg.LoopResult, 0, len(b.Hot))
+			for _, l := range b.Hot {
+				if lr := byLoop[l]; lr != nil {
+					results = append(results, lr)
+				}
+			}
+			rb.NoDepPct[scheme] = pdg.WeightedNoDep(results, weight)
+			rb.Counters[scheme] = countersOf(a.Stats[scheme])
+		}
+		for _, l := range b.Hot {
+			if lr := a.SCAF[l]; lr != nil {
+				rb.Queries += len(lr.Queries)
+			}
+		}
+		r.Benchmarks = append(r.Benchmarks, rb)
+	}
+	return r
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -63,6 +63,9 @@ type Analysis struct {
 	CAF  map[*cfg.Loop]*pdg.LoopResult
 	Conf map[*cfg.Loop]*pdg.LoopResult
 	SCAF map[*cfg.Loop]*pdg.LoopResult
+	// Stats holds the merged orchestration counters per scheme (keyed by
+	// scaf.Scheme.String()), feeding the -json report.
+	Stats map[string]*core.Stats
 }
 
 // AnalyzeOptions tunes how a benchmark's hot loops are analyzed.
@@ -84,14 +87,16 @@ func Analyze(b *Benchmark) *Analysis { return AnalyzeWith(b, AnalyzeOptions{}) }
 // opts.Parallelism ≥ 2.
 func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 	a := &Analysis{
-		B:    b,
-		CAF:  map[*cfg.Loop]*pdg.LoopResult{},
-		Conf: map[*cfg.Loop]*pdg.LoopResult{},
-		SCAF: map[*cfg.Loop]*pdg.LoopResult{},
+		B:     b,
+		CAF:   map[*cfg.Loop]*pdg.LoopResult{},
+		Conf:  map[*cfg.Loop]*pdg.LoopResult{},
+		SCAF:  map[*cfg.Loop]*pdg.LoopResult{},
+		Stats: map[string]*core.Stats{},
 	}
 	client := b.Sys.Client()
 	for _, scheme := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
 		var results []*pdg.LoopResult
+		stats := &core.Stats{}
 		if opts.Parallelism >= 2 {
 			var orchOpts []scaf.OrchOption
 			if opts.SharedCache {
@@ -101,13 +106,15 @@ func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 			}
 			pc := pdg.NewParallelClient(client, opts.Parallelism,
 				b.Sys.OrchestratorFactory(scheme, orchOpts...))
-			results, _ = pc.AnalyzeLoops(b.Hot)
+			results, stats = pc.AnalyzeLoops(b.Hot)
 		} else {
 			o := b.Sys.Orchestrator(scheme)
 			for _, l := range b.Hot {
 				results = append(results, client.AnalyzeLoop(o, l))
 			}
+			stats.Merge(o.Stats())
 		}
+		a.Stats[scheme.String()] = stats
 		for i, l := range b.Hot {
 			switch scheme {
 			case scaf.SchemeCAF:

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+
+	"scaf"
+	"scaf/internal/core"
+	"scaf/internal/pdg"
+	"scaf/internal/trace"
+)
+
+// TracedAnalysis analyzes one benchmark's hot loops under a scheme with a
+// trace collector attached to every worker, returning the combined event
+// stream (worker-index merge order, mirroring how stats merge), the PDG
+// results in loop order, and the merged orchestration stats. The stats and
+// the stream reconcile exactly: trace.Aggregate(events).Reconcile(stats)
+// is nil by the Tracer contract.
+func TracedAnalysis(b *Benchmark, scheme scaf.Scheme, workers int) ([]trace.Event, []*pdg.LoopResult, *core.Stats) {
+	if workers < 1 {
+		workers = 1
+	}
+	collectors := make([]*trace.Collector, 0, workers)
+	pc := pdg.NewParallelClient(b.Sys.Client(), workers, b.Sys.OrchestratorFactory(scheme))
+	pc.NewTracer = func(w int) core.Tracer {
+		c := trace.NewCollector()
+		collectors = append(collectors, c)
+		return c
+	}
+	results, stats := pc.AnalyzeLoops(b.Hot)
+	return trace.Merge(collectors...), results, stats
+}
+
+// RenderTraceMetrics formats the trace-derived metrics of one benchmark's
+// event stream, with the reconciliation verdict against the orchestration
+// counters.
+func RenderTraceMetrics(name string, events []trace.Event, st *core.Stats) string {
+	m := trace.Aggregate(events)
+	s := fmt.Sprintf("== trace: %s ==\n%s", name, m.Format())
+	if err := m.Reconcile(st); err != nil {
+		s += fmt.Sprintf("RECONCILE FAILED: %v\n", err)
+	} else {
+		s += "trace reconciles with orchestration counters\n"
+	}
+	return s
+}

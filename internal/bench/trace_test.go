@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scaf"
+	"scaf/internal/trace"
+)
+
+// TestTracedAnalysisReconciles runs a real benchmark's SCAF analysis with
+// tracing on and checks the acceptance invariant: the JSONL stream's
+// per-module consult totals reconcile exactly with the orchestration
+// counters, through a disk round trip.
+func TestTracedAnalysisReconciles(t *testing.T) {
+	b, err := Load("129.compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, results, stats := TracedAnalysis(b, scaf.SchemeSCAF, 4)
+	if len(results) != len(b.Hot) {
+		t.Fatalf("results = %d, hot loops = %d", len(results), len(b.Hot))
+	}
+	if stats.TopQueries == 0 {
+		t.Fatal("no queries ran")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trace.Aggregate(rt)
+	if err := m.Reconcile(stats); err != nil {
+		t.Fatalf("round-tripped trace does not reconcile: %v", err)
+	}
+	// The rendered metrics carry the reconciliation verdict for operators.
+	out := RenderTraceMetrics(b.Name, rt, stats)
+	if !strings.Contains(out, "reconciles") {
+		t.Errorf("metrics rendering lost the verdict:\n%s", out)
+	}
+	// Per-module consult totals sum to the module-eval counter.
+	var sum int64
+	for _, mm := range m.PerModule {
+		sum += mm.Consults
+	}
+	if sum != stats.ModuleEvals {
+		t.Errorf("per-module consults sum %d != ModuleEvals %d", sum, stats.ModuleEvals)
+	}
+}
+
+// TestBuildReport checks the -json report derivation: per-scheme coverage
+// and counters for every analyzed benchmark, serializable as JSON.
+func TestBuildReport(t *testing.T) {
+	s, err := LoadSuite("129.compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallelism = 2
+	as := AnalyzeSuite(s)
+	r := BuildReport(s, as)
+	if len(r.Benchmarks) != 1 || r.Parallelism != 2 {
+		t.Fatalf("report shape wrong: %+v", r)
+	}
+	rb := r.Benchmarks[0]
+	if rb.Name != "129.compress" || rb.HotLoops == 0 || rb.Queries == 0 {
+		t.Fatalf("benchmark entry wrong: %+v", rb)
+	}
+	for _, scheme := range []string{"CAF", "Confluence", "SCAF"} {
+		if _, ok := rb.NoDepPct[scheme]; !ok {
+			t.Errorf("missing coverage for %s", scheme)
+		}
+		if rb.Counters[scheme].TopQueries == 0 {
+			t.Errorf("missing counters for %s", scheme)
+		}
+	}
+	// SCAF coverage dominates CAF (speculation only removes dependences).
+	if rb.NoDepPct["SCAF"] < rb.NoDepPct["CAF"] {
+		t.Errorf("SCAF %%NoDep %.1f < CAF %.1f", rb.NoDepPct["SCAF"], rb.NoDepPct["CAF"])
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Benchmarks[0].Queries != rb.Queries {
+		t.Error("report did not round-trip")
+	}
+}

@@ -69,10 +69,12 @@ type Config struct {
 	Timeout time.Duration
 	// EnableCache memoizes handle() results per proposition. Sound because
 	// the program, profiles, and module set are immutable for the
-	// orchestrator's lifetime. Note: a proposition first resolved inside a
-	// premise cycle (or at the depth limit) may cache a conservatively
-	// degraded answer — still sound, possibly less precise than a fresh
-	// resolution.
+	// orchestrator's lifetime. Resolutions degraded by an enclosing
+	// in-flight proposition (conservative premise-cycle breaks) or by
+	// having less remaining depth than a fresh resolution would (depth
+	// limit hits) are tainted and never published, so cached runs are
+	// answer-identical to uncached runs — the per-orchestrator analogue of
+	// SharedCache's canonical-entry rule.
 	EnableCache bool
 	// RecordLatency appends per-top-level-query wall-clock durations to
 	// Stats.Latencies (capped at MaxLatencySamples).
@@ -84,6 +86,12 @@ type Config struct {
 	// SharedCache. All orchestrators attached to one SharedCache must share
 	// an identical configuration.
 	Shared *SharedCache
+	// Tracer, when non-nil, receives per-event resolution traces (see
+	// internal/trace for the collector, JSONL schema, and DOT rendering).
+	// With a nil Tracer the orchestrator constructs no events and performs
+	// no timing calls beyond the existing latency/timeout ones — the hot
+	// path pays one pointer test per site.
+	Tracer Tracer
 }
 
 // Orchestrator coordinates interactions among modules and between modules
@@ -92,14 +100,35 @@ type Config struct {
 type Orchestrator struct {
 	cfg    Config
 	stats  Stats
-	actA   map[aliasKey]bool
-	actM   map[modrefKey]bool
+	tracer Tracer
+	// actA/actM map in-flight propositions to their entry sequence number
+	// (see seq below); presence alone breaks premise cycles.
+	actA   map[aliasKey]int64
+	actM   map[modrefKey]int64
 	groups map[string][]Module
 	cacheA map[aliasKey]AliasResponse
 	cacheM map[modrefKey]ModRefResponse
 	// start of the in-flight top-level query, for the timeout policy.
 	queryStart time.Time
+	// timedOut reports whether the in-flight top-level query already
+	// counted its timeout, so Stats.Timeouts is at most one per query.
+	timedOut bool
+	// seq numbers resolution entries; rootSeq is the entry of the in-flight
+	// depth-0 resolution. Together they implement cache tainting: a
+	// resolution entered at seq s is degraded exactly when a cycle break
+	// referenced a proposition entered before s (the cycle leaves s's
+	// subtree, so a fresh resolution of s would not hit it) or a depth
+	// limit fired (which taints every frame but the root — only the root
+	// re-runs at the same depth when resolved fresh).
+	seq     int64
+	rootSeq int64
+	// windowMin is the smallest taint sequence observed during the current
+	// innermost resolution window (maxInt64 when none); frames fold their
+	// window into the parent's on exit.
+	windowMin int64
 }
+
+const noTaint = int64(^uint64(0) >> 1) // max int64
 
 // NewOrchestrator builds an Orchestrator from cfg.
 func NewOrchestrator(cfg Config) *Orchestrator {
@@ -107,10 +136,12 @@ func NewOrchestrator(cfg Config) *Orchestrator {
 		cfg.MaxDepth = 8
 	}
 	o := &Orchestrator{
-		cfg:    cfg,
-		actA:   map[aliasKey]bool{},
-		actM:   map[modrefKey]bool{},
-		groups: map[string][]Module{},
+		cfg:       cfg,
+		tracer:    cfg.Tracer,
+		actA:      map[aliasKey]int64{},
+		actM:      map[modrefKey]int64{},
+		groups:    map[string][]Module{},
+		windowMin: noTaint,
 	}
 	if cfg.EnableCache {
 		o.cacheA = map[aliasKey]AliasResponse{}
@@ -128,6 +159,12 @@ func NewOrchestrator(cfg Config) *Orchestrator {
 
 // Stats returns the accumulated counters.
 func (o *Orchestrator) Stats() *Stats { return &o.stats }
+
+// SetTracer attaches (or, with nil, detaches) a resolution tracer after
+// construction. Useful for factories that mint identically-configured
+// orchestrators but want one tracer per worker; must not be called while a
+// query is in flight.
+func (o *Orchestrator) SetTracer(t Tracer) { o.tracer = t }
 
 // aliasKey identifies the PROPOSITION an alias query asks about. The
 // desired-result parameter is deliberately excluded: it tunes module
@@ -161,36 +198,74 @@ func keyOfModRef(q *ModRefQuery) modrefKey {
 // Alias resolves a client alias query.
 func (o *Orchestrator) Alias(q *AliasQuery) AliasResponse {
 	o.stats.TopQueries++
+	o.timedOut = false
 	if o.cfg.Timeout > 0 {
 		o.queryStart = time.Now()
 	}
-	if o.cfg.RecordLatency {
-		start := time.Now()
-		defer func() { o.stats.recordLatency(time.Since(start)) }()
+	t := o.tracer
+	var start time.Time
+	if t != nil || o.cfg.RecordLatency {
+		start = time.Now()
 	}
-	return o.handleAlias(q, 0, nil)
+	if t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceTopStart, Alias: true, Prop: q.describe()})
+	}
+	r := o.handleAlias(q, 0, nil)
+	if o.cfg.RecordLatency {
+		o.stats.recordLatency(time.Since(start))
+	}
+	if t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceTopEnd, Alias: true, Result: r.Result.String(),
+			Cost: MinCost(r.Options), Dur: time.Since(start), Contribs: r.Contribs,
+			TimedOut: o.timedOut})
+	}
+	return r
 }
 
 // ModRef resolves a client mod-ref query.
 func (o *Orchestrator) ModRef(q *ModRefQuery) ModRefResponse {
 	o.stats.TopQueries++
+	o.timedOut = false
 	if o.cfg.Timeout > 0 {
 		o.queryStart = time.Now()
 	}
-	if o.cfg.RecordLatency {
-		start := time.Now()
-		defer func() { o.stats.recordLatency(time.Since(start)) }()
+	t := o.tracer
+	var start time.Time
+	if t != nil || o.cfg.RecordLatency {
+		start = time.Now()
 	}
-	return o.handleModRef(q, 0, nil)
+	if t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceTopStart, Prop: q.describe()})
+	}
+	r := o.handleModRef(q, 0, nil)
+	if o.cfg.RecordLatency {
+		o.stats.recordLatency(time.Since(start))
+	}
+	if t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceTopEnd, Result: r.Result.String(),
+			Cost: MinCost(r.Options), Dur: time.Since(start), Contribs: r.Contribs,
+			TimedOut: o.timedOut})
+	}
+	return r
 }
 
-// timedOut reports whether the in-flight query exceeded the budget.
-func (o *Orchestrator) timedOut() bool {
+// checkTimeout reports whether the in-flight query exceeded the budget.
+// The first expired check counts the timeout; later checks keep reporting
+// true (stopping every still-open search level) without recounting, so one
+// timed-out query contributes exactly one to Stats.Timeouts.
+func (o *Orchestrator) checkTimeout() bool {
 	if o.cfg.Timeout <= 0 || o.queryStart.IsZero() {
 		return false
 	}
+	if o.timedOut {
+		return true
+	}
 	if time.Since(o.queryStart) > o.cfg.Timeout {
+		o.timedOut = true
 		o.stats.Timeouts++
+		if t := o.tracer; t != nil {
+			t.TraceEvent(TraceEvent{Kind: TraceTimeout, Dur: time.Since(o.queryStart)})
+		}
 		return true
 	}
 	return false
@@ -231,12 +306,21 @@ func (o *Orchestrator) bailModRef(r ModRefResponse) bool {
 	}
 }
 
-func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) AliasResponse {
+func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) (resp AliasResponse) {
 	if depth > o.cfg.MaxDepth {
+		o.noteDepthLimit(true, depth, from)
 		return MayAliasResponse()
 	}
 	if depth > 0 {
 		o.stats.PremiseQueries++
+		if t := o.tracer; t != nil {
+			t.TraceEvent(TraceEvent{Kind: TracePremiseStart, Alias: true,
+				Prop: q.describe(), Depth: depth, From: moduleName(from)})
+			defer func() {
+				t.TraceEvent(TraceEvent{Kind: TracePremiseEnd, Alias: true,
+					Depth: depth, Result: resp.Result.String()})
+			}()
+		}
 	}
 	if o.cfg.StripDesired && q.Desired != AnyAlias {
 		cp := *q
@@ -244,12 +328,18 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) AliasR
 		q = &cp
 	}
 	k := keyOfAlias(q)
-	if o.actA[k] {
-		return MayAliasResponse() // break premise cycles conservatively
+	if entry, inFlight := o.actA[k]; inFlight {
+		// Break premise cycles conservatively; the answer depends on the
+		// in-flight proposition, so taint every frame that started after it.
+		o.noteCycleBreak(true, depth, from, entry)
+		return MayAliasResponse()
 	}
 	if o.cacheA != nil {
 		if r, ok := o.cacheA[k]; ok {
 			o.stats.CacheHits++
+			if t := o.tracer; t != nil {
+				t.TraceEvent(TraceEvent{Kind: TraceCacheHit, Alias: true, Depth: depth})
+			}
 			return r
 		}
 	}
@@ -259,16 +349,26 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) AliasR
 	if shared {
 		if r, ok := o.cfg.Shared.getAlias(k); ok {
 			o.stats.SharedHits++
+			if t := o.tracer; t != nil {
+				t.TraceEvent(TraceEvent{Kind: TraceSharedHit, Alias: true, Depth: depth})
+			}
 			return r
 		}
 	}
-	o.actA[k] = true
+	o.seq++
+	s := o.seq
+	if depth == 0 {
+		o.rootSeq = s
+	}
+	savedWindow := o.windowMin
+	o.windowMin = noTaint
+	o.actA[k] = s
 	defer delete(o.actA, k)
 
 	final := MayAliasResponse()
 	complete := true
 	for _, m := range o.audience(from) {
-		if o.timedOut() {
+		if o.checkTimeout() {
 			complete = false
 			break
 		}
@@ -278,13 +378,34 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) AliasR
 			}
 		}
 		o.stats.ModuleEvals++
+		t := o.tracer
+		var cstart time.Time
+		if t != nil {
+			cstart = time.Now()
+		}
 		res := m.Alias(q, handle{o: o, depth: depth, from: m})
+		if t != nil {
+			t.TraceEvent(TraceEvent{Kind: TraceConsult, Alias: true, Depth: depth,
+				Module: m.Name(), Result: res.Result.String(),
+				Cost: MinCost(res.Options), Dur: time.Since(cstart)})
+		}
 		final = o.joinAlias(final, res)
 		if o.bailAlias(final) {
 			break
 		}
 	}
-	if o.cacheA != nil && complete {
+	// A cycle break that left this frame's subtree (windowMin < s) means
+	// the answer was degraded by an enclosing in-flight proposition; a
+	// depth-limit taint (windowMin == rootSeq on a premise frame) means a
+	// fresh resolution would have had more depth to work with. Either way
+	// the answer may be less precise than a fresh resolution's, so it must
+	// not be memoized.
+	tainted := o.windowMin < s
+	if o.windowMin < savedWindow {
+		savedWindow = o.windowMin
+	}
+	o.windowMin = savedWindow
+	if o.cacheA != nil && complete && !tainted {
 		o.cacheA[k] = final
 	}
 	if shared && complete {
@@ -293,20 +414,33 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) AliasR
 	return final
 }
 
-func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) ModRefResponse {
+func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) (resp ModRefResponse) {
 	if depth > o.cfg.MaxDepth {
+		o.noteDepthLimit(false, depth, from)
 		return ModRefConservative()
 	}
 	if depth > 0 {
 		o.stats.PremiseQueries++
+		if t := o.tracer; t != nil {
+			t.TraceEvent(TraceEvent{Kind: TracePremiseStart,
+				Prop: q.describe(), Depth: depth, From: moduleName(from)})
+			defer func() {
+				t.TraceEvent(TraceEvent{Kind: TracePremiseEnd,
+					Depth: depth, Result: resp.Result.String()})
+			}()
+		}
 	}
 	k := keyOfModRef(q)
-	if o.actM[k] {
+	if entry, inFlight := o.actM[k]; inFlight {
+		o.noteCycleBreak(false, depth, from, entry)
 		return ModRefConservative()
 	}
 	if o.cacheM != nil {
 		if r, ok := o.cacheM[k]; ok {
 			o.stats.CacheHits++
+			if t := o.tracer; t != nil {
+				t.TraceEvent(TraceEvent{Kind: TraceCacheHit, Depth: depth})
+			}
 			return r
 		}
 	}
@@ -314,33 +448,88 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) ModR
 	if shared {
 		if r, ok := o.cfg.Shared.getModRef(k); ok {
 			o.stats.SharedHits++
+			if t := o.tracer; t != nil {
+				t.TraceEvent(TraceEvent{Kind: TraceSharedHit, Depth: depth})
+			}
 			return r
 		}
 	}
-	o.actM[k] = true
+	o.seq++
+	s := o.seq
+	if depth == 0 {
+		o.rootSeq = s
+	}
+	savedWindow := o.windowMin
+	o.windowMin = noTaint
+	o.actM[k] = s
 	defer delete(o.actM, k)
 
 	final := ModRefConservative()
 	complete := true
 	for _, m := range o.audience(from) {
-		if o.timedOut() {
+		if o.checkTimeout() {
 			complete = false
 			break
 		}
 		o.stats.ModuleEvals++
+		t := o.tracer
+		var cstart time.Time
+		if t != nil {
+			cstart = time.Now()
+		}
 		res := m.ModRef(q, handle{o: o, depth: depth, from: m})
+		if t != nil {
+			t.TraceEvent(TraceEvent{Kind: TraceConsult, Depth: depth,
+				Module: m.Name(), Result: res.Result.String(),
+				Cost: MinCost(res.Options), Dur: time.Since(cstart)})
+		}
 		final = o.joinModRef(final, res)
 		if o.bailModRef(final) {
 			break
 		}
 	}
-	if o.cacheM != nil && complete {
+	tainted := o.windowMin < s // see handleAlias
+	if o.windowMin < savedWindow {
+		savedWindow = o.windowMin
+	}
+	o.windowMin = savedWindow
+	if o.cacheM != nil && complete && !tainted {
 		o.cacheM[k] = final
 	}
 	if shared && complete {
 		o.cfg.Shared.putModRef(k, final)
 	}
 	return final
+}
+
+// noteCycleBreak records a conservative premise-cycle break: the in-flight
+// proposition entered at seq entry is being re-asked, so every resolution
+// that started after it (frames with entry seq > entry, i.e. the frames
+// between the in-flight proposition and this premise) is answering with
+// information a fresh resolution would not be constrained by.
+func (o *Orchestrator) noteCycleBreak(alias bool, depth int, from Module, entry int64) {
+	o.stats.CycleBreaks++
+	if entry < o.windowMin {
+		o.windowMin = entry
+	}
+	if t := o.tracer; t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceCycleBreak, Alias: alias,
+			Depth: depth, From: moduleName(from)})
+	}
+}
+
+// noteDepthLimit records a premise rejected at MaxDepth. Only the depth-0
+// frame would replay identically when resolved fresh, so the taint floor is
+// the root's entry seq: every premise-level frame in flight is tainted.
+func (o *Orchestrator) noteDepthLimit(alias bool, depth int, from Module) {
+	o.stats.DepthLimits++
+	if o.rootSeq < o.windowMin {
+		o.windowMin = o.rootSeq
+	}
+	if t := o.tracer; t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceDepthLimit, Alias: alias,
+			Depth: depth, From: moduleName(from)})
+	}
 }
 
 // handle implements Handle for one module evaluation.

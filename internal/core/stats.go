@@ -22,8 +22,16 @@ type Stats struct {
 	// SharedHits counts top-level queries served from a cross-orchestrator
 	// SharedCache (Config.Shared).
 	SharedHits int64
-	// Timeouts counts searches cut short by the timeout policy.
+	// Timeouts counts top-level queries cut short by the timeout policy —
+	// at most one per top-level query, however many premise searches the
+	// expired budget subsequently stops.
 	Timeouts int64
+	// CycleBreaks counts premise queries that re-asked an in-flight
+	// proposition and were answered conservatively (paper §3.3's
+	// termination rule).
+	CycleBreaks int64
+	// DepthLimits counts premise queries rejected at Config.MaxDepth.
+	DepthLimits int64
 	// Latencies holds per-top-level-query wall-clock durations when
 	// Config.RecordLatency is set, capped at MaxLatencySamples.
 	Latencies []time.Duration
@@ -57,6 +65,8 @@ func (s *Stats) Merge(other *Stats) {
 	s.CacheHits += other.CacheHits
 	s.SharedHits += other.SharedHits
 	s.Timeouts += other.Timeouts
+	s.CycleBreaks += other.CycleBreaks
+	s.DepthLimits += other.DepthLimits
 	s.LatencyDropped += other.LatencyDropped
 	for _, d := range other.Latencies {
 		s.recordLatency(d)

@@ -11,11 +11,13 @@ import (
 
 func TestStatsMergeCounters(t *testing.T) {
 	a := &Stats{TopQueries: 3, PremiseQueries: 5, Conflicts: 1, ModuleEvals: 10,
-		CacheHits: 2, SharedHits: 4, Timeouts: 1, LatencyDropped: 7,
-		Latencies: []time.Duration{time.Millisecond}}
+		CacheHits: 2, SharedHits: 4, Timeouts: 1, CycleBreaks: 2, DepthLimits: 1,
+		LatencyDropped: 7,
+		Latencies:      []time.Duration{time.Millisecond}}
 	b := &Stats{TopQueries: 4, PremiseQueries: 1, Conflicts: 2, ModuleEvals: 20,
-		CacheHits: 3, SharedHits: 1, Timeouts: 2, LatencyDropped: 1,
-		Latencies: []time.Duration{2 * time.Millisecond, 3 * time.Millisecond}}
+		CacheHits: 3, SharedHits: 1, Timeouts: 2, CycleBreaks: 3, DepthLimits: 4,
+		LatencyDropped: 1,
+		Latencies:      []time.Duration{2 * time.Millisecond, 3 * time.Millisecond}}
 	m := &Stats{}
 	m.Merge(a)
 	m.Merge(b)
@@ -23,7 +25,8 @@ func TestStatsMergeCounters(t *testing.T) {
 
 	if m.TopQueries != 7 || m.PremiseQueries != 6 || m.Conflicts != 3 ||
 		m.ModuleEvals != 30 || m.CacheHits != 5 || m.SharedHits != 5 ||
-		m.Timeouts != 3 || m.LatencyDropped != 8 {
+		m.Timeouts != 3 || m.CycleBreaks != 5 || m.DepthLimits != 5 ||
+		m.LatencyDropped != 8 {
 		t.Errorf("merged counters wrong: %+v", m)
 	}
 	if len(m.Latencies) != 3 {

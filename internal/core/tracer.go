@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"scaf/internal/ir"
+)
+
+// TraceEventKind enumerates the orchestration events a Tracer can observe.
+// Each kind fires at exactly the point the matching Stats counter (when one
+// exists) is incremented, so trace-derived totals always reconcile with the
+// aggregate counters: TraceTopStart ↔ TopQueries, TracePremiseStart ↔
+// PremiseQueries, TraceConsult ↔ ModuleEvals, TraceCacheHit ↔ CacheHits,
+// TraceSharedHit ↔ SharedHits, TraceCycleBreak ↔ CycleBreaks,
+// TraceDepthLimit ↔ DepthLimits, TraceTimeout ↔ Timeouts.
+type TraceEventKind int
+
+const (
+	// TraceTopStart opens a top-level client query.
+	TraceTopStart TraceEventKind = iota
+	// TraceTopEnd closes a top-level query with its joined answer and
+	// wall-clock duration.
+	TraceTopEnd
+	// TracePremiseStart opens a nested premise resolution (From names the
+	// module that asked).
+	TracePremiseStart
+	// TracePremiseEnd closes a premise resolution with its answer.
+	TracePremiseEnd
+	// TraceConsult records one module evaluation: the module's own answer
+	// (before joining) and its wall-clock cost.
+	TraceConsult
+	// TraceCacheHit marks the current resolution as served from the
+	// per-orchestrator memo table.
+	TraceCacheHit
+	// TraceSharedHit marks the current resolution as served from the
+	// cross-orchestrator SharedCache.
+	TraceSharedHit
+	// TraceCycleBreak marks a premise re-asking an in-flight proposition,
+	// answered conservatively.
+	TraceCycleBreak
+	// TraceDepthLimit marks a premise rejected at Config.MaxDepth.
+	TraceDepthLimit
+	// TraceTimeout marks the moment the top-level query exceeded
+	// Config.Timeout (at most once per top-level query).
+	TraceTimeout
+)
+
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceTopStart:
+		return "top_start"
+	case TraceTopEnd:
+		return "top_end"
+	case TracePremiseStart:
+		return "premise_start"
+	case TracePremiseEnd:
+		return "premise_end"
+	case TraceConsult:
+		return "consult"
+	case TraceCacheHit:
+		return "cache_hit"
+	case TraceSharedHit:
+		return "shared_hit"
+	case TraceCycleBreak:
+		return "cycle_break"
+	case TraceDepthLimit:
+		return "depth_limit"
+	case TraceTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("trace_kind_%d", int(k))
+}
+
+// TraceEvent is one orchestration event. Fields are populated per kind;
+// unused fields are zero. Events between a TraceTopStart and its matching
+// TraceTopEnd describe one top-level query's resolution tree:
+// premise start/end pairs nest, consults attach to the innermost open
+// resolution.
+type TraceEvent struct {
+	Kind TraceEventKind
+	// Alias distinguishes alias (true) from mod-ref (false) propositions.
+	Alias bool
+	// Prop is a human-readable proposition description (start, cache,
+	// cycle-break events).
+	Prop string
+	// Depth is the premise nesting depth (0 for top-level events).
+	Depth int
+	// From names the module that issued the premise ("" for the client).
+	From string
+	// Module names the consulted module (TraceConsult only).
+	Module string
+	// Result is the answer's lattice point (consult and end events).
+	Result string
+	// Cost is the answer's cheapest-option validation cost (consult and
+	// top-end events; MinCost's empty-set sentinel when no option exists).
+	Cost float64
+	// Dur is wall-clock time (consult and top-end events).
+	Dur time.Duration
+	// Contribs lists contributing modules (top-end events).
+	Contribs []string
+	// TimedOut reports that the search was cut short (top-end events).
+	TimedOut bool
+}
+
+// Tracer observes query resolution. Implementations must be cheap and must
+// not retain the event's slices beyond the call without copying. A Tracer
+// is confined to one orchestrator (orchestrators are single-goroutine);
+// parallel clients attach one tracer per worker and merge afterwards.
+//
+// The hook contract is nil-safe and allocation-free when disabled: with
+// Config.Tracer nil the orchestrator skips all event construction — the
+// query hot path pays only a pointer test per site.
+type Tracer interface {
+	TraceEvent(TraceEvent)
+}
+
+// describe renders the proposition an alias query asks about.
+func (q *AliasQuery) describe() string {
+	s := fmt.Sprintf("alias %s ~ %s [%s]", q.L1, q.L2, q.Rel)
+	if q.Desired != AnyAlias {
+		s += " want " + q.Desired.String()
+	}
+	if q.Loop != nil {
+		s += " in " + q.Loop.Name()
+	}
+	return s
+}
+
+// describe renders the proposition a mod-ref query asks about.
+func (q *ModRefQuery) describe() string {
+	var s string
+	if q.I2 != nil {
+		s = fmt.Sprintf("modref %s vs %s [%s]", fmtInstr(q.I1), fmtInstr(q.I2), q.Rel)
+	} else {
+		s = fmt.Sprintf("modref %s vs %s [%s]", fmtInstr(q.I1), q.Loc, q.Rel)
+	}
+	if q.Loop != nil {
+		s += " in " + q.Loop.Name()
+	}
+	return s
+}
+
+func fmtInstr(in *ir.Instr) string {
+	if in == nil {
+		return "?"
+	}
+	return ir.FormatInstr(in)
+}
+
+func moduleName(m Module) string {
+	if m == nil {
+		return ""
+	}
+	return m.Name()
+}

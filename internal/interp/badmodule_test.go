@@ -1,0 +1,74 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"scaf/internal/ir"
+)
+
+// bogusValue is an operand kind the evaluator has never heard of —
+// the stand-in for malformed IR produced by a buggy frontend.
+type bogusValue struct{}
+
+func (bogusValue) Type() ir.Type  { return ir.Int }
+func (bogusValue) String() string { return "bogus" }
+
+// TestMalformedOperandReturnsError is the regression test for the eval
+// panic: a module carrying an unknown operand kind must surface as an
+// error from Run, not crash the process.
+func TestMalformedOperandReturnsError(t *testing.T) {
+	m := ir.NewModule("bad")
+	f := m.NewFunc("main", ir.Int)
+	b := f.NewBlock("entry")
+	b.Ret(bogusValue{})
+
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Run panicked on malformed IR: %v", r)
+		}
+	}()
+	_, err := Run(m, Options{})
+	if err == nil {
+		t.Fatal("Run accepted a module with an unknown operand kind")
+	}
+	if !strings.Contains(err.Error(), "unknown value") {
+		t.Errorf("error %q does not identify the unknown operand", err)
+	}
+	if !strings.Contains(err.Error(), "main") {
+		t.Errorf("error %q does not name the offending function", err)
+	}
+}
+
+// TestMalformedOperandInArithmetic covers the non-terminator path: the
+// bogus operand feeds a binop, so the error threads through the register
+// evaluation loop rather than the return site.
+func TestMalformedOperandInArithmetic(t *testing.T) {
+	m := ir.NewModule("bad2")
+	f := m.NewFunc("main", ir.Int)
+	b := f.NewBlock("entry")
+	sum := b.BinIns(ir.Add, ir.CI(1), bogusValue{})
+	b.Ret(sum)
+
+	if _, err := Run(m, Options{}); err == nil || !strings.Contains(err.Error(), "unknown value") {
+		t.Fatalf("err = %v, want unknown-value error", err)
+	}
+}
+
+// TestParamIndexOutOfRange: a Param operand whose index exceeds the
+// supplied arguments is malformed in the same family — error, not panic.
+func TestParamIndexOutOfRange(t *testing.T) {
+	m := ir.NewModule("bad3")
+	callee := m.NewFunc("f", ir.Int, &ir.Param{PName: "x", Ty: ir.Int, Idx: 0})
+	cb := callee.NewBlock("entry")
+	cb.Ret(&ir.Param{PName: "ghost", Ty: ir.Int, Idx: 3}) // only 1 arg supplied
+
+	f := m.NewFunc("main", ir.Int)
+	b := f.NewBlock("entry")
+	call := b.Call(callee, ir.CI(7))
+	b.Ret(call)
+
+	if _, err := Run(m, Options{}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want out-of-range error", err)
+	}
+}

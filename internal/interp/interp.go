@@ -131,22 +131,33 @@ func ctxHash(parent uint64, fn *ir.Func, site *ir.Instr) uint64 {
 	return h.Sum64()
 }
 
-func (it *Interp) eval(v ir.Value, regs []uint64, args []uint64) uint64 {
+// eval resolves an operand to its raw 8-byte word. Malformed IR — an
+// operand kind the evaluator does not know, or a parameter index outside
+// the caller-supplied arguments — is reported as an error rather than a
+// panic, so profilers and validators running over untrusted modules degrade
+// gracefully (the error surfaces through Run).
+func (it *Interp) eval(v ir.Value, regs []uint64, args []uint64) (uint64, error) {
 	switch x := v.(type) {
 	case *ir.ConstInt:
-		return i2b(x.V)
+		return i2b(x.V), nil
 	case *ir.ConstFloat:
-		return f2b(x.V)
+		return f2b(x.V), nil
 	case *ir.ConstNull:
-		return 0
+		return 0, nil
 	case *ir.Global:
-		return it.globals[x]
+		return it.globals[x], nil
 	case *ir.Param:
-		return args[x.Idx]
+		if x.Idx < 0 || x.Idx >= len(args) {
+			return 0, fmt.Errorf("parameter index %d out of range (%d args)", x.Idx, len(args))
+		}
+		return args[x.Idx], nil
 	case *ir.Instr:
-		return regs[x.ID]
+		if x.ID < 0 || x.ID >= len(regs) {
+			return 0, fmt.Errorf("instruction id %d out of range (%d registers)", x.ID, len(regs))
+		}
+		return regs[x.ID], nil
 	}
-	panic(fmt.Sprintf("interp: unknown value %T", v))
+	return 0, fmt.Errorf("unknown value %T (%v)", v, v)
 }
 
 // call runs one function activation.
@@ -186,7 +197,11 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 				if inc == nil {
 					return 0, fmt.Errorf("%s: phi with no incoming value from %v", f.Name, prev)
 				}
-				vals[i] = it.eval(inc, regs, args)
+				v, err := it.eval(inc, regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(block.Instrs[i]), err)
+				}
+				vals[i] = v
 			}
 			for i := 0; i < nphi; i++ {
 				regs[block.Instrs[i].ID] = vals[i]
@@ -206,12 +221,19 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 				regs[in.ID] = o.Base
 				it.alloc(o)
 			case ir.OpMalloc:
-				size := b2i(it.eval(in.Args[0], regs, args))
+				raw, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				size := b2i(raw)
 				o := it.mem.Allocate(size, in, nil, ctx)
 				regs[in.ID] = o.Base
 				it.alloc(o)
 			case ir.OpFree:
-				addr := it.eval(in.Args[0], regs, args)
+				addr, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
 				if addr == 0 {
 					break // free(NULL) is a no-op
 				}
@@ -223,7 +245,10 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 					ob.Free(in, o)
 				}
 			case ir.OpLoad:
-				addr := it.eval(in.Args[0], regs, args)
+				addr, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
 				size := in.Ty.Size()
 				v, o, err := it.mem.Load(addr, size)
 				if err != nil {
@@ -234,8 +259,14 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 					ob.Load(in, addr, size, v, o)
 				}
 			case ir.OpStore:
-				val := it.eval(in.Args[0], regs, args)
-				addr := it.eval(in.Args[1], regs, args)
+				val, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				addr, err := it.eval(in.Args[1], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
 				size := in.Args[0].Type().Size()
 				o, err := it.mem.Store(addr, size, val)
 				if err != nil {
@@ -245,28 +276,53 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 					ob.Store(in, addr, size, val, o)
 				}
 			case ir.OpIndex:
-				base := it.eval(in.Args[0], regs, args)
-				idx := b2i(it.eval(in.Args[1], regs, args))
+				base, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				rawIdx, err := it.eval(in.Args[1], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				idx := b2i(rawIdx)
 				elem := ir.Pointee(in.Ty)
 				regs[in.ID] = base + uint64(idx*elem.Size())
 			case ir.OpField:
-				base := it.eval(in.Args[0], regs, args)
+				base, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
 				st := ir.Pointee(in.Args[0].Type()).(*ir.StructType)
 				regs[in.ID] = base + uint64(st.Fields[in.FieldIdx].Offset)
 			case ir.OpBin:
-				x := it.eval(in.Args[0], regs, args)
-				y := it.eval(in.Args[1], regs, args)
+				x, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				y, err := it.eval(in.Args[1], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
 				v, err := evalBin(in, x, y)
 				if err != nil {
 					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
 				}
 				regs[in.ID] = v
 			case ir.OpCmp:
-				x := it.eval(in.Args[0], regs, args)
-				y := it.eval(in.Args[1], regs, args)
+				x, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
+				y, err := it.eval(in.Args[1], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
 				regs[in.ID] = evalCmp(in, x, y)
 			case ir.OpCast:
-				x := it.eval(in.Args[0], regs, args)
+				x, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
 				switch in.Cast {
 				case ir.IntToFloat:
 					regs[in.ID] = f2b(float64(b2i(x)))
@@ -278,7 +334,11 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 			case ir.OpCall:
 				vals := make([]uint64, len(in.Args))
 				for i, a := range in.Args {
-					vals[i] = it.eval(a, regs, args)
+					v, err := it.eval(a, regs, args)
+					if err != nil {
+						return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+					}
+					vals[i] = v
 				}
 				if in.Callee == nil {
 					v, err := it.intrinsic(in, vals)
@@ -307,7 +367,10 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 				prev, block = block, next
 				goto nextBlock
 			case ir.OpCondBr:
-				c := it.eval(in.Args[0], regs, args)
+				c, err := it.eval(in.Args[0], regs, args)
+				if err != nil {
+					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+				}
 				next := block.Succs[0]
 				if c == 0 {
 					next = block.Succs[1]
@@ -319,7 +382,11 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 				goto nextBlock
 			case ir.OpRet:
 				if len(in.Args) > 0 {
-					return it.eval(in.Args[0], regs, args), nil
+					v, err := it.eval(in.Args[0], regs, args)
+					if err != nil {
+						return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
+					}
+					return v, nil
 				}
 				return 0, nil
 			case ir.OpPhi:

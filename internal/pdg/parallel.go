@@ -32,6 +32,14 @@ type ParallelClient struct {
 	// depend on which worker analyzed which loop first; leave it off when
 	// equivalence with a serial run matters.
 	NewOrchestrator func() *core.Orchestrator
+	// NewTracer, when non-nil, mints one core.Tracer per worker (worker
+	// indices are 0-based and dense) and attaches it to that worker's
+	// orchestrator. Tracers are confined to their worker; combine them
+	// afterwards in worker-index order (e.g. trace.Merge) for a
+	// deterministic stream, mirroring how stats are merged. A nil return
+	// leaves that worker untraced. Which loops land in which worker's trace
+	// varies run to run — the per-event record does not, per loop.
+	NewTracer func(worker int) core.Tracer
 }
 
 // NewParallelClient builds a parallel client over c with the given pool
@@ -59,6 +67,9 @@ func (pc *ParallelClient) AnalyzeLoops(loops []*cfg.Loop) ([]*LoopResult, *core.
 	}
 	if workers == 1 {
 		o := pc.NewOrchestrator()
+		if pc.NewTracer != nil {
+			o.SetTracer(pc.NewTracer(0))
+		}
 		for i, l := range loops {
 			results[i] = pc.Client.AnalyzeLoop(o, l)
 		}
@@ -70,10 +81,17 @@ func (pc *ParallelClient) AnalyzeLoops(loops []*cfg.Loop) ([]*LoopResult, *core.
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		// Tracers are minted here, not in the goroutine, so NewTracer is
+		// called serially and in worker order.
+		var tr core.Tracer
+		if pc.NewTracer != nil {
+			tr = pc.NewTracer(w)
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, tr core.Tracer) {
 			defer wg.Done()
 			o := pc.NewOrchestrator()
+			o.SetTracer(tr)
 			stats[w] = o.Stats()
 			for {
 				i := int(next.Add(1)) - 1
@@ -82,7 +100,7 @@ func (pc *ParallelClient) AnalyzeLoops(loops []*cfg.Loop) ([]*LoopResult, *core.
 				}
 				results[i] = pc.Client.AnalyzeLoop(o, loops[i])
 			}
-		}(w)
+		}(w, tr)
 	}
 	wg.Wait()
 	for _, st := range stats {

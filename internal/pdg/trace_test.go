@@ -1,0 +1,88 @@
+// Tracing through the parallel client: per-worker collectors must merge
+// into a stream that reconciles exactly with the merged stats, and a
+// traced run must produce bit-identical PDG results to an untraced one.
+package pdg_test
+
+import (
+	"reflect"
+	"testing"
+
+	"scaf"
+	"scaf/internal/bench"
+	"scaf/internal/core"
+	"scaf/internal/pdg"
+	"scaf/internal/trace"
+)
+
+// tracedRun analyzes b's hot loops with workers and per-worker collectors,
+// returning results, merged stats, and the worker-order merged stream.
+func tracedRun(b *bench.Benchmark, workers int) ([]*pdg.LoopResult, *core.Stats, []trace.Event) {
+	var collectors []*trace.Collector
+	pc := pdg.NewParallelClient(b.Sys.Client(), workers, b.Sys.OrchestratorFactory(scaf.SchemeSCAF))
+	pc.NewTracer = func(w int) core.Tracer {
+		c := trace.NewCollector()
+		collectors = append(collectors, c)
+		return c
+	}
+	results, stats := pc.AnalyzeLoops(b.Hot)
+	return results, stats, trace.Merge(collectors...)
+}
+
+func TestParallelTraceReconciles(t *testing.T) {
+	for _, b := range loadEquivalenceSuite(t) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			results, stats, events := tracedRun(b, equivalenceWorkers)
+			m := trace.Aggregate(events)
+			if err := m.Reconcile(stats); err != nil {
+				t.Fatalf("parallel trace does not reconcile: %v", err)
+			}
+			if stats.TopQueries > 0 && len(events) == 0 {
+				t.Fatal("queries ran but no events were recorded")
+			}
+			// Traced results are bit-identical to untraced serial results.
+			pcSerial := pdg.NewParallelClient(b.Sys.Client(), 1,
+				b.Sys.OrchestratorFactory(scaf.SchemeSCAF))
+			serial, serialStats := pcSerial.AnalyzeLoops(b.Hot)
+			if !reflect.DeepEqual(results, serial) {
+				t.Error("traced parallel results differ from untraced serial results")
+			}
+			// Counter totals agree too: tracing observes, never perturbs.
+			if !reflect.DeepEqual(statsNoLat(stats), statsNoLat(serialStats)) {
+				t.Errorf("traced stats %+v != untraced %+v", stats, serialStats)
+			}
+		})
+	}
+}
+
+func statsNoLat(s *core.Stats) core.Stats {
+	c := *s
+	c.Latencies = nil
+	return c
+}
+
+// TestParallelTraceTreesParse sanity-checks that the merged stream still
+// builds well-formed trees: one per top-level query, each carrying the
+// consults the stats counted.
+func TestParallelTraceTreesParse(t *testing.T) {
+	b := loadEquivalenceSuite(t)[0]
+	_, stats, events := tracedRun(b, equivalenceWorkers)
+	trees := trace.BuildTrees(events)
+	if int64(len(trees)) != stats.TopQueries {
+		t.Fatalf("trees = %d, top queries = %d", len(trees), stats.TopQueries)
+	}
+	var consults int64
+	var walk func(n *trace.Node)
+	walk = func(n *trace.Node) {
+		consults += int64(len(n.Consults))
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, tr := range trees {
+		walk(tr.Root)
+	}
+	if consults != stats.ModuleEvals {
+		t.Errorf("tree consults = %d, module evals = %d", consults, stats.ModuleEvals)
+	}
+}

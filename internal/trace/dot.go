@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Consult is one module evaluation attached to a resolution node.
+type Consult struct {
+	Module string
+	Result string
+	Cost   float64
+	Dur    time.Duration
+}
+
+// Node is one resolution frame in a top-level query's premise tree.
+type Node struct {
+	// Prop describes the proposition ("" when the frame was served from a
+	// cache, which skips the describing start event's fields).
+	Prop string
+	// Alias distinguishes alias from mod-ref propositions.
+	Alias bool
+	// Depth is the premise nesting depth (0 for the root).
+	Depth int
+	// From names the module that asked ("" for the client).
+	From string
+	// Result is the frame's joined answer.
+	Result string
+	// Consults lists the module evaluations of this frame, in order.
+	Consults []Consult
+	// Children are the premise resolutions opened by this frame's consults.
+	Children []*Node
+	// CacheHit/SharedHit mark frames answered from a memo table (leaf).
+	CacheHit, SharedHit bool
+	// CycleBreaks counts premises of this frame that re-asked an in-flight
+	// proposition; DepthLimits counts premises rejected at MaxDepth.
+	// Both are degradations local to this frame.
+	CycleBreaks, DepthLimits int
+}
+
+// Tree is one top-level query's resolution tree.
+type Tree struct {
+	// Query is the top-level query ordinal within the trace.
+	Query int64
+	Root  *Node
+	// Dur is the query's wall-clock time; TimedOut and Contribs mirror the
+	// top_end event.
+	Dur      time.Duration
+	TimedOut bool
+	Contribs []string
+}
+
+// BuildTrees reconstructs per-query resolution trees from an event stream.
+// Events that belong to a query whose top_start is missing (a truncated
+// trace) are dropped.
+func BuildTrees(events []Event) []*Tree {
+	var trees []*Tree
+	var cur *Tree
+	var stack []*Node
+	top := func() *Node {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1]
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case "top_start":
+			cur = &Tree{Query: e.Query, Root: &Node{Prop: e.Prop, Alias: e.Alias}}
+			stack = stack[:0]
+			stack = append(stack, cur.Root)
+		case "top_end":
+			if cur == nil {
+				continue
+			}
+			cur.Root.Result = e.Result
+			cur.Dur = time.Duration(e.DurNS)
+			cur.TimedOut = e.TimedOut
+			cur.Contribs = e.Contribs
+			trees = append(trees, cur)
+			cur, stack = nil, stack[:0]
+		case "premise_start":
+			parent := top()
+			if parent == nil {
+				continue
+			}
+			n := &Node{Prop: e.Prop, Alias: e.Alias, Depth: e.Depth, From: e.From}
+			parent.Children = append(parent.Children, n)
+			stack = append(stack, n)
+		case "premise_end":
+			if n := top(); n != nil && len(stack) > 1 {
+				n.Result = e.Result
+				stack = stack[:len(stack)-1]
+			}
+		case "consult":
+			if n := top(); n != nil {
+				n.Consults = append(n.Consults, Consult{
+					Module: e.Module, Result: e.Result, Cost: e.Cost,
+					Dur: time.Duration(e.DurNS),
+				})
+			}
+		case "cache_hit":
+			// The hit replaces the frame that a premise_start just opened
+			// (or answers the root directly at depth 0).
+			if n := top(); n != nil {
+				n.CacheHit = true
+			}
+		case "shared_hit":
+			if n := top(); n != nil {
+				n.SharedHit = true
+			}
+		case "cycle_break":
+			if n := top(); n != nil {
+				n.CycleBreaks++
+			}
+		case "depth_limit":
+			// Depth-limited premises are rejected before a frame opens, so
+			// the event lands on the asking frame.
+			if n := top(); n != nil {
+				n.DepthLimits++
+			}
+		}
+	}
+	return trees
+}
+
+// WriteDOT renders trees as one Graphviz digraph, one cluster per query.
+// Resolution frames are ellipses, module consults are boxes; solid edges
+// are premise questions (labeled with the asking module), dotted edges
+// attach consults.
+func WriteDOT(w io.Writer, trees []*Tree) error {
+	var b strings.Builder
+	b.WriteString("digraph scaf_trace {\n  rankdir=TB;\n  node [fontsize=10];\n")
+	id := 0
+	for _, t := range trees {
+		fmt.Fprintf(&b, "  subgraph cluster_q%d {\n", t.Query)
+		label := fmt.Sprintf("query %d — %s (%s)", t.Query, t.Root.Result, t.Dur.Round(time.Microsecond))
+		if t.TimedOut {
+			label += " TIMED OUT"
+		}
+		fmt.Fprintf(&b, "    label=%s;\n", dotQuote(label))
+		writeDOTNode(&b, t.Root, &id)
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeDOTNode(b *strings.Builder, n *Node, id *int) int {
+	me := *id
+	*id++
+	label := n.Prop
+	if label == "" {
+		label = "(frame)"
+	}
+	if n.Result != "" {
+		label += "\\n= " + n.Result
+	}
+	var marks []string
+	if n.CacheHit {
+		marks = append(marks, "cache hit")
+	}
+	if n.SharedHit {
+		marks = append(marks, "shared hit")
+	}
+	if n.CycleBreaks > 0 {
+		marks = append(marks, fmt.Sprintf("%d cycle break(s)", n.CycleBreaks))
+	}
+	if n.DepthLimits > 0 {
+		marks = append(marks, fmt.Sprintf("%d depth limit(s)", n.DepthLimits))
+	}
+	if len(marks) > 0 {
+		label += "\\n[" + strings.Join(marks, ", ") + "]"
+	}
+	shape := "ellipse"
+	if n.CacheHit || n.SharedHit {
+		shape = "diamond"
+	}
+	fmt.Fprintf(b, "    n%d [label=%s shape=%s];\n", me, dotQuote(label), shape)
+	for _, c := range n.Consults {
+		cid := *id
+		*id++
+		fmt.Fprintf(b, "    n%d [label=%s shape=box style=filled fillcolor=lightgrey];\n",
+			cid, dotQuote(fmt.Sprintf("%s\\n%s (%s)", c.Module, c.Result, c.Dur.Round(time.Microsecond))))
+		fmt.Fprintf(b, "    n%d -> n%d [style=dotted arrowhead=none];\n", me, cid)
+	}
+	for _, child := range n.Children {
+		cid := writeDOTNode(b, child, id)
+		elabel := child.From
+		if elabel != "" {
+			elabel = "asked by " + elabel
+		}
+		fmt.Fprintf(b, "    n%d -> n%d [label=%s];\n", me, cid, dotQuote(elabel))
+	}
+	return me
+}
+
+// dotQuote wraps s in DOT double quotes, escaping embedded quotes but
+// leaving \n sequences (Graphviz line breaks) intact.
+func dotQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scaf/internal/core"
+)
+
+// ModuleMetrics aggregates the consults of one module across a trace.
+type ModuleMetrics struct {
+	// Consults counts evaluations of this module.
+	Consults int64
+	// Dur is the total wall-clock time spent inside the module.
+	Dur time.Duration
+	// Results histograms the module's own answers (before joining),
+	// lattice point → count.
+	Results map[string]int64
+	// PremisesAsked counts premise queries this module issued.
+	PremisesAsked int64
+}
+
+// Metrics holds trace-derived totals. Each counter is the number of events
+// of the matching kind, so by the Tracer contract (events fire exactly
+// where counters increment) Metrics reconciles with core.Stats.
+type Metrics struct {
+	TopQueries     int64
+	PremiseQueries int64
+	Consults       int64
+	CacheHits      int64
+	SharedHits     int64
+	CycleBreaks    int64
+	DepthLimits    int64
+	Timeouts       int64
+	// MaxDepth is the deepest premise nesting observed.
+	MaxDepth int
+	// TopResults histograms the joined top-level answers.
+	TopResults map[string]int64
+	// TopDur is the total wall clock across top-level queries.
+	TopDur time.Duration
+	// PerModule maps module name → its consult aggregate.
+	PerModule map[string]*ModuleMetrics
+	// PremiseEdges counts asker module → premise queries issued; "" keys
+	// never occur (the client's queries are top-level, not premises).
+	PremiseEdges map[string]int64
+}
+
+// Aggregate derives Metrics from an event stream (any order-preserving
+// slice: one collector, a Merge result, or a ReadJSONL round trip).
+func Aggregate(events []Event) *Metrics {
+	m := &Metrics{
+		TopResults:   map[string]int64{},
+		PerModule:    map[string]*ModuleMetrics{},
+		PremiseEdges: map[string]int64{},
+	}
+	mod := func(name string) *ModuleMetrics {
+		mm := m.PerModule[name]
+		if mm == nil {
+			mm = &ModuleMetrics{Results: map[string]int64{}}
+			m.PerModule[name] = mm
+		}
+		return mm
+	}
+	for _, e := range events {
+		if e.Depth > m.MaxDepth {
+			m.MaxDepth = e.Depth
+		}
+		switch e.Kind {
+		case "top_start":
+			m.TopQueries++
+		case "top_end":
+			m.TopResults[e.Result]++
+			m.TopDur += time.Duration(e.DurNS)
+		case "premise_start":
+			m.PremiseQueries++
+			if e.From != "" {
+				m.PremiseEdges[e.From]++
+				mod(e.From).PremisesAsked++
+			}
+		case "consult":
+			m.Consults++
+			mm := mod(e.Module)
+			mm.Consults++
+			mm.Dur += time.Duration(e.DurNS)
+			mm.Results[e.Result]++
+		case "cache_hit":
+			m.CacheHits++
+		case "shared_hit":
+			m.SharedHits++
+		case "cycle_break":
+			m.CycleBreaks++
+		case "depth_limit":
+			m.DepthLimits++
+		case "timeout":
+			m.Timeouts++
+		}
+	}
+	return m
+}
+
+// Reconcile checks the trace-derived totals against an orchestrator's
+// counters and reports the first mismatch. A nil return is the
+// observability guarantee: the trace saw exactly the work the aggregate
+// counters accounted for.
+func (m *Metrics) Reconcile(st *core.Stats) error {
+	checks := []struct {
+		name   string
+		trace  int64
+		direct int64
+	}{
+		{"top queries", m.TopQueries, st.TopQueries},
+		{"premise queries", m.PremiseQueries, st.PremiseQueries},
+		{"module evals", m.Consults, st.ModuleEvals},
+		{"cache hits", m.CacheHits, st.CacheHits},
+		{"shared hits", m.SharedHits, st.SharedHits},
+		{"cycle breaks", m.CycleBreaks, st.CycleBreaks},
+		{"depth limits", m.DepthLimits, st.DepthLimits},
+		{"timeouts", m.Timeouts, st.Timeouts},
+	}
+	for _, c := range checks {
+		if c.trace != c.direct {
+			return fmt.Errorf("trace: %s diverge: trace saw %d, stats counted %d",
+				c.name, c.trace, c.direct)
+		}
+	}
+	return nil
+}
+
+// ModuleNames returns the consulted modules sorted by descending consult
+// count (ties by name), the order reports list them in.
+func (m *Metrics) ModuleNames() []string {
+	names := make([]string, 0, len(m.PerModule))
+	for n := range m.PerModule {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := m.PerModule[names[i]], m.PerModule[names[j]]
+		if a.Consults != b.Consults {
+			return a.Consults > b.Consults
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Format renders a human-readable metrics table.
+func (m *Metrics) Format() string {
+	s := fmt.Sprintf("queries: %d top, %d premise (max depth %d); %d consults; "+
+		"%d cache + %d shared hits; %d cycle breaks, %d depth limits, %d timeouts\n",
+		m.TopQueries, m.PremiseQueries, m.MaxDepth, m.Consults,
+		m.CacheHits, m.SharedHits, m.CycleBreaks, m.DepthLimits, m.Timeouts)
+	for _, n := range m.ModuleNames() {
+		mm := m.PerModule[n]
+		s += fmt.Sprintf("  %-24s %6d consults  %10s  %d premises asked\n",
+			n, mm.Consults, mm.Dur.Round(time.Microsecond), mm.PremisesAsked)
+	}
+	return s
+}

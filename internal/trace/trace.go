@@ -1,0 +1,170 @@
+// Package trace records and analyzes query-resolution traces emitted by
+// core.Orchestrator through the core.Tracer hook.
+//
+// The Collector turns the hook's event stream into a flat, order-preserving
+// record; WriteJSONL/ReadJSONL give it a stable on-disk form (one JSON
+// object per line); Aggregate derives per-module metrics that reconcile
+// exactly with core.Stats; BuildTrees reconstructs each top-level query's
+// resolution tree, renderable as a Graphviz collaboration graph (the
+// per-query view behind the paper's Fig. 9/10 aggregate numbers).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"scaf/internal/core"
+)
+
+// Event is the serializable form of one core.TraceEvent, stamped with its
+// position in the stream. Seq orders events within one collector; Query is
+// the ordinal of the enclosing top-level query (0-based), so the events of
+// one resolution tree share a Query value.
+type Event struct {
+	Seq      int64    `json:"seq"`
+	Query    int64    `json:"query"`
+	Kind     string   `json:"kind"`
+	Alias    bool     `json:"alias,omitempty"`
+	Prop     string   `json:"prop,omitempty"`
+	Depth    int      `json:"depth,omitempty"`
+	From     string   `json:"from,omitempty"`
+	Module   string   `json:"module,omitempty"`
+	Result   string   `json:"result,omitempty"`
+	Cost     float64  `json:"cost,omitempty"`
+	DurNS    int64    `json:"dur_ns,omitempty"`
+	Contribs []string `json:"contribs,omitempty"`
+	TimedOut bool     `json:"timed_out,omitempty"`
+}
+
+// Collector implements core.Tracer by buffering events in memory. Like the
+// orchestrator it serves, a Collector is confined to one goroutine; attach
+// one per worker and combine with Merge.
+type Collector struct {
+	events []Event
+	query  int64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{query: -1} }
+
+// TraceEvent implements core.Tracer.
+func (c *Collector) TraceEvent(e core.TraceEvent) {
+	if e.Kind == core.TraceTopStart {
+		c.query++
+	}
+	var contribs []string
+	if len(e.Contribs) > 0 {
+		contribs = append(contribs, e.Contribs...) // hook contract: copy, don't retain
+	}
+	c.events = append(c.events, Event{
+		Seq:      int64(len(c.events)),
+		Query:    c.query,
+		Kind:     e.Kind.String(),
+		Alias:    e.Alias,
+		Prop:     e.Prop,
+		Depth:    e.Depth,
+		From:     e.From,
+		Module:   e.Module,
+		Result:   e.Result,
+		Cost:     e.Cost,
+		DurNS:    int64(e.Dur),
+		Contribs: contribs,
+		TimedOut: e.TimedOut,
+	})
+}
+
+// Events returns the recorded stream in arrival order. The slice is owned
+// by the collector; callers must not append to it.
+func (c *Collector) Events() []Event { return c.events }
+
+// Len reports the number of recorded events.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Queries reports the number of top-level queries observed.
+func (c *Collector) Queries() int64 { return c.query + 1 }
+
+// Reset discards all recorded events.
+func (c *Collector) Reset() { c.events = nil; c.query = -1 }
+
+// Merge concatenates the event streams of several collectors into one,
+// renumbering Seq and Query so the result reads as a single stream. Like
+// core.Stats.Merge, the result is deterministic for a fixed argument order;
+// callers combining per-worker collectors should pass them in worker-index
+// order.
+func Merge(collectors ...*Collector) []Event {
+	total := 0
+	for _, c := range collectors {
+		if c != nil {
+			total += len(c.events)
+		}
+	}
+	out := make([]Event, 0, total)
+	var queryBase int64
+	for _, c := range collectors {
+		if c == nil {
+			continue
+		}
+		for _, e := range c.events {
+			e.Seq = int64(len(out))
+			e.Query += queryBase
+			out = append(out, e)
+		}
+		queryBase += c.query + 1
+	}
+	return out
+}
+
+// Concat appends src to dst, renumbering src's Seq and Query so the result
+// reads as one stream (e.g. when concatenating the traces of several
+// analyses into one JSONL file).
+func Concat(dst, src []Event) []Event {
+	var queryBase int64
+	if n := len(dst); n > 0 {
+		queryBase = dst[n-1].Query + 1
+	}
+	for _, e := range src {
+		e.Seq = int64(len(dst))
+		e.Query += queryBase
+		dst = append(dst, e)
+	}
+	return dst
+}
+
+// WriteJSONL writes events as JSON Lines: one event object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines stream produced by WriteJSONL. Blank lines
+// are skipped.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}

@@ -185,6 +185,16 @@ func WithTimeout(d time.Duration) OrchOption {
 	return func(c *core.Config) { c.Timeout = d }
 }
 
+// WithTracer attaches a query-resolution tracer (see internal/trace for
+// the collector, JSONL schema, and DOT rendering). Tracers are confined to
+// one orchestrator, so this option must not be used with
+// OrchestratorFactory or ParallelClient — every minted orchestrator would
+// share the tracer concurrently. Parallel runs attach per-worker tracers
+// through pdg.ParallelClient.NewTracer instead.
+func WithTracer(t core.Tracer) OrchOption {
+	return func(c *core.Config) { c.Tracer = t }
+}
+
 // WithoutTreeSubstitution disables control speculation's speculative
 // dominator-tree premise queries (ablation; its spec-dead rule remains).
 func WithoutTreeSubstitution() OrchOption {
