@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json clean
+.PHONY: all build vet test race bench bench-json bench-baseline bench-check clean
 
 all: vet build test
 
@@ -30,6 +30,21 @@ BENCH_JSON_ARGS ?= -bench 181.mcf
 bench-json:
 	$(GO) run ./cmd/scaf-bench $(BENCH_JSON_ARGS) -fig 8 \
 		-json BENCH.json -trace trace.jsonl -trace-dot trace.dot
+
+# Bench-regression gate. The committed baseline pins the answer
+# distribution (%NoDep, query counts) and the deterministic p50 per-query
+# work (module evals — machine-independent, so the gate is stable on any
+# CI host; the baseline runs serially to keep sample collection exact).
+# bench-check fails on any answer drift or a >20% p50 work regression.
+BENCH_GATE_ARGS ?= -bench 129.compress,181.mcf,462.libquantum -parallel 1 -fig 8
+BENCH_BASELINE  ?= results/bench-baseline.json
+
+bench-baseline:
+	$(GO) run ./cmd/scaf-bench $(BENCH_GATE_ARGS) -json $(BENCH_BASELINE)
+
+bench-check:
+	$(GO) run ./cmd/scaf-bench $(BENCH_GATE_ARGS) -json BENCH.fresh.json
+	$(GO) run ./cmd/scaf-benchdiff $(BENCH_BASELINE) BENCH.fresh.json
 
 clean:
 	$(GO) clean ./...

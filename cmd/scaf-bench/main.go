@@ -65,6 +65,10 @@ func main() {
 		os.Exit(1)
 	}
 	suite.Parallelism = *parallel
+	// The JSON report carries per-query latency summaries (the regression
+	// gate's deterministic work measure), so record samples when asked
+	// for one.
+	suite.Latency = *jsonPath != ""
 
 	var analyses []*bench.Analysis
 	if wantFig(8) || wantFig(9) || wantTable(2) || *jsonPath != "" {

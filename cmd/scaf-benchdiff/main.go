@@ -1,0 +1,63 @@
+// Command scaf-benchdiff gates benchmark regressions in CI: it compares
+// a fresh scaf-bench -json report against the committed baseline and
+// exits non-zero on any answer-distribution drift or on a >tol p50
+// query-work regression.
+//
+//	scaf-benchdiff [-tol 0.20] results/bench-baseline.json BENCH.json
+//
+// The gate compares the deterministic module-evals work measure, never
+// wall clock, so the committed baseline is valid on any host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaf/internal/bench"
+)
+
+func main() {
+	tol := flag.Float64("tol", bench.DefaultWorkTolerance,
+		"fractional p50 work regression allowed before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: scaf-benchdiff [-tol 0.20] baseline.json fresh.json")
+		os.Exit(2)
+	}
+
+	base, err := readReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaf-benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := readReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaf-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fails := bench.CompareReports(base, fresh, *tol)
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "scaf-benchdiff: %d violation(s) against %s:\n", len(fails), flag.Arg(0))
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("scaf-benchdiff: %s matches %s (%d benchmarks, work tolerance %d%%)\n",
+		flag.Arg(1), flag.Arg(0), len(base.Benchmarks), int(*tol*100))
+}
+
+func readReport(path string) (*bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := bench.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DefaultWorkTolerance is the fractional p50-work regression the gate
+// allows before failing (20%, per the CI policy).
+const DefaultWorkTolerance = 0.20
+
+// CompareReports checks a fresh report against a committed baseline and
+// returns one message per violation (empty: the gate passes). Two
+// classes of violation exist, mirroring what the gate protects:
+//
+//   - answer drift: any change to the answer distribution — %NoDep per
+//     scheme, query counts, hot-loop counts, top-level query volume, or
+//     a benchmark appearing/disappearing. Answers are exact; there is no
+//     tolerance.
+//   - work regression: the p50 per-query module-evals cost growing more
+//     than tol (fractional). Module evals are deterministic and
+//     machine-independent, unlike wall clock, so the committed baseline
+//     stays valid on any CI host. Wall-clock fields are never compared.
+//
+// Getting FASTER is never a violation; refresh the baseline to bank it.
+func CompareReports(base, fresh *Report, tol float64) []string {
+	var fails []string
+	baseBy := reportByName(base)
+	freshBy := reportByName(fresh)
+
+	names := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fb, ok := freshBy[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: present in baseline, missing from fresh report", name))
+			continue
+		}
+		fails = append(fails, compareBench(baseBy[name], fb, tol)...)
+	}
+	freshNames := make([]string, 0, len(freshBy))
+	for name := range freshBy {
+		if _, ok := baseBy[name]; !ok {
+			freshNames = append(freshNames, name)
+		}
+	}
+	sort.Strings(freshNames)
+	for _, name := range freshNames {
+		fails = append(fails, fmt.Sprintf("%s: present in fresh report, missing from baseline", name))
+	}
+	return fails
+}
+
+func reportByName(r *Report) map[string]*ReportBench {
+	out := map[string]*ReportBench{}
+	for i := range r.Benchmarks {
+		out[r.Benchmarks[i].Name] = &r.Benchmarks[i]
+	}
+	return out
+}
+
+func compareBench(base, fresh *ReportBench, tol float64) []string {
+	var fails []string
+	drift := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf("%s: answer drift: %s", base.Name, fmt.Sprintf(format, args...)))
+	}
+	if base.HotLoops != fresh.HotLoops {
+		drift("hot loops %d -> %d", base.HotLoops, fresh.HotLoops)
+	}
+	if base.Queries != fresh.Queries {
+		drift("dependence queries %d -> %d", base.Queries, fresh.Queries)
+	}
+
+	schemes := make([]string, 0, len(base.NoDepPct))
+	for scheme := range base.NoDepPct {
+		schemes = append(schemes, scheme)
+	}
+	sort.Strings(schemes)
+	for _, scheme := range schemes {
+		bv := base.NoDepPct[scheme]
+		fv, ok := fresh.NoDepPct[scheme]
+		if !ok {
+			drift("scheme %s missing from fresh report", scheme)
+			continue
+		}
+		// Exact up to float formatting noise: %NoDep is a ratio of integer
+		// query counts, so any real change moves it far beyond 1e-9.
+		if math.Abs(bv-fv) > 1e-9 {
+			drift("%s %%NoDep %.6f -> %.6f", scheme, bv, fv)
+		}
+		if bc, fc := base.Counters[scheme], fresh.Counters[scheme]; bc.TopQueries != fc.TopQueries {
+			drift("%s top-level queries %d -> %d", scheme, bc.TopQueries, fc.TopQueries)
+		}
+
+		bl, haveBase := base.Latency[scheme]
+		fl, haveFresh := fresh.Latency[scheme]
+		switch {
+		case !haveBase:
+			fails = append(fails, fmt.Sprintf(
+				"%s: baseline has no %s latency summary — regenerate it with latency recording on",
+				base.Name, scheme))
+		case !haveFresh:
+			fails = append(fails, fmt.Sprintf(
+				"%s: fresh report has no %s latency summary — run the gate with latency recording on",
+				base.Name, scheme))
+		case float64(fl.P50WorkEvals) > float64(bl.P50WorkEvals)*(1+tol):
+			fails = append(fails, fmt.Sprintf(
+				"%s: %s p50 query work regressed %d -> %d module evals (>%d%% over baseline)",
+				base.Name, scheme, bl.P50WorkEvals, fl.P50WorkEvals, int(tol*100)))
+		}
+	}
+	for scheme := range fresh.NoDepPct {
+		if _, ok := base.NoDepPct[scheme]; !ok {
+			drift("scheme %s missing from baseline", scheme)
+		}
+	}
+	return fails
+}
+
+// ReadReport parses a report written by WriteReport.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: decoding report: %w", err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+const baselinePath = "../../results/bench-baseline.json"
+
+func loadBaseline(t *testing.T) *Report {
+	t.Helper()
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		t.Fatalf("the committed bench baseline is missing (regenerate with `make bench-baseline`): %v", err)
+	}
+	defer f.Close()
+	r, err := ReadReport(f)
+	if err != nil {
+		t.Fatalf("parsing committed baseline: %v", err)
+	}
+	return r
+}
+
+// clone round-trips a report through JSON so perturbations cannot alias
+// the original's maps.
+func clone(t *testing.T, r *Report) *Report {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+func TestBaselineShape(t *testing.T) {
+	base := loadBaseline(t)
+	if len(base.Benchmarks) == 0 {
+		t.Fatal("baseline has no benchmarks")
+	}
+	for _, b := range base.Benchmarks {
+		for _, scheme := range []string{"CAF", "Confluence", "SCAF"} {
+			if _, ok := b.NoDepPct[scheme]; !ok {
+				t.Errorf("%s: no %%NoDep for %s", b.Name, scheme)
+			}
+			lat, ok := b.Latency[scheme]
+			if !ok {
+				t.Fatalf("%s: baseline lacks the %s latency summary the gate compares", b.Name, scheme)
+			}
+			if lat.Samples == 0 || lat.P50WorkEvals <= 0 {
+				t.Errorf("%s/%s: degenerate latency summary %+v", b.Name, scheme, lat)
+			}
+			if lat.P90WorkEvals < lat.P50WorkEvals || lat.MaxWorkEvals < lat.P90WorkEvals {
+				t.Errorf("%s/%s: unordered percentiles %+v", b.Name, scheme, lat)
+			}
+		}
+	}
+}
+
+func TestCompareReportsSelfIsClean(t *testing.T) {
+	base := loadBaseline(t)
+	if fails := CompareReports(base, clone(t, base), DefaultWorkTolerance); len(fails) != 0 {
+		t.Fatalf("self-comparison failed: %v", fails)
+	}
+}
+
+// TestCompareReportsCatchesPerturbations is the gate's own gate: a
+// deliberately perturbed report MUST fail the comparison, for every
+// class of perturbation bench-check exists to catch.
+func TestCompareReportsCatchesPerturbations(t *testing.T) {
+	base := loadBaseline(t)
+	cases := []struct {
+		name    string
+		perturb func(fresh *Report)
+		want    string // substring of some failure message
+	}{
+		{
+			"p50 work regression beyond tolerance",
+			func(fresh *Report) {
+				b := &fresh.Benchmarks[0]
+				lat := b.Latency["SCAF"]
+				lat.P50WorkEvals = lat.P50WorkEvals*13/10 + 1 // +30%
+				b.Latency["SCAF"] = lat
+			},
+			"p50 query work regressed",
+		},
+		{
+			"nodep drift",
+			func(fresh *Report) {
+				fresh.Benchmarks[0].NoDepPct["SCAF"] += 0.5
+			},
+			"answer drift",
+		},
+		{
+			"query-count drift",
+			func(fresh *Report) { fresh.Benchmarks[0].Queries++ },
+			"dependence queries",
+		},
+		{
+			"hot-loop drift",
+			func(fresh *Report) { fresh.Benchmarks[0].HotLoops++ },
+			"hot loops",
+		},
+		{
+			"top-level query volume drift",
+			func(fresh *Report) {
+				c := fresh.Benchmarks[0].Counters["SCAF"]
+				c.TopQueries++
+				fresh.Benchmarks[0].Counters["SCAF"] = c
+			},
+			"top-level queries",
+		},
+		{
+			"benchmark vanished",
+			func(fresh *Report) { fresh.Benchmarks = fresh.Benchmarks[1:] },
+			"missing from fresh report",
+		},
+		{
+			"benchmark appeared",
+			func(fresh *Report) {
+				fresh.Benchmarks = append(fresh.Benchmarks, ReportBench{Name: "999.surprise"})
+			},
+			"missing from baseline",
+		},
+		{
+			"latency summary dropped",
+			func(fresh *Report) { fresh.Benchmarks[0].Latency = nil },
+			"no SCAF latency summary",
+		},
+	}
+	for _, tc := range cases {
+		fresh := clone(t, base)
+		tc.perturb(fresh)
+		fails := CompareReports(base, fresh, DefaultWorkTolerance)
+		if len(fails) == 0 {
+			t.Errorf("%s: perturbed report passed the gate", tc.name)
+			continue
+		}
+		found := false
+		for _, f := range fails {
+			if strings.Contains(f, tc.want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no failure mentioning %q in %v", tc.name, tc.want, fails)
+		}
+	}
+}
+
+// TestCompareReportsToleratesHeadroom: getting faster, or slower within
+// tolerance, must pass — the gate only rejects regressions beyond tol.
+func TestCompareReportsToleratesHeadroom(t *testing.T) {
+	base := loadBaseline(t)
+
+	faster := clone(t, base)
+	for i := range faster.Benchmarks {
+		for scheme, lat := range faster.Benchmarks[i].Latency {
+			lat.P50WorkEvals /= 2
+			faster.Benchmarks[i].Latency[scheme] = lat
+		}
+	}
+	if fails := CompareReports(base, faster, DefaultWorkTolerance); len(fails) != 0 {
+		t.Fatalf("an improvement failed the gate: %v", fails)
+	}
+
+	slightlySlower := clone(t, base)
+	b := &slightlySlower.Benchmarks[0]
+	lat := b.Latency["SCAF"]
+	lat.P50WorkEvals = lat.P50WorkEvals * 11 / 10 // +10%, inside 20% tolerance
+	b.Latency["SCAF"] = lat
+	if fails := CompareReports(base, slightlySlower, DefaultWorkTolerance); len(fails) != 0 {
+		t.Fatalf("a within-tolerance slowdown failed the gate: %v", fails)
+	}
+}

@@ -9,55 +9,84 @@ import (
 	"scaf/internal/profile"
 )
 
-// TestFuzzAnalysisSoundness is the strongest correctness statement in the
-// repository: for hundreds of random programs, every dependence any
-// scheme disproves is cross-checked against the ground truth recorded by
-// the memory-dependence profiler during the very execution the
-// speculation was trained on. A manifested dependence disproved by
-// anything but value prediction is a soundness bug.
+// soundnessTrial generates the random program of one seed and
+// cross-checks every dependence any scheme disproves against the ground
+// truth recorded by the memory-dependence profiler during the very
+// execution the speculation was trained on. A manifested dependence
+// disproved by anything but value prediction is a soundness bug.
 //
 // Loop thresholds are lowered so the small random loops all get analyzed.
+// Shared by the deterministic sweep below and FuzzMCGenSoundness.
+func soundnessTrial(t testing.TB, seed int64) (loops, queries int) {
+	hot := profile.HotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5}
+	src := mcgen.New(seed).Program()
+	sys, err := scaf.Load("fuzz", src, scaf.Options{HotLoops: &hot})
+	if err != nil {
+		t.Fatalf("seed %d: %v\n%s", seed, err, src)
+	}
+	client := sys.Client()
+	ms := sys.MemSpec()
+	loops = len(sys.HotLoops())
+	for _, schemeName := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
+		o := sys.Orchestrator(schemeName)
+		for _, l := range sys.HotLoops() {
+			res := client.AnalyzeLoop(o, l)
+			queries += len(res.Queries)
+			for _, q := range res.Queries {
+				if !q.NoDep {
+					continue
+				}
+				if ms.NoDep(l, q.I1, q.I2, q.Rel) {
+					continue // never manifested: consistent
+				}
+				if schemeName != scaf.SchemeCAF && usesValuePred(q.Resp) {
+					continue // value prediction may remove real deps
+				}
+				t.Fatalf("seed %d (%v): UNSOUND: disproved manifested dep %s -> %s (%s) in %s via %v\n%s",
+					seed, schemeName, q.I1, q.I2, q.Rel, l.Name(), q.Resp.Contribs, src)
+			}
+		}
+	}
+	return loops, queries
+}
+
+// TestFuzzAnalysisSoundness is the strongest correctness statement in the
+// repository: soundnessTrial over hundreds of fixed seeds.
 func TestFuzzAnalysisSoundness(t *testing.T) {
 	trials := 150
 	if testing.Short() {
 		trials = 20
 	}
-	hot := profile.HotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5}
 	totalLoops, totalQueries := 0, 0
 	for seed := int64(5000); seed < int64(5000+trials); seed++ {
-		src := mcgen.New(seed).Program()
-		sys, err := scaf.Load("fuzz", src, scaf.Options{HotLoops: &hot})
-		if err != nil {
-			t.Fatalf("seed %d: %v\n%s", seed, err, src)
-		}
-		client := sys.Client()
-		ms := sys.MemSpec()
-		totalLoops += len(sys.HotLoops())
-		for _, schemeName := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
-			o := sys.Orchestrator(schemeName)
-			for _, l := range sys.HotLoops() {
-				res := client.AnalyzeLoop(o, l)
-				totalQueries += len(res.Queries)
-				for _, q := range res.Queries {
-					if !q.NoDep {
-						continue
-					}
-					if ms.NoDep(l, q.I1, q.I2, q.Rel) {
-						continue // never manifested: consistent
-					}
-					if schemeName != scaf.SchemeCAF && usesValuePred(q.Resp) {
-						continue // value prediction may remove real deps
-					}
-					t.Fatalf("seed %d (%v): UNSOUND: disproved manifested dep %s -> %s (%s) in %s via %v\n%s",
-						seed, schemeName, q.I1, q.I2, q.Rel, l.Name(), q.Resp.Contribs, src)
-				}
-			}
-		}
+		loops, queries := soundnessTrial(t, seed)
+		totalLoops += loops
+		totalQueries += queries
 	}
 	if totalLoops == 0 || totalQueries == 0 {
 		t.Fatalf("fuzz exercised nothing: loops=%d queries=%d", totalLoops, totalQueries)
 	}
 	t.Logf("fuzzed %d loops, %d queries", totalLoops, totalQueries)
+}
+
+// FuzzMCGenSoundness is the native-fuzzing face of soundnessTrial: the
+// engine mutates the generator seed, exploring program shapes the fixed
+// sweep never visits. Run with
+//
+//	go test ./internal/bench/ -run '^$' -fuzz FuzzMCGenSoundness -fuzztime 30s
+//
+// A crashing input is a random program where some scheme disproved a
+// dependence that manifested during its own training run; the corpus
+// file the engine writes pins the seed for regression.
+func FuzzMCGenSoundness(f *testing.F) {
+	// Seed the corpus with the start of the deterministic sweep plus a few
+	// spread-out probes so coverage starts from varied program shapes.
+	for _, seed := range []int64{0, 1, 42, 5000, 5001, 5002, 9000, 1 << 32, -7} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		soundnessTrial(t, seed)
+	})
 }
 
 // TestFuzzSchemeMonotonicity: on random programs, per-query resolutions

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"sort"
 
 	"scaf/internal/cfg"
 	"scaf/internal/core"
@@ -40,6 +41,57 @@ func countersOf(st *core.Stats) ReportCounters {
 	}
 }
 
+// ReportLatency summarizes one scheme's per-top-level-query cost. The
+// *_work_evals fields count module evaluations — a deterministic,
+// machine-independent work measure (identical across hosts and worker
+// counts absent a shared cache), which is what the regression gate
+// compares. The *_ns wall-clock fields are informational only.
+type ReportLatency struct {
+	Samples      int   `json:"samples"`
+	P50WorkEvals int64 `json:"p50_work_evals"`
+	P90WorkEvals int64 `json:"p90_work_evals"`
+	MaxWorkEvals int64 `json:"max_work_evals"`
+	P50NS        int64 `json:"p50_ns"`
+	P90NS        int64 `json:"p90_ns"`
+}
+
+// latencyOf derives the latency summary from recorded samples. Samples
+// are sorted first, so the summary is independent of the order parallel
+// workers happened to finish in.
+func latencyOf(st *core.Stats) (ReportLatency, bool) {
+	if st == nil || len(st.WorkSamples) == 0 {
+		return ReportLatency{}, false
+	}
+	work := append([]int64(nil), st.WorkSamples...)
+	ns := make([]int64, len(st.Latencies))
+	for i, d := range st.Latencies {
+		ns[i] = int64(d)
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	nearest := func(sorted []int64, p int) int64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		idx := (len(sorted)*p + 99) / 100
+		if idx < 1 {
+			idx = 1
+		}
+		if idx > len(sorted) {
+			idx = len(sorted)
+		}
+		return sorted[idx-1]
+	}
+	return ReportLatency{
+		Samples:      len(work),
+		P50WorkEvals: nearest(work, 50),
+		P90WorkEvals: nearest(work, 90),
+		MaxWorkEvals: work[len(work)-1],
+		P50NS:        nearest(ns, 50),
+		P90NS:        nearest(ns, 90),
+	}, true
+}
+
 // ReportBench is one benchmark's entry in the machine-readable report.
 type ReportBench struct {
 	Name     string `json:"name"`
@@ -50,6 +102,9 @@ type ReportBench struct {
 	NoDepPct map[string]float64 `json:"nodep_pct"`
 	// Counters maps scheme name → orchestration counters.
 	Counters map[string]ReportCounters `json:"counters"`
+	// Latency maps scheme name → per-query cost summary; present only
+	// when the suite ran with latency recording on.
+	Latency map[string]ReportLatency `json:"latency,omitempty"`
 }
 
 // Report is the -json output of scaf-bench: per-benchmark dependence
@@ -84,6 +139,12 @@ func BuildReport(s *Suite, as []*Analysis) *Report {
 			}
 			rb.NoDepPct[scheme] = pdg.WeightedNoDep(results, weight)
 			rb.Counters[scheme] = countersOf(a.Stats[scheme])
+			if lat, ok := latencyOf(a.Stats[scheme]); ok {
+				if rb.Latency == nil {
+					rb.Latency = map[string]ReportLatency{}
+				}
+				rb.Latency[scheme] = lat
+			}
 		}
 		for _, l := range b.Hot {
 			if lr := a.SCAF[l]; lr != nil {

@@ -26,6 +26,10 @@ type Suite struct {
 	// serially. Results are identical either way; see
 	// pdg.TestParallelMatchesSerial.
 	Parallelism int
+	// Latency records per-query latency samples (wall clock plus the
+	// deterministic module-evals work measure) during AnalyzeSuite, feeding
+	// the report's latency summaries.
+	Latency bool
 }
 
 // Load compiles and profiles one benchmark by name.
@@ -76,6 +80,11 @@ type AnalyzeOptions struct {
 	// core.SharedCache per scheme so workers reuse each other's top-level
 	// resolutions.
 	SharedCache bool
+	// Latency records per-query latency samples. The wall-clock half is
+	// machine-dependent; the module-evals half is deterministic for a
+	// given scheme (absent a SharedCache), which is what the regression
+	// gate compares across commits.
+	Latency bool
 }
 
 // Analyze runs the PDG client serially over the benchmark's hot loops
@@ -97,8 +106,11 @@ func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 	for _, scheme := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
 		var results []*pdg.LoopResult
 		stats := &core.Stats{}
+		var orchOpts []scaf.OrchOption
+		if opts.Latency {
+			orchOpts = append(orchOpts, scaf.WithLatency())
+		}
 		if opts.Parallelism >= 2 {
-			var orchOpts []scaf.OrchOption
 			if opts.SharedCache {
 				// One cache per (benchmark, scheme): caches must never
 				// span configurations.
@@ -108,7 +120,7 @@ func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 				b.Sys.OrchestratorFactory(scheme, orchOpts...))
 			results, stats = pc.AnalyzeLoops(b.Hot)
 		} else {
-			o := b.Sys.Orchestrator(scheme)
+			o := b.Sys.Orchestrator(scheme, orchOpts...)
 			for _, l := range b.Hot {
 				results = append(results, client.AnalyzeLoop(o, l))
 			}
@@ -133,7 +145,7 @@ func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 func AnalyzeSuite(s *Suite) []*Analysis {
 	out := make([]*Analysis, len(s.Benchmarks))
 	for i, b := range s.Benchmarks {
-		out[i] = AnalyzeWith(b, AnalyzeOptions{Parallelism: s.Parallelism})
+		out[i] = AnalyzeWith(b, AnalyzeOptions{Parallelism: s.Parallelism, Latency: s.Latency})
 	}
 	return out
 }

@@ -166,6 +166,16 @@ func (o *Orchestrator) Stats() *Stats { return &o.stats }
 // query is in flight.
 func (o *Orchestrator) SetTracer(t Tracer) { o.tracer = t }
 
+// SetTimeout replaces the per-top-level-query time budget after
+// construction (0 disables it). Like SetTracer it exists for pools that
+// reuse identically-configured orchestrators across requests with
+// different deadlines; it must not be called while a query is in flight.
+// The timeout only ever cuts a search short — results found before the
+// budget expires are unaffected, and incomplete resolutions are never
+// published to caches — so varying it between requests cannot corrupt an
+// attached SharedCache.
+func (o *Orchestrator) SetTimeout(d time.Duration) { o.cfg.Timeout = d }
+
 // aliasKey identifies the PROPOSITION an alias query asks about. The
 // desired-result parameter is deliberately excluded: it tunes module
 // effort, not meaning, so a premise re-asking an in-flight proposition
@@ -210,9 +220,10 @@ func (o *Orchestrator) Alias(q *AliasQuery) AliasResponse {
 	if t != nil {
 		t.TraceEvent(TraceEvent{Kind: TraceTopStart, Alias: true, Prop: q.describe()})
 	}
+	evals0 := o.stats.ModuleEvals
 	r := o.handleAlias(q, 0, nil)
 	if o.cfg.RecordLatency {
-		o.stats.recordLatency(time.Since(start))
+		o.stats.recordLatency(time.Since(start), o.stats.ModuleEvals-evals0)
 	}
 	if t != nil {
 		t.TraceEvent(TraceEvent{Kind: TraceTopEnd, Alias: true, Result: r.Result.String(),
@@ -237,9 +248,10 @@ func (o *Orchestrator) ModRef(q *ModRefQuery) ModRefResponse {
 	if t != nil {
 		t.TraceEvent(TraceEvent{Kind: TraceTopStart, Prop: q.describe()})
 	}
+	evals0 := o.stats.ModuleEvals
 	r := o.handleModRef(q, 0, nil)
 	if o.cfg.RecordLatency {
-		o.stats.recordLatency(time.Since(start))
+		o.stats.recordLatency(time.Since(start), o.stats.ModuleEvals-evals0)
 	}
 	if t != nil {
 		t.TraceEvent(TraceEvent{Kind: TraceTopEnd, Result: r.Result.String(),

@@ -35,17 +35,26 @@ type Stats struct {
 	// Latencies holds per-top-level-query wall-clock durations when
 	// Config.RecordLatency is set, capped at MaxLatencySamples.
 	Latencies []time.Duration
+	// WorkSamples parallels Latencies with each query's module-eval count —
+	// the deterministic work measure behind its wall-clock latency. Unlike
+	// wall-clock samples, the multiset of work samples is identical across
+	// machines and across serial/parallel runs (absent a SharedCache, whose
+	// hits cost zero work and depend on interleaving), so percentile
+	// regressions on it are machine-independent.
+	WorkSamples []int64
 	// LatencyDropped counts latency samples discarded past the cap.
 	LatencyDropped int64
 }
 
-// recordLatency appends one sample, enforcing the MaxLatencySamples cap.
-func (s *Stats) recordLatency(d time.Duration) {
+// recordLatency appends one latency+work sample pair, enforcing the
+// MaxLatencySamples cap.
+func (s *Stats) recordLatency(d time.Duration, work int64) {
 	if len(s.Latencies) >= MaxLatencySamples {
 		s.LatencyDropped++
 		return
 	}
 	s.Latencies = append(s.Latencies, d)
+	s.WorkSamples = append(s.WorkSamples, work)
 }
 
 // Merge folds other into s: counters add, and other's latency samples are
@@ -68,7 +77,13 @@ func (s *Stats) Merge(other *Stats) {
 	s.CycleBreaks += other.CycleBreaks
 	s.DepthLimits += other.DepthLimits
 	s.LatencyDropped += other.LatencyDropped
-	for _, d := range other.Latencies {
-		s.recordLatency(d)
+	for i, d := range other.Latencies {
+		// Hand-built Stats may carry latencies without work samples; treat
+		// the missing work as zero rather than panicking.
+		var work int64
+		if i < len(other.WorkSamples) {
+			work = other.WorkSamples[i]
+		}
+		s.recordLatency(d, work)
 	}
 }

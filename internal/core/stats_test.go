@@ -65,7 +65,7 @@ func copyNoLat(s *Stats) *Stats {
 func TestRecordLatencyCap(t *testing.T) {
 	s := &Stats{}
 	for i := 0; i < MaxLatencySamples+10; i++ {
-		s.recordLatency(time.Duration(i))
+		s.recordLatency(time.Duration(i), int64(i))
 	}
 	if len(s.Latencies) != MaxLatencySamples {
 		t.Errorf("latencies = %d, want cap %d", len(s.Latencies), MaxLatencySamples)

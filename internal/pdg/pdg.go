@@ -94,11 +94,38 @@ func noDep(resp core.ModRefResponse, i2 *ir.Instr) bool {
 	return true
 }
 
+// MaterializeQuery applies the client's affordability rule to one mod-ref
+// response, producing the Query record AnalyzeLoop records: responses
+// whose every option is prohibitively expensive are treated as unresolved
+// (the client cannot afford them), mirroring the paper's discarding of
+// points-to-predicated answers.
+func MaterializeQuery(i1, i2 *ir.Instr, rel core.TemporalRelation, resp core.ModRefResponse) Query {
+	q := Query{I1: i1, I2: i2, Rel: rel, Resp: resp}
+	afford := core.AffordableOptions(resp.Options)
+	if len(afford) == 0 {
+		// Unaffordable: fall back to the conservative result.
+		q.NoDep = false
+		return q
+	}
+	q.NoDep = noDep(resp, i2)
+	if q.NoDep {
+		q.Cost = core.MinCost(afford)
+	}
+	return q
+}
+
 // AnalyzeLoop builds the dependence query set of loop l and resolves it
-// through o. Responses whose every option is prohibitively expensive are
-// treated as unresolved (the client cannot afford them), mirroring the
-// paper's discarding of points-to-predicated answers.
+// through o.
 func (c *Client) AnalyzeLoop(o *core.Orchestrator, l *cfg.Loop) *LoopResult {
+	return c.AnalyzeLoopHook(o, l, nil)
+}
+
+// AnalyzeLoopHook is AnalyzeLoop with a hook invoked immediately before
+// each dependence query is issued (nil: no hook, identical to
+// AnalyzeLoop). The serving layer uses the hook to re-arm the
+// orchestrator's per-query time budget against a request deadline; the
+// hook cannot change the query set or its order.
+func (c *Client) AnalyzeLoopHook(o *core.Orchestrator, l *cfg.Loop, before func()) *LoopResult {
 	dt := c.Prog.Dom[l.Fn]
 	pdt := c.Prog.PostDom[l.Fn]
 	ops := l.MemOps()
@@ -112,21 +139,13 @@ func (c *Client) AnalyzeLoop(o *core.Orchestrator, l *cfg.Loop) *LoopResult {
 				if !depPossible(i1, i2) {
 					continue
 				}
+				if before != nil {
+					before()
+				}
 				resp := o.ModRef(&core.ModRefQuery{
 					I1: i1, I2: i2, Rel: rel, Loop: l, DT: dt, PDT: pdt,
 				})
-				q := Query{I1: i1, I2: i2, Rel: rel, Resp: resp}
-				afford := core.AffordableOptions(resp.Options)
-				if len(afford) == 0 {
-					// Unaffordable: fall back to the conservative result.
-					q.NoDep = false
-				} else {
-					q.NoDep = noDep(resp, i2)
-					if q.NoDep {
-						q.Cost = core.MinCost(afford)
-					}
-				}
-				res.Queries = append(res.Queries, q)
+				res.Queries = append(res.Queries, MaterializeQuery(i1, i2, rel, resp))
 			}
 		}
 	}

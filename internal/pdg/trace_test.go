@@ -48,8 +48,17 @@ func TestParallelTraceReconciles(t *testing.T) {
 				t.Error("traced parallel results differ from untraced serial results")
 			}
 			// Counter totals agree too: tracing observes, never perturbs.
-			if !reflect.DeepEqual(statsNoLat(stats), statsNoLat(serialStats)) {
-				t.Errorf("traced stats %+v != untraced %+v", stats, serialStats)
+			// The comparison runs at workers=1 on both sides because effort
+			// counters (ModuleEvals, PremiseQueries) are NOT partition-
+			// invariant: modules carry lazily built caches of their own
+			// (e.g. global-malloc's per-global classification), so which
+			// worker's module instance analyzes which loop changes how much
+			// work repeats — results stay identical, effort does not.
+			// Comparing an 8-worker run against a serial one here would be
+			// flaky by construction.
+			_, tracedSerialStats, _ := tracedRun(b, 1)
+			if !reflect.DeepEqual(statsNoLat(tracedSerialStats), statsNoLat(serialStats)) {
+				t.Errorf("traced stats %+v != untraced %+v", tracedSerialStats, serialStats)
 			}
 		})
 	}
@@ -58,6 +67,7 @@ func TestParallelTraceReconciles(t *testing.T) {
 func statsNoLat(s *core.Stats) core.Stats {
 	c := *s
 	c.Latencies = nil
+	c.WorkSamples = nil
 	return c
 }
 

@@ -1,0 +1,50 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces identical in-flight computations — a minimal
+// singleflight. Only deadline-free work goes through it: a deadline-free
+// answer is a pure function of (session, scheme, proposition), so every
+// concurrent identical request can share one resolution, and sharing is
+// invisible in the response bytes. Deadline-bounded requests bypass the
+// group entirely: their answers may be cut short by the budget, and a
+// degraded answer must never be served to a caller that asked for a
+// different budget (the admission-side analogue of SharedCache's
+// only-publish-complete-resolutions rule).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do runs fn once per set of concurrent callers sharing key. The boolean
+// reports whether this caller's result was coalesced onto another
+// in-flight computation.
+func (g *flightGroup) do(key string, fn func() (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}

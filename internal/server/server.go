@@ -1,0 +1,517 @@
+// Package server turns the SCAF library into a long-running analysis
+// daemon. A session is one compiled, profiled MC program with a
+// validated speculation plan and warm per-scheme orchestrator pools;
+// clients POST dependence queries (single, or batched per loop) against
+// it over HTTP/JSON.
+//
+// The serving layer adds exactly three things over the library path, and
+// none of them may change answers:
+//
+//   - coalescing: identical deadline-free in-flight requests share one
+//     resolution (flightGroup), stacked on top of the per-scheme
+//     core.SharedCache;
+//   - admission control: a bounded worker pool plus a bounded wait
+//     queue; overflow is rejected with 429 + Retry-After rather than
+//     queued without bound;
+//   - deadlines: a per-request budget mapped onto the orchestrator's
+//     timeout bail-out, re-armed before every dependence query.
+//
+// Responses are encoded by the same functions the equivalence tests
+// apply to library results, so "HTTP answers are bit-identical to
+// scaf.AnalyzeWith" is a byte-level property, not a summary-level one.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaf/internal/core"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Workers bounds concurrently-executing analysis requests (default:
+	// 4). Orchestrators are minted per concurrent request and stay warm,
+	// so Workers also bounds each session's eventual pool size per scheme.
+	Workers int
+	// MaxQueue bounds requests waiting for a worker slot (default: 16).
+	// Beyond it the server sheds load with 429 + Retry-After.
+	MaxQueue int
+	// DefaultDeadline, when positive, bounds requests that do not carry
+	// their own deadline_ms. Deadline-bounded answers are never coalesced,
+	// so leave this zero unless latency matters more than throughput.
+	DefaultDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	return c
+}
+
+// Server is the analysis daemon's state: the session registry, the
+// admission machinery, and the serving counters.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	sem chan struct{}
+
+	// mu guards the lifecycle state: session registry and drain tracking.
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string
+	nextID   int
+	inflight int
+	draining bool
+	idle     chan struct{}
+
+	flights flightGroup
+
+	queued         atomic.Int64
+	accepted       atomic.Int64
+	rejected       atomic.Int64
+	coalesceHits   atomic.Int64
+	deadlineMisses atomic.Int64
+	queriesServed  atomic.Int64
+	loopsServed    atomic.Int64
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		sessions: map[string]*session{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /sessions", s.handleListSessions)
+	mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /sessions/{id}/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP handler. Every request is tracked
+// for graceful drain; requests arriving after Shutdown begins get 503.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.enter() {
+			w.Header().Set("Retry-After", "5")
+			writeError(w, &httpError{status: http.StatusServiceUnavailable,
+				detail: ErrorDetail{Code: "draining", Message: "server is shutting down"}})
+			return
+		}
+		defer s.exit()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// enter registers one in-flight request; false means the server is
+// draining and the request must be refused.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) exit() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown starts draining: new requests are refused with 503 and the
+// call blocks until every in-flight request has completed (or ctx
+// expires). Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown interrupted with requests in flight")
+	}
+}
+
+// admit acquires a worker slot for one analysis request, waiting in the
+// bounded queue if all slots are busy. It returns a release function, or
+// an error (429 when the queue is full, 503 when the caller gave up).
+func (s *Server) admit(r *http.Request) (func(), *httpError) {
+	select {
+	case s.sem <- struct{}{}:
+		s.accepted.Add(1)
+		return func() { <-s.sem }, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		he := &httpError{status: http.StatusTooManyRequests,
+			detail: ErrorDetail{Code: "overloaded",
+				Message: fmt.Sprintf("all %d workers busy and %d requests queued", s.cfg.Workers, s.cfg.MaxQueue)}}
+		he.retryAfter = "1"
+		return nil, he
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+		s.accepted.Add(1)
+		return func() { <-s.sem }, nil
+	case <-r.Context().Done():
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		return nil, &httpError{status: http.StatusServiceUnavailable,
+			detail: ErrorDetail{Code: "canceled", Message: "request canceled while queued"}}
+	}
+}
+
+// lookup finds a session by path id.
+func (s *Server) lookup(r *http.Request) (*session, *httpError) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		return nil, errNotFound("no session %q", id)
+	}
+	return sess, nil
+}
+
+// deadlineFor resolves a request's absolute deadline (zero: unbounded).
+func (s *Server) deadlineFor(ms int64) time.Time {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
+const maxBodyBytes = 8 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) *httpError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest("decoding request body: %v", err)
+	}
+	return nil
+}
+
+// createSession allocates an id, builds the session (compile, profile,
+// plan-validate, warm pools) and registers it.
+func (s *Server) createSession(req *CreateSessionRequest) (*session, *httpError) {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.mu.Unlock()
+
+	sess, he := newSession(id, req)
+	if he != nil {
+		return nil, he
+	}
+	s.mu.Lock()
+	s.sessions[id] = sess
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// Preload loads an embedded benchmark as a session outside the HTTP path
+// (startup convenience; plan validation applies exactly as on POST
+// /sessions).
+func (s *Server) Preload(bench string) (SessionInfo, error) {
+	sess, he := s.createSession(&CreateSessionRequest{Bench: bench})
+	if he != nil {
+		return SessionInfo{}, fmt.Errorf("%s: %s", he.detail.Code, he.detail.Message)
+	}
+	return sess.info(), nil
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if he := decodeJSON(w, r, &req); he != nil {
+		writeError(w, he)
+		return
+	}
+	release, he := s.admit(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	defer release()
+
+	sess, he := s.createSession(&req)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]SessionInfo, 0, len(s.order))
+	for _, id := range s.order {
+		if sess := s.sessions[id]; sess != nil {
+			out = append(out, sess.info())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, he := s.lookup(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, errNotFound("no session %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	sess, he := s.lookup(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	var req AnalyzeRequest
+	if he := decodeJSON(w, r, &req); he != nil {
+		writeError(w, he)
+		return
+	}
+	scheme, he := parseScheme(req.Scheme)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	loops := sess.hot
+	if len(req.Loops) > 0 {
+		loops = loops[:0:0]
+		for _, name := range req.Loops {
+			l, ok := sess.loops[name]
+			if !ok {
+				writeError(w, errNotFound("no hot loop %q in session %s", name, sess.id))
+				return
+			}
+			loops = append(loops, l)
+		}
+	}
+
+	release, he := s.admit(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	defer release()
+
+	deadline := s.deadlineFor(req.DeadlineMS)
+	resp := AnalyzeResponse{Session: sess.id, Scheme: scheme.String()}
+	for _, l := range loops {
+		var wr WireLoopResult
+		if deadline.IsZero() {
+			// Deadline-free: the answer is a pure function of (session,
+			// scheme, loop), so concurrent identical batches share one
+			// resolution.
+			key := "analyze|" + sess.id + "|" + scheme.String() + "|" + l.Name()
+			l := l
+			v, shared, _ := s.flights.do(key, func() (any, error) {
+				wr, _ := sess.analyzeLoop(scheme, l, time.Time{})
+				return wr, nil
+			})
+			if shared {
+				s.coalesceHits.Add(1)
+				resp.CoalesceHits++
+			}
+			wr = v.(WireLoopResult)
+		} else {
+			var delta core.Stats
+			wr, delta = sess.analyzeLoop(scheme, l, deadline)
+			resp.DeadlineMisses += delta.Timeouts
+			s.deadlineMisses.Add(delta.Timeouts)
+		}
+		resp.Results = append(resp.Results, wr)
+		s.loopsServed.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sess, he := s.lookup(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	var req QueryRequest
+	if he := decodeJSON(w, r, &req); he != nil {
+		writeError(w, he)
+		return
+	}
+	scheme, he := parseScheme(req.Scheme)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	l, ok := sess.loops[req.Loop]
+	if !ok {
+		writeError(w, errNotFound("no hot loop %q in session %s", req.Loop, sess.id))
+		return
+	}
+	rel, err := ParseRel(req.Rel)
+	if err != nil {
+		writeError(w, errBadRequest("%v", err))
+		return
+	}
+	i1, he := sess.lookupInstr(req.I1)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	i2, he := sess.lookupInstr(req.I2)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+
+	release, he := s.admit(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	defer release()
+
+	deadline := s.deadlineFor(req.DeadlineMS)
+	resp := QueryResponse{Session: sess.id, Scheme: scheme.String()}
+	if deadline.IsZero() {
+		key := "query|" + sess.id + "|" + scheme.String() + "|" + l.Name() +
+			"|" + req.I1 + "|" + req.I2 + "|" + rel.String()
+		v, shared, _ := s.flights.do(key, func() (any, error) {
+			wq, _ := sess.resolveQuery(scheme, l, i1, i2, rel, time.Time{})
+			return wq, nil
+		})
+		if shared {
+			s.coalesceHits.Add(1)
+			resp.Coalesced = true
+		}
+		resp.Query = v.(WireQuery)
+	} else {
+		wq, delta := sess.resolveQuery(scheme, l, i1, i2, rel, deadline)
+		resp.Query = wq
+		if delta.Timeouts > 0 {
+			resp.DeadlineMiss = true
+			s.deadlineMisses.Add(delta.Timeouts)
+		}
+	}
+	s.queriesServed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Sessions: n})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.order))
+	for _, id := range s.order {
+		if sess := s.sessions[id]; sess != nil {
+			sessions = append(sessions, sess)
+		}
+	}
+	draining := s.draining
+	inflight := s.inflight
+	s.mu.Unlock()
+
+	resp := MetricsResponse{
+		Server: ServerCounters{
+			Accepted:       s.accepted.Load(),
+			Rejected:       s.rejected.Load(),
+			QueueDepth:     s.queued.Load(),
+			InFlight:       int64(inflight),
+			CoalesceHits:   s.coalesceHits.Load(),
+			DeadlineMisses: s.deadlineMisses.Load(),
+			QueriesServed:  s.queriesServed.Load(),
+			LoopsServed:    s.loopsServed.Load(),
+			Sessions:       len(sessions),
+			Draining:       draining,
+		},
+		Sessions: map[string]SessionMetrics{},
+	}
+	for _, sess := range sessions {
+		resp.Sessions[sess.id] = sess.metricsSnapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // client gone mid-write: nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, he *httpError) {
+	if he.retryAfter != "" {
+		w.Header().Set("Retry-After", he.retryAfter)
+	}
+	writeJSON(w, he.status, ErrorResponse{Error: he.detail})
+}

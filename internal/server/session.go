@@ -1,0 +1,462 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"scaf"
+	"scaf/internal/bench"
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/ir"
+	"scaf/internal/pdg"
+	"scaf/internal/trace"
+)
+
+// httpError is a structured error carried up to the HTTP layer.
+type httpError struct {
+	status     int
+	detail     ErrorDetail
+	retryAfter string // Retry-After header value, when load shedding
+}
+
+func errBadRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest,
+		detail: ErrorDetail{Code: "bad_request", Message: fmt.Sprintf(format, args...)}}
+}
+
+func errNotFound(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusNotFound,
+		detail: ErrorDetail{Code: "not_found", Message: fmt.Sprintf(format, args...)}}
+}
+
+// parseScheme maps a wire scheme name ("caf"|"confluence"|"scaf",
+// case-insensitive; empty means scaf) to its scaf.Scheme.
+func parseScheme(s string) (scaf.Scheme, *httpError) {
+	switch strings.ToLower(s) {
+	case "caf":
+		return scaf.SchemeCAF, nil
+	case "confluence":
+		return scaf.SchemeConfluence, nil
+	case "scaf", "":
+		return scaf.SchemeSCAF, nil
+	}
+	return 0, errBadRequest("unknown scheme %q (want caf|confluence|scaf)", s)
+}
+
+// latReservoir caps the per-session latency sample reservoir reported by
+// /metrics. Overflow is counted, not stored.
+const latReservoir = 1 << 14
+
+// pooledOrch is one warm orchestrator of a session's per-scheme pool,
+// together with its tracer and the counter snapshot taken at its last
+// checkin (the delta since then is the work of exactly one request).
+type pooledOrch struct {
+	o    *core.Orchestrator
+	col  *trace.Collector
+	last core.Stats
+}
+
+// orchPool hands out warm orchestrators for one (session, scheme) pair.
+// Orchestrators are not safe for concurrent use, so a checkout confers
+// exclusive ownership until checkin. The pool mints lazily; concurrency
+// is bounded by the server's admission control, not by the pool.
+type orchPool struct {
+	mu   sync.Mutex
+	free []*pooledOrch
+	mint func() *pooledOrch
+}
+
+func (p *orchPool) get() *pooledOrch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		po := p.free[n-1]
+		p.free = p.free[:n-1]
+		return po
+	}
+	return p.mint()
+}
+
+func (p *orchPool) put(po *pooledOrch) {
+	p.mu.Lock()
+	p.free = append(p.free, po)
+	p.mu.Unlock()
+}
+
+// session is one loaded, profiled program with a validated speculation
+// plan and warm per-scheme orchestrator pools.
+type session struct {
+	id     string
+	name   string
+	sys    *scaf.System
+	client *pdg.Client
+	hot    []*cfg.Loop
+	loops  map[string]*cfg.Loop
+	instrs map[string]*ir.Instr
+	plan   *PlanInfo
+
+	pools map[scaf.Scheme]*orchPool
+
+	// mu guards the cumulative accounting below, folded in at checkin.
+	mu         sync.Mutex
+	stats      core.Stats
+	metrics    *trace.Metrics // nil when tracing is disabled
+	latNS      []int64
+	latWork    []int64
+	latDropped int64
+}
+
+// addCounters folds the counter fields of delta into dst (slices and
+// LatencyDropped are handled separately by the reservoir).
+func addCounters(dst *core.Stats, delta core.Stats) {
+	dst.TopQueries += delta.TopQueries
+	dst.PremiseQueries += delta.PremiseQueries
+	dst.Conflicts += delta.Conflicts
+	dst.ModuleEvals += delta.ModuleEvals
+	dst.CacheHits += delta.CacheHits
+	dst.SharedHits += delta.SharedHits
+	dst.Timeouts += delta.Timeouts
+	dst.CycleBreaks += delta.CycleBreaks
+	dst.DepthLimits += delta.DepthLimits
+}
+
+// subCounters returns cur − last over the counter fields.
+func subCounters(cur, last core.Stats) core.Stats {
+	return core.Stats{
+		TopQueries:     cur.TopQueries - last.TopQueries,
+		PremiseQueries: cur.PremiseQueries - last.PremiseQueries,
+		Conflicts:      cur.Conflicts - last.Conflicts,
+		ModuleEvals:    cur.ModuleEvals - last.ModuleEvals,
+		CacheHits:      cur.CacheHits - last.CacheHits,
+		SharedHits:     cur.SharedHits - last.SharedHits,
+		Timeouts:       cur.Timeouts - last.Timeouts,
+		CycleBreaks:    cur.CycleBreaks - last.CycleBreaks,
+		DepthLimits:    cur.DepthLimits - last.DepthLimits,
+	}
+}
+
+// newSession compiles, profiles, plan-validates and warms one session.
+func newSession(id string, req *CreateSessionRequest) (*session, *httpError) {
+	name, src := req.Name, req.Source
+	switch {
+	case req.Bench != "":
+		if src != "" {
+			return nil, errBadRequest("bench and source are mutually exclusive")
+		}
+		var ok bool
+		src, ok = bench.Sources[req.Bench]
+		if !ok {
+			return nil, errNotFound("unknown benchmark %q", req.Bench)
+		}
+		name = req.Bench
+	case src == "":
+		return nil, errBadRequest("session needs bench or source")
+	}
+	if name == "" {
+		name = id
+	}
+
+	sys, err := scaf.Load(name, src, scaf.Options{})
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity,
+			detail: ErrorDetail{Code: "load_failed", Message: err.Error()}}
+	}
+
+	sess := &session{
+		id:     id,
+		name:   name,
+		sys:    sys,
+		client: sys.Client(),
+		hot:    sys.HotLoops(),
+		loops:  map[string]*cfg.Loop{},
+		instrs: map[string]*ir.Instr{},
+		pools:  map[scaf.Scheme]*orchPool{},
+	}
+	for _, l := range sess.hot {
+		sess.loops[l.Name()] = l
+	}
+	for _, fn := range sys.Mod.Funcs {
+		fn.Instrs(func(in *ir.Instr) { sess.instrs[InstrRef(in)] = in })
+	}
+	if req.Trace == nil || *req.Trace {
+		sess.metrics = trace.NewMetrics()
+	}
+
+	// Speculation plan: build the global validation plan over the hot
+	// loops and re-run the program with its checks (plus any
+	// client-supplied assertions) enforced. A violating plan is rejected —
+	// never served.
+	var asserts []core.Assertion
+	seen := map[string]bool{}
+	switch req.Plan {
+	case "", "validate":
+		plan := &PlanInfo{}
+		o := sys.Orchestrator(scaf.SchemeSCAF,
+			scaf.WithJoin(core.JoinAll), scaf.WithBailout(core.BailExhaustive))
+		for _, l := range sess.hot {
+			res := sess.client.AnalyzeLoop(o, l)
+			p := pdg.BuildPlan(res.Queries)
+			plan.Free += p.Free
+			plan.Covered += p.Covered
+			plan.Dropped += p.Dropped
+			plan.Unresolved += p.Unresolved
+			for _, a := range p.Assertions {
+				if !seen[a.String()] {
+					seen[a.String()] = true
+					asserts = append(asserts, a)
+					plan.TotalCost += a.Cost
+				}
+			}
+		}
+		plan.Assertions = len(asserts)
+		sess.plan = plan
+	case "off":
+	default:
+		return nil, errBadRequest("unknown plan mode %q (want validate|off)", req.Plan)
+	}
+	for i, wa := range req.Assertions {
+		a, err := ResolveAssertion(sys.Mod, wa)
+		if err != nil {
+			return nil, errBadRequest("assertion %d: %v", i, err)
+		}
+		asserts = append(asserts, a)
+	}
+	if len(asserts) > 0 {
+		rep, err := sys.Validate(asserts)
+		if err != nil {
+			return nil, &httpError{status: http.StatusUnprocessableEntity,
+				detail: ErrorDetail{Code: "plan_validation_failed", Message: err.Error()}}
+		}
+		if sess.plan != nil {
+			sess.plan.Checks = rep.Checks
+		}
+		if rep.Failed() {
+			he := &httpError{status: http.StatusUnprocessableEntity,
+				detail: ErrorDetail{Code: "plan_validation_failed",
+					Message: fmt.Sprintf("%d misspeculations over %d runtime checks",
+						len(rep.Violations), rep.Checks)}}
+			for _, v := range rep.Violations {
+				he.detail.Violations = append(he.detail.Violations,
+					WireViolation{Assertion: v.Assertion.String(), Detail: v.Detail})
+			}
+			return nil, he
+		}
+	}
+
+	// Warm one orchestrator per scheme. Each scheme gets its own
+	// SharedCache: cached propositions embed module answers, so a cache
+	// must never span schemes. SetTimeout varies per request, which is
+	// safe alongside a SharedCache — incomplete resolutions are never
+	// published (see core.SharedCache).
+	for _, scheme := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
+		scheme := scheme
+		sc := core.NewSharedCache()
+		factory := sys.OrchestratorFactory(scheme,
+			scaf.WithSharedCache(sc), scaf.WithLatency())
+		traceOn := sess.metrics != nil
+		pool := &orchPool{}
+		pool.mint = func() *pooledOrch {
+			po := &pooledOrch{o: factory()}
+			if traceOn {
+				po.col = trace.NewCollector()
+				po.o.SetTracer(po.col)
+			}
+			return po
+		}
+		pool.free = append(pool.free, pool.mint())
+		sess.pools[scheme] = pool
+	}
+	return sess, nil
+}
+
+// info snapshots the session description.
+func (sess *session) info() SessionInfo {
+	si := SessionInfo{ID: sess.id, Name: sess.name, Plan: sess.plan}
+	for _, l := range sess.hot {
+		si.HotLoops = append(si.HotLoops, LoopInfo{Name: l.Name(), MemOps: len(l.MemOps())})
+	}
+	return si
+}
+
+// checkin folds the orchestrator's work since its last checkin into the
+// session's cumulative accounting and returns it to the pool. The
+// returned delta is the request's own contribution (the Timeouts field is
+// the request's deadline misses).
+func (sess *session) checkin(pool *orchPool, po *pooledOrch) core.Stats {
+	st := po.o.Stats()
+	cur := *st
+	delta := subCounters(cur, po.last)
+
+	sess.mu.Lock()
+	addCounters(&sess.stats, delta)
+	for i, d := range st.Latencies {
+		if len(sess.latNS) >= latReservoir {
+			sess.latDropped++
+			continue
+		}
+		sess.latNS = append(sess.latNS, int64(d))
+		if i < len(st.WorkSamples) {
+			sess.latWork = append(sess.latWork, st.WorkSamples[i])
+		} else {
+			sess.latWork = append(sess.latWork, 0)
+		}
+	}
+	sess.latDropped += st.LatencyDropped
+	if sess.metrics != nil && po.col != nil {
+		for _, e := range po.col.Events() {
+			sess.metrics.Observe(e)
+		}
+	}
+	sess.mu.Unlock()
+
+	// The orchestrator stays warm; its sample buffers do not. Truncating
+	// them (and the overflow counter) at each checkin keeps long-lived
+	// orchestrators bounded and makes the next delta self-contained.
+	st.Latencies = st.Latencies[:0]
+	st.WorkSamples = st.WorkSamples[:0]
+	st.LatencyDropped = 0
+	if po.col != nil {
+		po.col.Reset()
+	}
+	cur.Latencies = nil
+	cur.WorkSamples = nil
+	cur.LatencyDropped = 0
+	po.last = cur
+	pool.put(po)
+	return delta
+}
+
+// armDeadline returns the AnalyzeLoopHook hook re-arming o's per-query
+// budget against the absolute deadline (nil for no deadline). Past the
+// deadline every remaining query gets a 1ns budget: it bails out to its
+// conservative best-so-far answer after the first timeout check instead
+// of searching.
+func armDeadline(o *core.Orchestrator, deadline time.Time) func() {
+	if deadline.IsZero() {
+		return nil
+	}
+	return func() {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			rem = time.Nanosecond
+		}
+		o.SetTimeout(rem)
+	}
+}
+
+// analyzeLoop resolves one loop's PDG under scheme, optionally bounded by
+// an absolute deadline, and returns the wire result plus this request's
+// stats delta.
+func (sess *session) analyzeLoop(scheme scaf.Scheme, l *cfg.Loop, deadline time.Time) (WireLoopResult, core.Stats) {
+	pool := sess.pools[scheme]
+	po := pool.get()
+	res := sess.client.AnalyzeLoopHook(po.o, l, armDeadline(po.o, deadline))
+	po.o.SetTimeout(0)
+	delta := sess.checkin(pool, po)
+	return EncodeLoopResult(res), delta
+}
+
+// resolveQuery resolves one dependence query under scheme.
+func (sess *session) resolveQuery(scheme scaf.Scheme, l *cfg.Loop, i1, i2 *ir.Instr, rel core.TemporalRelation, deadline time.Time) (WireQuery, core.Stats) {
+	pool := sess.pools[scheme]
+	po := pool.get()
+	if hook := armDeadline(po.o, deadline); hook != nil {
+		hook()
+	}
+	resp := po.o.ModRef(&core.ModRefQuery{
+		I1: i1, I2: i2, Rel: rel, Loop: l,
+		DT: sess.client.Prog.Dom[l.Fn], PDT: sess.client.Prog.PostDom[l.Fn],
+	})
+	po.o.SetTimeout(0)
+	q := pdg.MaterializeQuery(i1, i2, rel, resp)
+	delta := sess.checkin(pool, po)
+	return EncodeQuery(&q), delta
+}
+
+// lookupInstr resolves a wire instruction ref, distinguishing malformed
+// refs (400) from well-formed refs that name nothing (404).
+func (sess *session) lookupInstr(ref string) (*ir.Instr, *httpError) {
+	if _, _, err := splitInstrRef(ref); err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	in, ok := sess.instrs[ref]
+	if !ok {
+		return nil, errNotFound("no instruction %q in session %s", ref, sess.id)
+	}
+	return in, nil
+}
+
+// metricsSnapshot renders the session's cumulative accounting.
+func (sess *session) metricsSnapshot() SessionMetrics {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sm := SessionMetrics{Name: sess.name, Stats: EncodeCounters(&sess.stats)}
+	if n := len(sess.latNS); n > 0 {
+		ns := append([]int64(nil), sess.latNS...)
+		work := append([]int64(nil), sess.latWork...)
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+		var totNS, totWork int64
+		for _, v := range ns {
+			totNS += v
+		}
+		for _, v := range work {
+			totWork += v
+		}
+		sm.Latency = &WireLatency{
+			Samples: n,
+			Dropped: sess.latDropped,
+			P50NS:   percentile(ns, 50),
+			P90NS:   percentile(ns, 90),
+			P99NS:   percentile(ns, 99),
+			P50Work: percentile(work, 50),
+			P90Work: percentile(work, 90),
+			MaxNS:   ns[n-1],
+			TotalNS: totNS, TotalWrk: totWork,
+		}
+	}
+	if sess.metrics != nil {
+		wt := &WireTraceMetrics{
+			TopQueries:     sess.metrics.TopQueries,
+			PremiseQueries: sess.metrics.PremiseQueries,
+			Consults:       sess.metrics.Consults,
+			MaxDepth:       sess.metrics.MaxDepth,
+			TopResults:     map[string]int64{},
+			PerModule:      map[string]WireModuleMetrics{},
+			Reconciles:     sess.metrics.Reconcile(&sess.stats) == nil,
+		}
+		for k, v := range sess.metrics.TopResults {
+			wt.TopResults[k] = v
+		}
+		for name, mm := range sess.metrics.PerModule {
+			wt.PerModule[name] = WireModuleMetrics{
+				Consults:      mm.Consults,
+				DurNS:         int64(mm.Dur),
+				PremisesAsked: mm.PremisesAsked,
+			}
+		}
+		sm.Trace = wt
+	}
+	return sm
+}
+
+// percentile returns the p-th percentile of sorted samples
+// (nearest-rank).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

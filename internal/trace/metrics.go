@@ -46,14 +46,31 @@ type Metrics struct {
 	PremiseEdges map[string]int64
 }
 
-// Aggregate derives Metrics from an event stream (any order-preserving
-// slice: one collector, a Merge result, or a ReadJSONL round trip).
-func Aggregate(events []Event) *Metrics {
-	m := &Metrics{
+// NewMetrics returns an empty Metrics ready for incremental Observe calls.
+func NewMetrics() *Metrics {
+	return &Metrics{
 		TopResults:   map[string]int64{},
 		PerModule:    map[string]*ModuleMetrics{},
 		PremiseEdges: map[string]int64{},
 	}
+}
+
+// Aggregate derives Metrics from an event stream (any order-preserving
+// slice: one collector, a Merge result, or a ReadJSONL round trip).
+func Aggregate(events []Event) *Metrics {
+	m := NewMetrics()
+	for _, e := range events {
+		m.Observe(e)
+	}
+	return m
+}
+
+// Observe folds one event into the metrics. Incremental observation of a
+// stream is equivalent to Aggregate over the whole of it, which lets
+// long-running consumers (e.g. the query server's /metrics endpoint) keep
+// a live aggregate without retaining events. The receiver must have been
+// built by NewMetrics or Aggregate; Observe itself is not concurrency-safe.
+func (m *Metrics) Observe(e Event) {
 	mod := func(name string) *ModuleMetrics {
 		mm := m.PerModule[name]
 		if mm == nil {
@@ -62,41 +79,38 @@ func Aggregate(events []Event) *Metrics {
 		}
 		return mm
 	}
-	for _, e := range events {
-		if e.Depth > m.MaxDepth {
-			m.MaxDepth = e.Depth
-		}
-		switch e.Kind {
-		case "top_start":
-			m.TopQueries++
-		case "top_end":
-			m.TopResults[e.Result]++
-			m.TopDur += time.Duration(e.DurNS)
-		case "premise_start":
-			m.PremiseQueries++
-			if e.From != "" {
-				m.PremiseEdges[e.From]++
-				mod(e.From).PremisesAsked++
-			}
-		case "consult":
-			m.Consults++
-			mm := mod(e.Module)
-			mm.Consults++
-			mm.Dur += time.Duration(e.DurNS)
-			mm.Results[e.Result]++
-		case "cache_hit":
-			m.CacheHits++
-		case "shared_hit":
-			m.SharedHits++
-		case "cycle_break":
-			m.CycleBreaks++
-		case "depth_limit":
-			m.DepthLimits++
-		case "timeout":
-			m.Timeouts++
-		}
+	if e.Depth > m.MaxDepth {
+		m.MaxDepth = e.Depth
 	}
-	return m
+	switch e.Kind {
+	case "top_start":
+		m.TopQueries++
+	case "top_end":
+		m.TopResults[e.Result]++
+		m.TopDur += time.Duration(e.DurNS)
+	case "premise_start":
+		m.PremiseQueries++
+		if e.From != "" {
+			m.PremiseEdges[e.From]++
+			mod(e.From).PremisesAsked++
+		}
+	case "consult":
+		m.Consults++
+		mm := mod(e.Module)
+		mm.Consults++
+		mm.Dur += time.Duration(e.DurNS)
+		mm.Results[e.Result]++
+	case "cache_hit":
+		m.CacheHits++
+	case "shared_hit":
+		m.SharedHits++
+	case "cycle_break":
+		m.CycleBreaks++
+	case "depth_limit":
+		m.DepthLimits++
+	case "timeout":
+		m.Timeouts++
+	}
 }
 
 // Reconcile checks the trace-derived totals against an orchestrator's
