@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-baseline bench-check clean
+.PHONY: all build vet test race bench bench-json bench-baseline bench-check oracle clean
 
 all: vet build test
 
@@ -45,6 +45,17 @@ bench-baseline:
 bench-check:
 	$(GO) run ./cmd/scaf-bench $(BENCH_GATE_ARGS) -json BENCH.fresh.json
 	$(GO) run ./cmd/scaf-benchdiff $(BENCH_BASELINE) BENCH.fresh.json
+
+# Differential-testing oracle sweep (the CI gate): soundness,
+# monotonicity, serial/parallel/shared-cache/server answer drift, and
+# metamorphic transform stability over generated programs. Failures are
+# ddmin-shrunk into self-contained reproducers under ORACLE_OUT.
+ORACLE_SEEDS ?= 200
+ORACLE_START ?= 1
+ORACLE_OUT   ?= testdata/repros
+
+oracle:
+	$(GO) run ./cmd/scaf-oracle -seeds $(ORACLE_SEEDS) -start $(ORACLE_START) -shrink -out $(ORACLE_OUT)
 
 clean:
 	$(GO) clean ./...

@@ -16,14 +16,15 @@ import (
 // divisions and remainders use non-zero constant divisors, and every
 // variable is initialized at declaration.
 type Gen struct {
-	rng     *rand.Rand
-	b       strings.Builder
-	ints    []string // in-scope int variables (readable)
-	mut     []string // subset of ints that may be assigned (loop counters excluded)
-	arrays  []arr    // global int arrays (power-of-two sizes)
-	helpers []string // generated helper functions (int* , int) -> int
-	depth   int
-	nextID  int
+	rng      *rand.Rand
+	b        strings.Builder
+	ints     []string // in-scope int variables (readable)
+	mut      []string // subset of ints that may be assigned (loop counters excluded)
+	arrays   []arr    // global int arrays (power-of-two sizes)
+	helpers  []string // generated helper functions (int*, int) -> int
+	helpers2 []string // two-pointer helper functions (int*, int*, int) -> int
+	depth    int
+	nextID   int
 }
 
 type arr struct {
@@ -85,7 +86,7 @@ func (g *Gen) cond() string {
 func (g *Gen) indent() string { return strings.Repeat("    ", g.depth+1) }
 
 func (g *Gen) stmt() {
-	switch g.rng.Intn(8) {
+	switch g.rng.Intn(10) {
 	case 0: // declaration
 		v := g.fresh("v")
 		fmt.Fprintf(&g.b, "%sint %s = %s;\n", g.indent(), v, g.intExpr(2))
@@ -142,6 +143,29 @@ func (g *Gen) stmt() {
 		v := g.mut[g.rng.Intn(len(g.mut))]
 		fmt.Fprintf(&g.b, "%s%s = %s + %s(%s, %s);\n",
 			g.indent(), v, v, h, a.name, g.intExpr(1))
+	case 7: // two-pointer helper call: the array arguments may coincide
+		if len(g.helpers2) == 0 || len(g.mut) == 0 {
+			fmt.Fprintf(&g.b, "%sprint(%s);\n", g.indent(), g.intExpr(2))
+			return
+		}
+		h := g.helpers2[g.rng.Intn(len(g.helpers2))]
+		a1 := g.arrays[g.rng.Intn(len(g.arrays))]
+		a2 := g.arrays[g.rng.Intn(len(g.arrays))]
+		v := g.mut[g.rng.Intn(len(g.mut))]
+		fmt.Fprintf(&g.b, "%s%s = %s + %s(%s, %s, %s);\n",
+			g.indent(), v, v, h, a1.name, a2.name, g.intExpr(1))
+	case 8: // pointer to a masked array element, then a store (and
+		// sometimes a load) through it — a may-alias challenge no masked
+		// direct index poses.
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		p := g.fresh("p")
+		fmt.Fprintf(&g.b, "%sint* %s = &%s[(%s) & %d];\n",
+			g.indent(), p, a.name, g.intExpr(1), a.size-1)
+		fmt.Fprintf(&g.b, "%s*%s = %s;\n", g.indent(), p, g.intExpr(2))
+		if len(g.mut) > 0 && g.rng.Intn(2) == 0 {
+			v := g.mut[g.rng.Intn(len(g.mut))]
+			fmt.Fprintf(&g.b, "%s%s = %s + *%s;\n", g.indent(), v, v, p)
+		}
 	default: // print
 		fmt.Fprintf(&g.b, "%sprint(%s);\n", g.indent(), g.intExpr(2))
 	}
@@ -178,6 +202,30 @@ func (g *Gen) helper(name string, size int) {
 	fmt.Fprintf(&g.b, "    return acc;\n}\n")
 }
 
+// helper2 emits a function with two pointer parameters that callers may
+// pass the same array for, exercising parameter may-aliasing: a store
+// through p can reach a later load through q exactly when the call site
+// aliases them, which no context-insensitive summary can rule out.
+func (g *Gen) helper2(name string, size int) {
+	fmt.Fprintf(&g.b, "int %s(int* p, int* q, int x) {\n", name)
+	fmt.Fprintf(&g.b, "    int acc = x;\n")
+	n := 2 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		idx := fmt.Sprintf("(x + %d) & %d", g.rng.Intn(16), size-1)
+		switch g.rng.Intn(4) {
+		case 0:
+			fmt.Fprintf(&g.b, "    acc = acc + p[%s];\n", idx)
+		case 1:
+			fmt.Fprintf(&g.b, "    acc = acc + q[%s];\n", idx)
+		case 2:
+			fmt.Fprintf(&g.b, "    p[%s] = acc * %d;\n", idx, 1+g.rng.Intn(7))
+		default:
+			fmt.Fprintf(&g.b, "    q[%s] = acc - %d;\n", idx, g.rng.Intn(50))
+		}
+	}
+	fmt.Fprintf(&g.b, "    return acc;\n}\n")
+}
+
 // Program generates a complete MC source.
 func (g *Gen) Program() string {
 	for i := 0; i < 2+g.rng.Intn(2); i++ {
@@ -199,6 +247,11 @@ func (g *Gen) Program() string {
 	for i := 0; i < nHelpers; i++ {
 		g.helpers = append(g.helpers, g.fresh("h"))
 		g.helper(g.helpers[i], minSize)
+	}
+	nHelpers2 := g.rng.Intn(3)
+	for i := 0; i < nHelpers2; i++ {
+		g.helpers2 = append(g.helpers2, g.fresh("ha"))
+		g.helper2(g.helpers2[i], minSize)
 	}
 	g.b.WriteString("void main() {\n")
 	for i := 0; i < 6+g.rng.Intn(8); i++ {

@@ -1,0 +1,62 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"scaf/internal/mcgen"
+)
+
+// TestGenCorpus regenerates testdata/corpus. Guarded: only runs when
+// SCAF_GEN_CORPUS=1.
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("SCAF_GEN_CORPUS") != "1" {
+		t.Skip("set SCAF_GEN_CORPUS=1 to regenerate the corpus")
+	}
+	if err := os.MkdirAll("testdata/corpus", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fast := FastConfig()
+	written := 0
+	seenShape := map[string]bool{}
+	for seed := int64(1); seed <= 400 && written < 12; seed++ {
+		src := mcgen.New(seed).Program()
+		base, err := CheckProgram(fast, "corpus", src)
+		if err != nil || base.Failed() || base.Queries < 2 {
+			continue
+		}
+		// Keep at least half the original query mass so the shrunk
+		// program still exercises the analysis meaningfully.
+		minQueries := base.Queries / 2
+		if minQueries < 2 {
+			minQueries = 2
+		}
+		interesting := func(cand string) bool {
+			rep, err := CheckProgram(fast, "corpus", cand)
+			return err == nil && !rep.Failed() && rep.Queries >= minQueries
+		}
+		red := Reduce(src, interesting)
+		rep, err := CheckProgram(FullConfig(), "corpus", red.Source)
+		if err != nil || rep.Failed() {
+			t.Logf("seed %d: reduced program not full-oracle clean, skipping", seed)
+			continue
+		}
+		// Dedup structurally identical shrunk programs across seeds.
+		if seenShape[red.Source] {
+			continue
+		}
+		seenShape[red.Source] = true
+		name := fmt.Sprintf("seed%04d-q%d", seed, minQueries)
+		out := fmt.Sprintf("// shrunk from mcgen seed %d: keeps >= %d dependence queries\n// (%d -> %d statements in %d oracle evaluations)\n\n%s",
+			seed, minQueries, CountStmts(src), red.Stmts, red.Tests, red.Source)
+		if err := os.WriteFile("testdata/corpus/"+name+".mc", []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		written++
+		t.Logf("wrote %s (%d stmts, %d queries)", name, red.Stmts, rep.Queries)
+	}
+	if written < 10 {
+		t.Fatalf("only wrote %d corpus programs, want >= 10", written)
+	}
+}

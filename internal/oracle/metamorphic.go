@@ -1,0 +1,740 @@
+package oracle
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+
+	"scaf"
+	"scaf/internal/lang"
+)
+
+// This file is the metamorphic layer: semantics-preserving MC source
+// transforms under which analysis answers must be preserved. A transform's
+// validity is never assumed — the oracle re-runs the interpreter on the
+// transformed program and compares observable output before any answer
+// comparison counts (checkTransform below).
+
+// CompareMode selects how answers on the transformed program are compared
+// against the original's.
+type CompareMode int
+
+const (
+	// CompareExactRename demands byte-identical wire results for every
+	// scheme after mapping renamed identifiers back to their originals.
+	// Valid only for transforms that change nothing but names.
+	CompareExactRename CompareMode = iota
+	// CompareVerdicts aligns loops by name and demands identical verdict
+	// sequences (relation, mod-ref result, NoDep, cost) for every scheme.
+	// Instruction IDs may shift, so refs are not compared. Valid for
+	// transforms that leave every loop's memory-operation sequence and its
+	// profile (iteration counts, observed dependences) intact.
+	CompareVerdicts
+	// CompareVerdictsCAF is CompareVerdicts restricted to the
+	// non-speculative CAF scheme, for transforms that legitimately perturb
+	// profiles (loop peeling shifts iteration counts) but cannot change
+	// static analysis facts.
+	CompareVerdictsCAF
+)
+
+// Transform is one semantics-preserving source rewrite. Apply mutates the
+// freshly parsed file in place and reports whether it found anything to
+// transform; rename is non-nil only for renaming transforms.
+type Transform struct {
+	Name string
+	Mode CompareMode
+	// salt decorrelates the per-transform RNG streams derived from one
+	// program hash.
+	salt  int64
+	Apply func(f *lang.File, rng *rand.Rand) (rename map[string]string, applied bool)
+}
+
+// Transforms returns the full metamorphic catalog.
+func Transforms() []Transform {
+	return []Transform{
+		{Name: "rename", Mode: CompareExactRename, salt: 0x5e11, Apply: applyRename},
+		{Name: "deadcode", Mode: CompareVerdicts, salt: 0xdead, Apply: applyDeadCode},
+		{Name: "reorder", Mode: CompareVerdicts, salt: 0x0a0b, Apply: applyReorder},
+		{Name: "peel", Mode: CompareVerdictsCAF, salt: 0x9ee1, Apply: applyPeel},
+	}
+}
+
+// TransformByName returns the named transform from the catalog.
+func TransformByName(name string) (Transform, bool) {
+	for _, tr := range Transforms() {
+		if tr.Name == name {
+			return tr, true
+		}
+	}
+	return Transform{}, false
+}
+
+// checkTransform applies one transform and compares answers per its mode.
+func checkTransform(cfg Config, rep *Report, base *analysis, tr Transform) {
+	f, err := lang.Parse(base.name, base.src)
+	if err != nil {
+		rep.violate(Violation{Kind: KindTransformInvalid, Transform: tr.Name,
+			Detail: fmt.Sprintf("reparse of original failed: %v", err)})
+		return
+	}
+	h := fnv.New64a()
+	h.Write([]byte(base.src))
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ tr.salt))
+	rename, applied := tr.Apply(f, rng)
+	if !applied {
+		return
+	}
+	rep.TransformsApplied++
+	if rep.AppliedByTransform == nil {
+		rep.AppliedByTransform = map[string]int{}
+	}
+	rep.AppliedByTransform[tr.Name]++
+	out := Print(f)
+
+	ta, err := analyzeSource(cfg, base.name+"+"+tr.Name, out)
+	if err != nil {
+		rep.violate(Violation{Kind: KindTransformInvalid, Transform: tr.Name,
+			Detail: fmt.Sprintf("transformed program does not build/run: %v\n%s", err, out)})
+		return
+	}
+	if !equalOutput(base.output, ta.output) {
+		rep.violate(Violation{Kind: KindTransformInvalid, Transform: tr.Name,
+			Detail: fmt.Sprintf("observable behavior changed: %q vs %q\n%s", base.output, ta.output, out)})
+		return
+	}
+
+	switch tr.Mode {
+	case CompareExactRename:
+		compareExact(cfg, rep, base, ta, tr, rename)
+	case CompareVerdicts:
+		compareVerdicts(rep, base, ta, tr, cfg.Schemes)
+	case CompareVerdictsCAF:
+		for _, s := range cfg.Schemes {
+			if s == scaf.SchemeCAF {
+				compareVerdicts(rep, base, ta, tr, []scaf.Scheme{scaf.SchemeCAF})
+				break
+			}
+		}
+	}
+}
+
+func equalOutput(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareExact maps renamed identifiers in the transformed wire bytes back
+// to the originals and demands byte equality per scheme.
+func compareExact(cfg Config, rep *Report, base, ta *analysis, tr Transform, rename map[string]string) {
+	back := make(map[string]string, len(rename))
+	for oldName, newName := range rename {
+		back[newName] = oldName
+	}
+	for _, scheme := range cfg.Schemes {
+		got := mapNames(string(wireJSON(ta.wire[scheme])), back)
+		want := string(wireJSON(base.wire[scheme]))
+		if got != want {
+			rep.violate(Violation{Kind: KindMetamorphic, Scheme: scheme.String(), Transform: tr.Name,
+				Detail: fmt.Sprintf("answers changed under renaming:\n  original: %s\n  renamed:  %s\n%s",
+					want, got, ta.src)})
+			continue
+		}
+		rep.ComparedLoops += len(base.hot)
+	}
+}
+
+// mapNames rewrites every whole-word occurrence of a mapped name. Names are
+// matched longest-first so a name that prefixes another can never clip it,
+// and \b boundaries keep "zz1" from matching inside "zz12".
+func mapNames(s string, m map[string]string) string {
+	if len(m) == 0 {
+		return s
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if len(names[i]) != len(names[j]) {
+			return len(names[i]) > len(names[j])
+		}
+		return names[i] < names[j]
+	})
+	for i, n := range names {
+		names[i] = regexp.QuoteMeta(n)
+	}
+	re := regexp.MustCompile(`\b(` + strings.Join(names, "|") + `)\b`)
+	return re.ReplaceAllStringFunc(s, func(tok string) string { return m[tok] })
+}
+
+// verdict is the comparable essence of one resolved query under
+// CompareVerdicts: everything except instruction identity.
+type verdict struct {
+	Rel    string
+	Result string
+	NoDep  bool
+	Cost   float64
+}
+
+// compareVerdicts aligns loops by name and compares verdict sequences. A
+// loop hot on only one side (a transform can nudge a marginal loop across
+// the hot threshold) is skipped, not failed; the seed-sweep test asserts
+// the aggregate comparison rate instead.
+func compareVerdicts(rep *Report, base, ta *analysis, tr Transform, schemes []scaf.Scheme) {
+	for _, scheme := range schemes {
+		tw := map[string]int{}
+		for i, w := range ta.wire[scheme] {
+			tw[w.Loop] = i
+		}
+		for _, bw := range base.wire[scheme] {
+			ti, ok := tw[bw.Loop]
+			if !ok {
+				continue // left the hot set under the transform
+			}
+			twr := ta.wire[scheme][ti]
+			if len(twr.Queries) != len(bw.Queries) {
+				rep.violate(Violation{Kind: KindMetamorphic, Scheme: scheme.String(),
+					Transform: tr.Name, Loop: bw.Loop,
+					Detail: fmt.Sprintf("query count changed: %d vs %d (mem-op set not preserved)\n%s",
+						len(bw.Queries), len(twr.Queries), ta.src)})
+				continue
+			}
+			rep.ComparedLoops++
+			for i := range bw.Queries {
+				b := verdict{bw.Queries[i].Rel, bw.Queries[i].Result, bw.Queries[i].NoDep, bw.Queries[i].Cost}
+				t := verdict{twr.Queries[i].Rel, twr.Queries[i].Result, twr.Queries[i].NoDep, twr.Queries[i].Cost}
+				if b != t {
+					rep.violate(Violation{Kind: KindMetamorphic, Scheme: scheme.String(),
+						Transform: tr.Name, Loop: bw.Loop,
+						Detail: fmt.Sprintf("query %d (%s -> %s) changed: %+v vs %+v\n%s",
+							i, bw.Queries[i].I1, bw.Queries[i].I2, b, t, ta.src)})
+					break
+				}
+			}
+		}
+	}
+}
+
+// ---- transform: consistent renaming -----------------------------------
+
+// builtins never participate in renaming (they cannot be declared; sema
+// rejects shadowing them).
+var builtinNames = map[string]bool{
+	"main": true, "print": true, "malloc": true, "free": true,
+	"sqrt": true, "fabs": true,
+}
+
+// collectDeclared gathers every program-declared identifier: globals,
+// functions (except main), parameters, and locals, in declaration order.
+func collectDeclared(f *lang.File) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if n != "" && !builtinNames[n] && !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, g := range f.Globals {
+		add(g.Name)
+	}
+	for _, fd := range f.Funcs {
+		add(fd.Name)
+		for _, p := range fd.Params {
+			add(p.Name)
+		}
+		walkStmt(fd.Body, func(s lang.Stmt) {
+			if d, ok := s.(*lang.DeclStmt); ok {
+				add(d.Decl.Name)
+			}
+		})
+	}
+	return names
+}
+
+// freshPrefix picks an identifier prefix no declared name starts with, so
+// generated names can never collide with (or word-boundary-match inside)
+// program names.
+func freshPrefix(f *lang.File, base string) string {
+	declared := collectDeclared(f)
+	prefix := base
+	for {
+		clash := false
+		for _, n := range declared {
+			if strings.HasPrefix(n, prefix) {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			return prefix
+		}
+		prefix += "z"
+	}
+}
+
+// applyRename renames every program-declared identifier injectively,
+// leaving main and builtins alone. The returned map is old→new.
+func applyRename(f *lang.File, rng *rand.Rand) (map[string]string, bool) {
+	names := collectDeclared(f)
+	if len(names) == 0 {
+		return nil, false
+	}
+	prefix := freshPrefix(f, "zz")
+	// A shuffled numbering keeps the map seed-dependent without risking
+	// collisions (names stay distinct by index).
+	order := rng.Perm(len(names))
+	rename := make(map[string]string, len(names))
+	for i, n := range names {
+		rename[n] = fmt.Sprintf("%s%d", prefix, order[i])
+	}
+	ren := func(n string) string {
+		if to, ok := rename[n]; ok {
+			return to
+		}
+		return n
+	}
+	for _, g := range f.Globals {
+		g.Name = ren(g.Name)
+	}
+	for _, fd := range f.Funcs {
+		fd.Name = ren(fd.Name)
+		for _, p := range fd.Params {
+			p.Name = ren(p.Name)
+		}
+		walkStmt(fd.Body, func(s lang.Stmt) {
+			if d, ok := s.(*lang.DeclStmt); ok {
+				d.Decl.Name = ren(d.Decl.Name)
+			}
+			walkStmtExprs(s, func(x lang.Expr) {
+				switch x := x.(type) {
+				case *lang.Ident:
+					x.Name = ren(x.Name)
+				case *lang.Call:
+					x.Name = ren(x.Name)
+				}
+			})
+		})
+	}
+	return rename, true
+}
+
+// ---- transform: dead-statement insertion ------------------------------
+
+// applyDeadCode inserts a few never-read scalar declarations at random
+// block positions. Scalar locals promote to SSA registers (mem2reg), so no
+// memory operation is added anywhere and every loop's query set is
+// preserved exactly.
+func applyDeadCode(f *lang.File, rng *rand.Rand) (map[string]string, bool) {
+	prefix := freshPrefix(f, "zzd")
+	var blocks []*lang.BlockStmt
+	for _, fd := range f.Funcs {
+		walkStmt(fd.Body, func(s lang.Stmt) {
+			if b, ok := s.(*lang.BlockStmt); ok {
+				blocks = append(blocks, b)
+			}
+		})
+	}
+	if len(blocks) == 0 {
+		return nil, false
+	}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		b := blocks[rng.Intn(len(blocks))]
+		pos := rng.Intn(len(b.Stmts) + 1)
+		dead := &lang.DeclStmt{Decl: &lang.VarDecl{
+			Name: fmt.Sprintf("%s%d", prefix, i),
+			TE:   &lang.TypeExpr{Base: lang.KWInt},
+			Init: &lang.IntLit{V: int64(rng.Intn(1000))},
+		}}
+		b.Stmts = append(b.Stmts[:pos], append([]lang.Stmt{dead}, b.Stmts[pos:]...)...)
+	}
+	return nil, true
+}
+
+// ---- transform: independent-statement reordering ----------------------
+
+// pureScalar reports whether x touches no memory: identifiers, literals,
+// casts, and arithmetic only — no calls, no indexing, no members, no
+// pointer operations.
+func pureScalar(x lang.Expr) bool {
+	switch x := x.(type) {
+	case *lang.Ident:
+		return true
+	case *lang.IntLit, *lang.FloatLit:
+		return true
+	case *lang.Unary:
+		if x.Op == lang.STAR || x.Op == lang.AMP {
+			return false
+		}
+		return pureScalar(x.X)
+	case *lang.Binary:
+		return pureScalar(x.X) && pureScalar(x.Y)
+	case *lang.CastExpr:
+		return pureScalar(x.X)
+	}
+	return false
+}
+
+// scalarEffect classifies a statement as a pure-scalar computation and
+// returns the identifiers it reads and the single identifier it writes
+// ("" for a read-only statement). ok is false for anything that could
+// touch memory or control flow.
+func scalarEffect(s lang.Stmt) (reads map[string]bool, writes string, ok bool) {
+	reads = map[string]bool{}
+	collect := func(x lang.Expr) {
+		walkExpr(x, func(e lang.Expr) {
+			if id, isID := e.(*lang.Ident); isID {
+				reads[id.Name] = true
+			}
+		})
+	}
+	switch s := s.(type) {
+	case *lang.DeclStmt:
+		d := s.Decl
+		if d.TE.Stars != 0 || len(d.TE.ArrayLens) != 0 || d.TE.Base == lang.KWStruct {
+			return nil, "", false
+		}
+		if d.Init == nil || !pureScalar(d.Init) {
+			return nil, "", false
+		}
+		collect(d.Init)
+		return reads, d.Name, true
+	case *lang.ExprStmt:
+		a, isAssign := s.X.(*lang.Assign)
+		if !isAssign {
+			return nil, "", false
+		}
+		lhs, isIdent := a.LHS.(*lang.Ident)
+		if !isIdent || !pureScalar(a.RHS) {
+			return nil, "", false
+		}
+		collect(a.RHS)
+		if a.Op != lang.ASSIGN {
+			reads[lhs.Name] = true // compound assignment reads its target
+		}
+		return reads, lhs.Name, true
+	}
+	return nil, "", false
+}
+
+// applyReorder swaps one adjacent pair of independent pure-scalar
+// statements. Independence is name-based (write sets disjoint from the
+// other's read∪write set), which also blocks any swap that would change
+// shadowing. No memory operation moves, so every loop's query set is
+// preserved exactly.
+func applyReorder(f *lang.File, rng *rand.Rand) (map[string]string, bool) {
+	type site struct {
+		b *lang.BlockStmt
+		i int
+	}
+	var sites []site
+	for _, fd := range f.Funcs {
+		walkStmt(fd.Body, func(s lang.Stmt) {
+			b, ok := s.(*lang.BlockStmt)
+			if !ok {
+				return
+			}
+			for i := 0; i+1 < len(b.Stmts); i++ {
+				r1, w1, ok1 := scalarEffect(b.Stmts[i])
+				r2, w2, ok2 := scalarEffect(b.Stmts[i+1])
+				if !ok1 || !ok2 {
+					continue
+				}
+				if w1 != "" && (r2[w1] || w1 == w2) {
+					continue
+				}
+				if w2 != "" && r1[w2] {
+					continue
+				}
+				sites = append(sites, site{b, i})
+			}
+		})
+	}
+	if len(sites) == 0 {
+		return nil, false
+	}
+	s := sites[rng.Intn(len(sites))]
+	s.b.Stmts[s.i], s.b.Stmts[s.i+1] = s.b.Stmts[s.i+1], s.b.Stmts[s.i]
+	return nil, true
+}
+
+// ---- transform: single-iteration loop peeling -------------------------
+
+// peelable recognizes `for (int i = 0; i < N; i++) { straight-line }` with
+// a literal N ≥ 4 (so the peeled loop still clears the hot-loop iteration
+// threshold) whose body never assigns the counter and contains no control
+// flow (so block structure — and with it every loop's name — is
+// unchanged).
+func peelable(fs *lang.ForStmt) (counter string, bound *lang.IntLit, body *lang.BlockStmt, ok bool) {
+	init, isDecl := fs.Init.(*lang.DeclStmt)
+	if !isDecl || init.Decl.TE.Stars != 0 || len(init.Decl.TE.ArrayLens) != 0 {
+		return "", nil, nil, false
+	}
+	zero, isZero := init.Decl.Init.(*lang.IntLit)
+	if !isZero || zero.V != 0 {
+		return "", nil, nil, false
+	}
+	counter = init.Decl.Name
+	cond, isBin := fs.Cond.(*lang.Binary)
+	if !isBin || cond.Op != lang.LT {
+		return "", nil, nil, false
+	}
+	lhs, isIdent := cond.X.(*lang.Ident)
+	n, isLit := cond.Y.(*lang.IntLit)
+	if !isIdent || lhs.Name != counter || !isLit || n.V < 4 {
+		return "", nil, nil, false
+	}
+	post, isAssign := fs.Post.(*lang.Assign)
+	if !isAssign || post.Op != lang.PLUSEQ {
+		return "", nil, nil, false
+	}
+	pl, isIdent := post.LHS.(*lang.Ident)
+	one, isOne := post.RHS.(*lang.IntLit)
+	if !isIdent || pl.Name != counter || !isOne || one.V != 1 {
+		return "", nil, nil, false
+	}
+	body, isBlock := fs.Body.(*lang.BlockStmt)
+	if !isBlock {
+		return "", nil, nil, false
+	}
+	for _, s := range body.Stmts {
+		switch s := s.(type) {
+		case *lang.DeclStmt:
+		case *lang.ExprStmt:
+			if a, isA := s.X.(*lang.Assign); isA {
+				if id, isID := a.LHS.(*lang.Ident); isID && id.Name == counter {
+					return "", nil, nil, false
+				}
+			}
+		default:
+			return "", nil, nil, false
+		}
+	}
+	return counter, n, body, true
+}
+
+// applyPeel peels the first iteration of one eligible loop: a renamed copy
+// of the body (counter fixed at 0) is inserted before the loop, and the
+// loop starts at 1. Cloned declarations get fresh names, so no scope
+// conflicts arise; the loop's own memory operations are untouched. Only
+// loops not enclosed by another loop are eligible — peeling a nested loop
+// would move its body's memory operations into the enclosing loop's body
+// and change that loop's query set.
+func applyPeel(f *lang.File, rng *rand.Rand) (map[string]string, bool) {
+	prefix := freshPrefix(f, "zzp")
+	type site struct {
+		b  *lang.BlockStmt
+		i  int
+		fs *lang.ForStmt
+	}
+	var sites []site
+	var scan func(s lang.Stmt, inLoop bool)
+	scan = func(s lang.Stmt, inLoop bool) {
+		switch s := s.(type) {
+		case *lang.BlockStmt:
+			for i, st := range s.Stmts {
+				if fs, isFor := st.(*lang.ForStmt); isFor && !inLoop {
+					if _, _, _, ok := peelable(fs); ok {
+						sites = append(sites, site{s, i, fs})
+					}
+				}
+				scan(st, inLoop)
+			}
+		case *lang.IfStmt:
+			scan(s.Then, inLoop)
+			scan(s.Else, inLoop)
+		case *lang.WhileStmt:
+			scan(s.Body, true)
+		case *lang.ForStmt:
+			scan(s.Body, true)
+		}
+	}
+	for _, fd := range f.Funcs {
+		scan(fd.Body, false)
+	}
+	if len(sites) == 0 {
+		return nil, false
+	}
+	s := sites[rng.Intn(len(sites))]
+	counter, _, body, _ := peelable(s.fs)
+
+	// Fresh names for the counter and every declaration in the body copy.
+	sub := map[string]string{counter: prefix + "0"}
+	for _, st := range body.Stmts {
+		if d, ok := st.(*lang.DeclStmt); ok {
+			sub[d.Decl.Name] = fmt.Sprintf("%s%d", prefix, len(sub))
+		}
+	}
+	peeled := []lang.Stmt{&lang.DeclStmt{Decl: &lang.VarDecl{
+		Name: sub[counter],
+		TE:   &lang.TypeExpr{Base: lang.KWInt},
+		Init: &lang.IntLit{V: 0},
+	}}}
+	for _, st := range body.Stmts {
+		peeled = append(peeled, cloneStmtRenamed(st, sub))
+	}
+
+	// Loop now starts at iteration 1.
+	s.fs.Init.(*lang.DeclStmt).Decl.Init = &lang.IntLit{V: 1}
+
+	rest := append([]lang.Stmt{}, s.b.Stmts[s.i:]...)
+	s.b.Stmts = append(append(s.b.Stmts[:s.i:s.i], peeled...), rest...)
+	return nil, true
+}
+
+// cloneStmtRenamed deep-copies a straight-line statement, renaming
+// identifiers per sub. Only the statement kinds peelable admits appear.
+func cloneStmtRenamed(s lang.Stmt, sub map[string]string) lang.Stmt {
+	switch s := s.(type) {
+	case *lang.DeclStmt:
+		d := *s.Decl
+		if to, ok := sub[d.Name]; ok {
+			d.Name = to
+		}
+		d.Init = cloneExprRenamed(d.Init, sub)
+		return &lang.DeclStmt{Decl: &d}
+	case *lang.ExprStmt:
+		return &lang.ExprStmt{X: cloneExprRenamed(s.X, sub)}
+	}
+	panic(fmt.Sprintf("oracle: unclonable statement %T", s))
+}
+
+// cloneExprRenamed deep-copies an expression, renaming identifiers per sub.
+func cloneExprRenamed(x lang.Expr, sub map[string]string) lang.Expr {
+	if x == nil {
+		return nil
+	}
+	switch x := x.(type) {
+	case *lang.Ident:
+		c := *x
+		if to, ok := sub[c.Name]; ok {
+			c.Name = to
+		}
+		return &c
+	case *lang.IntLit:
+		c := *x
+		return &c
+	case *lang.FloatLit:
+		c := *x
+		return &c
+	case *lang.Unary:
+		c := *x
+		c.X = cloneExprRenamed(x.X, sub)
+		return &c
+	case *lang.Binary:
+		c := *x
+		c.X = cloneExprRenamed(x.X, sub)
+		c.Y = cloneExprRenamed(x.Y, sub)
+		return &c
+	case *lang.Assign:
+		c := *x
+		c.LHS = cloneExprRenamed(x.LHS, sub)
+		c.RHS = cloneExprRenamed(x.RHS, sub)
+		return &c
+	case *lang.CastExpr:
+		c := *x
+		c.X = cloneExprRenamed(x.X, sub)
+		return &c
+	case *lang.Call:
+		c := *x
+		c.Args = make([]lang.Expr, len(x.Args))
+		for i, a := range x.Args {
+			c.Args[i] = cloneExprRenamed(a, sub)
+		}
+		return &c
+	case *lang.Index:
+		c := *x
+		c.X = cloneExprRenamed(x.X, sub)
+		c.Idx = cloneExprRenamed(x.Idx, sub)
+		return &c
+	case *lang.Member:
+		c := *x
+		c.X = cloneExprRenamed(x.X, sub)
+		return &c
+	}
+	panic(fmt.Sprintf("oracle: unclonable expression %T", x))
+}
+
+// ---- AST walking -------------------------------------------------------
+
+// walkStmt visits s and every statement beneath it, parents first.
+func walkStmt(s lang.Stmt, visit func(lang.Stmt)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		for _, st := range s.Stmts {
+			walkStmt(st, visit)
+		}
+	case *lang.IfStmt:
+		walkStmt(s.Then, visit)
+		walkStmt(s.Else, visit)
+	case *lang.WhileStmt:
+		walkStmt(s.Body, visit)
+	case *lang.ForStmt:
+		walkStmt(s.Init, visit)
+		walkStmt(s.Body, visit)
+	}
+}
+
+// walkStmtExprs visits every expression directly attached to s (not those
+// of nested statements; pair with walkStmt for a full traversal).
+func walkStmtExprs(s lang.Stmt, visit func(lang.Expr)) {
+	switch s := s.(type) {
+	case *lang.DeclStmt:
+		walkExpr(s.Decl.Init, visit)
+	case *lang.ExprStmt:
+		walkExpr(s.X, visit)
+	case *lang.IfStmt:
+		walkExpr(s.Cond, visit)
+	case *lang.WhileStmt:
+		walkExpr(s.Cond, visit)
+	case *lang.ForStmt:
+		walkExpr(s.Cond, visit)
+		walkExpr(s.Post, visit)
+	case *lang.ReturnStmt:
+		walkExpr(s.X, visit)
+	}
+}
+
+// walkExpr visits x and every subexpression.
+func walkExpr(x lang.Expr, visit func(lang.Expr)) {
+	if x == nil {
+		return
+	}
+	visit(x)
+	switch x := x.(type) {
+	case *lang.Unary:
+		walkExpr(x.X, visit)
+	case *lang.Binary:
+		walkExpr(x.X, visit)
+		walkExpr(x.Y, visit)
+	case *lang.Assign:
+		walkExpr(x.LHS, visit)
+		walkExpr(x.RHS, visit)
+	case *lang.CastExpr:
+		walkExpr(x.X, visit)
+	case *lang.Call:
+		for _, a := range x.Args {
+			walkExpr(a, visit)
+		}
+	case *lang.Index:
+		walkExpr(x.X, visit)
+		walkExpr(x.Idx, visit)
+	case *lang.Member:
+		walkExpr(x.X, visit)
+	}
+}

@@ -1,0 +1,212 @@
+package oracle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"scaf/internal/lang"
+	"scaf/internal/mcgen"
+)
+
+// applyTo parses src, applies tr, and returns the transformed source and
+// rename map (fatal if the transform does not apply).
+func applyTo(t *testing.T, tr Transform, src string, seed int64) (string, map[string]string) {
+	t.Helper()
+	f, err := lang.Parse("meta", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rename, applied := tr.Apply(f, rand.New(rand.NewSource(seed)))
+	if !applied {
+		t.Fatalf("%s did not apply to:\n%s", tr.Name, src)
+	}
+	return Print(f), rename
+}
+
+const metaProg = `
+int g1[8];
+int helper(int* p, int x) {
+    int acc = x;
+    p[(x + 1) & 7] = acc;
+    return acc;
+}
+void main() {
+    int a = 3;
+    int b = 4;
+    for (int i = 0; i < 8; i++) {
+        g1[i & 7] = a;
+        a = a + g1[(i + 1) & 7];
+    }
+    a = a + helper(g1, b);
+    print(a);
+    print(b);
+}
+`
+
+func TestRenameTransform(t *testing.T) {
+	out, rename := applyTo(t, mustTransform(t, "rename"), metaProg, 1)
+	if len(rename) == 0 {
+		t.Fatal("rename returned an empty map")
+	}
+	// main and builtins survive; every declared name is gone.
+	if !strings.Contains(out, "void main()") || !strings.Contains(out, "print(") {
+		t.Fatalf("main/print must not be renamed:\n%s", out)
+	}
+	for _, name := range []string{"g1", "helper", "acc"} {
+		if _, ok := rename[name]; !ok {
+			t.Errorf("declared name %q missing from rename map", name)
+		}
+	}
+	for old, new_ := range rename {
+		if strings.Contains(out, old+"[") || strings.Contains(out, old+" =") {
+			t.Errorf("old name %q still used:\n%s", old, out)
+		}
+		if !strings.Contains(out, new_) {
+			t.Errorf("new name %q absent:\n%s", new_, out)
+		}
+	}
+	// Injective: no two old names share a new name.
+	seen := map[string]string{}
+	for old, new_ := range rename {
+		if prev, dup := seen[new_]; dup {
+			t.Errorf("rename collision: %q and %q both -> %q", prev, old, new_)
+		}
+		seen[new_] = old
+	}
+	if !equalOutput(run(t, "orig", metaProg), run(t, "renamed", out)) {
+		t.Fatal("rename changed observable behavior")
+	}
+}
+
+func TestDeadCodeTransform(t *testing.T) {
+	out, _ := applyTo(t, mustTransform(t, "deadcode"), metaProg, 2)
+	if !strings.Contains(out, "zzd") {
+		t.Fatalf("no dead statement inserted:\n%s", out)
+	}
+	if !equalOutput(run(t, "orig", metaProg), run(t, "dead", out)) {
+		t.Fatal("dead-code insertion changed observable behavior")
+	}
+}
+
+func TestReorderTransform(t *testing.T) {
+	// `int a` and `int b` are independent pure-scalar statements.
+	out, _ := applyTo(t, mustTransform(t, "reorder"), metaProg, 3)
+	if out == Print(mustParse(t, metaProg)) {
+		t.Fatalf("reorder applied but changed nothing:\n%s", out)
+	}
+	if !equalOutput(run(t, "orig", metaProg), run(t, "reordered", out)) {
+		t.Fatal("reorder changed observable behavior")
+	}
+}
+
+func TestReorderRespectsDependences(t *testing.T) {
+	// Every adjacent scalar pair is dependent — nothing may swap.
+	src := `
+void main() {
+    int a = 1;
+    int b = a + 1;
+    int c = b + a;
+    print(c);
+}
+`
+	f := mustParse(t, src)
+	if _, applied := mustTransform(t, "reorder").Apply(f, rand.New(rand.NewSource(1))); applied {
+		t.Fatalf("reorder found a swap in a fully dependent chain:\n%s", Print(f))
+	}
+}
+
+func TestPeelTransform(t *testing.T) {
+	out, _ := applyTo(t, mustTransform(t, "peel"), metaProg, 4)
+	// The loop now starts at 1 and a peeled copy precedes it.
+	if !strings.Contains(out, "= 1; ") || !strings.Contains(out, "zzp0") {
+		t.Fatalf("peel did not rewrite the loop:\n%s", out)
+	}
+	if !equalOutput(run(t, "orig", metaProg), run(t, "peeled", out)) {
+		t.Fatal("peeling changed observable behavior")
+	}
+}
+
+func TestPeelSkipsNestedLoops(t *testing.T) {
+	// The only countable loop is nested: peel must refuse (its body's
+	// memory operations would move into the outer loop).
+	src := `
+int g[8];
+void main() {
+    int n = 0;
+    while (n < 2) {
+        for (int i = 0; i < 8; i++) {
+            g[i & 7] = i;
+        }
+        n = n + 1;
+    }
+    print(g[3]);
+}
+`
+	f := mustParse(t, src)
+	if _, applied := mustTransform(t, "peel").Apply(f, rand.New(rand.NewSource(1))); applied {
+		t.Fatalf("peel applied to a nested loop:\n%s", Print(f))
+	}
+}
+
+// TestTransformsValidOverSeeds: every transform preserves observable
+// behavior across a seed range — the validity half of the metamorphic
+// argument, independent of any analysis comparison.
+func TestTransformsValidOverSeeds(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	for _, tr := range Transforms() {
+		tr := tr
+		t.Run(tr.Name, func(t *testing.T) {
+			applied := 0
+			for seed := int64(1); seed <= seeds; seed++ {
+				src := mcgen.New(seed).Program()
+				f, err := lang.Parse("valid", src)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				_, ok := tr.Apply(f, rand.New(rand.NewSource(seed)))
+				if !ok {
+					continue
+				}
+				applied++
+				out := Print(f)
+				if !equalOutput(run(t, "orig", src), run(t, tr.Name, out)) {
+					t.Fatalf("seed %d: %s changed observable behavior\n%s", seed, tr.Name, out)
+				}
+			}
+			if applied == 0 {
+				t.Fatalf("%s never applied over %d seeds", tr.Name, seeds)
+			}
+		})
+	}
+}
+
+func TestMapNames(t *testing.T) {
+	m := map[string]string{"zz1": "alpha", "zz12": "beta"}
+	in := `{"loop":"main/zz1","i1":"zz12#3","x":"zz1zz12"}`
+	want := `{"loop":"main/alpha","i1":"beta#3","x":"zz1zz12"}`
+	if got := mapNames(in, m); got != want {
+		t.Fatalf("mapNames = %q, want %q", got, want)
+	}
+}
+
+func mustTransform(t *testing.T, name string) Transform {
+	t.Helper()
+	tr, ok := TransformByName(name)
+	if !ok {
+		t.Fatalf("no transform %q", name)
+	}
+	return tr
+}
+
+func mustParse(t *testing.T, src string) *lang.File {
+	t.Helper()
+	f, err := lang.Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}

@@ -1,0 +1,478 @@
+// Package oracle is the differential-testing subsystem: one reusable
+// soundness predicate over randomly generated MC programs, checked across
+// every execution path of the analysis (serial, parallel, shared-cache,
+// and the HTTP serving daemon), a metamorphic layer of semantics-preserving
+// source transforms under which non-speculative answers must be preserved,
+// and a delta-debugging reducer that shrinks any failing program to a
+// minimal reproducer.
+//
+// The predicate generalizes the repository's fuzzing logic into a library:
+// generate (or accept) an MC program, compile and profile it, collect the
+// memory-dependence profiler's ground truth from the very execution the
+// speculation was trained on, then check every analysis scheme's answers.
+// A dependence that manifested during training and is nonetheless disproved
+// by anything but value prediction is a soundness bug; any divergence
+// between execution paths of the same scheme is answer drift; any change in
+// non-speculative answers under a semantics-preserving transform is a
+// stability bug. All three are reported uniformly as Violations, so the
+// fuzz loop, the test suite, and the scaf-oracle CLI share one verdict.
+package oracle
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"scaf"
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/interp"
+	"scaf/internal/mcgen"
+	"scaf/internal/memspec"
+	"scaf/internal/pdg"
+	"scaf/internal/profile"
+	"scaf/internal/server"
+	"scaf/internal/spec"
+)
+
+// Config selects which checks a trial runs. The zero value checks nothing;
+// use FullConfig or FastConfig as a starting point.
+type Config struct {
+	// HotLoops overrides the paper's hot-loop thresholds so the small
+	// random loops all get analyzed.
+	HotLoops profile.HotLoopParams
+	// Schemes are the analysis schemes whose answers are soundness-checked.
+	Schemes []scaf.Scheme
+	// Monotonicity cross-checks per-query resolutions across schemes
+	// (CAF ⊆ Confluence ⊆ SCAF). Requires all three schemes.
+	Monotonicity bool
+	// Parallel re-resolves every scheme through pdg.ParallelClient and
+	// flags any drift from the serial answers.
+	Parallel bool
+	// SharedCache re-resolves through a parallel client whose workers
+	// share one core.SharedCache.
+	SharedCache bool
+	// Server re-resolves through the internal/server HTTP path (an
+	// in-process handler; no network) and compares at the level of
+	// serialized wire bytes. Incompatible with ExtraModules — the daemon
+	// builds its own orchestrators.
+	Server bool
+	// ValidatePlan additionally builds the speculation plan on session
+	// load (the server's plan=validate path) and re-runs the program with
+	// the plan's runtime checks enforced; a misspeculating plan on the
+	// training input is a soundness bug.
+	ValidatePlan bool
+	// Transforms is the metamorphic layer: each transform is applied to
+	// the source, validated by re-running the interpreter and comparing
+	// observable behavior, and only then do preserved-answer checks count.
+	Transforms []Transform
+	// ExtraModules, when non-nil, mints additional modules appended to
+	// every orchestrator built for the library paths (serial, parallel,
+	// shared-cache). It is called once per orchestrator so module state is
+	// never shared across workers. Used by the reducer tests to inject
+	// known soundness bugs behind a test-only hook.
+	ExtraModules func() []core.Module
+	// Workers sizes the parallel clients (default 4).
+	Workers int
+}
+
+// FullConfig checks everything: all schemes, all execution paths, all
+// metamorphic transforms.
+func FullConfig() Config {
+	return Config{
+		HotLoops:     profile.HotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5},
+		Schemes:      []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF},
+		Monotonicity: true,
+		Parallel:     true,
+		SharedCache:  true,
+		Server:       true,
+		Transforms:   Transforms(),
+		Workers:      4,
+	}
+}
+
+// FastConfig is the fuzzing-loop predicate: serial soundness over all
+// schemes plus monotonicity, nothing else. One iteration is cheap enough
+// for -fuzz budgets measured in seconds.
+func FastConfig() Config {
+	return Config{
+		HotLoops:     profile.HotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5},
+		Schemes:      []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF},
+		Monotonicity: true,
+	}
+}
+
+// Violation kinds.
+const (
+	KindUnsound          = "unsound"           // disproved a manifested dependence
+	KindMonotonicity     = "monotonicity"      // a richer scheme lost a resolution
+	KindDriftParallel    = "drift-parallel"    // parallel answers != serial
+	KindDriftShared      = "drift-shared"      // shared-cache answers != serial
+	KindDriftServer      = "drift-server"      // HTTP answers != serial
+	KindPlanInvalid      = "plan-invalid"      // speculation plan misspeculated on its own training input
+	KindMetamorphic      = "metamorphic"       // transform changed preserved answers
+	KindTransformInvalid = "transform-invalid" // transform changed observable behavior (harness bug)
+)
+
+// Violation is one oracle finding.
+type Violation struct {
+	Kind      string
+	Scheme    string
+	Transform string // metamorphic findings only
+	Loop      string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	b.WriteString(v.Kind)
+	if v.Scheme != "" {
+		fmt.Fprintf(&b, " [%s]", v.Scheme)
+	}
+	if v.Transform != "" {
+		fmt.Fprintf(&b, " <%s>", v.Transform)
+	}
+	if v.Loop != "" {
+		fmt.Fprintf(&b, " %s", v.Loop)
+	}
+	b.WriteString(": ")
+	b.WriteString(v.Detail)
+	return b.String()
+}
+
+const maxViolationsPerTrial = 50
+
+// Report is the outcome of one trial.
+type Report struct {
+	Seed   int64 // CheckSeed only; 0 for CheckProgram
+	Name   string
+	Source string
+	// HotLoops and Queries size the trial (for nonvacuity assertions).
+	HotLoops int
+	Queries  int
+	// TransformsApplied counts transforms that applied to this program;
+	// ComparedLoops counts loops whose answers were compared across a
+	// transform (a transform can apply yet leave a marginal loop out of
+	// the transformed hot set).
+	TransformsApplied int
+	ComparedLoops     int
+	// AppliedByTransform counts applications per transform name (nil
+	// until the first transform applies).
+	AppliedByTransform map[string]int
+	Violations         []Violation
+}
+
+// Failed reports whether any check failed.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// HasViolation reports whether a violation of the given kind was found.
+func (r *Report) HasViolation(kind string) bool {
+	for _, v := range r.Violations {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Report) violate(v Violation) {
+	if len(r.Violations) < maxViolationsPerTrial {
+		r.Violations = append(r.Violations, v)
+	}
+}
+
+// Summary renders the failure in one block: every violation plus the
+// program that triggered it.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle: %d violation(s) on %s (seed %d, %d hot loops, %d queries)\n",
+		len(r.Violations), r.Name, r.Seed, r.HotLoops, r.Queries)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	b.WriteString(r.Source)
+	return b.String()
+}
+
+// CheckSeed generates the random program of one mcgen seed and checks it.
+func CheckSeed(cfg Config, seed int64) (*Report, error) {
+	src := mcgen.New(seed).Program()
+	rep, err := CheckProgram(cfg, fmt.Sprintf("seed%d", seed), src)
+	if rep != nil {
+		rep.Seed = seed
+	}
+	return rep, err
+}
+
+// CheckProgram runs every configured check against one MC program. The
+// returned error reports a program that cannot be compiled, profiled, or
+// executed — a caller bug, not an analysis finding; analysis findings are
+// Violations in the report.
+func CheckProgram(cfg Config, name, src string) (*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	rep := &Report{Name: name, Source: src}
+	base, err := analyzeSource(cfg, name, src)
+	if err != nil {
+		return nil, err
+	}
+	rep.HotLoops = len(base.hot)
+
+	for _, scheme := range cfg.Schemes {
+		checkSoundness(rep, base, scheme)
+	}
+	if cfg.Monotonicity {
+		checkMonotonicity(rep, base)
+	}
+	for _, scheme := range cfg.Schemes {
+		if cfg.Parallel {
+			checkParallelDrift(cfg, rep, base, scheme, false)
+		}
+		if cfg.SharedCache {
+			checkParallelDrift(cfg, rep, base, scheme, true)
+		}
+	}
+	if cfg.Server && cfg.ExtraModules == nil {
+		checkServerDrift(cfg, rep, base)
+	}
+	for _, tr := range cfg.Transforms {
+		checkTransform(cfg, rep, base, tr)
+	}
+	return rep, nil
+}
+
+// analysis is one compiled, profiled, serially-analyzed program.
+type analysis struct {
+	cfg    Config
+	name   string
+	src    string
+	sys    *scaf.System
+	client *pdg.Client
+	ms     *memspec.MemSpec
+	hot    []*cfg.Loop
+	// serial holds each scheme's serial answers — the canonical result
+	// every other path is compared against.
+	serial map[scaf.Scheme][]*pdg.LoopResult
+	wire   map[scaf.Scheme][]server.WireLoopResult
+	output []string // observable behavior of the training run
+}
+
+// orchOptions builds the per-orchestrator option list, minting fresh extra
+// modules on every call so no state is shared across orchestrators.
+func orchOptions(cfg Config) []scaf.OrchOption {
+	var opts []scaf.OrchOption
+	if cfg.ExtraModules != nil {
+		opts = append(opts, scaf.WithExtraModules(cfg.ExtraModules()...))
+	}
+	return opts
+}
+
+func analyzeSource(cfg Config, name, src string) (*analysis, error) {
+	hot := cfg.HotLoops
+	sys, err := scaf.Load(name, src, scaf.Options{HotLoops: &hot})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %s: %w", name, err)
+	}
+	run, err := interp.Run(sys.Mod, interp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %s: observable run: %w", name, err)
+	}
+	a := &analysis{
+		cfg:    cfg,
+		name:   name,
+		src:    src,
+		sys:    sys,
+		client: sys.Client(),
+		ms:     sys.MemSpec(),
+		hot:    sys.HotLoops(),
+		serial: map[scaf.Scheme][]*pdg.LoopResult{},
+		wire:   map[scaf.Scheme][]server.WireLoopResult{},
+		output: run.Output,
+	}
+	for _, scheme := range cfg.Schemes {
+		o := sys.Orchestrator(scheme, orchOptions(cfg)...)
+		results := make([]*pdg.LoopResult, 0, len(a.hot))
+		wires := make([]server.WireLoopResult, 0, len(a.hot))
+		for _, l := range a.hot {
+			res := a.client.AnalyzeLoop(o, l)
+			results = append(results, res)
+			wires = append(wires, server.EncodeLoopResult(res))
+		}
+		a.serial[scheme] = results
+		a.wire[scheme] = wires
+	}
+	return a, nil
+}
+
+// usesValuePred reports whether any option of the response is predicated
+// on a value-prediction assertion. Value prediction is the one speculation
+// that may legitimately remove dependences that manifested (the predicted
+// load is replaced by its constant, so the flow edge disappears).
+func usesValuePred(r core.ModRefResponse) bool {
+	for _, o := range r.Options {
+		for _, a := range o.Asserts {
+			if a.Module == spec.NameValuePred {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkSoundness cross-checks every dependence the scheme disproves
+// against the ground truth recorded by the memory-dependence profiler
+// during the very execution the speculation was trained on.
+func checkSoundness(rep *Report, a *analysis, scheme scaf.Scheme) {
+	for i, res := range a.serial[scheme] {
+		l := a.hot[i]
+		for _, q := range res.Queries {
+			rep.Queries++
+			if !q.NoDep {
+				continue
+			}
+			if a.ms.NoDep(l, q.I1, q.I2, q.Rel) {
+				continue // never manifested: consistent
+			}
+			if scheme != scaf.SchemeCAF && usesValuePred(q.Resp) {
+				continue // value prediction may remove real deps
+			}
+			rep.violate(Violation{
+				Kind: KindUnsound, Scheme: scheme.String(), Loop: l.Name(),
+				Detail: fmt.Sprintf("disproved manifested dep %s -> %s (%s) via %v",
+					q.I1, q.I2, q.Rel, q.Resp.Contribs),
+			})
+		}
+	}
+}
+
+// checkMonotonicity: per-query resolutions must be monotone across
+// CAF ⊆ Confluence ⊆ SCAF — a richer scheme never loses a resolution.
+func checkMonotonicity(rep *Report, a *analysis) {
+	caf, okC := a.serial[scaf.SchemeCAF]
+	conf, okF := a.serial[scaf.SchemeConfluence]
+	col, okS := a.serial[scaf.SchemeSCAF]
+	if !okC || !okF || !okS {
+		return
+	}
+	for i := range a.hot {
+		rCAF := caf[i].ByKey()
+		rConf := conf[i].ByKey()
+		for _, q := range col[i].Queries {
+			k := pdg.Key{I1: q.I1, I2: q.I2, Rel: q.Rel}
+			if rCAF[k] != nil && rCAF[k].NoDep && !(rConf[k] != nil && rConf[k].NoDep) {
+				rep.violate(Violation{Kind: KindMonotonicity, Loop: a.hot[i].Name(),
+					Detail: fmt.Sprintf("confluence lost a CAF resolution: %s -> %s (%s)", q.I1, q.I2, q.Rel)})
+			}
+			if rConf[k] != nil && rConf[k].NoDep && !q.NoDep {
+				rep.violate(Violation{Kind: KindMonotonicity, Loop: a.hot[i].Name(),
+					Detail: fmt.Sprintf("SCAF lost a confluence resolution: %s -> %s (%s)", q.I1, q.I2, q.Rel)})
+			}
+		}
+	}
+}
+
+// wireJSON renders wire results to canonical bytes for drift comparison.
+func wireJSON(w []server.WireLoopResult) []byte {
+	b, err := json.Marshal(w)
+	if err != nil { // struct-only payload: cannot happen
+		panic(err)
+	}
+	return b
+}
+
+// checkParallelDrift re-resolves through pdg.ParallelClient — optionally
+// with a worker-shared memo cache — and flags any drift from serial.
+func checkParallelDrift(cfg Config, rep *Report, a *analysis, scheme scaf.Scheme, shared bool) {
+	kind := KindDriftParallel
+	opts := orchOptions(cfg)
+	if shared {
+		kind = KindDriftShared
+		opts = append(opts, scaf.WithSharedCache(core.NewSharedCache()))
+	}
+	factory := func() *core.Orchestrator { return a.sys.Orchestrator(scheme, opts...) }
+	pc := pdg.NewParallelClient(a.client, cfg.Workers, factory)
+	results, _ := pc.AnalyzeLoops(a.hot)
+	for i, res := range results {
+		got := wireJSON([]server.WireLoopResult{server.EncodeLoopResult(res)})
+		want := wireJSON(a.wire[scheme][i : i+1])
+		if !bytes.Equal(got, want) {
+			rep.violate(Violation{Kind: kind, Scheme: scheme.String(), Loop: a.hot[i].Name(),
+				Detail: fmt.Sprintf("answers diverge from serial:\n  serial:   %s\n  parallel: %s", want, got)})
+		}
+	}
+}
+
+// checkServerDrift loads the program as a session of an in-process
+// analysis daemon and compares the HTTP answers — byte-level, through the
+// same wire encoding as the serial results — for every scheme.
+func checkServerDrift(cfg Config, rep *Report, a *analysis) {
+	srv := server.New(server.Config{Workers: 2})
+	h := srv.Handler()
+
+	plan := "off"
+	if cfg.ValidatePlan {
+		plan = "validate"
+	}
+	createBody, _ := json.Marshal(map[string]any{
+		"name": a.name, "source": a.src, "plan": plan,
+		"hot_loops": map[string]float64{
+			"min_weight_frac": cfg.HotLoops.MinWeightFrac,
+			"min_avg_iters":   cfg.HotLoops.MinAvgIters,
+		},
+	})
+	status, body := do(h, "POST", "/sessions", createBody)
+	if status == http.StatusUnprocessableEntity && cfg.ValidatePlan {
+		rep.violate(Violation{Kind: KindPlanInvalid,
+			Detail: fmt.Sprintf("speculation plan failed its own training-input validation: %s", body)})
+		return
+	}
+	if status != http.StatusCreated {
+		rep.violate(Violation{Kind: KindDriftServer,
+			Detail: fmt.Sprintf("session load failed: status %d: %s", status, body)})
+		return
+	}
+	var info server.SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		rep.violate(Violation{Kind: KindDriftServer, Detail: fmt.Sprintf("bad session info: %v", err)})
+		return
+	}
+	if len(info.HotLoops) != len(a.hot) {
+		rep.violate(Violation{Kind: KindDriftServer,
+			Detail: fmt.Sprintf("server sees %d hot loops, library sees %d", len(info.HotLoops), len(a.hot))})
+		return
+	}
+	for _, scheme := range cfg.Schemes {
+		reqBody, _ := json.Marshal(map[string]any{"scheme": scheme.String()})
+		status, body := do(h, "POST", "/sessions/"+info.ID+"/analyze", reqBody)
+		if status != http.StatusOK {
+			rep.violate(Violation{Kind: KindDriftServer, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("analyze failed: status %d: %s", status, body)})
+			continue
+		}
+		var resp server.AnalyzeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			rep.violate(Violation{Kind: KindDriftServer, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("bad analyze response: %v", err)})
+			continue
+		}
+		got := wireJSON(resp.Results)
+		want := wireJSON(a.wire[scheme])
+		if !bytes.Equal(got, want) {
+			rep.violate(Violation{Kind: KindDriftServer, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("HTTP answers diverge from library:\n  library: %s\n  http:    %s", want, got)})
+		}
+	}
+}
+
+// do drives the in-process handler with one request, no network.
+func do(h http.Handler, method, path string, body []byte) (int, []byte) {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}

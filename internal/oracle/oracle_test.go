@@ -1,0 +1,196 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"scaf/internal/interp"
+	"scaf/internal/lang"
+	"scaf/internal/lower"
+	"scaf/internal/mcgen"
+)
+
+// run compiles and interprets one MC program, returning its output lines.
+func run(t *testing.T, name, src string) []string {
+	t.Helper()
+	mod, err := lower.Compile(name, src)
+	if err != nil {
+		t.Fatalf("%s does not compile: %v\n%s", name, err, src)
+	}
+	res, err := interp.Run(mod, interp.Options{})
+	if err != nil {
+		t.Fatalf("%s does not run: %v\n%s", name, err, src)
+	}
+	return res.Output
+}
+
+// TestPrintRoundTrip: Print∘Parse is observation-preserving and
+// idempotent over generated programs — the printer is the foundation every
+// transform and the reducer stand on.
+func TestPrintRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		src := mcgen.New(seed).Program()
+		f, err := lang.Parse("rt", src)
+		if err != nil {
+			t.Fatalf("seed %d does not parse: %v", seed, err)
+		}
+		p1 := Print(f)
+		f2, err := lang.Parse("rt2", p1)
+		if err != nil {
+			t.Fatalf("seed %d reprint does not parse: %v\n%s", seed, err, p1)
+		}
+		if p2 := Print(f2); p2 != p1 {
+			t.Fatalf("seed %d print not idempotent:\n--- first\n%s\n--- second\n%s", seed, p1, p2)
+		}
+		want := run(t, "orig", src)
+		got := run(t, "printed", p1)
+		if !equalOutput(want, got) {
+			t.Fatalf("seed %d output changed by reprint: %q vs %q", seed, want, got)
+		}
+	}
+}
+
+// TestOracleSweep is the acceptance sweep: ≥200 mcgen seeds through the
+// full oracle — soundness on every scheme, monotonicity, zero answer drift
+// across serial/parallel/shared-cache/server, and metamorphic answer
+// preservation — with nonvacuity floors so a silently-skipping check reads
+// as a failure, not a pass.
+func TestOracleSweep(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 25
+	}
+	cfg := FullConfig()
+	var queries, applied, compared, hot int
+	byTransform := map[string]int{}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		rep, err := CheckSeed(cfg, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("%s", rep.Summary())
+		}
+		queries += rep.Queries
+		applied += rep.TransformsApplied
+		compared += rep.ComparedLoops
+		hot += rep.HotLoops
+		for name, n := range rep.AppliedByTransform {
+			byTransform[name] += n
+		}
+	}
+	// Nonvacuity: the sweep must actually have exercised the checks.
+	if hot == 0 || queries == 0 {
+		t.Fatalf("vacuous sweep: %d hot loops, %d queries", hot, queries)
+	}
+	if applied < seeds {
+		t.Errorf("only %d transform applications over %d seeds", applied, seeds)
+	}
+	if compared < 5*seeds {
+		t.Errorf("only %d loop comparisons over %d seeds", compared, seeds)
+	}
+	for _, tr := range Transforms() {
+		if byTransform[tr.Name] == 0 {
+			t.Errorf("transform %q never applied over %d seeds", tr.Name, seeds)
+		}
+	}
+}
+
+// TestCheckProgramRejectsInvalid: a non-compiling program is a caller
+// error, not an analysis finding.
+func TestCheckProgramRejectsInvalid(t *testing.T) {
+	if _, err := CheckProgram(FastConfig(), "bad", "void main() { undeclared = 1; }"); err == nil {
+		t.Fatal("CheckProgram accepted a non-compiling program")
+	}
+}
+
+// TestSoundnessCatchesInjectedBug: the oracle predicate itself must fire
+// when a module disproves manifested dependences (the reducer tests build
+// on this in reduce_test.go).
+func TestSoundnessCatchesInjectedBug(t *testing.T) {
+	cfg := FastConfig()
+	cfg.ExtraModules = crossIterBug
+	found := false
+	for seed := int64(1); seed <= 60 && !found; seed++ {
+		rep, err := CheckSeed(cfg, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.HasViolation(KindUnsound) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("injected cross-iteration bug never produced an unsound verdict over 60 seeds")
+	}
+}
+
+// TestViolationString covers the failure-report formatting.
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: KindMetamorphic, Scheme: "CAF", Transform: "peel",
+		Loop: "main/for_head.2", Detail: "x"}
+	want := "metamorphic [CAF] <peel> main/for_head.2: x"
+	if got := v.String(); got != want {
+		t.Fatalf("Violation.String() = %q, want %q", got, want)
+	}
+}
+
+// TestCorpusStillInteresting re-checks every committed corpus program:
+// each must build, run, analyze cleanly under the full oracle, and keep
+// the property that made it corpus-worthy — at least one dependence query
+// in a hot loop.
+func TestCorpusStillInteresting(t *testing.T) {
+	files := corpusFiles(t)
+	if len(files) < 10 {
+		t.Fatalf("corpus has %d programs, want >= 10", len(files))
+	}
+	cfg := FullConfig()
+	for _, fpath := range files {
+		src := readFile(t, fpath)
+		rep, err := CheckProgram(cfg, fpath, src)
+		if err != nil {
+			t.Errorf("%s: %v", fpath, err)
+			continue
+		}
+		if rep.Failed() {
+			t.Errorf("%s", rep.Summary())
+		}
+		if rep.Queries == 0 {
+			t.Errorf("%s: no dependence queries — not interesting anymore", fpath)
+		}
+	}
+}
+
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	entries, err := filepath.Glob("testdata/corpus/*.mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(entries)
+	return entries
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestHasViolation covers the kind filter.
+func TestHasViolation(t *testing.T) {
+	r := &Report{}
+	r.violate(Violation{Kind: KindUnsound})
+	if !r.HasViolation(KindUnsound) || r.HasViolation(KindDriftServer) {
+		t.Fatal("HasViolation filter broken")
+	}
+	if !strings.Contains(r.Summary(), "1 violation") {
+		t.Fatalf("Summary missing count: %s", r.Summary())
+	}
+}

@@ -1,0 +1,238 @@
+package oracle
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scaf/internal/lang"
+)
+
+// Print renders a parsed MC file back to compilable source. The printer is
+// deterministic (identical ASTs produce identical bytes) and conservative:
+// every non-atomic subexpression is parenthesized, so operator precedence
+// never has to be reconstructed. Print∘Parse is semantics-preserving; the
+// round-trip test checks that the reprinted source lowers to IR that
+// behaves identically.
+func Print(f *lang.File) string {
+	p := &printer{}
+	for _, sd := range f.Structs {
+		p.structDecl(sd)
+	}
+	for _, g := range f.Globals {
+		p.printf("%s;\n", declString(g))
+	}
+	for _, fd := range f.Funcs {
+		p.funcDecl(fd)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b     strings.Builder
+	depth int
+}
+
+func (p *printer) printf(format string, args ...interface{}) {
+	fmt.Fprintf(&p.b, format, args...)
+}
+
+func (p *printer) indent() string { return strings.Repeat("    ", p.depth) }
+
+// typePrefix renders the part of a type that precedes the name.
+func typePrefix(te *lang.TypeExpr) string {
+	var base string
+	switch te.Base {
+	case lang.KWStruct:
+		base = "struct " + te.StructName
+	default:
+		base = te.Base.String() // int, float, void
+	}
+	return base + strings.Repeat("*", te.Stars)
+}
+
+// declString renders "type name[dims]" for a variable declaration.
+func declString(d *lang.VarDecl) string {
+	s := typePrefix(d.TE) + " " + d.Name
+	for _, n := range d.TE.ArrayLens {
+		s += fmt.Sprintf("[%d]", n)
+	}
+	return s
+}
+
+func (p *printer) structDecl(sd *lang.StructDecl) {
+	p.printf("struct %s {\n", sd.Name)
+	for _, fld := range sd.Fields {
+		p.printf("    %s;\n", declString(fld))
+	}
+	p.printf("};\n")
+}
+
+func (p *printer) funcDecl(fd *lang.FuncDecl) {
+	params := make([]string, len(fd.Params))
+	for i, pr := range fd.Params {
+		params[i] = declString(pr)
+	}
+	p.printf("%s %s(%s) ", typePrefix(fd.Ret), fd.Name, strings.Join(params, ", "))
+	p.blockStmt(fd.Body)
+	p.printf("\n")
+}
+
+func (p *printer) blockStmt(b *lang.BlockStmt) {
+	p.printf("{\n")
+	p.depth++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.depth--
+	p.printf("%s}", p.indent())
+}
+
+// stmtInline renders a statement used as a loop/if body: blocks print
+// inline, everything else gets its own braces so dangling-else can never
+// rebind.
+func (p *printer) stmtInline(s lang.Stmt) {
+	if b, ok := s.(*lang.BlockStmt); ok {
+		p.blockStmt(b)
+		return
+	}
+	p.printf("{\n")
+	p.depth++
+	p.stmt(s)
+	p.depth--
+	p.printf("%s}", p.indent())
+}
+
+func (p *printer) stmt(s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		p.printf("%s", p.indent())
+		p.blockStmt(s)
+		p.printf("\n")
+	case *lang.DeclStmt:
+		if s.Decl.Init != nil {
+			p.printf("%s%s = %s;\n", p.indent(), declString(s.Decl), exprString(s.Decl.Init))
+		} else {
+			p.printf("%s%s;\n", p.indent(), declString(s.Decl))
+		}
+	case *lang.ExprStmt:
+		p.printf("%s%s;\n", p.indent(), exprStmtString(s.X))
+	case *lang.IfStmt:
+		p.printf("%sif (%s) ", p.indent(), exprStmtString(s.Cond))
+		p.stmtInline(s.Then)
+		if s.Else != nil {
+			p.printf(" else ")
+			p.stmtInline(s.Else)
+		}
+		p.printf("\n")
+	case *lang.WhileStmt:
+		p.printf("%swhile (%s) ", p.indent(), exprStmtString(s.Cond))
+		p.stmtInline(s.Body)
+		p.printf("\n")
+	case *lang.ForStmt:
+		p.printf("%sfor (", p.indent())
+		switch init := s.Init.(type) {
+		case *lang.DeclStmt:
+			if init.Decl.Init != nil {
+				p.printf("%s = %s", declString(init.Decl), exprString(init.Decl.Init))
+			} else {
+				p.printf("%s", declString(init.Decl))
+			}
+		case *lang.ExprStmt:
+			p.printf("%s", exprStmtString(init.X))
+		}
+		p.printf("; ")
+		if s.Cond != nil {
+			p.printf("%s", exprStmtString(s.Cond))
+		}
+		p.printf("; ")
+		if s.Post != nil {
+			p.printf("%s", exprStmtString(s.Post))
+		}
+		p.printf(") ")
+		p.stmtInline(s.Body)
+		p.printf("\n")
+	case *lang.ReturnStmt:
+		if s.X != nil {
+			p.printf("%sreturn %s;\n", p.indent(), exprStmtString(s.X))
+		} else {
+			p.printf("%sreturn;\n", p.indent())
+		}
+	case *lang.BreakStmt:
+		p.printf("%sbreak;\n", p.indent())
+	case *lang.ContinueStmt:
+		p.printf("%scontinue;\n", p.indent())
+	default:
+		panic(fmt.Sprintf("oracle: unprintable statement %T", s))
+	}
+}
+
+// exprStmtString renders an expression in statement position: top-level
+// assignments and conditions drop their outer parentheses for readability.
+func exprStmtString(x lang.Expr) string {
+	if a, ok := x.(*lang.Assign); ok {
+		return fmt.Sprintf("%s %s %s", exprString(a.LHS), a.Op, exprString(a.RHS))
+	}
+	if b, ok := x.(*lang.Binary); ok {
+		return fmt.Sprintf("%s %s %s", exprString(b.X), b.Op, exprString(b.Y))
+	}
+	return exprString(x)
+}
+
+// exprString renders an expression with full parenthesization of every
+// compound form.
+func exprString(x lang.Expr) string {
+	switch x := x.(type) {
+	case *lang.Ident:
+		return x.Name
+	case *lang.IntLit:
+		return strconv.FormatInt(x.V, 10)
+	case *lang.FloatLit:
+		s := strconv.FormatFloat(x.V, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	case *lang.Unary:
+		return fmt.Sprintf("(%s%s)", x.Op, exprString(x.X))
+	case *lang.Binary:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.X), x.Op, exprString(x.Y))
+	case *lang.Assign:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.LHS), x.Op, exprString(x.RHS))
+	case *lang.CastExpr:
+		return fmt.Sprintf("((%s)%s)", x.To, exprString(x.X))
+	case *lang.Call:
+		args := make([]string, 0, len(x.Args)+1)
+		if x.TypeArg != nil {
+			t := typePrefix(x.TypeArg)
+			for _, n := range x.TypeArg.ArrayLens {
+				t += fmt.Sprintf("[%d]", n)
+			}
+			args = append(args, t)
+		}
+		for _, a := range x.Args {
+			args = append(args, exprString(a))
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *lang.Index:
+		return fmt.Sprintf("%s[%s]", postfixBase(x.X), exprStmtString(x.Idx))
+	case *lang.Member:
+		op := "."
+		if x.Arrow {
+			op = "->"
+		}
+		return fmt.Sprintf("%s%s%s", postfixBase(x.X), op, x.Name)
+	default:
+		panic(fmt.Sprintf("oracle: unprintable expression %T", x))
+	}
+}
+
+// postfixBase renders the operand of a postfix operator: atoms and other
+// postfix forms bind tightly already, everything else is parenthesized.
+func postfixBase(x lang.Expr) string {
+	switch x.(type) {
+	case *lang.Ident, *lang.Index, *lang.Member, *lang.Call:
+		return exprString(x)
+	}
+	return "(" + exprString(x) + ")"
+}

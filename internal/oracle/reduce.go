@@ -1,0 +1,287 @@
+package oracle
+
+import (
+	"scaf/internal/lang"
+)
+
+// This file is the delta-debugging reducer: given a program that fails the
+// oracle, shrink it to a small program that still fails. Reduction works
+// at the function, global, statement, and block level over the MC AST —
+// every candidate is parse→edit→print→re-check, so the reducer never has
+// to preserve semantics, only the predicate. Candidates that do not
+// compile simply fail the predicate and are rejected.
+
+// ReduceResult is the outcome of one reduction.
+type ReduceResult struct {
+	// Source is the smallest interesting program found.
+	Source string
+	// Tests counts predicate evaluations (including the initial check).
+	Tests int
+	// Stmts counts the statements of Source (see CountStmts).
+	Stmts int
+}
+
+// maxReduceTests bounds the predicate evaluations of one Reduce call; the
+// reducer returns its best-so-far program when the budget runs out.
+const maxReduceTests = 3000
+
+// Reduce shrinks src while interesting(src) holds. The input itself must
+// be interesting; if it is not (or does not parse), Reduce returns it
+// unchanged. interesting must treat non-compiling programs as boring.
+func Reduce(src string, interesting func(string) bool) ReduceResult {
+	res := ReduceResult{Source: src, Tests: 1}
+	if !interesting(src) {
+		res.Stmts = CountStmts(src)
+		return res
+	}
+	test := func(candidate string) bool {
+		if res.Tests >= maxReduceTests {
+			return false
+		}
+		res.Tests++
+		return interesting(candidate)
+	}
+	// Run every pass to fixpoint: later passes expose work for earlier
+	// ones (unwrapping an if exposes removable statements), so loop until
+	// a full round accepts nothing.
+	for {
+		changed := false
+		for _, pass := range []func(string, func(string) bool) (string, bool){
+			reduceFuncs, reduceGlobals, reduceStmts, reduceUnwrap,
+		} {
+			out, ok := pass(res.Source, test)
+			if ok {
+				res.Source = out
+				changed = true
+			}
+		}
+		if !changed || res.Tests >= maxReduceTests {
+			break
+		}
+	}
+	res.Stmts = CountStmts(res.Source)
+	return res
+}
+
+// reduceFuncs tries to drop whole functions (never main). A function that
+// is still called makes the candidate fail to compile, so it is rejected
+// by the predicate.
+func reduceFuncs(src string, test func(string) bool) (string, bool) {
+	changed := false
+	for i := 0; ; {
+		f, err := lang.Parse("reduce", src)
+		if err != nil || i >= len(f.Funcs) {
+			break
+		}
+		if f.Funcs[i].Name == "main" {
+			i++
+			continue
+		}
+		f.Funcs = append(f.Funcs[:i], f.Funcs[i+1:]...)
+		if out := Print(f); test(out) {
+			src = out
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return src, changed
+}
+
+// reduceGlobals tries to drop whole global declarations.
+func reduceGlobals(src string, test func(string) bool) (string, bool) {
+	changed := false
+	for i := 0; ; {
+		f, err := lang.Parse("reduce", src)
+		if err != nil || i >= len(f.Globals) {
+			break
+		}
+		f.Globals = append(f.Globals[:i], f.Globals[i+1:]...)
+		if out := Print(f); test(out) {
+			src = out
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return src, changed
+}
+
+// blocks returns every block of the file in deterministic walk order.
+func blocks(f *lang.File) []*lang.BlockStmt {
+	var out []*lang.BlockStmt
+	for _, fd := range f.Funcs {
+		walkStmt(fd.Body, func(s lang.Stmt) {
+			if b, ok := s.(*lang.BlockStmt); ok {
+				out = append(out, b)
+			}
+		})
+	}
+	return out
+}
+
+// reduceStmts is ddmin over each block's statement list: remove chunks of
+// halving size until single-statement granularity is exhausted.
+func reduceStmts(src string, test func(string) bool) (string, bool) {
+	changed := false
+	for bi := 0; ; bi++ {
+		f, err := lang.Parse("reduce", src)
+		if err != nil {
+			break
+		}
+		bs := blocks(f)
+		if bi >= len(bs) {
+			break
+		}
+		n := len(bs[bi].Stmts)
+		for chunk := n; chunk >= 1; chunk /= 2 {
+			for start := 0; ; {
+				f, err := lang.Parse("reduce", src)
+				if err != nil {
+					break
+				}
+				bs := blocks(f)
+				if bi >= len(bs) || start >= len(bs[bi].Stmts) {
+					break
+				}
+				b := bs[bi]
+				end := start + chunk
+				if end > len(b.Stmts) {
+					end = len(b.Stmts)
+				}
+				b.Stmts = append(b.Stmts[:start:start], b.Stmts[end:]...)
+				if out := Print(f); test(out) {
+					src = out
+					changed = true
+				} else {
+					start += chunk
+				}
+			}
+		}
+	}
+	return src, changed
+}
+
+// unwrapSites counts the compound statements reachable in f; applyUnwrap
+// rewrites site k with one of its replacement variants.
+type unwrapSite struct {
+	b *lang.BlockStmt
+	i int
+}
+
+func unwrapSites(f *lang.File) []unwrapSite {
+	var out []unwrapSite
+	for _, b := range blocks(f) {
+		for i, s := range b.Stmts {
+			switch s.(type) {
+			case *lang.IfStmt, *lang.WhileStmt, *lang.ForStmt, *lang.BlockStmt:
+				out = append(out, unwrapSite{b, i})
+			}
+		}
+	}
+	return out
+}
+
+// variants returns the replacement statement lists an unwrap of s may try,
+// strongest (fewest statements) first.
+func variants(s lang.Stmt) [][]lang.Stmt {
+	asList := func(s lang.Stmt) []lang.Stmt {
+		if s == nil {
+			return nil
+		}
+		if b, ok := s.(*lang.BlockStmt); ok {
+			return b.Stmts
+		}
+		return []lang.Stmt{s}
+	}
+	switch s := s.(type) {
+	case *lang.IfStmt:
+		v := [][]lang.Stmt{asList(s.Then)}
+		if s.Else != nil {
+			v = append(v, asList(s.Else))
+		}
+		return v
+	case *lang.WhileStmt:
+		return [][]lang.Stmt{asList(s.Body)}
+	case *lang.ForStmt:
+		// Keep the counter declaration alive so body uses still compile.
+		v := asList(s.Body)
+		if init, ok := s.Init.(*lang.DeclStmt); ok {
+			v = append([]lang.Stmt{init}, v...)
+		}
+		return [][]lang.Stmt{v}
+	case *lang.BlockStmt:
+		return [][]lang.Stmt{s.Stmts}
+	}
+	return nil
+}
+
+// reduceUnwrap replaces compound statements by their bodies (if→then,
+// if→else, loop→body, block→contents), exposing the contents to the
+// statement pass.
+func reduceUnwrap(src string, test func(string) bool) (string, bool) {
+	changed := false
+	for si := 0; ; {
+		f, err := lang.Parse("reduce", src)
+		if err != nil {
+			break
+		}
+		sites := unwrapSites(f)
+		if si >= len(sites) {
+			break
+		}
+		site := sites[si]
+		vs := variants(site.b.Stmts[site.i])
+		accepted := false
+		for _, v := range vs {
+			f, err := lang.Parse("reduce", src)
+			if err != nil {
+				break
+			}
+			sites := unwrapSites(f)
+			if si >= len(sites) {
+				break
+			}
+			site := sites[si]
+			b := site.b
+			rest := append([]lang.Stmt{}, b.Stmts[site.i+1:]...)
+			v = cloneList(v)
+			b.Stmts = append(append(b.Stmts[:site.i:site.i], v...), rest...)
+			if out := Print(f); test(out) {
+				src = out
+				changed = true
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			si++
+		}
+	}
+	return src, changed
+}
+
+// cloneList shallow-copies a statement list (the statements themselves are
+// moved, not aliased into two positions).
+func cloneList(v []lang.Stmt) []lang.Stmt {
+	return append([]lang.Stmt{}, v...)
+}
+
+// CountStmts counts the statements of an MC program (blocks themselves
+// excluded; a non-parsing program counts as 0). The reducer tests use it
+// as the minimality budget.
+func CountStmts(src string) int {
+	f, err := lang.Parse("count", src)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, fd := range f.Funcs {
+		walkStmt(fd.Body, func(s lang.Stmt) {
+			if _, ok := s.(*lang.BlockStmt); !ok {
+				n++
+			}
+		})
+	}
+	return n
+}

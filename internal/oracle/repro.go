@@ -1,0 +1,50 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FormatRepro renders a self-contained reproducer file: the reduced
+// program preceded by a comment header recording where it came from and
+// what it violates (MC supports // comments, so the file feeds straight
+// back into `scaf-oracle -run`).
+func FormatRepro(rep *Report, red ReduceResult) string {
+	var b strings.Builder
+	b.WriteString("// scaf-oracle reproducer\n")
+	if rep.Seed != 0 || strings.HasPrefix(rep.Name, "seed") {
+		fmt.Fprintf(&b, "// origin: mcgen seed %d\n", rep.Seed)
+	} else {
+		fmt.Fprintf(&b, "// origin: %s\n", rep.Name)
+	}
+	fmt.Fprintf(&b, "// reduced: %d statements (%d oracle evaluations)\n", red.Stmts, red.Tests)
+	for _, v := range rep.Violations {
+		// One line per violation; details may be multi-line, keep the head.
+		d := v.String()
+		if i := strings.IndexByte(d, '\n'); i >= 0 {
+			d = d[:i]
+		}
+		fmt.Fprintf(&b, "// violates: %s\n", d)
+	}
+	b.WriteString("\n")
+	b.WriteString(red.Source)
+	if !strings.HasSuffix(red.Source, "\n") {
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteRepro writes a reproducer under dir (created if needed) and returns
+// its path.
+func WriteRepro(dir, name string, rep *Report, red ReduceResult) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".mc")
+	if err := os.WriteFile(path, []byte(FormatRepro(rep, red)), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

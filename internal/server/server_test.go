@@ -542,3 +542,53 @@ func TestPercentile(t *testing.T) {
 		t.Errorf("p50 of singleton = %d", got)
 	}
 }
+
+// TestSessionHotLoopOverride: the hot_loops request field widens (or
+// narrows) which loops the session analyzes; invalid thresholds are a
+// structured 400. The oracle's server-drift check depends on this field to
+// align the daemon's loop set with the in-process analysis.
+func TestSessionHotLoopOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Default thresholds (weight 0.10, avg iters 50): only the 64-iteration
+	// inner loop of smallSource qualifies.
+	def := createSession(t, ts, CreateSessionRequest{Name: "def", Source: smallSource})
+	if len(def.HotLoops) != 1 {
+		t.Fatalf("default hot loops = %d, want 1: %+v", len(def.HotLoops), def.HotLoops)
+	}
+
+	// Loosened thresholds pick up the 40-iteration outer loop too.
+	loose := createSession(t, ts, CreateSessionRequest{
+		Name: "loose", Source: smallSource,
+		HotLoops: &WireHotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5},
+	})
+	if len(loose.HotLoops) <= len(def.HotLoops) {
+		t.Fatalf("loose thresholds found %d loops, default %d — override had no effect",
+			len(loose.HotLoops), len(def.HotLoops))
+	}
+
+	// Impossible thresholds: a valid session with no hot loops.
+	none := createSession(t, ts, CreateSessionRequest{
+		Name: "none", Source: smallSource,
+		HotLoops: &WireHotLoopParams{MinWeightFrac: 0.5, MinAvgIters: 1e9},
+	})
+	if len(none.HotLoops) != 0 {
+		t.Fatalf("impossible thresholds still found loops: %+v", none.HotLoops)
+	}
+
+	// Non-positive thresholds are a client error, not a silent default.
+	for _, bad := range []WireHotLoopParams{
+		{MinWeightFrac: 0, MinAvgIters: 2},
+		{MinWeightFrac: 0.01, MinAvgIters: -1},
+	} {
+		bad := bad
+		status, raw := do(t, ts, "POST", "/sessions",
+			CreateSessionRequest{Name: "bad", Source: smallSource, HotLoops: &bad})
+		if status != http.StatusBadRequest {
+			t.Fatalf("thresholds %+v: status %d, want 400 (body %s)", bad, status, raw)
+		}
+		if e := decode[ErrorResponse](t, raw); e.Error.Code != "bad_request" {
+			t.Fatalf("thresholds %+v: code %q, want bad_request", bad, e.Error.Code)
+		}
+	}
+}

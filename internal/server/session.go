@@ -14,6 +14,7 @@ import (
 	"scaf/internal/core"
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
+	"scaf/internal/profile"
 	"scaf/internal/trace"
 )
 
@@ -161,7 +162,17 @@ func newSession(id string, req *CreateSessionRequest) (*session, *httpError) {
 		name = id
 	}
 
-	sys, err := scaf.Load(name, src, scaf.Options{})
+	var loadOpts scaf.Options
+	if req.HotLoops != nil {
+		if req.HotLoops.MinWeightFrac <= 0 || req.HotLoops.MinAvgIters <= 0 {
+			return nil, errBadRequest("hot_loops thresholds must be positive")
+		}
+		loadOpts.HotLoops = &profile.HotLoopParams{
+			MinWeightFrac: req.HotLoops.MinWeightFrac,
+			MinAvgIters:   req.HotLoops.MinAvgIters,
+		}
+	}
+	sys, err := scaf.Load(name, src, loadOpts)
 	if err != nil {
 		return nil, &httpError{status: http.StatusUnprocessableEntity,
 			detail: ErrorDetail{Code: "load_failed", Message: err.Error()}}

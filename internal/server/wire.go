@@ -204,6 +204,17 @@ type CreateSessionRequest struct {
 	Assertions []WireAssertion `json:"assertions,omitempty"`
 	// Trace, when explicitly false, disables per-session trace metrics.
 	Trace *bool `json:"trace,omitempty"`
+	// HotLoops overrides the paper's hot-loop thresholds for this session
+	// (both fields are required together). The differential-testing oracle
+	// uses this to analyze the small loops of generated programs through
+	// the HTTP path with the same hot set as the library path.
+	HotLoops *WireHotLoopParams `json:"hot_loops,omitempty"`
+}
+
+// WireHotLoopParams carries hot-loop threshold overrides on the wire.
+type WireHotLoopParams struct {
+	MinWeightFrac float64 `json:"min_weight_frac"`
+	MinAvgIters   float64 `json:"min_avg_iters"`
 }
 
 // PlanInfo summarizes the session's validated speculation plan.

@@ -293,3 +293,216 @@ func TestRejectsUnvalidatableAssertions(t *testing.T) {
 		t.Error("unknown modules must be rejected")
 	}
 }
+
+func TestResidueViolation(t *testing.T) {
+	// Even indices only during profiling: with 8-byte ints, g[even] lands
+	// 16-byte-aligned offsets from g, so the element pointer sees a single
+	// residue class. Odd indices shift by 8 — outside the profiled mask.
+	prog, data := load(t, `
+int g[16];
+int gate;
+int out;
+void main() {
+    gate = 1000000;
+    for (int i = 0; i < 200; i++) {
+        int k = (i & 7) * 2;
+        if (i > gate) {
+            k = k + 1;           // never during profiling
+        }
+        int* p = &g[k];
+        out = out + (*p);
+        (*p) = i;
+    }
+    print(out);
+}`)
+	main := prog.Mod.FuncNamed("main")
+	var elemPtr *ir.Instr
+	main.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpIndex {
+			elemPtr = in
+		}
+	})
+	if elemPtr == nil {
+		t.Fatal("element-pointer instruction not found")
+	}
+	if mask, ok := data.Residue.Mask(elemPtr); !ok || mask == 0xffff {
+		t.Fatalf("residue profile unusable: mask=%#x ok=%v", mask, ok)
+	}
+	a := core.Assertion{
+		Module: spec.NameResidue, Kind: "residue-mask",
+		Points: []core.Point{{Instr: elemPtr}},
+	}
+	rep, err := Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("train run violations: %v", rep.Violations)
+	}
+	if rep.Checks == 0 {
+		t.Fatal("residue check never executed")
+	}
+	// Lower the gate: odd residues appear.
+	main.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Args[1] == ir.Value(prog.Mod.GlobalNamed("gate")) {
+			in.Args[0] = ir.CI(100)
+		}
+	})
+	rep, err = Check(prog, data, []core.Assertion{a}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("expected residue misspeculation")
+	}
+	if !strings.Contains(rep.Violations[0].Detail, "outside profiled mask") {
+		t.Errorf("detail: %s", rep.Violations[0].Detail)
+	}
+}
+
+// TestInstallErrors: every malformed or unvalidatable assertion is an
+// install-time error — validation never starts with a half-wired monitor.
+func TestInstallErrors(t *testing.T) {
+	prog, data := load(t, `
+int g[8];
+int out;
+void main() {
+    for (int i = 0; i < 40; i++) {
+        g[i & 7] = i;
+        out = out + g[(i + 1) & 7];
+    }
+    print(out);
+}`)
+	main := prog.Mod.FuncNamed("main")
+	var varyingLoad, someStore, someCmp *ir.Instr
+	main.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.OpLoad:
+			if _, ok := data.Value.Predictable(in); !ok {
+				varyingLoad = in
+			}
+		case ir.OpStore:
+			someStore = in
+		case ir.OpCmp:
+			someCmp = in
+		}
+	})
+	if varyingLoad == nil || someStore == nil || someCmp == nil {
+		t.Fatalf("fixture instructions missing: load=%v store=%v cmp=%v",
+			varyingLoad, someStore, someCmp)
+	}
+	header := main.Blocks[0]
+
+	cases := []struct {
+		name    string
+		assert  core.Assertion
+		wantErr string
+	}{
+		{"control point without edge",
+			core.Assertion{Module: spec.NameControlSpec,
+				Points: []core.Point{{Block: header}}},
+			"malformed control point"},
+		{"value check on a store",
+			core.Assertion{Module: spec.NameValuePred,
+				Points: []core.Point{{Instr: someStore}}},
+			"needs a load point"},
+		{"value check without prediction",
+			core.Assertion{Module: spec.NameValuePred,
+				Points: []core.Point{{Instr: varyingLoad}}},
+			"no prediction"},
+		{"read-only without loop",
+			core.Assertion{Module: spec.NameReadOnly,
+				Points: []core.Point{{G: prog.Mod.GlobalNamed("g")}}},
+			"needs site and loop points"},
+		{"short-lived without site",
+			core.Assertion{Module: spec.NameShortLived,
+				Points: []core.Point{{Block: header}}},
+			"needs site and loop points"},
+		{"residue without profile",
+			core.Assertion{Module: spec.NameResidue,
+				Points: []core.Point{{Instr: someCmp}}},
+			"no residue profile"},
+		{"raw points-to",
+			core.Assertion{Module: spec.NamePointsTo},
+			"prohibitive"},
+		{"unknown module",
+			core.Assertion{Module: "mystery"},
+			"unknown assertion module"},
+	}
+	for _, tc := range cases {
+		_, err := Check(prog, data, []core.Assertion{tc.assert}, interp.Options{})
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestViolationOrderingAndCap: violations are reported in execution order
+// — the order recovery code would observe them — and the report caps at
+// 100 so a hot misspeculating loop cannot flood it.
+func TestViolationOrderingAndCap(t *testing.T) {
+	prog, data := load(t, `
+int cfg1;
+int cfg2;
+int out;
+void main() {
+    cfg1 = 5;
+    cfg2 = 7;
+    for (int i = 0; i < 120; i++) {
+        out = out + cfg1;
+        out = out + cfg2;
+    }
+    print(out);
+}`)
+	main := prog.Mod.FuncNamed("main")
+	loadOf := func(name string) *ir.Instr {
+		var found *ir.Instr
+		main.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpLoad && in.Args[0] == ir.Value(prog.Mod.GlobalNamed(name)) {
+				found = in
+			}
+		})
+		if found == nil {
+			t.Fatalf("no load of %s", name)
+		}
+		return found
+	}
+	asserts := []core.Assertion{
+		{Module: spec.NameValuePred, Kind: "v1", Points: []core.Point{{Instr: loadOf("cfg1")}}},
+		{Module: spec.NameValuePred, Kind: "v2", Points: []core.Point{{Instr: loadOf("cfg2")}}},
+	}
+	// Break both predictions.
+	for _, name := range []string{"cfg1", "cfg2"} {
+		g := prog.Mod.GlobalNamed(name)
+		main.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpStore && in.Args[1] == ir.Value(g) {
+				in.Args[0] = ir.CI(1000)
+			}
+		})
+	}
+	rep, err := Check(prog, data, asserts, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 iterations x 2 failing checks = 240 misspeculations, capped.
+	if len(rep.Violations) != 100 {
+		t.Fatalf("got %d violations, want the cap of 100", len(rep.Violations))
+	}
+	// Execution order: cfg1's load precedes cfg2's in every iteration.
+	for i, v := range rep.Violations {
+		want := "v1"
+		if i%2 == 1 {
+			want = "v2"
+		}
+		if v.Assertion.Kind != want {
+			t.Fatalf("violation %d is %q, want %q (ordering broken)", i, v.Assertion.Kind, want)
+		}
+	}
+	if !strings.Contains(rep.Violations[0].Detail, "returned 1000, predicted 5") {
+		t.Errorf("detail: %s", rep.Violations[0].Detail)
+	}
+}
