@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-baseline bench-check oracle clean
+.PHONY: all build vet test race chaos bench bench-json bench-baseline bench-check oracle clean
 
 all: vet build test
 
@@ -17,6 +17,16 @@ test:
 # memo cache, and their equivalence/stress suites.
 race:
 	$(GO) test -race ./internal/pdg/... ./internal/core/...
+
+# Misspeculation-recovery fault-injection suite under the race detector:
+# chaos lies/stalls/panics against live server sessions with concurrent
+# query/analyze/observe traffic, the observe-equivalence and panic-
+# isolation tests, the quarantine/invalidation stress tests, and the
+# recovery package's own suite.
+chaos:
+	$(GO) test -race -count=1 ./internal/recovery/...
+	$(GO) test -race -count=1 ./internal/core/ -run 'Quarantine|Invalidate|Revok'
+	$(GO) test -race -count=1 -v ./internal/server/ -run 'TestObserve|TestModulePanic|TestHandlerPanic|TestChaos|TestNewHTTPServer'
 
 # Wall-clock comparison of serial vs parallel suite analysis. Needs
 # GOMAXPROCS >= 4 to show a speedup.
@@ -47,9 +57,10 @@ bench-check:
 	$(GO) run ./cmd/scaf-benchdiff $(BENCH_BASELINE) BENCH.fresh.json
 
 # Differential-testing oracle sweep (the CI gate): soundness,
-# monotonicity, serial/parallel/shared-cache/server answer drift, and
-# metamorphic transform stability over generated programs. Failures are
-# ddmin-shrunk into self-contained reproducers under ORACLE_OUT.
+# monotonicity, serial/parallel/shared-cache/server answer drift,
+# metamorphic transform stability, and misspeculation-recovery
+# equivalence over generated programs. Failures are ddmin-shrunk into
+# self-contained reproducers under ORACLE_OUT.
 ORACLE_SEEDS ?= 200
 ORACLE_START ?= 1
 ORACLE_OUT   ?= testdata/repros

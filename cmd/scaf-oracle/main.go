@@ -11,6 +11,7 @@
 //	scaf-oracle -seeds 200 -shrink         # also reduce failures to repros
 //	scaf-oracle -run repro.mc              # re-check one program file
 //	scaf-oracle -fast -seeds 1000          # soundness+monotonicity only
+//	scaf-oracle -fast -recovery -seeds 500 # plus misspeculation recovery
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	out := flag.String("out", "testdata/repros", "directory for shrunk reproducers")
 	run := flag.String("run", "", "check one MC program file instead of sweeping seeds")
 	fast := flag.Bool("fast", false, "soundness and monotonicity only (no drift or metamorphic checks)")
+	recov := flag.Bool("recovery", false, "force the misspeculation-recovery pass (fault injection + quarantine + equivalence); always on without -fast")
 	transforms := flag.String("transforms", "all", `metamorphic transforms: "all", "none", or a comma-separated subset (rename,deadcode,reorder,peel)`)
 	verbose := flag.Bool("v", false, "log every seed, not just failures and progress")
 	flag.Parse()
@@ -37,6 +39,9 @@ func main() {
 	cfg := oracle.FullConfig()
 	if *fast {
 		cfg = oracle.FastConfig()
+	}
+	if *recov {
+		cfg.Recovery = true
 	}
 	switch *transforms {
 	case "all":
@@ -59,7 +64,7 @@ func main() {
 	}
 
 	failures := 0
-	var queries, applied, compared int
+	var queries, applied, compared, lies int
 	for i := 0; i < *seeds; i++ {
 		seed := *start + int64(i)
 		rep, err := oracle.CheckSeed(cfg, seed)
@@ -70,6 +75,7 @@ func main() {
 		queries += rep.Queries
 		applied += rep.TransformsApplied
 		compared += rep.ComparedLoops
+		lies += rep.ChaosLies
 		if *verbose {
 			fmt.Printf("seed %d: %d hot loops, %d queries, %d transforms\n",
 				seed, rep.HotLoops, rep.Queries, rep.TransformsApplied)
@@ -82,8 +88,8 @@ func main() {
 			}
 		}
 		if n := i + 1; n%50 == 0 || n == *seeds {
-			fmt.Printf("[%d/%d] %d failures, %d queries checked, %d transforms applied, %d loop comparisons\n",
-				n, *seeds, failures, queries, applied, compared)
+			fmt.Printf("[%d/%d] %d failures, %d queries checked, %d transforms applied, %d loop comparisons, %d lies quarantined\n",
+				n, *seeds, failures, queries, applied, compared, lies)
 		}
 	}
 	if failures > 0 {

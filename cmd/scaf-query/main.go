@@ -6,6 +6,16 @@
 //	scaf-query -scheme scaf prog.mc
 //	scaf-query -scheme confluence -bench 183.equake
 //	scaf-query -diff -bench 456.hmmer    # queries SCAF resolves beyond confluence
+//
+// Degraded-plan analysis: -quarantine withdraws one speculative assertion
+// by its wire identity (repeatable; the identity is the "module/kind{...}"
+// string printed in /observe payloads and plan listings), -quarantine-module
+// withdraws a whole module. The analysis then shows exactly the answers a
+// recovered production session would serve after observing those
+// misspeculations:
+//
+//	scaf-query -quarantine 'mdp-spec/no-flow{p1,p2 cost=20}' -bench 181.mcf
+//	scaf-query -quarantine-module value-pred prog.mc
 package main
 
 import (
@@ -18,13 +28,26 @@ import (
 	"scaf/internal/core"
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
+	"scaf/internal/recovery"
 )
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return fmt.Sprint(*l) }
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	schemeName := flag.String("scheme", "scaf", "caf | confluence | scaf")
 	benchName := flag.String("bench", "", "analyze an embedded benchmark instead of a file")
 	diff := flag.Bool("diff", false, "show only queries SCAF resolves beyond confluence")
 	dot := flag.Bool("dot", false, "emit the dependence graphs in Graphviz DOT format")
+	var quarAsserts, quarModules stringList
+	flag.Var(&quarAsserts, "quarantine", "withdraw one assertion by wire identity (repeatable)")
+	flag.Var(&quarModules, "quarantine-module", "withdraw a whole module (repeatable)")
 	flag.Parse()
 
 	var name, src string
@@ -68,11 +91,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	var opts []scaf.OrchOption
+	if len(quarAsserts) > 0 || len(quarModules) > 0 {
+		q := recovery.New()
+		for _, k := range quarAsserts {
+			q.AddAssert(k, "scaf-query flag")
+		}
+		for _, m := range quarModules {
+			q.AddModule(m, "scaf-query flag")
+		}
+		opts = append(opts, scaf.WithModuleWrapper(recovery.Wrapper(q)))
+	}
 	client := sys.Client()
-	o := sys.Orchestrator(scheme)
+	o := sys.Orchestrator(scheme, opts...)
 	var conf *core.Orchestrator
 	if *diff {
-		conf = sys.Orchestrator(scaf.SchemeConfluence)
+		conf = sys.Orchestrator(scaf.SchemeConfluence, opts...)
 	}
 
 	for _, l := range sys.HotLoops() {

@@ -21,6 +21,11 @@
 //	                                 ({"scheme":"scaf","loops":[...],
 //	                                 "deadline_ms":100})
 //	POST   /sessions/{id}/query      one dependence query
+//	POST   /sessions/{id}/observe    report misspeculations seen in
+//	                                 production ({"violations":[{"assertion":
+//	                                 ...}]}); quarantines them, invalidates
+//	                                 predicated answers, re-resolves under
+//	                                 the degraded plan
 //
 // SIGINT/SIGTERM starts a graceful drain: listeners stop accepting, new
 // requests get 503, and in-flight queries run to completion (bounded by
@@ -32,7 +37,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -70,7 +74,7 @@ func main() {
 		}
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := server.NewHTTPServer(*addr, srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("scaf-serve: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"scaf/internal/cfg"
@@ -92,6 +93,25 @@ type Config struct {
 	// no timing calls beyond the existing latency/timeout ones — the hot
 	// path pays one pointer test per site.
 	Tracer Tracer
+	// IsolatePanics converts a panicking module evaluation into a
+	// conservative answer (MayAlias / ModRef) instead of crashing the
+	// caller: the recover sits at the single consult site, so a panic never
+	// unwinds across resolution frames. The panicked resolution and every
+	// enclosing in-flight frame are tainted — neither the per-orchestrator
+	// memo nor the SharedCache publishes them — so the degraded answer is
+	// confined to the one top-level query that hit the panic.
+	IsolatePanics bool
+	// OnModulePanic, when non-nil and IsolatePanics is set, is invoked with
+	// the offending module's name and the recovered panic value after the
+	// ModulePanics counter and trace event fire. Callers use it to
+	// quarantine the module (see internal/recovery). It runs on the
+	// orchestrator's goroutine and must not query the orchestrator.
+	OnModulePanic func(module string, recovered any)
+	// WrapModules, when non-nil, rewrites the module list at construction
+	// time, after all other options have shaped it. This is the seam
+	// recovery filters use to interpose on every module without the
+	// assembler needing to know concrete module types.
+	WrapModules func([]Module) []Module
 }
 
 // Orchestrator coordinates interactions among modules and between modules
@@ -134,6 +154,9 @@ const noTaint = int64(^uint64(0) >> 1) // max int64
 func NewOrchestrator(cfg Config) *Orchestrator {
 	if cfg.MaxDepth == 0 {
 		cfg.MaxDepth = 8
+	}
+	if cfg.WrapModules != nil {
+		cfg.Modules = cfg.WrapModules(cfg.Modules)
 	}
 	o := &Orchestrator{
 		cfg:       cfg,
@@ -395,7 +418,7 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) (resp 
 		if t != nil {
 			cstart = time.Now()
 		}
-		res := m.Alias(q, handle{o: o, depth: depth, from: m})
+		res := o.consultAlias(m, q, depth)
 		if t != nil {
 			t.TraceEvent(TraceEvent{Kind: TraceConsult, Alias: true, Depth: depth,
 				Module: m.Name(), Result: res.Result.String(),
@@ -420,7 +443,11 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) (resp 
 	if o.cacheA != nil && complete && !tainted {
 		o.cacheA[k] = final
 	}
-	if shared && complete {
+	// Root frames used to be untaintable (cycle breaks and depth limits
+	// both bottom out at rootSeq), so gating publication on !tainted here
+	// is answer-preserving for them; panic taints (floor 0) are the one
+	// source that reaches depth 0, and those must never publish.
+	if shared && complete && !tainted {
 		o.cfg.Shared.putAlias(k, final)
 	}
 	return final
@@ -489,7 +516,7 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) (res
 		if t != nil {
 			cstart = time.Now()
 		}
-		res := m.ModRef(q, handle{o: o, depth: depth, from: m})
+		res := o.consultModRef(m, q, depth)
 		if t != nil {
 			t.TraceEvent(TraceEvent{Kind: TraceConsult, Depth: depth,
 				Module: m.Name(), Result: res.Result.String(),
@@ -508,10 +535,56 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) (res
 	if o.cacheM != nil && complete && !tainted {
 		o.cacheM[k] = final
 	}
-	if shared && complete {
+	if shared && complete && !tainted { // see handleAlias
 		o.cfg.Shared.putModRef(k, final)
 	}
 	return final
+}
+
+// consultAlias evaluates one module on an alias query. With
+// Config.IsolatePanics set, a panic anywhere under the module's evaluation
+// is recovered here — the innermost consult frame — so unwinding never
+// crosses a resolution frame, and the module's contribution becomes the
+// join-neutral conservative answer.
+func (o *Orchestrator) consultAlias(m Module, q *AliasQuery, depth int) (resp AliasResponse) {
+	if o.cfg.IsolatePanics {
+		defer func() {
+			if r := recover(); r != nil {
+				o.notePanic(true, depth, m, r)
+				resp = MayAliasResponse()
+			}
+		}()
+	}
+	return m.Alias(q, handle{o: o, depth: depth, from: m})
+}
+
+// consultModRef is consultAlias for mod-ref queries.
+func (o *Orchestrator) consultModRef(m Module, q *ModRefQuery, depth int) (resp ModRefResponse) {
+	if o.cfg.IsolatePanics {
+		defer func() {
+			if r := recover(); r != nil {
+				o.notePanic(false, depth, m, r)
+				resp = ModRefConservative()
+			}
+		}()
+	}
+	return m.ModRef(q, handle{o: o, depth: depth, from: m})
+}
+
+// notePanic records a recovered module panic. The taint floor drops to 0 —
+// below every entry seq — so the panicked resolution and every enclosing
+// in-flight frame are degraded: none of them is memoized or published, and
+// the conservative answer stays confined to the query that hit the panic.
+func (o *Orchestrator) notePanic(alias bool, depth int, m Module, recovered any) {
+	o.stats.ModulePanics++
+	o.windowMin = 0
+	if t := o.tracer; t != nil {
+		t.TraceEvent(TraceEvent{Kind: TraceModulePanic, Alias: alias, Depth: depth,
+			Module: moduleName(m), Prop: fmt.Sprint(recovered)})
+	}
+	if f := o.cfg.OnModulePanic; f != nil {
+		f(moduleName(m), recovered)
+	}
 }
 
 // noteCycleBreak records a conservative premise-cycle break: the in-flight

@@ -1,10 +1,20 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"scaf/internal/ir"
 )
+
+// Revoker reports assertions that have been withdrawn — violated at run
+// time and quarantined (see internal/recovery). Keys are the wire identity
+// Assertion.String(). Implementations must be safe for concurrent use and
+// monotonic: once a key is revoked it stays revoked, so a revocation
+// observed before a cache lookup is guaranteed to make that lookup miss.
+type Revoker interface {
+	RevokedAssert(key string) bool
+}
 
 // SharedCache is a concurrency-safe memo table for query results, shared
 // by several orchestrators (typically one per worker goroutine) analyzing
@@ -16,41 +26,115 @@ import (
 // Publication rule: the orchestrator publishes only canonical entries —
 // complete (not cut short by the timeout policy), top-level (depth 0, so
 // no enclosing in-flight proposition could have degraded a nested premise
-// into a conservative cycle-break), and for alias queries only the
-// Desired == AnyAlias form (the desired-result parameter changes which
-// modules answer, not the proposition, so other forms are not canonical).
-// Lookups are restricted to the same top-level queries. Because a
-// canonical resolution is a pure function of the proposition and the
-// configuration, a hit is bit-identical to a fresh resolution, and
-// parallel runs sharing a cache stay equivalent to serial runs no matter
-// how workers interleave.
+// into a conservative cycle-break), untainted (no module panic), and for
+// alias queries only the Desired == AnyAlias form (the desired-result
+// parameter changes which modules answer, not the proposition, so other
+// forms are not canonical). Lookups are restricted to the same top-level
+// queries. Because a canonical resolution is a pure function of the
+// proposition and the configuration, a hit is bit-identical to a fresh
+// resolution, and parallel runs sharing a cache stay equivalent to serial
+// runs no matter how workers interleave.
+//
+// Recovery support: each entry records the String() keys of every
+// assertion its options are predicated on, and an inverted index maps
+// assertion key → dependent entries. A violated assertion therefore
+// invalidates exactly the answers predicated on it (InvalidateAsserts),
+// and an attached Revoker (SetRevoker) is consulted on every lookup so a
+// revocation is effective the instant it happens — even before the
+// invalidation sweep runs.
 type SharedCache struct {
 	alias  [sharedShards]aliasShard
 	modref [sharedShards]modrefShard
+
+	// revMu guards revoker; reads are per-lookup, writes are rare.
+	revMu   sync.RWMutex
+	revoker Revoker
+
+	// idxMu guards index: assertion key → entries predicated on it.
+	// Refs are append-only and may go stale once an entry is deleted or
+	// replaced; stale refs are harmless (invalidation deletes by key and
+	// reports only entries actually removed).
+	idxMu sync.Mutex
+	index map[string][]entryRef
 }
 
 const sharedShards = 64
 
 type aliasShard struct {
 	mu sync.RWMutex
-	m  map[aliasKey]AliasResponse
+	m  map[aliasKey]aliasEntry
 }
 
 type modrefShard struct {
 	mu sync.RWMutex
-	m  map[modrefKey]ModRefResponse
+	m  map[modrefKey]modrefEntry
+}
+
+// aliasEntry pairs a published response with the deduplicated, sorted
+// String() keys of every assertion appearing in any of its options — nil
+// for assertion-free answers, which therefore cost nothing extra and can
+// never be invalidated.
+type aliasEntry struct {
+	resp    AliasResponse
+	asserts []string
+}
+
+type modrefEntry struct {
+	resp    ModRefResponse
+	asserts []string
+}
+
+// entryRef names one cache entry in the inverted index.
+type entryRef struct {
+	alias bool
+	a     aliasKey
+	m     modrefKey
 }
 
 // NewSharedCache returns an empty cache ready for concurrent use.
 func NewSharedCache() *SharedCache {
-	c := &SharedCache{}
+	c := &SharedCache{index: map[string][]entryRef{}}
 	for i := range c.alias {
-		c.alias[i].m = map[aliasKey]AliasResponse{}
+		c.alias[i].m = map[aliasKey]aliasEntry{}
 	}
 	for i := range c.modref {
-		c.modref[i].m = map[modrefKey]ModRefResponse{}
+		c.modref[i].m = map[modrefKey]modrefEntry{}
 	}
 	return c
+}
+
+// SetRevoker attaches (or, with nil, detaches) the revocation source
+// consulted on every lookup and publication. Safe to call concurrently
+// with queries; typically set once at session construction.
+func (c *SharedCache) SetRevoker(r Revoker) {
+	c.revMu.Lock()
+	c.revoker = r
+	c.revMu.Unlock()
+}
+
+func (c *SharedCache) currentRevoker() Revoker {
+	c.revMu.RLock()
+	r := c.revoker
+	c.revMu.RUnlock()
+	return r
+}
+
+// revoked reports whether any of the entry's supporting assertions has
+// been withdrawn by the attached Revoker.
+func (c *SharedCache) revoked(asserts []string) bool {
+	if len(asserts) == 0 {
+		return false
+	}
+	r := c.currentRevoker()
+	if r == nil {
+		return false
+	}
+	for _, k := range asserts {
+		if r.RevokedAssert(k) {
+			return true
+		}
+	}
+	return false
 }
 
 // Len reports the number of published alias and mod-ref entries.
@@ -68,38 +152,212 @@ func (c *SharedCache) Len() (alias, modref int) {
 	return alias, modref
 }
 
+// IndexedAsserts reports how many distinct assertion keys the inverted
+// index currently tracks (stale keys included until invalidated).
+func (c *SharedCache) IndexedAsserts() int {
+	c.idxMu.Lock()
+	n := len(c.index)
+	c.idxMu.Unlock()
+	return n
+}
+
 func (c *SharedCache) getAlias(k aliasKey) (AliasResponse, bool) {
 	s := &c.alias[k.shard()%sharedShards]
 	s.mu.RLock()
-	r, ok := s.m[k]
+	e, ok := s.m[k]
 	s.mu.RUnlock()
-	return r, ok
+	if !ok || c.revoked(e.asserts) {
+		return AliasResponse{}, false
+	}
+	return e.resp, true
 }
 
 func (c *SharedCache) putAlias(k aliasKey, r AliasResponse) {
+	asserts := optionAssertKeys(r.Options)
+	if c.revoked(asserts) {
+		// A concurrent revocation already withdrew one of this answer's
+		// premises; publishing it would let lookups race past the Revoker.
+		return
+	}
 	s := &c.alias[k.shard()%sharedShards]
 	s.mu.Lock()
-	if _, ok := s.m[k]; !ok {
-		s.m[k] = r
+	old, exists := s.m[k]
+	// First entry wins — except that an entry predicated on a since-revoked
+	// assertion no longer answers lookups and must not squat on the slot.
+	inserted := !exists || c.revoked(old.asserts)
+	if inserted {
+		s.m[k] = aliasEntry{resp: r, asserts: asserts}
 	}
 	s.mu.Unlock()
+	if inserted && len(asserts) > 0 {
+		c.indexEntry(asserts, entryRef{alias: true, a: k})
+	}
 }
 
 func (c *SharedCache) getModRef(k modrefKey) (ModRefResponse, bool) {
 	s := &c.modref[k.shard()%sharedShards]
 	s.mu.RLock()
-	r, ok := s.m[k]
+	e, ok := s.m[k]
 	s.mu.RUnlock()
-	return r, ok
+	if !ok || c.revoked(e.asserts) {
+		return ModRefResponse{}, false
+	}
+	return e.resp, true
 }
 
 func (c *SharedCache) putModRef(k modrefKey, r ModRefResponse) {
+	asserts := optionAssertKeys(r.Options)
+	if c.revoked(asserts) {
+		return
+	}
 	s := &c.modref[k.shard()%sharedShards]
 	s.mu.Lock()
-	if _, ok := s.m[k]; !ok {
-		s.m[k] = r
+	old, exists := s.m[k]
+	inserted := !exists || c.revoked(old.asserts)
+	if inserted {
+		s.m[k] = modrefEntry{resp: r, asserts: asserts}
 	}
 	s.mu.Unlock()
+	if inserted && len(asserts) > 0 {
+		c.indexEntry(asserts, entryRef{alias: false, m: k})
+	}
+}
+
+func (c *SharedCache) indexEntry(asserts []string, ref entryRef) {
+	c.idxMu.Lock()
+	for _, a := range asserts {
+		c.index[a] = append(c.index[a], ref)
+	}
+	c.idxMu.Unlock()
+}
+
+// Invalidated lists the canonical queries whose cached answers an
+// invalidation removed — exactly the propositions a recovery pass must
+// re-resolve under the degraded plan. Queries are reconstructed from the
+// cache keys (top-level form, Desired == AnyAlias) and returned in a
+// deterministic order.
+type Invalidated struct {
+	Alias  []*AliasQuery
+	ModRef []*ModRefQuery
+}
+
+// Total is the number of removed entries.
+func (iv Invalidated) Total() int { return len(iv.Alias) + len(iv.ModRef) }
+
+// InvalidateAsserts removes every cache entry predicated on any of the
+// given assertion keys (Assertion.String() identities) and returns the
+// queries those entries answered. Entries whose options never mention a
+// given key are untouched — the inverted index makes invalidation exact,
+// not a flush. Safe for concurrent use with queries; lookups racing an
+// invalidation are already protected by the Revoker check.
+func (c *SharedCache) InvalidateAsserts(keys []string) Invalidated {
+	refs := map[entryRef]bool{}
+	c.idxMu.Lock()
+	for _, k := range keys {
+		for _, ref := range c.index[k] {
+			refs[ref] = true
+		}
+		delete(c.index, k)
+	}
+	c.idxMu.Unlock()
+
+	var out Invalidated
+	for ref := range refs {
+		if ref.alias {
+			s := &c.alias[ref.a.shard()%sharedShards]
+			s.mu.Lock()
+			_, ok := s.m[ref.a]
+			delete(s.m, ref.a)
+			s.mu.Unlock()
+			if ok {
+				out.Alias = append(out.Alias, ref.a.query())
+			}
+		} else {
+			s := &c.modref[ref.m.shard()%sharedShards]
+			s.mu.Lock()
+			_, ok := s.m[ref.m]
+			delete(s.m, ref.m)
+			s.mu.Unlock()
+			if ok {
+				out.ModRef = append(out.ModRef, ref.m.query())
+			}
+		}
+	}
+	sort.Slice(out.Alias, func(i, j int) bool {
+		return out.Alias[i].describe() < out.Alias[j].describe()
+	})
+	sort.Slice(out.ModRef, func(i, j int) bool {
+		return out.ModRef[i].describe() < out.ModRef[j].describe()
+	})
+	return out
+}
+
+// Flush drops every entry and the whole inverted index, returning the
+// number of removed alias and mod-ref entries. This is the (deliberately
+// blunt) recovery rule for a quarantined *module*: a module contributes to
+// answers through premises without necessarily appearing in their
+// assertion sets, so per-entry attribution would under-invalidate.
+func (c *SharedCache) Flush() (alias, modref int) {
+	for i := range c.alias {
+		c.alias[i].mu.Lock()
+		alias += len(c.alias[i].m)
+		c.alias[i].m = map[aliasKey]aliasEntry{}
+		c.alias[i].mu.Unlock()
+	}
+	for i := range c.modref {
+		c.modref[i].mu.Lock()
+		modref += len(c.modref[i].m)
+		c.modref[i].m = map[modrefKey]modrefEntry{}
+		c.modref[i].mu.Unlock()
+	}
+	c.idxMu.Lock()
+	c.index = map[string][]entryRef{}
+	c.idxMu.Unlock()
+	return alias, modref
+}
+
+// query reconstructs the canonical top-level query an aliasKey was
+// published under (Desired == AnyAlias by the publication rule).
+func (k aliasKey) query() *AliasQuery {
+	return &AliasQuery{
+		L1:   MemLoc{Ptr: k.p1, Size: k.s1},
+		L2:   MemLoc{Ptr: k.p2, Size: k.s2},
+		Rel:  k.rel,
+		Loop: k.loop,
+		DT:   k.dt,
+		PDT:  k.pdt,
+	}
+}
+
+func (k modrefKey) query() *ModRefQuery {
+	return &ModRefQuery{
+		I1:   k.i1,
+		I2:   k.i2,
+		Loc:  MemLoc{Ptr: k.locPtr, Size: k.locSize},
+		Rel:  k.rel,
+		Loop: k.loop,
+		DT:   k.dt,
+		PDT:  k.pdt,
+	}
+}
+
+// optionAssertKeys collects the deduplicated, sorted String() keys of
+// every assertion across the option set; nil when the answer is
+// assertion-free.
+func optionAssertKeys(opts []Option) []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, o := range opts {
+		for _, a := range o.Asserts {
+			k := a.String()
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // shard hashes the proposition for shard selection only — collisions are

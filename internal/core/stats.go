@@ -32,6 +32,11 @@ type Stats struct {
 	CycleBreaks int64
 	// DepthLimits counts premise queries rejected at Config.MaxDepth.
 	DepthLimits int64
+	// ModulePanics counts module evaluations that panicked and were
+	// converted into conservative answers (Config.IsolatePanics). A
+	// panicked resolution is tainted: it is never memoized or published,
+	// so the degraded answer is confined to the one query that hit it.
+	ModulePanics int64
 	// Latencies holds per-top-level-query wall-clock durations when
 	// Config.RecordLatency is set, capped at MaxLatencySamples.
 	Latencies []time.Duration
@@ -76,6 +81,7 @@ func (s *Stats) Merge(other *Stats) {
 	s.Timeouts += other.Timeouts
 	s.CycleBreaks += other.CycleBreaks
 	s.DepthLimits += other.DepthLimits
+	s.ModulePanics += other.ModulePanics
 	s.LatencyDropped += other.LatencyDropped
 	for i, d := range other.Latencies {
 		// Hand-built Stats may carry latencies without work samples; treat

@@ -13,7 +13,8 @@ import (
 // aggregate counters: TraceTopStart ↔ TopQueries, TracePremiseStart ↔
 // PremiseQueries, TraceConsult ↔ ModuleEvals, TraceCacheHit ↔ CacheHits,
 // TraceSharedHit ↔ SharedHits, TraceCycleBreak ↔ CycleBreaks,
-// TraceDepthLimit ↔ DepthLimits, TraceTimeout ↔ Timeouts.
+// TraceDepthLimit ↔ DepthLimits, TraceTimeout ↔ Timeouts,
+// TraceModulePanic ↔ ModulePanics.
 type TraceEventKind int
 
 const (
@@ -44,6 +45,10 @@ const (
 	// TraceTimeout marks the moment the top-level query exceeded
 	// Config.Timeout (at most once per top-level query).
 	TraceTimeout
+	// TraceModulePanic marks a module evaluation that panicked and was
+	// converted into a conservative answer (Config.IsolatePanics). Module
+	// names the offender; Prop carries the recovered panic value.
+	TraceModulePanic
 )
 
 func (k TraceEventKind) String() string {
@@ -68,6 +73,8 @@ func (k TraceEventKind) String() string {
 		return "depth_limit"
 	case TraceTimeout:
 		return "timeout"
+	case TraceModulePanic:
+		return "module_panic"
 	}
 	return fmt.Sprintf("trace_kind_%d", int(k))
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 
 	"scaf"
@@ -34,6 +35,7 @@ import (
 	"scaf/internal/memspec"
 	"scaf/internal/pdg"
 	"scaf/internal/profile"
+	"scaf/internal/recovery"
 	"scaf/internal/server"
 	"scaf/internal/spec"
 )
@@ -69,6 +71,13 @@ type Config struct {
 	// the source, validated by re-running the interpreter and comparing
 	// observable behavior, and only then do preserved-answer checks count.
 	Transforms []Transform
+	// Recovery runs the misspeculation-recovery pass: a fault-injection
+	// module is added to every scheme's ensemble and made to answer a
+	// fraction of queries with confidently wrong speculation; the pass then
+	// quarantines the observed lies exactly as a production observe loop
+	// would, and requires the degraded answers to be byte-identical to the
+	// fault-free serial reference and sound against profiled ground truth.
+	Recovery bool
 	// ExtraModules, when non-nil, mints additional modules appended to
 	// every orchestrator built for the library paths (serial, parallel,
 	// shared-cache). It is called once per orchestrator so module state is
@@ -89,6 +98,7 @@ func FullConfig() Config {
 		Parallel:     true,
 		SharedCache:  true,
 		Server:       true,
+		Recovery:     true,
 		Transforms:   Transforms(),
 		Workers:      4,
 	}
@@ -115,6 +125,9 @@ const (
 	KindPlanInvalid      = "plan-invalid"      // speculation plan misspeculated on its own training input
 	KindMetamorphic      = "metamorphic"       // transform changed preserved answers
 	KindTransformInvalid = "transform-invalid" // transform changed observable behavior (harness bug)
+	KindRecoveryTaint    = "recovery-taint"    // quarantined speculation still reaches answers
+	KindRecoveryDrift    = "recovery-drift"    // recovered answers != fault-free reference
+	KindRecoveryUnsound  = "recovery-unsound"  // recovered answers disprove a manifested dep
 )
 
 // Violation is one oracle finding.
@@ -162,7 +175,13 @@ type Report struct {
 	// AppliedByTransform counts applications per transform name (nil
 	// until the first transform applies).
 	AppliedByTransform map[string]int
-	Violations         []Violation
+	// ChaosLies counts distinct injected misspeculations the recovery pass
+	// observed and quarantined; RecoveryRounds counts observe→re-analyze
+	// iterations it took to reach a chaos-free fixpoint. Both are zero when
+	// the pass is off — and a nonvacuity signal when it is on.
+	ChaosLies      int
+	RecoveryRounds int
+	Violations     []Violation
 }
 
 // Failed reports whether any check failed.
@@ -238,6 +257,11 @@ func CheckProgram(cfg Config, name, src string) (*Report, error) {
 	}
 	if cfg.Server && cfg.ExtraModules == nil {
 		checkServerDrift(cfg, rep, base)
+	}
+	if cfg.Recovery {
+		for _, scheme := range cfg.Schemes {
+			checkRecovery(cfg, rep, base, scheme)
+		}
 	}
 	for _, tr := range cfg.Transforms {
 		checkTransform(cfg, rep, base, tr)
@@ -327,10 +351,24 @@ func usesValuePred(r core.ModRefResponse) bool {
 // against the ground truth recorded by the memory-dependence profiler
 // during the very execution the speculation was trained on.
 func checkSoundness(rep *Report, a *analysis, scheme scaf.Scheme) {
-	for i, res := range a.serial[scheme] {
+	rep.Queries += countQueries(a.serial[scheme])
+	soundnessViolations(rep, a, scheme, a.serial[scheme], KindUnsound)
+}
+
+func countQueries(results []*pdg.LoopResult) int {
+	n := 0
+	for _, res := range results {
+		n += len(res.Queries)
+	}
+	return n
+}
+
+// soundnessViolations applies the manifested-dependence predicate to one
+// result set, reporting failures under the given violation kind.
+func soundnessViolations(rep *Report, a *analysis, scheme scaf.Scheme, results []*pdg.LoopResult, kind string) {
+	for i, res := range results {
 		l := a.hot[i]
 		for _, q := range res.Queries {
-			rep.Queries++
 			if !q.NoDep {
 				continue
 			}
@@ -341,7 +379,7 @@ func checkSoundness(rep *Report, a *analysis, scheme scaf.Scheme) {
 				continue // value prediction may remove real deps
 			}
 			rep.violate(Violation{
-				Kind: KindUnsound, Scheme: scheme.String(), Loop: l.Name(),
+				Kind: kind, Scheme: scheme.String(), Loop: l.Name(),
 				Detail: fmt.Sprintf("disproved manifested dep %s -> %s (%s) via %v",
 					q.I1, q.I2, q.Rel, q.Resp.Contribs),
 			})
@@ -402,6 +440,119 @@ func checkParallelDrift(cfg Config, rep *Report, a *analysis, scheme scaf.Scheme
 		if !bytes.Equal(got, want) {
 			rep.violate(Violation{Kind: kind, Scheme: scheme.String(), Loop: a.hot[i].Name(),
 				Detail: fmt.Sprintf("answers diverge from serial:\n  serial:   %s\n  parallel: %s", want, got)})
+		}
+	}
+}
+
+// chaosSeed derives a deterministic fault-injection seed from the trial
+// name (FNV-1a) so distinct programs see distinct, reproducible lie
+// patterns.
+func chaosSeed(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h
+}
+
+// chaosAssertKeys harvests the wire identities of every chaos assertion
+// that reached an answer — exactly the set a production client would
+// report back through /observe after watching those speculations
+// misspeculate at runtime.
+func chaosAssertKeys(results []*pdg.LoopResult) []string {
+	seen := map[string]bool{}
+	for _, res := range results {
+		for _, q := range res.Queries {
+			for _, o := range q.Resp.Options {
+				for _, as := range o.Asserts {
+					if as.Module == recovery.NameChaos {
+						seen[as.String()] = true
+					}
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// analyzeWith re-analyzes every hot loop serially under one orchestrator
+// built with the given options.
+func analyzeWith(a *analysis, scheme scaf.Scheme, opts []scaf.OrchOption) []*pdg.LoopResult {
+	o := a.sys.Orchestrator(scheme, opts...)
+	results := make([]*pdg.LoopResult, 0, len(a.hot))
+	for _, l := range a.hot {
+		results = append(results, a.client.AnalyzeLoop(o, l))
+	}
+	return results
+}
+
+// checkRecovery drives the misspeculation-recovery loop under fault
+// injection for one scheme. A chaos module confidently lies on a fraction
+// of queries; every lie that reaches an answer is quarantined — the same
+// action the serving daemon takes on POST /observe — and the loops are
+// re-analyzed until the answers are chaos-free (later rounds can surface
+// lies that earlier, cheaper lies had shadowed). The recovered answers
+// must be byte-identical to the fault-free serial reference — recovery is
+// exclusion, not approximation — and must stay sound against profiled
+// ground truth. A second run withdraws the whole module up front (the
+// panic-isolation path) and must match the reference immediately.
+func checkRecovery(cfg Config, rep *Report, a *analysis, scheme scaf.Scheme) {
+	const maxRounds = 12
+	chaos := &recovery.Chaos{Seed: chaosSeed(a.name), WrongEvery: 2}
+	opts := func(q *recovery.Quarantine) []scaf.OrchOption {
+		base := orchOptions(cfg)
+		out := make([]scaf.OrchOption, 0, len(base)+2)
+		out = append(out, base...)
+		return append(out, scaf.WithExtraModules(chaos), scaf.WithModuleWrapper(recovery.Wrapper(q)))
+	}
+
+	q := recovery.New()
+	results := analyzeWith(a, scheme, opts(q))
+	lies := chaosAssertKeys(results)
+	rounds := 0
+	for len(lies) > 0 && rounds < maxRounds {
+		for _, k := range lies {
+			if q.AddAssert(k, "oracle: observed misspeculation") {
+				rep.ChaosLies++
+			}
+		}
+		results = analyzeWith(a, scheme, opts(q))
+		lies = chaosAssertKeys(results)
+		rounds++
+	}
+	rep.RecoveryRounds += rounds
+	if len(lies) > 0 {
+		rep.violate(Violation{Kind: KindRecoveryTaint, Scheme: scheme.String(),
+			Detail: fmt.Sprintf("%d chaos assertions still reach answers after %d quarantine rounds: %v",
+				len(lies), rounds, lies)})
+		return
+	}
+	compareRecovered(rep, a, scheme, results,
+		fmt.Sprintf("after %d assertion-quarantine rounds", rounds))
+	soundnessViolations(rep, a, scheme, results, KindRecoveryUnsound)
+
+	qm := recovery.New()
+	qm.AddModule(recovery.NameChaos, "oracle: module withdrawn")
+	withdrawn := analyzeWith(a, scheme, opts(qm))
+	compareRecovered(rep, a, scheme, withdrawn, "with the chaos module withdrawn")
+	soundnessViolations(rep, a, scheme, withdrawn, KindRecoveryUnsound)
+}
+
+// compareRecovered byte-compares recovered answers against the fault-free
+// serial reference, per loop, through the wire encoding.
+func compareRecovered(rep *Report, a *analysis, scheme scaf.Scheme, results []*pdg.LoopResult, how string) {
+	for i, res := range results {
+		got := wireJSON([]server.WireLoopResult{server.EncodeLoopResult(res)})
+		want := wireJSON(a.wire[scheme][i : i+1])
+		if !bytes.Equal(got, want) {
+			rep.violate(Violation{Kind: KindRecoveryDrift, Scheme: scheme.String(), Loop: a.hot[i].Name(),
+				Detail: fmt.Sprintf("answers %s diverge from fault-free reference:\n  reference: %s\n  recovered: %s",
+					how, want, got)})
 		}
 	}
 }

@@ -99,6 +99,37 @@ func TestOracleSweep(t *testing.T) {
 	}
 }
 
+// TestRecoverySweep drives the misspeculation-recovery pass alone over a
+// window of seeds: inject lies, quarantine what the answers expose,
+// re-analyze to a chaos-free fixpoint, and demand byte-equality with the
+// fault-free reference plus soundness of the degraded answers. Nonvacuity
+// floors make sure the chaos module actually lied and the quarantine
+// actually turned.
+func TestRecoverySweep(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	cfg := FastConfig()
+	cfg.Recovery = true
+	var lies, rounds int
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		rep, err := CheckSeed(cfg, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("%s", rep.Summary())
+		}
+		lies += rep.ChaosLies
+		rounds += rep.RecoveryRounds
+	}
+	if lies == 0 || rounds == 0 {
+		t.Fatalf("vacuous recovery sweep: %d lies quarantined, %d rounds over %d seeds", lies, rounds, seeds)
+	}
+	t.Logf("recovery sweep: %d lies quarantined over %d rounds (%d seeds)", lies, rounds, seeds)
+}
+
 // TestCheckProgramRejectsInvalid: a non-compiling program is a caller
 // error, not an analysis finding.
 func TestCheckProgramRejectsInvalid(t *testing.T) {

@@ -1,0 +1,116 @@
+package recovery
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"scaf/internal/core"
+	"scaf/internal/ir"
+)
+
+// NameChaos is the fault-injection module's name.
+const NameChaos = "chaos"
+
+// Chaos is a fault-injection module for the misspeculation recovery
+// harness: depending on a per-query hash it emits confidently wrong
+// speculative answers (predicated on its own assertions, so a recovery
+// pass can quarantine them), panics (exercising the orchestrator's
+// IsolatePanics path), or stalls (exercising timeout and concurrency
+// paths). Every decision is a pure function of (Seed, query), never of
+// consult order or timing, so serial, parallel, shared-cache, and cold
+// re-analysis runs all see the same faults — the property the recovery
+// equivalence tests rely on.
+//
+// The zero value injects nothing; the atomic counters make it safe to
+// share across the workers of a pdg.ParallelClient.
+type Chaos struct {
+	core.BaseModule
+	// Seed perturbs every decision hash.
+	Seed uint64
+	// WrongEvery, when > 0, answers roughly one query in WrongEvery with a
+	// wrong speculative NoAlias/NoModRef predicated on a chaos assertion.
+	WrongEvery uint64
+	// PanicEvery, when > 0, panics on roughly one query in PanicEvery.
+	PanicEvery uint64
+	// DelayEvery, when > 0, sleeps Delay on roughly one query in
+	// DelayEvery before answering.
+	DelayEvery uint64
+	// Delay is the injected stall (default 100µs when DelayEvery is set).
+	Delay time.Duration
+
+	// Wrongs, Panics and Delays count injected faults.
+	Wrongs, Panics, Delays atomic.Int64
+}
+
+func (c *Chaos) Name() string          { return NameChaos }
+func (c *Chaos) Kind() core.ModuleKind { return core.Speculation }
+
+func (c *Chaos) Alias(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+	key := fmt.Sprintf("a|%s|%s|%d", q.L1, q.L2, q.Rel)
+	hash := c.hash(key)
+	c.maybeStall(hash)
+	if c.PanicEvery > 0 && (hash/7)%c.PanicEvery == 0 {
+		c.Panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected panic on %s", key))
+	}
+	if c.WrongEvery > 0 && (hash/13)%c.WrongEvery == 0 {
+		c.Wrongs.Add(1)
+		return core.AliasSpec(core.NoAlias, NameChaos, c.assertion(hash))
+	}
+	return core.MayAliasResponse()
+}
+
+func (c *Chaos) ModRef(q *core.ModRefQuery, h core.Handle) core.ModRefResponse {
+	key := fmt.Sprintf("m|%s|%s|%s|%d", fmtInstr(q.I1), fmtInstr(q.I2), q.Loc, q.Rel)
+	hash := c.hash(key)
+	c.maybeStall(hash)
+	if c.PanicEvery > 0 && (hash/7)%c.PanicEvery == 0 {
+		c.Panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected panic on %s", key))
+	}
+	if c.WrongEvery > 0 && (hash/13)%c.WrongEvery == 0 {
+		c.Wrongs.Add(1)
+		return core.ModRefSpec(core.NoModRef, NameChaos, c.assertion(hash))
+	}
+	return core.ModRefConservative()
+}
+
+// assertion builds the lie's predicate. The hash lands in Kind so distinct
+// lies carry distinct wire identities: quarantining one observed
+// misspeculation never silences an unrelated one.
+func (c *Chaos) assertion(hash uint64) core.Assertion {
+	return core.Assertion{
+		Module: NameChaos,
+		Kind:   fmt.Sprintf("lie-%03x", hash%4096),
+		Cost:   0.5, // cheap, so CHEAPEST joins prefer the lie
+	}
+}
+
+func (c *Chaos) maybeStall(hash uint64) {
+	if c.DelayEvery == 0 || (hash/3)%c.DelayEvery != 0 {
+		return
+	}
+	c.Delays.Add(1)
+	d := c.Delay
+	if d <= 0 {
+		d = 100 * time.Microsecond
+	}
+	time.Sleep(d)
+}
+
+// hash is FNV-1a over the query key, mixed with the seed.
+func (c *Chaos) hash(key string) uint64 {
+	h := uint64(1469598103934665603) ^ (c.Seed * 1099511628211)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return h
+}
+
+func fmtInstr(in *ir.Instr) string {
+	if in == nil {
+		return "?"
+	}
+	return in.String()
+}

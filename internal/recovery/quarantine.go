@@ -1,0 +1,188 @@
+// Package recovery closes SCAF's misspeculation loop: when production
+// execution disproves a speculative assertion (or a module misbehaves
+// outright), the quarantine withdraws exactly the analysis answers that
+// were predicated on it, and the module filter guarantees the withdrawn
+// speculation is never offered again — so a recovered session is
+// answer-identical to a cold analysis run with the quarantined assertions
+// excluded from the plan.
+package recovery
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxEvents bounds the quarantine's event log; later events are counted in
+// Snapshot.EventsDropped instead of retained.
+const MaxEvents = 256
+
+// Event records one quarantine action.
+type Event struct {
+	// Kind is "assert" or "module".
+	Kind string `json:"kind"`
+	// Key is the assertion's wire identity (Assertion.String()) or the
+	// module name.
+	Key string `json:"key"`
+	// Detail is caller-provided context (e.g. the violation detail or the
+	// recovered panic value).
+	Detail string `json:"detail,omitempty"`
+	// Seq orders events within one quarantine.
+	Seq int64 `json:"seq"`
+}
+
+// Quarantine is a monotonic set of withdrawn assertions and modules. It
+// implements core.Revoker: once quarantined, an assertion stays
+// quarantined, so a revocation observed before a cache lookup is
+// guaranteed to make that lookup miss (the property the -race stress tests
+// pin down). All methods are safe for concurrent use.
+type Quarantine struct {
+	// size counts quarantined asserts+modules; the Empty fast path reads
+	// it without taking mu, so filters on the query hot path pay one
+	// atomic load while the quarantine is empty.
+	size atomic.Int64
+	// optionsFiltered counts speculative options dropped because they
+	// mentioned a quarantined assertion; moduleSkips counts evaluations of
+	// quarantined modules short-circuited to the conservative answer.
+	optionsFiltered atomic.Int64
+	moduleSkips     atomic.Int64
+
+	mu      sync.RWMutex
+	asserts map[string]bool
+	modules map[string]bool
+	repeats int64
+	seq     int64
+	events  []Event
+	dropped int64
+}
+
+// New returns an empty quarantine.
+func New() *Quarantine {
+	return &Quarantine{asserts: map[string]bool{}, modules: map[string]bool{}}
+}
+
+// AddAssert quarantines one assertion by its wire identity
+// (core.Assertion.String()). It reports whether the key was newly added;
+// re-quarantining counts as a repeat (flaky assertions violate on every
+// observation) without growing the set.
+func (q *Quarantine) AddAssert(key, detail string) bool {
+	if key == "" {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.asserts[key] {
+		q.repeats++
+		return false
+	}
+	q.asserts[key] = true
+	q.logEvent("assert", key, detail)
+	q.size.Add(1)
+	return true
+}
+
+// AddModule quarantines a whole module (typically after it panicked): the
+// filter answers conservatively in its place and drops every option
+// mentioning its assertions.
+func (q *Quarantine) AddModule(name, detail string) bool {
+	if name == "" {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.modules[name] {
+		q.repeats++
+		return false
+	}
+	q.modules[name] = true
+	q.logEvent("module", name, detail)
+	q.size.Add(1)
+	return true
+}
+
+// logEvent appends under mu.
+func (q *Quarantine) logEvent(kind, key, detail string) {
+	q.seq++
+	if len(q.events) >= MaxEvents {
+		q.dropped++
+		return
+	}
+	q.events = append(q.events, Event{Kind: kind, Key: key, Detail: detail, Seq: q.seq})
+}
+
+// Empty reports whether nothing is quarantined — the filter's fast path.
+func (q *Quarantine) Empty() bool { return q.size.Load() == 0 }
+
+// RevokedAssert implements core.Revoker.
+func (q *Quarantine) RevokedAssert(key string) bool {
+	if q.Empty() {
+		return false
+	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.asserts[key]
+}
+
+// ModuleQuarantined reports whether a module has been withdrawn.
+func (q *Quarantine) ModuleQuarantined(name string) bool {
+	if q.Empty() {
+		return false
+	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return q.modules[name]
+}
+
+// AssertKeys returns the quarantined assertion keys, sorted.
+func (q *Quarantine) AssertKeys() []string {
+	q.mu.RLock()
+	out := make([]string, 0, len(q.asserts))
+	for k := range q.asserts {
+		out = append(out, k)
+	}
+	q.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot is a point-in-time copy of the quarantine's state for
+// observability (the server's /metrics and /observe responses).
+type Snapshot struct {
+	Asserts []string `json:"asserts,omitempty"`
+	Modules []string `json:"modules,omitempty"`
+	// Repeats counts re-quarantine attempts of already-quarantined keys —
+	// the flakiness signal.
+	Repeats int64 `json:"repeats"`
+	// OptionsFiltered counts speculative options the filter dropped.
+	OptionsFiltered int64 `json:"options_filtered"`
+	// ModuleSkips counts quarantined-module evaluations short-circuited.
+	ModuleSkips int64 `json:"module_skips"`
+	// Events is the capped action log; EventsDropped counts overflow.
+	Events        []Event `json:"events,omitempty"`
+	EventsDropped int64   `json:"events_dropped"`
+}
+
+// Snapshot returns a copy of the current state. Sorted and deterministic
+// given a quiescent quarantine.
+func (q *Quarantine) Snapshot() Snapshot {
+	q.mu.RLock()
+	s := Snapshot{
+		Asserts:       make([]string, 0, len(q.asserts)),
+		Modules:       make([]string, 0, len(q.modules)),
+		Repeats:       q.repeats,
+		Events:        append([]Event(nil), q.events...),
+		EventsDropped: q.dropped,
+	}
+	for k := range q.asserts {
+		s.Asserts = append(s.Asserts, k)
+	}
+	for m := range q.modules {
+		s.Modules = append(s.Modules, m)
+	}
+	q.mu.RUnlock()
+	sort.Strings(s.Asserts)
+	sort.Strings(s.Modules)
+	s.OptionsFiltered = q.optionsFiltered.Load()
+	s.ModuleSkips = q.moduleSkips.Load()
+	return s
+}

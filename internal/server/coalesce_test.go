@@ -100,14 +100,14 @@ func TestFlightGroupConcurrentFollowers(t *testing.T) {
 
 // TestAnalyzeCoalescesOntoInFlight proves the handler consults the
 // flight group under the documented key: with a flight pre-registered
-// for (session, scheme, loop), a deadline-free batch parks on it and
+// for (session, epoch, scheme, loop), a deadline-free batch parks on it and
 // returns the in-flight value verbatim, counted as a coalesce hit.
 func TestAnalyzeCoalescesOntoInFlight(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
 	info := createSession(t, ts, CreateSessionRequest{Name: "small", Source: smallSource, Plan: "off"})
 	loop := info.HotLoops[0].Name
 
-	key := "analyze|" + info.ID + "|SCAF|" + loop
+	key := "analyze|" + info.ID + "|e0|SCAF|" + loop
 	c := &flightCall{done: make(chan struct{})}
 	srv.flights.mu.Lock()
 	srv.flights.m = map[string]*flightCall{key: c}

@@ -46,6 +46,11 @@ type Config struct {
 	// their own deadline_ms. Deadline-bounded answers are never coalesced,
 	// so leave this zero unless latency matters more than throughput.
 	DefaultDeadline time.Duration
+	// ExtraModules, when non-nil, mints additional modules appended to
+	// every session orchestrator's ensemble — the fault-injection seam
+	// (see recovery.Chaos). Called once per minted orchestrator; modules
+	// it returns shared instances of must be safe for concurrent use.
+	ExtraModules func() []core.Module
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +88,8 @@ type Server struct {
 	deadlineMisses atomic.Int64
 	queriesServed  atomic.Int64
 	loopsServed    atomic.Int64
+	serverPanics   atomic.Int64
+	observations   atomic.Int64
 }
 
 // New builds a Server.
@@ -102,13 +109,16 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("POST /sessions/{id}/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /sessions/{id}/observe", s.handleObserve)
 	s.mux = mux
 	return s
 }
 
 // Handler returns the daemon's HTTP handler. Every request is tracked
 // for graceful drain; requests arriving after Shutdown begins get 503.
+// Handler panics are isolated per request (see withRecovery).
 func (s *Server) Handler() http.Handler {
+	inner := s.withRecovery(s.mux)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.enter() {
 			w.Header().Set("Retry-After", "5")
@@ -117,7 +127,30 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		defer s.exit()
-		s.mux.ServeHTTP(w, r)
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// withRecovery converts a panicking handler into a 500 JSON error plus a
+// server_panics increment: one faulty request degrades to an error
+// response, it never takes the daemon (or its drain accounting) down.
+// http.ErrAbortHandler is re-raised — it is net/http's sanctioned way to
+// abort a response, not a fault.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.serverPanics.Add(1)
+			writeError(w, &httpError{status: http.StatusInternalServerError,
+				detail: ErrorDetail{Code: "internal_panic", Message: fmt.Sprint(rec)}})
+		}()
+		next.ServeHTTP(w, r)
 	})
 }
 
@@ -241,7 +274,7 @@ func (s *Server) createSession(req *CreateSessionRequest) (*session, *httpError)
 	id := fmt.Sprintf("s%d", s.nextID)
 	s.mu.Unlock()
 
-	sess, he := newSession(id, req)
+	sess, he := newSession(id, req, s.cfg)
 	if he != nil {
 		return nil, he
 	}
@@ -366,9 +399,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		var wr WireLoopResult
 		if deadline.IsZero() {
 			// Deadline-free: the answer is a pure function of (session,
-			// scheme, loop), so concurrent identical batches share one
-			// resolution.
-			key := "analyze|" + sess.id + "|" + scheme.String() + "|" + l.Name()
+			// scheme, loop, recovery epoch), so concurrent identical
+			// batches share one resolution. The epoch component keeps a
+			// post-recovery request from joining a computation started
+			// before an observe report landed.
+			key := fmt.Sprintf("analyze|%s|e%d|%s|%s",
+				sess.id, sess.epoch.Load(), scheme.String(), l.Name())
 			l := l
 			v, shared, _ := s.flights.do(key, func() (any, error) {
 				wr, _ := sess.analyzeLoop(scheme, l, time.Time{})
@@ -438,8 +474,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	deadline := s.deadlineFor(req.DeadlineMS)
 	resp := QueryResponse{Session: sess.id, Scheme: scheme.String()}
 	if deadline.IsZero() {
-		key := "query|" + sess.id + "|" + scheme.String() + "|" + l.Name() +
-			"|" + req.I1 + "|" + req.I2 + "|" + rel.String()
+		key := fmt.Sprintf("query|%s|e%d|%s|%s|%s|%s|%s",
+			sess.id, sess.epoch.Load(), scheme.String(), l.Name(),
+			req.I1, req.I2, rel.String())
 		v, shared, _ := s.flights.do(key, func() (any, error) {
 			wq, _ := sess.resolveQuery(scheme, l, i1, i2, rel, time.Time{})
 			return wq, nil
@@ -458,6 +495,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.queriesServed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleObserve ingests a production misspeculation report: quarantine
+// the violated assertions / withdrawn modules, invalidate every cached
+// answer predicated on them, re-resolve under the degraded plan (see
+// session.observe).
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	sess, he := s.lookup(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	var req ObserveRequest
+	if he := decodeJSON(w, r, &req); he != nil {
+		writeError(w, he)
+		return
+	}
+	release, he := s.admit(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	defer release()
+
+	resp, he := sess.observe(&req)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	s.observations.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -490,6 +558,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			DeadlineMisses: s.deadlineMisses.Load(),
 			QueriesServed:  s.queriesServed.Load(),
 			LoopsServed:    s.loopsServed.Load(),
+			ServerPanics:   s.serverPanics.Load(),
+			Observations:   s.observations.Load(),
 			Sessions:       len(sessions),
 			Draining:       draining,
 		},
@@ -499,6 +569,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp.Sessions[sess.id] = sess.metricsSnapshot()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// NewHTTPServer wraps h in an http.Server hardened for untrusted
+// clients: header/body read timeouts bound slow-loris uploads and
+// IdleTimeout reaps abandoned keep-alive connections, so a stalled
+// client cannot pin a connection forever. No WriteTimeout is set —
+// analysis responses can legitimately take long to compute; response
+// time is governed by request deadlines and admission control instead.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scaf"
@@ -15,6 +16,7 @@ import (
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
 	"scaf/internal/profile"
+	"scaf/internal/recovery"
 	"scaf/internal/trace"
 )
 
@@ -102,6 +104,17 @@ type session struct {
 	plan   *PlanInfo
 
 	pools map[scaf.Scheme]*orchPool
+	// caches indexes the per-scheme SharedCaches for recovery invalidation.
+	caches map[scaf.Scheme]*core.SharedCache
+	// quarantine accumulates the session's misspeculation state: it is the
+	// Revoker of every per-scheme SharedCache and the option filter wrapped
+	// around every module, so a violated assertion reported once is never
+	// served from and never re-offered anywhere in the session.
+	quarantine *recovery.Quarantine
+	// epoch counts recovery events (observe reports, module panics). The
+	// HTTP layer folds it into coalescing keys so a request arriving after
+	// a recovery never joins a computation started before it.
+	epoch atomic.Int64
 
 	// mu guards the cumulative accounting below, folded in at checkin.
 	mu         sync.Mutex
@@ -124,6 +137,7 @@ func addCounters(dst *core.Stats, delta core.Stats) {
 	dst.Timeouts += delta.Timeouts
 	dst.CycleBreaks += delta.CycleBreaks
 	dst.DepthLimits += delta.DepthLimits
+	dst.ModulePanics += delta.ModulePanics
 }
 
 // subCounters returns cur − last over the counter fields.
@@ -138,11 +152,12 @@ func subCounters(cur, last core.Stats) core.Stats {
 		Timeouts:       cur.Timeouts - last.Timeouts,
 		CycleBreaks:    cur.CycleBreaks - last.CycleBreaks,
 		DepthLimits:    cur.DepthLimits - last.DepthLimits,
+		ModulePanics:   cur.ModulePanics - last.ModulePanics,
 	}
 }
 
 // newSession compiles, profiles, plan-validates and warms one session.
-func newSession(id string, req *CreateSessionRequest) (*session, *httpError) {
+func newSession(id string, req *CreateSessionRequest, scfg Config) (*session, *httpError) {
 	name, src := req.Name, req.Source
 	switch {
 	case req.Bench != "":
@@ -187,6 +202,9 @@ func newSession(id string, req *CreateSessionRequest) (*session, *httpError) {
 		loops:  map[string]*cfg.Loop{},
 		instrs: map[string]*ir.Instr{},
 		pools:  map[scaf.Scheme]*orchPool{},
+		caches: map[scaf.Scheme]*core.SharedCache{},
+
+		quarantine: recovery.New(),
 	}
 	for _, l := range sess.hot {
 		sess.loops[l.Name()] = l
@@ -267,8 +285,26 @@ func newSession(id string, req *CreateSessionRequest) (*session, *httpError) {
 	for _, scheme := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
 		scheme := scheme
 		sc := core.NewSharedCache()
-		factory := sys.OrchestratorFactory(scheme,
-			scaf.WithSharedCache(sc), scaf.WithLatency())
+		// Recovery wiring: the quarantine revokes shared-cache entries at
+		// lookup time, filters quarantined options at the module boundary,
+		// and absorbs module panics (one faulty module degrades coverage,
+		// never the daemon).
+		sc.SetRevoker(sess.quarantine)
+		sess.caches[scheme] = sc
+		opts := []scaf.OrchOption{
+			scaf.WithSharedCache(sc), scaf.WithLatency(),
+			scaf.WithModuleWrapper(recovery.Wrapper(sess.quarantine)),
+			scaf.WithPanicIsolation(sess.onModulePanic),
+		}
+		if scfg.ExtraModules != nil {
+			// Mint per orchestrator (a plain WithExtraModules would freeze
+			// one instance across the whole pool).
+			mint := scfg.ExtraModules
+			opts = append(opts, scaf.OrchOption(func(c *core.Config) {
+				c.Modules = append(c.Modules, mint()...)
+			}))
+		}
+		factory := sys.OrchestratorFactory(scheme, opts...)
 		traceOn := sess.metrics != nil
 		pool := &orchPool{}
 		pool.mint = func() *pooledOrch {
@@ -389,6 +425,93 @@ func (sess *session) resolveQuery(scheme scaf.Scheme, l *cfg.Loop, i1, i2 *ir.In
 	return EncodeQuery(&q), delta
 }
 
+// onModulePanic is the core.Config.OnModulePanic hook shared by every
+// pooled orchestrator. The first panic of a module quarantines it
+// session-wide and flushes every scheme's cache: a module shapes cached
+// answers through premises without appearing in their assertion sets, so
+// per-entry attribution would under-invalidate. Later queries degrade to
+// the module-less ensemble instead of re-consulting the faulty module.
+func (sess *session) onModulePanic(module string, recovered any) {
+	if sess.quarantine.AddModule(module, fmt.Sprintf("panic: %v", recovered)) {
+		sess.epoch.Add(1)
+		for _, sc := range sess.caches {
+			sc.Flush()
+		}
+	}
+}
+
+// observe applies one misspeculation report from production execution:
+// quarantine the violated assertions (and any withdrawn modules),
+// invalidate every cached answer predicated on them, and re-resolve the
+// invalidated queries under the degraded plan so the caches are warm —
+// and every served answer is recovery-consistent — before the response
+// is written. Safe to run concurrently with serving traffic.
+func (sess *session) observe(req *ObserveRequest) (*ObserveResponse, *httpError) {
+	if len(req.Violations) == 0 && len(req.Modules) == 0 {
+		return nil, errBadRequest("observe needs violations or modules")
+	}
+	resp := &ObserveResponse{Session: sess.id}
+	keys := make([]string, 0, len(req.Violations))
+	seen := map[string]bool{}
+	for i, v := range req.Violations {
+		if v.Assertion == "" {
+			return nil, errBadRequest("violation %d: empty assertion", i)
+		}
+		if !seen[v.Assertion] {
+			seen[v.Assertion] = true
+			keys = append(keys, v.Assertion)
+		}
+		if sess.quarantine.AddAssert(v.Assertion, v.Detail) {
+			resp.NewAsserts++
+		}
+	}
+	for i, m := range req.Modules {
+		if m == "" {
+			return nil, errBadRequest("module %d: empty name", i)
+		}
+		if sess.quarantine.AddModule(m, "withdrawn via observe") {
+			resp.NewModules++
+		}
+	}
+	// New epoch: requests arriving after this report must not coalesce
+	// onto computations started before it.
+	sess.epoch.Add(1)
+
+	if resp.NewModules > 0 {
+		// Module withdrawal flushes wholesale (see onModulePanic); the
+		// flush also covers anything the reported violations predicated.
+		for _, sc := range sess.caches {
+			a, m := sc.Flush()
+			resp.Flushed += a + m
+		}
+	} else if len(keys) > 0 {
+		for scheme, sc := range sess.caches {
+			inv := sc.InvalidateAsserts(keys)
+			n := inv.Total()
+			if n == 0 {
+				continue
+			}
+			resp.Invalidated += n
+			// Re-resolve under the degraded plan: the quarantine filter
+			// hides the violated options, so these answers land exactly
+			// where a cold run without the misspeculation would put them.
+			pool := sess.pools[scheme]
+			po := pool.get()
+			for _, q := range inv.Alias {
+				po.o.Alias(q)
+				resp.Reresolved++
+			}
+			for _, q := range inv.ModRef {
+				po.o.ModRef(q)
+				resp.Reresolved++
+			}
+			sess.checkin(pool, po)
+		}
+	}
+	resp.Quarantine = sess.quarantine.Snapshot()
+	return resp, nil
+}
+
 // lookupInstr resolves a wire instruction ref, distinguishing malformed
 // refs (400) from well-formed refs that name nothing (404).
 func (sess *session) lookupInstr(ref string) (*ir.Instr, *httpError) {
@@ -452,6 +575,10 @@ func (sess *session) metricsSnapshot() SessionMetrics {
 			}
 		}
 		sm.Trace = wt
+	}
+	if !sess.quarantine.Empty() {
+		snap := sess.quarantine.Snapshot()
+		sm.Quarantine = &snap
 	}
 	return sm
 }

@@ -8,6 +8,7 @@ import (
 	"scaf/internal/core"
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
+	"scaf/internal/recovery"
 )
 
 // This file defines the HTTP wire schema: stable JSON forms of requests
@@ -287,10 +288,46 @@ type QueryResponse struct {
 	DeadlineMiss bool      `json:"deadline_miss,omitempty"`
 }
 
-// WireViolation is one misspeculation found while validating a plan.
+// WireViolation is one misspeculation found while validating a plan, or
+// reported by a client's recovery code via POST /sessions/{id}/observe
+// (the wire shape of validate.Report's violations in both directions).
 type WireViolation struct {
 	Assertion string `json:"assertion"`
 	Detail    string `json:"detail"`
+}
+
+// ObserveRequest reports production-execution observations against a
+// session: assertions the real input disproved, and modules to withdraw
+// wholesale. Quarantining is monotonic — repeated reports of the same
+// assertion count as flakiness, not state changes.
+type ObserveRequest struct {
+	// Violations lists disproven assertions by their wire identity (the
+	// `assertion` strings served in query options and plan-validation
+	// errors).
+	Violations []WireViolation `json:"violations,omitempty"`
+	// Modules withdraws whole modules: every cached answer is flushed and
+	// the module is never consulted again in this session.
+	Modules []string `json:"modules,omitempty"`
+}
+
+// ObserveResponse summarizes one recovery pass.
+type ObserveResponse struct {
+	Session string `json:"session"`
+	// NewAsserts / NewModules count newly-quarantined entries (repeats are
+	// visible in Quarantine.Repeats).
+	NewAsserts int `json:"new_asserts"`
+	NewModules int `json:"new_modules"`
+	// Invalidated counts cache entries removed because they were
+	// predicated on a reported assertion (summed over schemes).
+	Invalidated int `json:"invalidated"`
+	// Reresolved counts invalidated queries re-resolved under the degraded
+	// plan before this response was sent.
+	Reresolved int `json:"reresolved"`
+	// Flushed counts cache entries dropped by module-level quarantine
+	// (module attribution is not entry-exact, so module withdrawal flushes).
+	Flushed int `json:"flushed,omitempty"`
+	// Quarantine is the session's post-observation quarantine state.
+	Quarantine recovery.Snapshot `json:"quarantine"`
 }
 
 // ErrorDetail is the structured error body of every non-2xx response.
@@ -316,6 +353,7 @@ type WireCounters struct {
 	Timeouts       int64 `json:"timeouts"`
 	CycleBreaks    int64 `json:"cycle_breaks"`
 	DepthLimits    int64 `json:"depth_limits"`
+	ModulePanics   int64 `json:"module_panics"`
 }
 
 // EncodeCounters converts core.Stats counters to wire form.
@@ -333,6 +371,7 @@ func EncodeCounters(st *core.Stats) WireCounters {
 		Timeouts:       st.Timeouts,
 		CycleBreaks:    st.CycleBreaks,
 		DepthLimits:    st.DepthLimits,
+		ModulePanics:   st.ModulePanics,
 	}
 }
 
@@ -377,6 +416,8 @@ type SessionMetrics struct {
 	Stats   WireCounters      `json:"stats"`
 	Latency *WireLatency      `json:"latency,omitempty"`
 	Trace   *WireTraceMetrics `json:"trace,omitempty"`
+	// Quarantine is present once the session has quarantined anything.
+	Quarantine *recovery.Snapshot `json:"quarantine,omitempty"`
 }
 
 // ServerCounters are the server-level counters of the /metrics report.
@@ -389,8 +430,13 @@ type ServerCounters struct {
 	DeadlineMisses int64 `json:"deadline_misses"`
 	QueriesServed  int64 `json:"queries_served"`
 	LoopsServed    int64 `json:"loops_served"`
-	Sessions       int   `json:"sessions"`
-	Draining       bool  `json:"draining"`
+	// ServerPanics counts HTTP handlers that panicked and were converted
+	// into 500 responses by the recovery middleware.
+	ServerPanics int64 `json:"server_panics"`
+	// Observations counts POST /observe recovery passes served.
+	Observations int64 `json:"observations"`
+	Sessions     int   `json:"sessions"`
+	Draining     bool  `json:"draining"`
 }
 
 // MetricsResponse is the /metrics body.

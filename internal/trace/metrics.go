@@ -33,6 +33,7 @@ type Metrics struct {
 	CycleBreaks    int64
 	DepthLimits    int64
 	Timeouts       int64
+	ModulePanics   int64
 	// MaxDepth is the deepest premise nesting observed.
 	MaxDepth int
 	// TopResults histograms the joined top-level answers.
@@ -110,6 +111,8 @@ func (m *Metrics) Observe(e Event) {
 		m.DepthLimits++
 	case "timeout":
 		m.Timeouts++
+	case "module_panic":
+		m.ModulePanics++
 	}
 }
 
@@ -131,6 +134,7 @@ func (m *Metrics) Reconcile(st *core.Stats) error {
 		{"cycle breaks", m.CycleBreaks, st.CycleBreaks},
 		{"depth limits", m.DepthLimits, st.DepthLimits},
 		{"timeouts", m.Timeouts, st.Timeouts},
+		{"module panics", m.ModulePanics, st.ModulePanics},
 	}
 	for _, c := range checks {
 		if c.trace != c.direct {

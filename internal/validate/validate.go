@@ -58,7 +58,11 @@ func Check(prog *cfg.Program, data *profile.Data, asserts []core.Assertion, opts
 	}
 	opts.Observers = append([]interp.Observer{tracker, mon}, opts.Observers...)
 	if _, err := interp.Run(prog.Mod, opts); err != nil {
-		return nil, err
+		// A mid-run interpreter failure (trap, budget exhaustion) does not
+		// erase what the monitors saw up to that point: return the partial
+		// report alongside the error so recovery consumers can quarantine
+		// the violations already observed.
+		return rep, err
 	}
 	// Close out any still-active short-lived windows at program end.
 	return rep, nil

@@ -506,3 +506,52 @@ void main() {
 		t.Errorf("detail: %s", rep.Violations[0].Detail)
 	}
 }
+
+// TestPartialReportOnInterpreterFailure: a mid-run interpreter failure
+// (here: instruction-budget exhaustion) must not erase what the monitors
+// already saw. Check returns the partial report alongside the error, so
+// recovery consumers can quarantine the violations observed before the
+// run died.
+func TestPartialReportOnInterpreterFailure(t *testing.T) {
+	prog, data := load(t, `
+int cfg;
+int out;
+void main() {
+    cfg = 5;
+    for (int i = 0; i < 100; i++) {
+        out = out + cfg;
+    }
+    print(out);
+}`)
+	var cfgLoad *ir.Instr
+	prog.Mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLoad && in.Args[0] == ir.Value(prog.Mod.GlobalNamed("cfg")) {
+			cfgLoad = in
+		}
+	})
+	a := core.Assertion{
+		Module: spec.NameValuePred, Kind: "value-check",
+		Points: []core.Point{{Instr: cfgLoad}},
+	}
+	// Break the prediction, then rerun under a budget that traps mid-loop:
+	// the violations seen before the trap must survive.
+	prog.Mod.FuncNamed("main").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore && in.Args[1] == ir.Value(prog.Mod.GlobalNamed("cfg")) {
+			in.Args[0] = ir.CI(6)
+		}
+	})
+	rep, err := Check(prog, data, []core.Assertion{a}, interp.Options{MaxSteps: 400})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("want an instruction-budget error, got %v", err)
+	}
+	if rep == nil {
+		t.Fatal("partial report discarded on interpreter failure")
+	}
+	if rep.Checks == 0 || !rep.Failed() {
+		t.Fatalf("partial report lost the pre-failure observations: checks=%d violations=%d",
+			rep.Checks, len(rep.Violations))
+	}
+	if !strings.Contains(rep.Violations[0].Detail, "returned 6, predicted 5") {
+		t.Errorf("detail: %s", rep.Violations[0].Detail)
+	}
+}

@@ -195,6 +195,28 @@ func WithTracer(t core.Tracer) OrchOption {
 	return func(c *core.Config) { c.Tracer = t }
 }
 
+// WithModuleWrapper interposes a rewrite on the final module list (after
+// every other option has shaped it) — the seam misspeculation recovery
+// uses to filter quarantined assertions at the module boundary
+// (recovery.Wrapper). The hook runs inside core.NewOrchestrator, so it
+// composes with OrchestratorFactory/ParallelClient as long as the wrapper
+// itself is safe to share across workers.
+func WithModuleWrapper(wrap func([]core.Module) []core.Module) OrchOption {
+	return func(c *core.Config) { c.WrapModules = wrap }
+}
+
+// WithPanicIsolation converts a panicking module evaluation into a
+// conservative answer plus a Stats.ModulePanics increment instead of a
+// crash; onPanic (optional) observes the offender's name and the recovered
+// value — the server uses it to quarantine the module. Panicked
+// resolutions are tainted and never published to any cache.
+func WithPanicIsolation(onPanic func(module string, recovered any)) OrchOption {
+	return func(c *core.Config) {
+		c.IsolatePanics = true
+		c.OnModulePanic = onPanic
+	}
+}
+
 // WithoutTreeSubstitution disables control speculation's speculative
 // dominator-tree premise queries (ablation; its spec-dead rule remains).
 func WithoutTreeSubstitution() OrchOption {
