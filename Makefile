@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-json bench-baseline bench-check oracle clean
+.PHONY: all build vet test race chaos runtime bench bench-json bench-baseline bench-check oracle clean
 
 all: vet build test
 
@@ -28,6 +28,14 @@ chaos:
 	$(GO) test -race -count=1 ./internal/core/ -run 'Quarantine|Invalidate|Revok'
 	$(GO) test -race -count=1 -v ./internal/server/ -run 'TestObserve|TestModulePanic|TestHandlerPanic|TestChaos|TestNewHTTPServer'
 
+# Speculative-parallel runtime suite under the race detector: chunked
+# DOALL execution against journaled memory views, commit-order
+# validation, the abort-guard regression test (disabled commit guard
+# must corrupt results), and the 8-worker chaos stress tests that force
+# misspeculation and require byte-equal convergence to serial.
+runtime:
+	$(GO) test -race -count=1 ./internal/runtime/...
+
 # Wall-clock comparison of serial vs parallel suite analysis. Needs
 # GOMAXPROCS >= 4 to show a speedup.
 bench:
@@ -46,7 +54,11 @@ bench-json:
 # work (module evals — machine-independent, so the gate is stable on any
 # CI host; the baseline runs serially to keep sample collection exact).
 # bench-check fails on any answer drift or a >20% p50 work regression.
-BENCH_GATE_ARGS ?= -bench 129.compress,181.mcf,462.libquantum -parallel 1 -fig 8
+# -execute adds the speculative-runtime pass: each gate benchmark is run
+# under its SCAF plans and the deterministic commit/abort counters are
+# pinned exactly (183.equake is in the set because it actually
+# speculates — 1 DOALL loop — so those counters are non-vacuous).
+BENCH_GATE_ARGS ?= -bench 129.compress,181.mcf,183.equake,462.libquantum -parallel 1 -fig 8 -execute
 BENCH_BASELINE  ?= results/bench-baseline.json
 
 bench-baseline:

@@ -7,6 +7,8 @@
 //	scaf-bench -fig 8           # one figure (7, 8, 9, 10)
 //	scaf-bench -table 2         # one table
 //	scaf-bench -bench 181.mcf   # restrict to chosen benchmarks
+//	scaf-bench -execute         # also run the speculative-parallel runtime
+//	                            # and print the speedup / abort-cost table
 package main
 
 import (
@@ -31,6 +33,8 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable per-benchmark report (coverage + orchestration counters) to this file")
 	tracePath := flag.String("trace", "", "run one traced SCAF analysis per benchmark and write the query-resolution events (JSONL) to this file")
 	traceDot := flag.String("trace-dot", "", "also render the traced queries as a Graphviz collaboration graph to this file (requires -trace)")
+	execute := flag.Bool("execute", false, "execute each benchmark under the speculative-parallel runtime (SCAF plans), print the realized speedup / abort-cost table, and add the deterministic commit/abort counters to the -json report")
+	execWorkers := flag.Int("exec-workers", 4, "speculative worker count for -execute")
 	flag.Parse()
 
 	if *traceDot != "" && *tracePath == "" {
@@ -53,7 +57,7 @@ func main() {
 		fmt.Println(bench.RenderTable1())
 	}
 	needSuite := wantFig(8) || wantFig(9) || wantFig(10) || wantTable(2) ||
-		*jsonPath != "" || *tracePath != ""
+		*jsonPath != "" || *tracePath != "" || *execute
 	if !needSuite {
 		return
 	}
@@ -91,6 +95,16 @@ func main() {
 		latencies = bench.Fig10(suite)
 		fmt.Println(bench.RenderFig10(latencies))
 	}
+	var execRows []bench.ExecRow
+	if *execute {
+		fmt.Fprintf(os.Stderr, "executing benchmarks speculatively (%d workers)...\n", *execWorkers)
+		execRows, err = bench.ExecuteSuite(suite, *execWorkers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "execute:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.RenderExec(execRows))
+	}
 	if *csvDir != "" {
 		if analyses == nil || latencies == nil {
 			fmt.Fprintln(os.Stderr, "-csv requires running all experiments (omit -fig/-table)")
@@ -105,7 +119,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "CSVs written to %s\n", *csvDir)
 	}
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, suite, analyses); err != nil {
+		if err := writeJSON(*jsonPath, suite, analyses, execRows); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)
 		}
@@ -119,13 +133,15 @@ func main() {
 	}
 }
 
-func writeJSON(path string, suite *bench.Suite, analyses []*bench.Analysis) error {
+func writeJSON(path string, suite *bench.Suite, analyses []*bench.Analysis, execRows []bench.ExecRow) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := bench.WriteReport(f, bench.BuildReport(suite, analyses)); err != nil {
+	report := bench.BuildReport(suite, analyses)
+	bench.AttachExec(report, execRows)
+	if err := bench.WriteReport(f, report); err != nil {
 		return err
 	}
 	return f.Close()

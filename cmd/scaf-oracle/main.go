@@ -32,6 +32,7 @@ func main() {
 	run := flag.String("run", "", "check one MC program file instead of sweeping seeds")
 	fast := flag.Bool("fast", false, "soundness and monotonicity only (no drift or metamorphic checks)")
 	recov := flag.Bool("recovery", false, "force the misspeculation-recovery pass (fault injection + quarantine + equivalence); always on without -fast")
+	execute := flag.Bool("execute", false, "force the execution-equivalence pass (speculative-parallel runtime vs serial, plus chaos-forced misspeculation recovery); always on without -fast")
 	transforms := flag.String("transforms", "all", `metamorphic transforms: "all", "none", or a comma-separated subset (rename,deadcode,reorder,peel)`)
 	verbose := flag.Bool("v", false, "log every seed, not just failures and progress")
 	flag.Parse()
@@ -42,6 +43,9 @@ func main() {
 	}
 	if *recov {
 		cfg.Recovery = true
+	}
+	if *execute {
+		cfg.Execution = true
 	}
 	switch *transforms {
 	case "all":
@@ -64,7 +68,8 @@ func main() {
 	}
 
 	failures := 0
-	var queries, applied, compared, lies int
+	var queries, applied, compared, lies, execMisspecs int
+	var specIters int64
 	for i := 0; i < *seeds; i++ {
 		seed := *start + int64(i)
 		rep, err := oracle.CheckSeed(cfg, seed)
@@ -76,6 +81,8 @@ func main() {
 		applied += rep.TransformsApplied
 		compared += rep.ComparedLoops
 		lies += rep.ChaosLies
+		specIters += rep.ExecSpecIters
+		execMisspecs += rep.ExecMisspecs
 		if *verbose {
 			fmt.Printf("seed %d: %d hot loops, %d queries, %d transforms\n",
 				seed, rep.HotLoops, rep.Queries, rep.TransformsApplied)
@@ -88,8 +95,8 @@ func main() {
 			}
 		}
 		if n := i + 1; n%50 == 0 || n == *seeds {
-			fmt.Printf("[%d/%d] %d failures, %d queries checked, %d transforms applied, %d loop comparisons, %d lies quarantined\n",
-				n, *seeds, failures, queries, applied, compared, lies)
+			fmt.Printf("[%d/%d] %d failures, %d queries checked, %d transforms applied, %d loop comparisons, %d lies quarantined, %d spec iters, %d misspecs recovered\n",
+				n, *seeds, failures, queries, applied, compared, lies, specIters, execMisspecs)
 		}
 	}
 	if failures > 0 {

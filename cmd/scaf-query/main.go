@@ -16,6 +16,13 @@
 //
 //	scaf-query -quarantine 'mdp-spec/no-flow{p1,p2 cost=20}' -bench 181.mcf
 //	scaf-query -quarantine-module value-pred prog.mc
+//
+// Speculative execution: -execute runs the program under the scheme's
+// plan with the speculative-parallel runtime after printing the analysis,
+// reporting per-loop commit/abort statistics and any assertions the run
+// disproved:
+//
+//	scaf-query -scheme scaf -execute -workers 8 prog.mc
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
 	"scaf/internal/recovery"
+	"scaf/internal/runtime"
 )
 
 // stringList is a repeatable string flag.
@@ -45,6 +53,8 @@ func main() {
 	benchName := flag.String("bench", "", "analyze an embedded benchmark instead of a file")
 	diff := flag.Bool("diff", false, "show only queries SCAF resolves beyond confluence")
 	dot := flag.Bool("dot", false, "emit the dependence graphs in Graphviz DOT format")
+	execute := flag.Bool("execute", false, "after printing the analysis, execute the program speculatively under the scheme's plan and report commit/abort statistics")
+	workers := flag.Int("workers", 4, "speculative worker count for -execute")
 	var quarAsserts, quarModules stringList
 	flag.Var(&quarAsserts, "quarantine", "withdraw one assertion by wire identity (repeatable)")
 	flag.Var(&quarModules, "quarantine-module", "withdraw a whole module (repeatable)")
@@ -140,6 +150,41 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+
+	if *execute {
+		rep, err := sys.ExecutePlan(scheme, runtime.Config{Workers: *workers}, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "execute:", err)
+			os.Exit(1)
+		}
+		printExecReport(rep)
+	}
+}
+
+// printExecReport renders the speculative-execution outcome: per-loop
+// commit/abort statistics plus the run's aggregate counters.
+func printExecReport(rep *runtime.Report) {
+	fmt.Printf("\nspeculative execution (%d doall, %d refused of %d hot loops):\n",
+		rep.DoallLoops, rep.RefusedLoops, len(rep.Loops))
+	for _, ls := range rep.Loops {
+		if ls.Refusal != "" {
+			fmt.Printf("  %-24s refused: %s\n", ls.Loop, ls.Refusal)
+			continue
+		}
+		fmt.Printf("  %-24s spec %d/%d invocations, %d/%d chunks committed, %d spec + %d serial iters",
+			ls.Loop, ls.SpecInvocations, ls.Invocations,
+			ls.CommittedChunks, ls.Chunks, ls.SpecIters, ls.SerialIters)
+		if ls.Misspecs > 0 {
+			fmt.Printf(", %d misspec(s)", ls.Misspecs)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("total: %d spec iters, %d serial iters, %d aborts, %d replan rounds, %d quarantined asserts, %.2fms wall\n",
+		rep.SpecIters, rep.SerialIters, rep.AbortedChunks, rep.ReplanRounds,
+		len(rep.QuarantinedAsserts), float64(rep.WallNanos)/1e6)
+	for _, k := range rep.QuarantinedAsserts {
+		fmt.Printf("  quarantined: %s\n", k)
 	}
 }
 

@@ -1,0 +1,58 @@
+package scaf
+
+import (
+	"scaf/internal/core"
+	"scaf/internal/pdg"
+	"scaf/internal/recovery"
+	"scaf/internal/runtime"
+)
+
+// ExecutePlan closes the loop from analysis to execution: it analyzes
+// every hot loop under the scheme (JoinAll + exhaustive search, so the
+// validation planner sees real alternatives), builds the §3.4 assertion
+// plans, and runs the program with internal/runtime — loops the plans
+// mark DOALL execute their iterations chunked across workers against
+// journaled memory views, validated at commit time. A misspeculation
+// quarantines the disproved assertions, invalidates predicated shared-
+// cache entries, re-plans through the quarantine filter, and re-executes
+// the losing range serially, so the reported output is always equal to a
+// serial interpretation.
+//
+// cfg's Quarantine, Cache, and Replan are filled in when nil (fresh
+// quarantine, fresh shared cache with the quarantine as revoker, and a
+// re-analysis of the hot loops under the same scheme and options).
+// Additional orchestrator options (chaos injection, ablations) apply to
+// both the initial analysis and every re-plan.
+func (s *System) ExecutePlan(scheme Scheme, cfg runtime.Config, opts ...OrchOption) (*runtime.Report, error) {
+	q := cfg.Quarantine
+	if q == nil {
+		q = recovery.New()
+		cfg.Quarantine = q
+	}
+	sc := cfg.Cache
+	if sc == nil {
+		sc = core.NewSharedCache()
+		cfg.Cache = sc
+	}
+	sc.SetRevoker(q)
+	allOpts := append([]OrchOption{
+		WithJoin(core.JoinAll),
+		WithBailout(core.BailExhaustive),
+		WithSharedCache(sc),
+		WithModuleWrapper(recovery.Wrapper(q)),
+	}, opts...)
+	analyze := func() []runtime.LoopPlan {
+		o := s.Orchestrator(scheme, allOpts...)
+		client := s.Client()
+		var plans []runtime.LoopPlan
+		for _, l := range s.HotLoops() {
+			res := client.AnalyzeLoop(o, l)
+			plans = append(plans, runtime.LoopPlan{Loop: l, Res: res, Plan: pdg.BuildPlan(res.Queries)})
+		}
+		return plans
+	}
+	if cfg.Replan == nil {
+		cfg.Replan = analyze
+	}
+	return runtime.Execute(s.Prog, analyze(), cfg)
+}

@@ -120,6 +120,23 @@ func compareBench(base, fresh *ReportBench, tol float64) []string {
 			drift("scheme %s missing from baseline", scheme)
 		}
 	}
+
+	// Speculative-execution counters: compared exactly when both reports
+	// carry them (they are deterministic; see ReportExec), skipped when
+	// the baseline predates -execute so older baselines stay valid. A
+	// baseline WITH exec counters does require them fresh — dropping the
+	// pass would silently un-gate the runtime.
+	switch {
+	case base.Exec == nil:
+	case fresh.Exec == nil:
+		fails = append(fails, fmt.Sprintf(
+			"%s: baseline has exec counters but fresh report does not — run the gate with -execute",
+			base.Name))
+	default:
+		if be, fe := base.Exec.stripWall(), fresh.Exec.stripWall(); be != fe {
+			drift("exec counters diverged:\n  baseline: %+v\n  fresh:    %+v", be, fe)
+		}
+	}
 	return fails
 }
 

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecuteSuiteDeterministic pins the gate's premise: two speculative
+// executions of the same benchmarks produce identical counters once the
+// wall-clock fields are stripped, so CompareReports may diff them
+// exactly.
+func TestExecuteSuiteDeterministic(t *testing.T) {
+	run := func() []ExecRow {
+		s, err := LoadSuite("129.compress", "462.libquantum")
+		if err != nil {
+			t.Fatalf("LoadSuite: %v", err)
+		}
+		rows, err := ExecuteSuite(s, 4)
+		if err != nil {
+			t.Fatalf("ExecuteSuite: %v", err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("row %d: name %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		if ea, eb := a[i].Exec.stripWall(), b[i].Exec.stripWall(); ea != eb {
+			t.Errorf("%s: exec counters differ across runs:\n  %+v\n  %+v", a[i].Name, ea, eb)
+		}
+	}
+}
+
+// TestCompareExecCounters pins the gate rules for the exec section:
+// identical counters pass, any deterministic-counter drift fails, a
+// baseline without exec counters skips the comparison, and a baseline
+// WITH exec counters refuses a fresh report that dropped them.
+func TestCompareExecCounters(t *testing.T) {
+	mk := func(exec *ReportExec) *Report {
+		return &Report{Benchmarks: []ReportBench{{
+			Name:     "b",
+			NoDepPct: map[string]float64{},
+			Counters: map[string]ReportCounters{},
+			Exec:     exec,
+		}}}
+	}
+	e := ReportExec{Workers: 4, DoallLoops: 2, SpecIters: 100, SerialIters: 10,
+		AbortedChunks: 1, Misspecs: 1, MemDigest: 0xabc, AbortCostPct: 100 * 10.0 / 110}
+
+	if fails := CompareReports(mk(&e), mk(&e), DefaultWorkTolerance); len(fails) != 0 {
+		t.Fatalf("identical exec counters failed the gate: %v", fails)
+	}
+	// Wall-clock drift alone must not fail.
+	fresh := e
+	fresh.SerialNS, fresh.ExecNS, fresh.SpeedupX = 999, 1, 999
+	if fails := CompareReports(mk(&e), mk(&fresh), DefaultWorkTolerance); len(fails) != 0 {
+		t.Fatalf("wall-clock drift failed the gate: %v", fails)
+	}
+	// A deterministic counter drifting must fail.
+	fresh = e
+	fresh.CommittedChunks++
+	fails := CompareReports(mk(&e), mk(&fresh), DefaultWorkTolerance)
+	if len(fails) != 1 || !strings.Contains(fails[0], "exec counters diverged") {
+		t.Fatalf("committed-chunk drift not caught: %v", fails)
+	}
+	// Baseline without exec counters: comparison is skipped.
+	if fails := CompareReports(mk(nil), mk(&e), DefaultWorkTolerance); len(fails) != 0 {
+		t.Fatalf("old baseline without exec section failed the gate: %v", fails)
+	}
+	// Baseline with exec counters, fresh without: the gate has teeth.
+	fails = CompareReports(mk(&e), mk(nil), DefaultWorkTolerance)
+	if len(fails) != 1 || !strings.Contains(fails[0], "run the gate with -execute") {
+		t.Fatalf("dropped exec section not caught: %v", fails)
+	}
+}

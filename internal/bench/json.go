@@ -105,6 +105,9 @@ type ReportBench struct {
 	// Latency maps scheme name → per-query cost summary; present only
 	// when the suite ran with latency recording on.
 	Latency map[string]ReportLatency `json:"latency,omitempty"`
+	// Exec is the speculative-execution summary; present only when the
+	// report was built with -execute (see ExecuteSuite / AttachExec).
+	Exec *ReportExec `json:"exec,omitempty"`
 }
 
 // Report is the -json output of scaf-bench: per-benchmark dependence

@@ -206,7 +206,7 @@ func TestDepthLimitTaintNotCached(t *testing.T) {
 		if q.L1.Size == 5 {
 			return AliasFact(NoAlias, "chain")
 		}
-		if h.PremiseAlias(mkq(q.L1.Size + 1)).Result == NoAlias {
+		if h.PremiseAlias(mkq(q.L1.Size+1)).Result == NoAlias {
 			return AliasFact(NoAlias, "chain")
 		}
 		return MayAliasResponse()

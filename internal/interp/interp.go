@@ -44,6 +44,10 @@ type Options struct {
 	MaxSteps  int64 // dynamic instruction budget; 0 means 200M
 	MaxDepth  int   // call-stack depth limit; 0 means 10000
 	Observers []Observer
+	// Hook, when set, observes every top-level control transfer and may
+	// take over execution of a region (see Hook). Speculative runtimes
+	// use it to intercept loop entries.
+	Hook Hook
 }
 
 // Result summarizes a completed run.
@@ -68,18 +72,21 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 	if len(main.Params) != 0 {
 		return nil, fmt.Errorf("interp: main must take no parameters")
 	}
+	mem := NewMemory()
 	it := &Interp{
 		mod:     m,
-		mem:     NewMemory(),
+		mem:     mem,
+		heap:    mem,
 		opts:    opts,
 		obs:     opts.Observers,
+		hook:    opts.Hook,
 		globals: map[*ir.Global]uint64{},
 	}
 	for _, g := range m.Globals {
-		o := it.mem.Allocate(g.Elem.Size(), nil, g, 0)
+		o := it.heap.Allocate(g.Elem.Size(), nil, g, 0)
 		for i, v := range g.InitInt {
 			if int64(i*8+8) <= o.Size {
-				if _, err := it.mem.Store(o.Base+uint64(i*8), 8, uint64(v)); err != nil {
+				if _, err := it.heap.Store(o.Base+uint64(i*8), 8, uint64(v)); err != nil {
 					return nil, err
 				}
 			}
@@ -90,15 +97,20 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 	if _, err := it.call(main, nil, 0, 0); err != nil {
 		return nil, fmt.Errorf("interp: %w", err)
 	}
-	return &Result{Output: it.output, Steps: it.steps, Mem: it.mem}, nil
+	return &Result{Output: it.output, Steps: it.steps, Mem: it.heap}, nil
 }
 
-// Interp is the execution engine.
+// Interp is the execution engine. mem is the load/store target (a View in
+// forks); heap is the concrete memory allocation goes to (nil in forks,
+// where allocation is refused).
 type Interp struct {
 	mod     *ir.Module
-	mem     *Memory
+	mem     MemOps
+	heap    *Memory
+	memIA   instrAware
 	opts    Options
 	obs     []Observer
+	hook    Hook
 	globals map[*ir.Global]uint64
 	steps   int64
 	output  []string
@@ -165,7 +177,7 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 	if depth > it.opts.MaxDepth {
 		return 0, fmt.Errorf("call depth limit exceeded in %s", f.Name)
 	}
-	regs := make([]uint64, f.NumIDs())
+	fr := &Frame{It: it, Fn: f, Regs: make([]uint64, f.NumIDs()), Args: args, Depth: depth, Ctx: ctx}
 	var stackObjs []*Object
 	defer func() {
 		for _, o := range stackObjs {
@@ -178,10 +190,28 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 			}
 		}
 	}()
+	return it.exec(fr, f.Entry(), nil, &stackObjs, nil, true)
+}
 
-	block := f.Entry()
-	var prev *ir.Block
+// exec is the block-dispatch engine shared by whole-function calls and
+// bounded region execution. With region != nil, every control transfer is
+// offered to region.stop before being taken; a satisfied stop records the
+// transfer in region and returns without evaluating the destination's
+// phis. With hookable set (top-level execution only), it.hook is
+// consulted before each block's phis and may redirect control.
+func (it *Interp) exec(fr *Frame, block, prev *ir.Block, stackObjs *[]*Object, region *RegionEnd, hookable bool) (uint64, error) {
+	f, regs, args, depth, ctx := fr.Fn, fr.Regs, fr.Args, fr.Depth, fr.Ctx
 	for {
+		if hookable && it.hook != nil {
+			nb, np, err := it.hook(fr, block, prev)
+			if err != nil {
+				return 0, err
+			}
+			if nb != nil {
+				prev, block = np, nb
+				continue
+			}
+		}
 		// Phis first, evaluated as a parallel copy from the incoming edge.
 		nphi := 0
 		for _, in := range block.Instrs {
@@ -216,8 +246,11 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 			}
 			switch in.Op {
 			case ir.OpAlloca:
-				o := it.mem.Allocate(in.ElemTy.Size(), in, nil, ctx)
-				stackObjs = append(stackObjs, o)
+				if it.heap == nil {
+					return 0, fmt.Errorf("%s: %s: allocation inside a speculative region", f.Name, ir.FormatInstr(in))
+				}
+				o := it.heap.Allocate(in.ElemTy.Size(), in, nil, ctx)
+				*stackObjs = append(*stackObjs, o)
 				regs[in.ID] = o.Base
 				it.alloc(o)
 			case ir.OpMalloc:
@@ -225,8 +258,11 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 				if err != nil {
 					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
 				}
+				if it.heap == nil {
+					return 0, fmt.Errorf("%s: %s: allocation inside a speculative region", f.Name, ir.FormatInstr(in))
+				}
 				size := b2i(raw)
-				o := it.mem.Allocate(size, in, nil, ctx)
+				o := it.heap.Allocate(size, in, nil, ctx)
 				regs[in.ID] = o.Base
 				it.alloc(o)
 			case ir.OpFree:
@@ -237,7 +273,10 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 				if addr == 0 {
 					break // free(NULL) is a no-op
 				}
-				o, err := it.mem.Free(addr)
+				if it.heap == nil {
+					return 0, fmt.Errorf("%s: %s: free inside a speculative region", f.Name, ir.FormatInstr(in))
+				}
+				o, err := it.heap.Free(addr)
 				if err != nil {
 					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
 				}
@@ -250,6 +289,9 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
 				}
 				size := in.Ty.Size()
+				if it.memIA != nil {
+					it.memIA.SetInstr(in)
+				}
 				v, o, err := it.mem.Load(addr, size)
 				if err != nil {
 					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
@@ -268,6 +310,9 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
 				}
 				size := in.Args[0].Type().Size()
+				if it.memIA != nil {
+					it.memIA.SetInstr(in)
+				}
 				o, err := it.mem.Store(addr, size, val)
 				if err != nil {
 					return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
@@ -361,6 +406,10 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 				regs[in.ID] = v
 			case ir.OpBr:
 				next := block.Succs[0]
+				if region != nil && region.stop(block, next) {
+					region.From, region.To = block, next
+					return 0, nil
+				}
 				for _, ob := range it.obs {
 					ob.Edge(f, block, next)
 				}
@@ -375,6 +424,10 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 				if c == 0 {
 					next = block.Succs[1]
 				}
+				if region != nil && region.stop(block, next) {
+					region.From, region.To = block, next
+					return 0, nil
+				}
 				for _, ob := range it.obs {
 					ob.Edge(f, block, next)
 				}
@@ -386,7 +439,13 @@ func (it *Interp) call(f *ir.Func, args []uint64, depth int, ctx uint64) (uint64
 					if err != nil {
 						return 0, fmt.Errorf("%s: %s: %w", f.Name, ir.FormatInstr(in), err)
 					}
+					if region != nil {
+						region.Returned, region.RetVal = true, v
+					}
 					return v, nil
+				}
+				if region != nil {
+					region.Returned = true
 				}
 				return 0, nil
 			case ir.OpPhi:

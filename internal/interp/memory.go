@@ -6,6 +6,7 @@ package interp
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"scaf/internal/ir"
@@ -160,3 +161,29 @@ func (m *Memory) locate(addr uint64, size int64, what string) (*Object, int64, e
 
 // Objects returns all objects ever allocated (including freed ones).
 func (m *Memory) Objects() []*Object { return m.objects }
+
+// Digest summarizes the full memory image — object identities, sizes,
+// liveness, and live bytes — so two runs can be compared for byte
+// equality without materializing a copy.
+func (m *Memory) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * uint(i)))
+		}
+		h.Write(buf[:])
+	}
+	for _, o := range m.objects {
+		word(uint64(o.ID))
+		word(o.Base)
+		word(uint64(o.Size))
+		if o.Freed {
+			word(1)
+		} else {
+			word(0)
+			h.Write(o.Data)
+		}
+	}
+	return h.Sum64()
+}

@@ -25,6 +25,21 @@ type Gen struct {
 	helpers2 []string // two-pointer helper functions (int*, int*, int) -> int
 	depth    int
 	nextID   int
+
+	// Patterns counts the runtime-relevant loop shapes emitted by the
+	// last Program call. It is a pure function of the seed.
+	Patterns PatternCounts
+}
+
+// PatternCounts records how many loops of each speculation-relevant shape
+// a generated program contains. The execution-equivalence oracle relies on
+// the corpus containing all three so every run exercises the commit path
+// (Doall), the abort path under an optimistic plan (AlmostDoall), and the
+// structural refusal path (Reduction).
+type PatternCounts struct {
+	Doall       int // iteration i touches only element i: speculates and commits
+	AlmostDoall int // one iteration writes another's element: aborts if speculated
+	Reduction   int // loop-carried scalar (second header phi): shape-refused
 }
 
 type arr struct {
@@ -226,6 +241,42 @@ func (g *Gen) helper2(name string, size int) {
 	fmt.Fprintf(&g.b, "    return acc;\n}\n")
 }
 
+// runtimePattern emits one full-array loop with a shape the speculative
+// runtime cares about. Trip counts equal the array size (8–32), so the
+// loops clear the runtime's minimum-iteration gate and the speculation
+// decision rests on the dependence plan, not on triviality.
+func (g *Gen) runtimePattern() {
+	a := g.arrays[g.rng.Intn(len(g.arrays))]
+	i := g.fresh("i")
+	switch g.rng.Intn(3) {
+	case 0: // truly DOALL: iteration i reads and writes only element i
+		g.Patterns.Doall++
+		fmt.Fprintf(&g.b, "%sfor (int %s = 0; %s < %d; %s++) {\n", g.indent(), i, i, a.size, i)
+		fmt.Fprintf(&g.b, "%s    %s[%s] = %s[%s] * %d + %s + %d;\n",
+			g.indent(), a.name, i, a.name, i, 2+g.rng.Intn(5), i, g.rng.Intn(50))
+		fmt.Fprintf(&g.b, "%s}\n", g.indent())
+	case 1: // almost DOALL: exactly one iteration writes another's element
+		g.Patterns.AlmostDoall++
+		k := g.rng.Intn(a.size)
+		j := (k + 1 + g.rng.Intn(a.size-1)) % a.size
+		fmt.Fprintf(&g.b, "%sfor (int %s = 0; %s < %d; %s++) {\n", g.indent(), i, i, a.size, i)
+		fmt.Fprintf(&g.b, "%s    %s[%s] = %s[%s] + %s;\n", g.indent(), a.name, i, a.name, i, i)
+		fmt.Fprintf(&g.b, "%s    if (%s == %d) { %s[%d] = %s - %d; }\n",
+			g.indent(), i, k, a.name, j, i, g.rng.Intn(20))
+		fmt.Fprintf(&g.b, "%s}\n", g.indent())
+	default: // reduction: the accumulator becomes a second header phi
+		g.Patterns.Reduction++
+		s := g.fresh("r")
+		fmt.Fprintf(&g.b, "%sint %s = %d;\n", g.indent(), s, g.rng.Intn(10))
+		fmt.Fprintf(&g.b, "%sfor (int %s = 0; %s < %d; %s++) {\n", g.indent(), i, i, a.size, i)
+		fmt.Fprintf(&g.b, "%s    %s = %s * 3 + %s[%s];\n", g.indent(), s, s, a.name, i)
+		fmt.Fprintf(&g.b, "%s}\n", g.indent())
+		fmt.Fprintf(&g.b, "%sprint(%s);\n", g.indent(), s)
+		g.ints = append(g.ints, s)
+		g.mut = append(g.mut, s)
+	}
+}
+
 // Program generates a complete MC source.
 func (g *Gen) Program() string {
 	for i := 0; i < 2+g.rng.Intn(2); i++ {
@@ -254,6 +305,10 @@ func (g *Gen) Program() string {
 		g.helper2(g.helpers2[i], minSize)
 	}
 	g.b.WriteString("void main() {\n")
+	g.Patterns = PatternCounts{}
+	for i := 0; i < 2+g.rng.Intn(2); i++ {
+		g.runtimePattern()
+	}
 	for i := 0; i < 6+g.rng.Intn(8); i++ {
 		g.stmt()
 	}

@@ -70,6 +70,44 @@ func TestAliasingPatternsEmitted(t *testing.T) {
 		sawHelper, sawCall, sawElemPtr, sawStore)
 }
 
+// TestRuntimePatternsEmitted: every program carries at least two
+// speculation-relevant loops, and across a modest seed range all three
+// shapes appear — truly DOALL (runtime commit path), almost-DOALL
+// (abort path under an optimistic plan), and reduction (shape-refusal
+// path). The execution oracle's coverage of commit/abort/refuse rests on
+// this distribution; a generator refactor that drops a shape must fail
+// here, not silently weaken the oracle.
+func TestRuntimePatternsEmitted(t *testing.T) {
+	var total PatternCounts
+	for seed := int64(0); seed < 100; seed++ {
+		g := New(seed)
+		g.Program()
+		n := g.Patterns.Doall + g.Patterns.AlmostDoall + g.Patterns.Reduction
+		if n < 2 {
+			t.Fatalf("seed %d: only %d runtime patterns emitted, want >= 2", seed, n)
+		}
+		total.Doall += g.Patterns.Doall
+		total.AlmostDoall += g.Patterns.AlmostDoall
+		total.Reduction += g.Patterns.Reduction
+	}
+	if total.Doall == 0 || total.AlmostDoall == 0 || total.Reduction == 0 {
+		t.Fatalf("pattern shape missing over 100 seeds: %+v", total)
+	}
+}
+
+// TestPatternCountsDeterministic: the emitted-pattern counters are part of
+// the seed's contract — reproducer headers and oracle triage read them.
+func TestPatternCountsDeterministic(t *testing.T) {
+	for seed := int64(0); seed <= 20; seed++ {
+		a, b := New(seed), New(seed)
+		a.Program()
+		b.Program()
+		if a.Patterns != b.Patterns {
+			t.Fatalf("seed %d: pattern counts diverged: %+v vs %+v", seed, a.Patterns, b.Patterns)
+		}
+	}
+}
+
 // TestLoopBoundsLiteral: generated loops keep the literal-bound shape the
 // loop-peeling transform and hot-loop profiling rely on.
 func TestLoopBoundsLiteral(t *testing.T) {

@@ -36,6 +36,7 @@ import (
 	"scaf/internal/pdg"
 	"scaf/internal/profile"
 	"scaf/internal/recovery"
+	"scaf/internal/runtime"
 	"scaf/internal/server"
 	"scaf/internal/spec"
 )
@@ -71,6 +72,13 @@ type Config struct {
 	// the source, validated by re-running the interpreter and comparing
 	// observable behavior, and only then do preserved-answer checks count.
 	Transforms []Transform
+	// Execution runs the execution-equivalence pass: every scheme's plans
+	// are handed to the speculative-parallel runtime and the result (final
+	// memory image + observable output) must be byte-equal to serial
+	// interpretation. A second, chaos-seeded run forces misspeculations and
+	// must stay byte-equal on every recovery round and converge to a
+	// misspeculation-free execution.
+	Execution bool
 	// Recovery runs the misspeculation-recovery pass: a fault-injection
 	// module is added to every scheme's ensemble and made to answer a
 	// fraction of queries with confidently wrong speculation; the pass then
@@ -99,6 +107,7 @@ func FullConfig() Config {
 		SharedCache:  true,
 		Server:       true,
 		Recovery:     true,
+		Execution:    true,
 		Transforms:   Transforms(),
 		Workers:      4,
 	}
@@ -128,6 +137,9 @@ const (
 	KindRecoveryTaint    = "recovery-taint"    // quarantined speculation still reaches answers
 	KindRecoveryDrift    = "recovery-drift"    // recovered answers != fault-free reference
 	KindRecoveryUnsound  = "recovery-unsound"  // recovered answers disprove a manifested dep
+	KindExecDiverge      = "exec-diverge"      // speculative-parallel result != serial
+	KindExecMisspec      = "exec-misspec"      // honest plan misspeculated on its training input
+	KindExecStuck        = "exec-stuck"        // chaos execution never converged to misspec-free
 )
 
 // Violation is one oracle finding.
@@ -175,6 +187,11 @@ type Report struct {
 	// AppliedByTransform counts applications per transform name (nil
 	// until the first transform applies).
 	AppliedByTransform map[string]int
+	// ExecSpecIters counts iterations the execution pass actually ran
+	// speculatively; ExecMisspecs counts chaos-forced misspeculations it
+	// recovered from. Both are nonvacuity signals when the pass is on.
+	ExecSpecIters int64
+	ExecMisspecs  int
 	// ChaosLies counts distinct injected misspeculations the recovery pass
 	// observed and quarantined; RecoveryRounds counts observe→re-analyze
 	// iterations it took to reach a chaos-free fixpoint. Both are zero when
@@ -263,6 +280,11 @@ func CheckProgram(cfg Config, name, src string) (*Report, error) {
 			checkRecovery(cfg, rep, base, scheme)
 		}
 	}
+	if cfg.Execution {
+		for _, scheme := range cfg.Schemes {
+			checkExecution(cfg, rep, base, scheme)
+		}
+	}
 	for _, tr := range cfg.Transforms {
 		checkTransform(cfg, rep, base, tr)
 	}
@@ -283,6 +305,7 @@ type analysis struct {
 	serial map[scaf.Scheme][]*pdg.LoopResult
 	wire   map[scaf.Scheme][]server.WireLoopResult
 	output []string // observable behavior of the training run
+	memDig uint64   // final-memory digest of the training run
 }
 
 // orchOptions builds the per-orchestrator option list, minting fresh extra
@@ -316,6 +339,7 @@ func analyzeSource(cfg Config, name, src string) (*analysis, error) {
 		serial: map[scaf.Scheme][]*pdg.LoopResult{},
 		wire:   map[scaf.Scheme][]server.WireLoopResult{},
 		output: run.Output,
+		memDig: run.Mem.Digest(),
 	}
 	for _, scheme := range cfg.Schemes {
 		o := sys.Orchestrator(scheme, orchOptions(cfg)...)
@@ -541,6 +565,96 @@ func checkRecovery(cfg Config, rep *Report, a *analysis, scheme scaf.Scheme) {
 	withdrawn := analyzeWith(a, scheme, opts(qm))
 	compareRecovered(rep, a, scheme, withdrawn, "with the chaos module withdrawn")
 	soundnessViolations(rep, a, scheme, withdrawn, KindRecoveryUnsound)
+}
+
+// execDiverged compares a speculative-parallel execution against the
+// serial training run, byte-for-byte: observable output line by line, and
+// the final memory image by digest.
+func execDiverged(a *analysis, r *runtime.Report) string {
+	if strings.Join(r.Output, "\n") != strings.Join(a.output, "\n") {
+		return fmt.Sprintf("output diverged:\n  serial:      %v\n  speculative: %v", a.output, r.Output)
+	}
+	if r.MemDigest != a.memDig {
+		return fmt.Sprintf("final memory diverged (digest %#x, serial %#x)", r.MemDigest, a.memDig)
+	}
+	return ""
+}
+
+// checkExecution runs the execution-equivalence pass for one scheme.
+//
+// Honest pass: the scheme's plans drive the speculative-parallel runtime
+// and the result must be byte-equal to serial — and must not misspeculate,
+// since the plan was trained on this very input (the runtime analogue of
+// KindPlanInvalid). Chaos pass: a seeded fault-injection module lies its
+// way into the plans, forcing real misspeculations; every recovery round
+// must still end byte-equal (abort → quarantine → serial re-execution is
+// exclusion, not approximation), and rerunning with the accumulated
+// quarantine must reach a misspeculation-free execution within a bounded
+// number of rounds.
+func checkExecution(cfg Config, rep *Report, a *analysis, scheme scaf.Scheme) {
+	const maxExecRounds = 10
+	execCfg := func(q *recovery.Quarantine, sc *core.SharedCache) runtime.Config {
+		return runtime.Config{Workers: cfg.Workers, MinIters: 2, Quarantine: q, Cache: sc}
+	}
+
+	hq := recovery.New()
+	honest, err := a.sys.ExecutePlan(scheme, execCfg(hq, nil), orchOptions(cfg)...)
+	if err != nil {
+		rep.violate(Violation{Kind: KindExecDiverge, Scheme: scheme.String(),
+			Detail: fmt.Sprintf("speculative execution failed: %v", err)})
+		return
+	}
+	if d := execDiverged(a, honest); d != "" {
+		rep.violate(Violation{Kind: KindExecDiverge, Scheme: scheme.String(), Detail: d})
+	}
+	if honest.Misspecs > 0 && cfg.ExtraModules == nil {
+		// Value prediction is the one speculation that may legitimately
+		// misspeculate on the training input (the runtime reads real memory
+		// where the plan assumed a predicted constant, and validation
+		// rightly catches it). Any other attribution — or an abort with
+		// nothing to attribute — means the plan disproved a manifested
+		// dependence it had no speculative license for.
+		keys := hq.AssertKeys()
+		if len(keys) == 0 {
+			rep.violate(Violation{Kind: KindExecMisspec, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("plan misspeculated %d time(s) on its training input with nothing to attribute", honest.Misspecs)})
+		}
+		for _, k := range keys {
+			if !strings.HasPrefix(k, spec.NameValuePred+"/") {
+				rep.violate(Violation{Kind: KindExecMisspec, Scheme: scheme.String(),
+					Detail: fmt.Sprintf("training-input misspeculation attributed to non-value-pred assertion %s", k)})
+			}
+		}
+	}
+	rep.ExecSpecIters += honest.SpecIters
+
+	chaos := &recovery.Chaos{Seed: chaosSeed(a.name + "/" + scheme.String()), WrongEvery: 2}
+	q := recovery.New()
+	sc := core.NewSharedCache()
+	for round := 1; ; round++ {
+		r, err := a.sys.ExecutePlan(scheme, execCfg(q, sc),
+			append(orchOptions(cfg), scaf.WithExtraModules(chaos))...)
+		if err != nil {
+			rep.violate(Violation{Kind: KindExecDiverge, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("chaos round %d: execution failed: %v", round, err)})
+			return
+		}
+		if d := execDiverged(a, r); d != "" {
+			rep.violate(Violation{Kind: KindExecDiverge, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("chaos round %d: %s", round, d)})
+			return
+		}
+		rep.ExecMisspecs += int(r.Misspecs)
+		if r.Misspecs == 0 {
+			return
+		}
+		if round >= maxExecRounds {
+			rep.violate(Violation{Kind: KindExecStuck, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("still misspeculating after %d chaos rounds (%d quarantined asserts)",
+					round, len(q.AssertKeys()))})
+			return
+		}
+	}
 }
 
 // compareRecovered byte-compares recovered answers against the fault-free

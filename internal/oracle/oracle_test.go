@@ -130,6 +130,44 @@ func TestRecoverySweep(t *testing.T) {
 	t.Logf("recovery sweep: %d lies quarantined over %d rounds (%d seeds)", lies, rounds, seeds)
 }
 
+// TestExecutionSweep drives the execution-equivalence pass alone over a
+// window of seeds: every scheme's plans run under the speculative-parallel
+// runtime and must match serial byte-for-byte; chaos-seeded runs force
+// real misspeculations and must recover to byte-equality and converge.
+// Nonvacuity floors require that speculation actually happened and that
+// chaos actually forced aborts — the commit, abort, and refuse paths all
+// get exercised because mcgen guarantees DOALL, almost-DOALL, and
+// reduction loops in its output distribution.
+func TestExecutionSweep(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	cfg := FastConfig()
+	cfg.Execution = true
+	var specIters int64
+	var misspecs int
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		rep, err := CheckSeed(cfg, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("%s", rep.Summary())
+		}
+		specIters += rep.ExecSpecIters
+		misspecs += rep.ExecMisspecs
+	}
+	if specIters == 0 {
+		t.Fatalf("vacuous execution sweep: nothing was ever speculated over %d seeds", seeds)
+	}
+	if misspecs == 0 {
+		t.Fatalf("vacuous execution sweep: chaos never forced a misspeculation over %d seeds", seeds)
+	}
+	t.Logf("execution sweep: %d speculative iterations, %d misspeculations recovered (%d seeds)",
+		specIters, misspecs, seeds)
+}
+
 // TestCheckProgramRejectsInvalid: a non-compiling program is a caller
 // error, not an analysis finding.
 func TestCheckProgramRejectsInvalid(t *testing.T) {

@@ -105,3 +105,76 @@ func BuildPlan(queries []Query) *Plan {
 	}
 	return p
 }
+
+// assertSet returns the plan's assertion identities.
+func (p *Plan) assertSet() map[string]bool {
+	in := make(map[string]bool, len(p.Assertions))
+	for _, a := range p.Assertions {
+		in[a.String()] = true
+	}
+	return in
+}
+
+// Covers reports whether the plan discharges q: the query is NoDep and
+// either some affordable option needs no validation or some affordable
+// option's assertions are all in the plan. A speculative runtime may only
+// act on a NoDep answer the plan covers — anything else was dropped or
+// never resolved.
+func (p *Plan) Covers(q *Query) bool {
+	if !q.NoDep {
+		return false
+	}
+	opts := core.AffordableOptions(q.Resp.Options)
+	if core.HasFree(opts) {
+		return true
+	}
+	in := p.assertSet()
+	for _, o := range opts {
+		if len(o.Asserts) == 0 {
+			continue
+		}
+		all := true
+		for _, a := range o.Asserts {
+			if !in[a.String()] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// Attribution returns the planned assertions q's NoDep answer rode on:
+// the union of assertions from q's affordable options fully contained in
+// the plan. When a runtime observes a dependence the plan denied, these
+// are the assertions to quarantine.
+func (p *Plan) Attribution(q *Query) []core.Assertion {
+	in := p.assertSet()
+	seen := map[string]bool{}
+	var out []core.Assertion
+	for _, o := range core.AffordableOptions(q.Resp.Options) {
+		if len(o.Asserts) == 0 {
+			continue
+		}
+		all := true
+		for _, a := range o.Asserts {
+			if !in[a.String()] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		for _, a := range o.Asserts {
+			if k := a.String(); !seen[k] {
+				seen[k] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+	"scaf/internal/interp"
+	"scaf/internal/lower"
+	"scaf/internal/pdg"
+	"scaf/internal/recovery"
+)
+
+// depSrc carries a genuine cross-iteration flow dependence: iteration i
+// reads a[i-1], written by iteration i-1. Chunked execution against the
+// pre-loop snapshot computes garbage for every chunk after the first.
+const depSrc = `
+int a[64];
+void main() {
+    a[0] = 1;
+    for (int i = 1; i < 64; i++) {
+        a[i] = a[i - 1] + i;
+    }
+    print(a[63]);
+}
+`
+
+// forcePlans marks every loop DOALL by giving it an empty query set — the
+// runtime analogue of an analysis stack that lied about every dependence.
+// Structural shape checks still apply.
+func forcePlans(t *testing.T, src string) (*cfg.Program, []LoopPlan) {
+	t.Helper()
+	mod, err := lower.Compile("guard-test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog := cfg.NewProgram(mod)
+	var plans []LoopPlan
+	for _, f := range mod.Funcs {
+		for _, l := range prog.Forests[f].All {
+			plans = append(plans, LoopPlan{Loop: l, Res: &pdg.LoopResult{Loop: l}, Plan: &pdg.Plan{}})
+		}
+	}
+	if len(plans) == 0 {
+		t.Fatal("no loops found")
+	}
+	return prog, plans
+}
+
+func serialRef(t *testing.T, prog *cfg.Program) *interp.Result {
+	t.Helper()
+	res, err := interp.Run(prog.Mod, interp.Options{})
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	return res
+}
+
+// TestAbortNeverPublishesPartialWrites pins the only-publish-complete
+// rule at the runtime layer: when speculation on a genuinely dependent
+// loop aborts, the aborted chunks' journals must not reach memory, the
+// shared cache must stay untainted, and serial re-execution must make the
+// final state byte-equal to the serial reference.
+func TestAbortNeverPublishesPartialWrites(t *testing.T) {
+	prog, plans := forcePlans(t, depSrc)
+	serial := serialRef(t, prog)
+
+	q := recovery.New()
+	sc := core.NewSharedCache()
+	sc.SetRevoker(q)
+	rep, err := Execute(prog, plans, Config{Workers: 4, MinIters: 2, Quarantine: q, Cache: sc})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if rep.Misspecs == 0 || rep.AbortedChunks == 0 {
+		t.Fatalf("expected a misspeculation, got %+v", rep)
+	}
+	if !reflect.DeepEqual(rep.Output, serial.Output) {
+		t.Errorf("aborted run published partial state: output %v want %v", rep.Output, serial.Output)
+	}
+	if rep.MemDigest != serial.Mem.Digest() {
+		t.Errorf("aborted run published partial writes (memory digest mismatch)")
+	}
+	if na, nm := sc.Len(); na != 0 || nm != 0 {
+		t.Errorf("abort tainted the shared cache: %d alias + %d modref entries", na, nm)
+	}
+	// The fabricated plan has no assertions to attribute, so the loop
+	// must be disabled rather than retried forever.
+	disabled := false
+	for _, ls := range rep.Loops {
+		if ls.Refusal == "disabled after unattributable abort" {
+			disabled = true
+		}
+	}
+	if !disabled {
+		t.Errorf("loop not disabled after unattributable abort: %+v", rep.Loops)
+	}
+}
+
+// TestBrokenCommitGuardCorrupts proves the previous test has teeth: with
+// the commit guard deliberately disabled, the same program publishes the
+// aborted-range journals and the result visibly diverges from serial.
+func TestBrokenCommitGuardCorrupts(t *testing.T) {
+	prog, plans := forcePlans(t, depSrc)
+	serial := serialRef(t, prog)
+
+	rep, err := Execute(prog, plans, Config{Workers: 4, MinIters: 2, disableCommitGuard: true})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if reflect.DeepEqual(rep.Output, serial.Output) && rep.MemDigest == serial.Mem.Digest() {
+		t.Fatalf("broken commit guard still produced the serial result — the guard regression test has no teeth")
+	}
+}
+
+// TestCommittedPrefixSurvives: only the chunks before the first conflict
+// commit; their work is counted as speculative iterations and the rest is
+// re-executed serially, summing to the loop's trip count.
+func TestCommittedPrefixSurvives(t *testing.T) {
+	prog, plans := forcePlans(t, depSrc)
+	rep, err := Execute(prog, plans, Config{Workers: 4, MinIters: 2})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	var st *LoopStats
+	for i := range rep.Loops {
+		if rep.Loops[i].Misspecs > 0 {
+			st = &rep.Loops[i]
+		}
+	}
+	if st == nil {
+		t.Fatalf("no misspeculated loop: %+v", rep.Loops)
+	}
+	if st.SpecIters+st.SerialIters != 63 {
+		t.Errorf("spec (%d) + serial (%d) iterations != trip 63", st.SpecIters, st.SerialIters)
+	}
+	if st.SpecIters == 0 {
+		t.Errorf("conflict-free first chunk should have committed, got %+v", st)
+	}
+}

@@ -1,0 +1,192 @@
+package runtime_test
+
+import (
+	"reflect"
+	"testing"
+
+	"scaf"
+	"scaf/internal/interp"
+	"scaf/internal/profile"
+	"scaf/internal/runtime"
+)
+
+// allLoopsHot makes every loop in a small test program analyzable.
+var allLoopsHot = profile.HotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5}
+
+func load(t *testing.T, src string) *scaf.System {
+	t.Helper()
+	sys, err := scaf.Load("rt-test", src, scaf.Options{HotLoops: &allLoopsHot})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return sys
+}
+
+func serialRun(t *testing.T, sys *scaf.System) *interp.Result {
+	t.Helper()
+	res, err := interp.Run(sys.Mod, interp.Options{})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	return res
+}
+
+const doallSrc = `
+int a[64];
+int b[64];
+void main() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = i * 3;
+        b[i] = i + 1;
+    }
+    for (int i = 0; i < 64; i++) {
+        a[i] = a[i] * 2 + b[i];
+    }
+    int s = 0;
+    for (int i = 0; i < 64; i++) {
+        s = s + a[i];
+    }
+    print(s);
+}
+`
+
+// TestDoallMatchesSerial: speculative-parallel execution of DOALL plans
+// must be byte-equal to serial interpretation — output, memory image, and
+// no misspeculation — under every scheme.
+func TestDoallMatchesSerial(t *testing.T) {
+	sys := load(t, doallSrc)
+	serial := serialRun(t, sys)
+	for _, scheme := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
+		rep, err := sys.ExecutePlan(scheme, runtime.Config{Workers: 4, MinIters: 2})
+		if err != nil {
+			t.Fatalf("%s: execute: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(rep.Output, serial.Output) {
+			t.Errorf("%s: output diverged: got %v want %v", scheme, rep.Output, serial.Output)
+		}
+		if rep.MemDigest != serial.Mem.Digest() {
+			t.Errorf("%s: memory diverged (digest %#x vs %#x)", scheme, rep.MemDigest, serial.Mem.Digest())
+		}
+		if rep.Misspecs != 0 {
+			t.Errorf("%s: unexpected misspeculation: %+v", scheme, rep)
+		}
+		if scheme == scaf.SchemeSCAF && rep.SpecInvocations < 2 {
+			t.Errorf("SCAF: expected at least 2 speculated invocations, got %d (loops: %+v)",
+				rep.SpecInvocations, rep.Loops)
+		}
+	}
+}
+
+// TestReductionRefused: the reduction loop carries a second header phi
+// and must be refused on shape, never speculated.
+func TestReductionRefused(t *testing.T) {
+	sys := load(t, doallSrc)
+	rep, err := sys.ExecutePlan(scaf.SchemeSCAF, runtime.Config{Workers: 4, MinIters: 2})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	found := false
+	for _, ls := range rep.Loops {
+		if ls.Refusal != "" && ls.SpecInvocations == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected the reduction loop to be shape-refused; loops: %+v", rep.Loops)
+	}
+	if rep.RefusedLoops == 0 {
+		t.Errorf("RefusedLoops = 0, want >= 1")
+	}
+}
+
+// TestDependentLoopNotSpeculated: a loop with a genuine cross-iteration
+// flow dependence through memory must not be DOALL under any honest
+// scheme — the plan cannot cover the dependence, so execution is serial
+// and still byte-equal.
+func TestDependentLoopNotSpeculated(t *testing.T) {
+	src := `
+int a[64];
+void main() {
+    a[0] = 1;
+    for (int i = 1; i < 64; i++) {
+        a[i] = a[i - 1] + i;
+    }
+    print(a[63]);
+}
+`
+	sys := load(t, src)
+	serial := serialRun(t, sys)
+	rep, err := sys.ExecutePlan(scaf.SchemeSCAF, runtime.Config{Workers: 4, MinIters: 2})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Output, serial.Output) {
+		t.Errorf("output diverged: got %v want %v", rep.Output, serial.Output)
+	}
+	if rep.MemDigest != serial.Mem.Digest() {
+		t.Errorf("memory diverged")
+	}
+	if rep.Misspecs != 0 {
+		t.Errorf("honest analysis must not misspeculate, got %d", rep.Misspecs)
+	}
+}
+
+// TestCountersDeterministic: the commit/abort counters are a pure
+// function of program, plans, and config — two runs must agree exactly.
+func TestCountersDeterministic(t *testing.T) {
+	sys := load(t, doallSrc)
+	run := func() *runtime.Report {
+		rep, err := sys.ExecutePlan(scaf.SchemeSCAF, runtime.Config{Workers: 4, MinIters: 2})
+		if err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+		rep.WallNanos = 0
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("counters diverged between runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestManyWorkersStillExact: chunk counts beyond the iteration count and
+// odd partitions must not change the result.
+func TestManyWorkersStillExact(t *testing.T) {
+	sys := load(t, doallSrc)
+	serial := serialRun(t, sys)
+	for _, workers := range []int{1, 3, 8, 64, 100} {
+		rep, err := sys.ExecutePlan(scaf.SchemeSCAF, runtime.Config{Workers: workers, MinIters: 2})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(rep.Output, serial.Output) || rep.MemDigest != serial.Mem.Digest() {
+			t.Errorf("workers=%d: diverged from serial", workers)
+		}
+	}
+}
+
+// TestOutputInsideLoopCommitsInOrder: prints inside a speculated loop
+// must appear in iteration order.
+func TestOutputInsideLoopCommitsInOrder(t *testing.T) {
+	src := `
+int a[32];
+void main() {
+    for (int i = 0; i < 32; i++) {
+        a[i] = i * i;
+        print(a[i]);
+    }
+}
+`
+	sys := load(t, src)
+	serial := serialRun(t, sys)
+	rep, err := sys.ExecutePlan(scaf.SchemeSCAF, runtime.Config{Workers: 4, MinIters: 2})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Output, serial.Output) {
+		t.Errorf("output order diverged: got %v want %v", rep.Output, serial.Output)
+	}
+	if rep.SpecIters == 0 {
+		t.Errorf("loop was not speculated: %+v", rep.Loops)
+	}
+}

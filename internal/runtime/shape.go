@@ -1,0 +1,236 @@
+package runtime
+
+import (
+	"fmt"
+
+	"scaf/internal/cfg"
+	"scaf/internal/ir"
+)
+
+// Shape is a canonical counted loop the executor knows how to chunk: a
+// single header phi (the induction variable), a single latch whose
+// incoming value is phi+step for a constant step, a loop-invariant bound
+// compared against the phi in the header, exits only through the header,
+// and no allocation anywhere a speculated iteration can reach. Everything
+// else about the body — nested branches, body phis, calls — is fair game,
+// because within one iteration the fork executes it exactly like the
+// serial interpreter would.
+type Shape struct {
+	Loop   *cfg.Loop
+	Header *ir.Block
+	Latch  *ir.Block
+	Body   *ir.Block
+	Exit   *ir.Block
+	// Phi is the induction phi; Next its latch increment (phi+Step); Cmp
+	// the header's bound check, branching to Body when true.
+	Phi, Next, Cmp *ir.Instr
+	Bound          ir.Value
+	Step           int64
+	Op             ir.CmpOp
+}
+
+// maxTrip bounds trip counts the executor will chunk — anything larger is
+// declined rather than risking int64 overflow in iteration arithmetic.
+const maxTrip = int64(1) << 32
+
+// Recognize checks l against the canonical shape, returning the shape or
+// a refusal reason. The checks are purely structural: no analysis result
+// (and so no lying speculation module) can make an ineligible loop pass.
+func Recognize(l *cfg.Loop) (*Shape, string) {
+	if len(l.Latches) != 1 {
+		return nil, fmt.Sprintf("%d latches", len(l.Latches))
+	}
+	s := &Shape{Loop: l, Header: l.Header, Latch: l.Latches[0]}
+
+	// Exits only from the header, through a cond-br to (body, exit).
+	for b := range l.Blocks {
+		for _, succ := range b.Succs {
+			if !l.Blocks[succ] && b != l.Header {
+				return nil, fmt.Sprintf("side exit from %s", b)
+			}
+		}
+	}
+	if len(s.Header.Instrs) == 0 {
+		return nil, "empty header"
+	}
+	term := s.Header.Instrs[len(s.Header.Instrs)-1]
+	if term.Op != ir.OpCondBr || len(s.Header.Succs) != 2 {
+		return nil, "header does not end in cond-br"
+	}
+	s.Body, s.Exit = s.Header.Succs[0], s.Header.Succs[1]
+	if !l.Blocks[s.Body] || l.Blocks[s.Exit] {
+		return nil, "header successors not (body, exit)"
+	}
+
+	// Exactly one header phi: the induction variable.
+	var phis []*ir.Instr
+	for _, in := range s.Header.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		phis = append(phis, in)
+	}
+	if len(phis) != 1 {
+		return nil, fmt.Sprintf("%d header phis (loop-carried values)", len(phis))
+	}
+	s.Phi = phis[0]
+	if ir.Equal(s.Phi.Ty, ir.Float) {
+		return nil, "float induction variable"
+	}
+
+	// Latch incoming must be phi+constant.
+	inc := ir.PhiIncoming(s.Phi, s.Latch)
+	next, ok := inc.(*ir.Instr)
+	if !ok || next.Op != ir.OpBin || next.Bin != ir.Add {
+		return nil, "latch value is not an increment"
+	}
+	var stepV ir.Value
+	switch {
+	case next.Args[0] == ir.Value(s.Phi):
+		stepV = next.Args[1]
+	case next.Args[1] == ir.Value(s.Phi):
+		stepV = next.Args[0]
+	default:
+		return nil, "increment does not step the induction phi"
+	}
+	stepC, ok := stepV.(*ir.ConstInt)
+	if !ok || stepC.V == 0 {
+		return nil, "non-constant or zero step"
+	}
+	s.Next, s.Step = next, stepC.V
+
+	// Header condition: cmp(phi, loop-invariant bound).
+	cmp, ok := term.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpCmp || cmp.Blk != s.Header {
+		return nil, "header condition is not a header compare"
+	}
+	if cmp.Args[0] != ir.Value(s.Phi) {
+		return nil, "compare does not test the induction phi"
+	}
+	switch cmp.Cmp {
+	case ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.Ne:
+	default:
+		return nil, "unsupported compare for trip counting"
+	}
+	s.Cmp, s.Op, s.Bound = cmp, cmp.Cmp, cmp.Args[1]
+	if bi, ok := s.Bound.(*ir.Instr); ok && l.Blocks[bi.Blk] {
+		return nil, "loop-variant bound"
+	}
+
+	// No allocation reachable from a speculated iteration: forks cannot
+	// extend the parent's address space without perturbing object
+	// identity, so allocating loops are never speculated.
+	if loopAllocates(l) {
+		return nil, "allocates memory"
+	}
+	return s, ""
+}
+
+// Trip computes the exact iteration count for runtime init and bound
+// values, or reports that the loop cannot be counted (wrong-direction
+// step, non-divisible != bound, or an absurd count).
+func (s *Shape) Trip(init, bound int64) (int64, bool) {
+	if init > maxTrip || init < -maxTrip || bound > maxTrip || bound < -maxTrip {
+		return 0, false
+	}
+	step := s.Step
+	var n int64
+	switch s.Op {
+	case ir.Lt:
+		if step <= 0 {
+			return 0, false
+		}
+		if init >= bound {
+			return 0, true
+		}
+		n = ceilDiv(bound-init, step)
+	case ir.Le:
+		if step <= 0 {
+			return 0, false
+		}
+		if init > bound {
+			return 0, true
+		}
+		n = ceilDiv(bound-init+1, step)
+	case ir.Gt:
+		if step >= 0 {
+			return 0, false
+		}
+		if init <= bound {
+			return 0, true
+		}
+		n = ceilDiv(init-bound, -step)
+	case ir.Ge:
+		if step >= 0 {
+			return 0, false
+		}
+		if init < bound {
+			return 0, true
+		}
+		n = ceilDiv(init-bound+1, -step)
+	case ir.Ne:
+		switch {
+		case step > 0 && bound > init && (bound-init)%step == 0:
+			n = (bound - init) / step
+		case step < 0 && bound < init && (init-bound)%(-step) == 0:
+			n = (init - bound) / (-step)
+		default:
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	if n < 0 || n > maxTrip {
+		return 0, false
+	}
+	return n, true
+}
+
+// Ind returns the induction value at the start of (0-based) iteration k.
+func (s *Shape) Ind(init, k int64) int64 { return init + k*s.Step }
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// loopAllocates reports whether the loop body — or any function it can
+// statically reach — allocates or frees memory.
+func loopAllocates(l *cfg.Loop) bool {
+	memo := map[*ir.Func]int{} // 0 unvisited, 1 clean/in-progress, 2 allocates
+	var fnAllocates func(f *ir.Func) bool
+	fnAllocates = func(f *ir.Func) bool {
+		switch memo[f] {
+		case 1:
+			return false
+		case 2:
+			return true
+		}
+		memo[f] = 1 // optimistic for recursive cycles
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpAlloca, ir.OpMalloc, ir.OpFree:
+					memo[f] = 2
+					return true
+				case ir.OpCall:
+					if in.Callee != nil && fnAllocates(in.Callee) {
+						memo[f] = 2
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpAlloca, ir.OpMalloc, ir.OpFree:
+				return true
+			case ir.OpCall:
+				if in.Callee != nil && fnAllocates(in.Callee) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package runtime_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"scaf"
+	"scaf/internal/core"
+	"scaf/internal/recovery"
+	"scaf/internal/runtime"
+)
+
+// stressSrc mixes truly parallel loops with a genuinely dependent one, so
+// a lying dependence module can push the executor into speculating the
+// dependent loop and the commit guard has something real to catch.
+const stressSrc = `
+int a[128];
+int b[128];
+int c[128];
+void main() {
+    for (int i = 0; i < 128; i++) {
+        a[i] = i * 5 - 3;
+        b[i] = i * i;
+    }
+    for (int i = 0; i < 128; i++) {
+        c[i] = a[i] + b[i] * 2;
+    }
+    for (int i = 1; i < 128; i++) {
+        c[i] = c[i - 1] + a[i];
+    }
+    int s = 0;
+    for (int i = 0; i < 128; i++) {
+        s = s + c[i];
+    }
+    print(s);
+    print(c[127]);
+}
+`
+
+// TestChaosStressConvergesToSerial is the -race stress test: 8-worker
+// speculative execution with recovery.Chaos injecting lying dependence
+// answers. Every seeded run must converge to the fault-free serial
+// reference byte-exactly, with the quarantine holding only chaos lies and
+// the shared cache free of entries predicated on them.
+func TestChaosStressConvergesToSerial(t *testing.T) {
+	sys := load(t, stressSrc)
+	serial := serialRun(t, sys)
+
+	misspecs := int64(0)
+	for seed := uint64(1); seed <= 12; seed++ {
+		chaos := &recovery.Chaos{Seed: seed, WrongEvery: 2}
+		q := recovery.New()
+		sc := core.NewSharedCache()
+		cfg := runtime.Config{Workers: 8, MinIters: 2, Quarantine: q, Cache: sc}
+		rep, err := sys.ExecutePlan(scaf.SchemeSCAF, cfg, scaf.WithExtraModules(chaos))
+		if err != nil {
+			t.Fatalf("seed %d: execute: %v", seed, err)
+		}
+		if !reflect.DeepEqual(rep.Output, serial.Output) {
+			t.Errorf("seed %d: output diverged from fault-free serial: got %v want %v",
+				seed, rep.Output, serial.Output)
+		}
+		if rep.MemDigest != serial.Mem.Digest() {
+			t.Errorf("seed %d: memory diverged from fault-free serial", seed)
+		}
+		misspecs += rep.Misspecs
+
+		// Quarantine consistency: everything withdrawn must be a chaos
+		// lie — misspeculation may never discredit an honest assertion on
+		// the training input.
+		snap := q.Snapshot()
+		for _, key := range snap.Asserts {
+			if !strings.HasPrefix(key, recovery.NameChaos+"/") {
+				t.Errorf("seed %d: quarantined a non-chaos assertion: %s", seed, key)
+			}
+		}
+		if len(snap.Modules) != 0 {
+			t.Errorf("seed %d: unexpected module quarantine: %v", seed, snap.Modules)
+		}
+		if rep.Misspecs > 0 && len(snap.Asserts) == 0 {
+			t.Errorf("seed %d: misspeculated %d times but quarantined nothing", seed, rep.Misspecs)
+		}
+	}
+	if misspecs == 0 {
+		t.Fatalf("no seed forced a misspeculation — the stress test exercised nothing")
+	}
+}
+
+// TestChaosQuarantineConverges: repeated executions sharing one
+// quarantine and cache must converge — every misspeculating run withdraws
+// at least one fresh lie (monotone progress), so after finitely many runs
+// the chaos module has nothing believable left and execution is
+// misspeculation-free. A single round is NOT always enough: a second lie
+// on a different instruction pair can re-cover the same dependence.
+func TestChaosQuarantineConverges(t *testing.T) {
+	sys := load(t, stressSrc)
+	serial := serialRun(t, sys)
+
+	for seed := uint64(1); seed <= 12; seed++ {
+		chaos := &recovery.Chaos{Seed: seed, WrongEvery: 2}
+		q := recovery.New()
+		sc := core.NewSharedCache()
+		prevQuarantined := 0
+		converged := false
+		for round := 1; round <= 10; round++ {
+			rep, err := sys.ExecutePlan(scaf.SchemeSCAF,
+				runtime.Config{Workers: 8, MinIters: 2, Quarantine: q, Cache: sc},
+				scaf.WithExtraModules(chaos))
+			if err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			if !reflect.DeepEqual(rep.Output, serial.Output) || rep.MemDigest != serial.Mem.Digest() {
+				t.Fatalf("seed %d round %d: diverged from serial reference", seed, round)
+			}
+			nq := len(q.AssertKeys())
+			if rep.Misspecs == 0 {
+				converged = true
+				break
+			}
+			if nq <= prevQuarantined {
+				t.Fatalf("seed %d round %d: misspeculated without quarantining anything new (%d asserts)",
+					seed, round, nq)
+			}
+			prevQuarantined = nq
+		}
+		if !converged {
+			t.Errorf("seed %d: still misspeculating after 10 rounds", seed)
+		}
+	}
+}

@@ -90,6 +90,7 @@ type Server struct {
 	loopsServed    atomic.Int64
 	serverPanics   atomic.Int64
 	observations   atomic.Int64
+	executions     atomic.Int64
 }
 
 // New builds a Server.
@@ -110,6 +111,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /sessions/{id}/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
 	mux.HandleFunc("POST /sessions/{id}/observe", s.handleObserve)
+	mux.HandleFunc("POST /sessions/{id}/execute", s.handleExecute)
 	s.mux = mux
 	return s
 }
@@ -529,6 +531,36 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleExecute runs the session's program under the speculative-parallel
+// runtime (see session.execute). Misspeculation is a 200 with recovery
+// visible in the report; only a program that cannot execute is an error.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	sess, he := s.lookup(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	var req ExecuteRequest
+	if he := decodeJSON(w, r, &req); he != nil {
+		writeError(w, he)
+		return
+	}
+	release, he := s.admit(r)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	defer release()
+
+	resp, he := sess.execute(&req)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	s.executions.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.sessions)
@@ -560,6 +592,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			LoopsServed:    s.loopsServed.Load(),
 			ServerPanics:   s.serverPanics.Load(),
 			Observations:   s.observations.Load(),
+			Executions:     s.executions.Load(),
 			Sessions:       len(sessions),
 			Draining:       draining,
 		},

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"scaf"
+	"scaf/internal/interp"
 	"scaf/internal/profile"
 	"scaf/internal/spec"
 )
@@ -590,5 +591,77 @@ func TestSessionHotLoopOverride(t *testing.T) {
 		if e := decode[ErrorResponse](t, raw); e.Error.Code != "bad_request" {
 			t.Fatalf("thresholds %+v: code %q, want bad_request", bad, e.Error.Code)
 		}
+	}
+}
+
+// TestExecuteEndpoint: POST /execute runs the session's program under the
+// speculative-parallel runtime and the result must match a serial
+// interpretation byte-for-byte — output and memory digest — while the
+// report shows actual speculation happened on the DOALL loop.
+func TestExecuteEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	src := `
+int a[64];
+void main() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = i * 7 + 3;
+    }
+    int s = 0;
+    for (int i = 0; i < 64; i++) {
+        s = s + a[i];
+    }
+    print(s);
+}
+`
+	hot := &WireHotLoopParams{MinWeightFrac: 0.001, MinAvgIters: 1.5}
+	info := createSession(t, ts, CreateSessionRequest{Name: "exec", Source: src, HotLoops: hot})
+
+	sys, err := scaf.Load("exec", src, scaf.Options{HotLoops: &profile.HotLoopParams{
+		MinWeightFrac: hot.MinWeightFrac, MinAvgIters: hot.MinAvgIters}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := interp.Run(sys.Mod, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, raw := do(t, ts, "POST", "/sessions/"+info.ID+"/execute", ExecuteRequest{Scheme: "scaf", Workers: 4, MinIters: 2})
+	if status != http.StatusOK {
+		t.Fatalf("execute: status %d, body %s", status, raw)
+	}
+	resp := decode[ExecuteResponse](t, raw)
+	if fmt.Sprint(resp.Report.Output) != fmt.Sprint(serial.Output) {
+		t.Fatalf("output diverged: %v want %v", resp.Report.Output, serial.Output)
+	}
+	if resp.Report.MemDigest != serial.Mem.Digest() {
+		t.Fatalf("memory digest diverged")
+	}
+	if resp.Report.SpecIters == 0 || resp.Report.DoallLoops == 0 {
+		t.Fatalf("nothing was speculated: %+v", resp.Report)
+	}
+	if resp.Report.Misspecs != 0 || resp.NewAsserts != 0 {
+		t.Fatalf("honest plan misspeculated: %+v", resp)
+	}
+
+	// Invalid requests are 400s, unknown sessions 404s.
+	if status, _ := do(t, ts, "POST", "/sessions/"+info.ID+"/execute", ExecuteRequest{Scheme: "bogus"}); status != http.StatusBadRequest {
+		t.Fatalf("bogus scheme: status %d, want 400", status)
+	}
+	if status, _ := do(t, ts, "POST", "/sessions/"+info.ID+"/execute", ExecuteRequest{Workers: 9999}); status != http.StatusBadRequest {
+		t.Fatalf("oversized workers: status %d, want 400", status)
+	}
+	if status, _ := do(t, ts, "POST", "/sessions/nope/execute", ExecuteRequest{}); status != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d, want 404", status)
+	}
+
+	// The serving counter moved.
+	status, raw = do(t, ts, "GET", "/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if m := decode[MetricsResponse](t, raw); m.Server.Executions != 1 {
+		t.Fatalf("executions counter = %d, want 1", m.Server.Executions)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"scaf/internal/pdg"
 	"scaf/internal/profile"
 	"scaf/internal/recovery"
+	"scaf/internal/runtime"
 	"scaf/internal/trace"
 )
 
@@ -506,6 +507,57 @@ func (sess *session) observe(req *ObserveRequest) (*ObserveResponse, *httpError)
 				resp.Reresolved++
 			}
 			sess.checkin(pool, po)
+		}
+	}
+	resp.Quarantine = sess.quarantine.Snapshot()
+	return resp, nil
+}
+
+// execute runs the session's program under the speculative-parallel
+// runtime, planning with the requested scheme. The runtime shares the
+// session's quarantine — an assertion a real execution disproves is
+// withdrawn from every subsequently-served answer — but runs against its
+// own fresh shared cache: the execution path plans with JoinAll +
+// exhaustive search, and cached propositions embed module answers, so its
+// entries must never mix with the serving pools'. Assertions newly
+// quarantined by misspeculation invalidate the serving caches' predicated
+// entries, exactly as a POST /observe report of the same violations would.
+func (sess *session) execute(req *ExecuteRequest) (*ExecuteResponse, *httpError) {
+	scheme, he := parseScheme(req.Scheme)
+	if he != nil {
+		return nil, he
+	}
+	if req.Workers < 0 || req.Workers > 64 {
+		return nil, errBadRequest("workers must be in [0, 64], got %d", req.Workers)
+	}
+	if req.MinIters < 0 {
+		return nil, errBadRequest("min_iters must be >= 0, got %d", req.MinIters)
+	}
+	before := map[string]bool{}
+	for _, k := range sess.quarantine.AssertKeys() {
+		before[k] = true
+	}
+	rep, err := sess.sys.ExecutePlan(scheme, runtime.Config{
+		Workers:    req.Workers,
+		MinIters:   req.MinIters,
+		Quarantine: sess.quarantine,
+	})
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity,
+			detail: ErrorDetail{Code: "execution_failed", Message: err.Error()}}
+	}
+	resp := &ExecuteResponse{Session: sess.id, Scheme: scheme.String(), Report: EncodeExecReport(rep)}
+	var newKeys []string
+	for _, k := range rep.QuarantinedAsserts {
+		if !before[k] {
+			newKeys = append(newKeys, k)
+		}
+	}
+	resp.NewAsserts = len(newKeys)
+	if len(newKeys) > 0 {
+		sess.epoch.Add(1)
+		for _, sc := range sess.caches {
+			resp.Invalidated += sc.InvalidateAsserts(newKeys).Total()
 		}
 	}
 	resp.Quarantine = sess.quarantine.Snapshot()

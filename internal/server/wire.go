@@ -9,6 +9,7 @@ import (
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
 	"scaf/internal/recovery"
+	"scaf/internal/runtime"
 )
 
 // This file defines the HTTP wire schema: stable JSON forms of requests
@@ -435,8 +436,10 @@ type ServerCounters struct {
 	ServerPanics int64 `json:"server_panics"`
 	// Observations counts POST /observe recovery passes served.
 	Observations int64 `json:"observations"`
-	Sessions     int   `json:"sessions"`
-	Draining     bool  `json:"draining"`
+	// Executions counts POST /execute speculative runs served.
+	Executions int64 `json:"executions"`
+	Sessions   int   `json:"sessions"`
+	Draining   bool  `json:"draining"`
 }
 
 // MetricsResponse is the /metrics body.
@@ -462,4 +465,104 @@ func splitInstrRef(ref string) (fn string, id int, err error) {
 		return "", 0, fmt.Errorf("malformed instruction ref %q: %v", ref, err)
 	}
 	return ref[:i], id, nil
+}
+
+// ExecuteRequest asks the daemon to run the session's program under the
+// speculative-parallel runtime, driven by the plan the chosen scheme
+// produces for the session's hot loops.
+type ExecuteRequest struct {
+	// Scheme is "caf" | "confluence" | "scaf" (default scaf).
+	Scheme string `json:"scheme,omitempty"`
+	// Workers sizes the speculative chunking (default 4, capped at 64).
+	Workers int `json:"workers,omitempty"`
+	// MinIters is the smallest trip count worth speculating (default
+	// 2×Workers).
+	MinIters int64 `json:"min_iters,omitempty"`
+}
+
+// WireExecLoop mirrors runtime.LoopStats on the wire.
+type WireExecLoop struct {
+	Loop            string `json:"loop"`
+	Refusal         string `json:"refusal,omitempty"`
+	Invocations     int64  `json:"invocations"`
+	SpecInvocations int64  `json:"spec_invocations"`
+	Chunks          int64  `json:"chunks"`
+	CommittedChunks int64  `json:"committed_chunks"`
+	AbortedChunks   int64  `json:"aborted_chunks"`
+	SpecIters       int64  `json:"spec_iters"`
+	SerialIters     int64  `json:"serial_iters"`
+	Misspecs        int64  `json:"misspecs"`
+}
+
+// WireExecReport mirrors runtime.Report on the wire, with the program's
+// observable output included (the library form excludes it from JSON so
+// deterministic counter gates can marshal reports directly).
+type WireExecReport struct {
+	Output             []string       `json:"output"`
+	Steps              int64          `json:"steps"`
+	MemDigest          uint64         `json:"mem_digest"`
+	Loops              []WireExecLoop `json:"loops,omitempty"`
+	DoallLoops         int            `json:"doall_loops"`
+	RefusedLoops       int            `json:"refused_loops"`
+	SpecInvocations    int64          `json:"spec_invocations"`
+	Chunks             int64          `json:"chunks"`
+	CommittedChunks    int64          `json:"committed_chunks"`
+	AbortedChunks      int64          `json:"aborted_chunks"`
+	SpecIters          int64          `json:"spec_iters"`
+	SerialIters        int64          `json:"serial_iters"`
+	Misspecs           int64          `json:"misspecs"`
+	ReplanRounds       int64          `json:"replan_rounds"`
+	QuarantinedAsserts []string       `json:"quarantined_asserts,omitempty"`
+	WallNanos          int64          `json:"wall_nanos"`
+}
+
+// EncodeExecReport converts a runtime report to wire form.
+func EncodeExecReport(r *runtime.Report) WireExecReport {
+	w := WireExecReport{
+		Output:             r.Output,
+		Steps:              r.Steps,
+		MemDigest:          r.MemDigest,
+		DoallLoops:         r.DoallLoops,
+		RefusedLoops:       r.RefusedLoops,
+		SpecInvocations:    r.SpecInvocations,
+		Chunks:             r.Chunks,
+		CommittedChunks:    r.CommittedChunks,
+		AbortedChunks:      r.AbortedChunks,
+		SpecIters:          r.SpecIters,
+		SerialIters:        r.SerialIters,
+		Misspecs:           r.Misspecs,
+		ReplanRounds:       r.ReplanRounds,
+		QuarantinedAsserts: r.QuarantinedAsserts,
+		WallNanos:          r.WallNanos,
+	}
+	for _, ls := range r.Loops {
+		w.Loops = append(w.Loops, WireExecLoop{
+			Loop:            ls.Loop,
+			Refusal:         ls.Refusal,
+			Invocations:     ls.Invocations,
+			SpecInvocations: ls.SpecInvocations,
+			Chunks:          ls.Chunks,
+			CommittedChunks: ls.CommittedChunks,
+			AbortedChunks:   ls.AbortedChunks,
+			SpecIters:       ls.SpecIters,
+			SerialIters:     ls.SerialIters,
+			Misspecs:        ls.Misspecs,
+		})
+	}
+	return w
+}
+
+// ExecuteResponse is the /execute body. A misspeculating execution is a
+// 200 — recovery is part of the contract; the report says what happened.
+type ExecuteResponse struct {
+	Session string         `json:"session"`
+	Scheme  string         `json:"scheme"`
+	Report  WireExecReport `json:"report"`
+	// NewAsserts counts assertions the execution disproved and
+	// quarantined; Invalidated counts the session's analysis-cache entries
+	// dropped because they were predicated on them (summed over schemes).
+	NewAsserts  int `json:"new_asserts"`
+	Invalidated int `json:"invalidated"`
+	// Quarantine is the session's post-execution quarantine state.
+	Quarantine recovery.Snapshot `json:"quarantine"`
 }
