@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos runtime bench bench-json bench-baseline bench-check oracle clean
+.PHONY: all build vet test race chaos runtime bench bench-json bench-baseline bench-check bench-mem oracle clean
 
 all: vet build test
 
@@ -61,12 +61,36 @@ bench-json:
 BENCH_GATE_ARGS ?= -bench 129.compress,181.mcf,183.equake,462.libquantum -parallel 1 -fig 8 -execute
 BENCH_BASELINE  ?= results/bench-baseline.json
 
+# Regeneration flow: after an INTENTIONAL change to answers or query
+# work (new module, batching/ordering change, gate-benchmark edit), run
+# `make bench-baseline`, eyeball the diff against the old baseline —
+# %NoDep and top_queries should only move if the change means them to —
+# and commit the regenerated file together with the change that caused
+# it. bench-check failing on an unintentional diff is the gate working.
 bench-baseline:
 	$(GO) run ./cmd/scaf-bench $(BENCH_GATE_ARGS) -json $(BENCH_BASELINE)
 
 bench-check:
 	$(GO) run ./cmd/scaf-bench $(BENCH_GATE_ARGS) -json BENCH.fresh.json
 	$(GO) run ./cmd/scaf-benchdiff $(BENCH_BASELINE) BENCH.fresh.json
+
+# Allocation gate on the single-query hot path. BenchmarkTopQuery times
+# one top-level mod-ref query on a warm orchestrator — the unit the
+# serving layer issues millions of times — and its allocs/op are exact
+# and machine-independent, so the ceiling below is a hard pin, not a
+# tolerance band. Raise it only with a justification in the commit that
+# does (seed was 64 allocs/op; interning + pooling brought it to 16).
+BENCH_MEM_MAX_ALLOCS ?= 24
+bench-mem:
+	$(GO) test ./internal/bench/ -run '^$$' -bench '^BenchmarkTopQuery$$' \
+		-benchmem -benchtime 2000x | tee BENCH.mem.txt
+	@allocs=$$(awk '/^BenchmarkTopQuery[^A-Za-z]/ {print $$(NF-1)}' BENCH.mem.txt); \
+	if [ -z "$$allocs" ]; then echo "bench-mem: no BenchmarkTopQuery result"; exit 1; fi; \
+	if [ "$$allocs" -gt $(BENCH_MEM_MAX_ALLOCS) ]; then \
+		echo "bench-mem: BenchmarkTopQuery allocs/op = $$allocs, above the $(BENCH_MEM_MAX_ALLOCS) ceiling"; exit 1; \
+	else \
+		echo "bench-mem: BenchmarkTopQuery allocs/op = $$allocs (ceiling $(BENCH_MEM_MAX_ALLOCS))"; \
+	fi
 
 # Differential-testing oracle sweep (the CI gate): soundness,
 # monotonicity, serial/parallel/shared-cache/server answer drift,

@@ -35,6 +35,8 @@ func main() {
 	traceDot := flag.String("trace-dot", "", "also render the traced queries as a Graphviz collaboration graph to this file (requires -trace)")
 	execute := flag.Bool("execute", false, "execute each benchmark under the speculative-parallel runtime (SCAF plans), print the realized speedup / abort-cost table, and add the deterministic commit/abort counters to the -json report")
 	execWorkers := flag.Int("exec-workers", 4, "speculative worker count for -execute")
+	learnOrder := flag.Bool("learn-order", true,
+		"learn a verified per-scheme module consult order from the hot loops before the measured analysis (answers are unchanged; module evaluations drop)")
 	flag.Parse()
 
 	if *traceDot != "" && *tracePath == "" {
@@ -73,6 +75,7 @@ func main() {
 	// gate's deterministic work measure), so record samples when asked
 	// for one.
 	suite.Latency = *jsonPath != ""
+	suite.LearnOrder = *learnOrder
 
 	var analyses []*bench.Analysis
 	if wantFig(8) || wantFig(9) || wantTable(2) || *jsonPath != "" {

@@ -120,14 +120,14 @@ func main() {
 	}
 
 	for _, l := range sys.HotLoops() {
-		res := client.AnalyzeLoop(o, l)
+		res := client.ResolveLoop(o, l)
 		if *dot {
 			fmt.Println(res.ToDOT())
 			continue
 		}
 		var confRes map[pdg.Key]*pdg.Query
 		if *diff {
-			confRes = client.AnalyzeLoop(conf, l).ByKey()
+			confRes = client.ResolveLoop(conf, l).ByKey()
 		}
 		fmt.Printf("loop %s: %%NoDep = %.1f over %d queries\n", l.Name(), res.NoDepPct(), len(res.Queries))
 		for _, q := range res.Queries {

@@ -36,7 +36,7 @@ func main() {
 	ms := sys.MemSpec()
 
 	for _, loop := range sys.HotLoops() {
-		res := client.AnalyzeLoop(o, loop)
+		res := client.ResolveLoop(o, loop)
 
 		// DOALL needs every cross-iteration dependence gone.
 		var crossQueries []pdg.Query

@@ -46,7 +46,7 @@ func (s *System) ExecutePlan(scheme Scheme, cfg runtime.Config, opts ...OrchOpti
 		client := s.Client()
 		var plans []runtime.LoopPlan
 		for _, l := range s.HotLoops() {
-			res := client.AnalyzeLoop(o, l)
+			res := client.ResolveLoop(o, l)
 			plans = append(plans, runtime.LoopPlan{Loop: l, Res: res, Plan: pdg.BuildPlan(res.Queries)})
 		}
 		return plans

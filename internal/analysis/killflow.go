@@ -22,6 +22,11 @@ type KillFlow struct {
 	core.BaseModule
 	prog   *cfg.Program
 	stores map[*cfg.Loop][]*ir.Instr
+	// rs is the module's reusable path-search scratch. Modules are
+	// per-orchestrator and evaluated on one goroutine; path searches never
+	// nest (premise queries happen after a search concludes), so one
+	// scratch per module is safe.
+	rs reachScratch
 }
 
 // NewKillFlow constructs the module, indexing each loop's stores.
@@ -45,39 +50,76 @@ func live(dt *cfg.Tree, b *ir.Block) bool {
 	return dt == nil || dt.Reachable(b)
 }
 
-// reaches performs a path search within loop l (inner-loop cycles allowed,
-// re-entering l's header forbidden — that would start a new iteration),
-// avoiding block `avoid`, over blocks live under dt. start is a frontier
-// of blocks to begin from (already "entered").
-func reaches(l *cfg.Loop, dt *cfg.Tree, start []*ir.Block, avoid *ir.Block, hit func(*ir.Block) bool) bool {
-	seen := map[*ir.Block]bool{}
-	queue := append([]*ir.Block(nil), start...)
-	for _, b := range queue {
-		seen[b] = true
-	}
-	for len(queue) > 0 {
-		b := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		if b == avoid || !l.Contains(b) || !live(dt, b) {
-			continue
-		}
-		if hit(b) {
+// reachScratch holds the reusable state of the path searches below: the
+// visited set, the worklist, and the start frontier. One search runs at a
+// time per module (searches conclude before any premise query fires), so
+// resetting at entry is enough.
+type reachScratch struct {
+	seen     map[*ir.Block]bool
+	queue    []*ir.Block
+	frontier []*ir.Block
+}
+
+// blockIn reports membership in a (tiny) block list.
+func blockIn(bs []*ir.Block, b *ir.Block) bool {
+	for _, x := range bs {
+		if x == b {
 			return true
-		}
-		for _, s := range b.Succs {
-			if s == l.Header || seen[s] {
-				continue
-			}
-			seen[s] = true
-			queue = append(queue, s)
 		}
 	}
 	return false
 }
 
+// reaches performs a path search within loop l (inner-loop cycles allowed,
+// re-entering l's header forbidden — that would start a new iteration),
+// avoiding block `avoid`, over blocks live under dt. start is a frontier
+// of blocks to begin from (already "entered"). The search hits when it
+// lands on target (if non-nil) or on any of latches.
+func (rs *reachScratch) reaches(l *cfg.Loop, dt *cfg.Tree, start []*ir.Block, avoid, target *ir.Block, latches []*ir.Block) bool {
+	if rs.seen == nil {
+		rs.seen = make(map[*ir.Block]bool, 32)
+	} else {
+		clear(rs.seen)
+	}
+	rs.queue = append(rs.queue[:0], start...)
+	for _, b := range rs.queue {
+		rs.seen[b] = true
+	}
+	for len(rs.queue) > 0 {
+		b := rs.queue[len(rs.queue)-1]
+		rs.queue = rs.queue[:len(rs.queue)-1]
+		if b == avoid || !l.Contains(b) || !live(dt, b) {
+			continue
+		}
+		if b == target || blockIn(latches, b) {
+			return true
+		}
+		for _, s := range b.Succs {
+			if s == l.Header || rs.seen[s] {
+				continue
+			}
+			rs.seen[s] = true
+			rs.queue = append(rs.queue, s)
+		}
+	}
+	return false
+}
+
+// succFrontier fills the scratch frontier with i's block successors minus
+// the loop header (entering the header would start a new iteration).
+func (rs *reachScratch) succFrontier(l *cfg.Loop, i *ir.Instr) []*ir.Block {
+	rs.frontier = rs.frontier[:0]
+	for _, sc := range i.Blk.Succs {
+		if sc != l.Header {
+			rs.frontier = append(rs.frontier, sc)
+		}
+	}
+	return rs.frontier
+}
+
 // killsDestSide reports whether store s overwrites the footprint read or
 // written by i2 on every path from the iteration start (header) to i2.
-func killsDestSide(l *cfg.Loop, dt *cfg.Tree, s, i2 *ir.Instr) bool {
+func (rs *reachScratch) killsDestSide(l *cfg.Loop, dt *cfg.Tree, s, i2 *ir.Instr) bool {
 	idxS := cfg.InstrIndex(s)
 	if s.Blk == i2.Blk {
 		return idxS < cfg.InstrIndex(i2)
@@ -88,44 +130,29 @@ func killsDestSide(l *cfg.Loop, dt *cfg.Tree, s, i2 *ir.Instr) bool {
 		return i2.Blk != l.Header
 	}
 	// Does any header→i2 path avoid s's block?
-	found := reaches(l, dt, []*ir.Block{l.Header}, s.Blk, func(b *ir.Block) bool {
-		return b == i2.Blk
-	})
-	return !found
+	rs.frontier = append(rs.frontier[:0], l.Header)
+	return !rs.reaches(l, dt, rs.frontier, s.Blk, i2.Blk, nil)
 }
 
 // killsSourceSide reports whether store s overwrites i1's footprint on
 // every intra-iteration path from i1 to the loop's back edges — or whether
 // no such path exists at all (the loop cannot continue after i1).
-func killsSourceSide(l *cfg.Loop, dt *cfg.Tree, s, i1 *ir.Instr) bool {
+func (rs *reachScratch) killsSourceSide(l *cfg.Loop, dt *cfg.Tree, s, i1 *ir.Instr) bool {
 	if s.Blk == i1.Blk && cfg.InstrIndex(s) > cfg.InstrIndex(i1) {
 		return true // straight-line rest of the block passes s
 	}
-	isLatch := map[*ir.Block]bool{}
-	for _, lb := range l.Latches {
-		isLatch[lb] = true
+	if blockIn(l.Latches, i1.Blk) {
+		return false // i1's own block can take the back edge immediately
 	}
 	// A latch reached while avoiding s means the flow survives into the
 	// next iteration. Starting frontier: successors of i1's block (the
 	// tail of i1's own block contains no s here).
-	var frontier []*ir.Block
-	if isLatch[i1.Blk] {
-		return false // i1's own block can take the back edge immediately
-	}
-	for _, sc := range i1.Blk.Succs {
-		if sc != l.Header {
-			frontier = append(frontier, sc)
-		}
-	}
-	found := reaches(l, dt, frontier, s.Blk, func(b *ir.Block) bool {
-		return isLatch[b]
-	})
-	return !found
+	return !rs.reaches(l, dt, rs.succFrontier(l, i1), s.Blk, nil, l.Latches)
 }
 
 // killsIntra reports whether s lies on every intra-iteration path from i1
 // to i2.
-func killsIntra(l *cfg.Loop, dt *cfg.Tree, s, i1, i2 *ir.Instr) bool {
+func (rs *reachScratch) killsIntra(l *cfg.Loop, dt *cfg.Tree, s, i1, i2 *ir.Instr) bool {
 	idxS, idx1, idx2 := cfg.InstrIndex(s), cfg.InstrIndex(i1), cfg.InstrIndex(i2)
 	if i1.Blk == i2.Blk && idx1 < idx2 {
 		// The straight-line path is always possible; s must sit between.
@@ -142,16 +169,7 @@ func killsIntra(l *cfg.Loop, dt *cfg.Tree, s, i1, i2 *ir.Instr) bool {
 		// the block-avoiding search below must not pretend otherwise.
 		return false
 	}
-	var frontier []*ir.Block
-	for _, sc := range i1.Blk.Succs {
-		if sc != l.Header {
-			frontier = append(frontier, sc)
-		}
-	}
-	found := reaches(l, dt, frontier, s.Blk, func(b *ir.Block) bool {
-		return b == i2.Blk
-	})
-	return !found
+	return !rs.reaches(l, dt, rs.succFrontier(l, i1), s.Blk, i2.Blk, nil)
 }
 
 // covers asks the ensemble whether store s's footprint fully covers loc
@@ -213,18 +231,18 @@ func (m *KillFlow) ModRef(q *core.ModRefQuery, h core.Handle) core.ModRefRespons
 			// Note s == I1 is a valid destination-side killer: if the
 			// store re-executes every iteration before I2, iteration j's
 			// execution kills the value left by iteration i < j.
-			if q.I2 != nil && have2 && killsDestSide(q.Loop, q.DT, s, q.I2) {
+			if q.I2 != nil && have2 && m.rs.killsDestSide(q.Loop, q.DT, s, q.I2) {
 				if r, ok := m.covers(q, fp2, s, h); ok {
 					return r
 				}
 			}
-			if s != q.I1 && have1 && killsSourceSide(q.Loop, q.DT, s, q.I1) {
+			if s != q.I1 && have1 && m.rs.killsSourceSide(q.Loop, q.DT, s, q.I1) {
 				if r, ok := m.covers(q, fp1, s, h); ok {
 					return r
 				}
 			}
 		} else if s != q.I1 { // Same
-			if q.I2 != nil && have2 && killsIntra(q.Loop, q.DT, s, q.I1, q.I2) {
+			if q.I2 != nil && have2 && m.rs.killsIntra(q.Loop, q.DT, s, q.I1, q.I2) {
 				if r, ok := m.covers(q, fp2, s, h); ok {
 					return r
 				}
@@ -235,21 +253,9 @@ func (m *KillFlow) ModRef(q *core.ModRefQuery, h core.Handle) core.ModRefRespons
 	// No store needed: if no intra-iteration path from I1 ever reaches a
 	// latch, I1 ends its activation and cross-iteration dependences out of
 	// I1 are impossible.
-	if q.Rel == core.Before {
-		isLatch := map[*ir.Block]bool{}
-		for _, lb := range q.Loop.Latches {
-			isLatch[lb] = true
-		}
-		if !isLatch[q.I1.Blk] {
-			var frontier []*ir.Block
-			for _, sc := range q.I1.Blk.Succs {
-				if sc != q.Loop.Header {
-					frontier = append(frontier, sc)
-				}
-			}
-			if !reaches(q.Loop, q.DT, frontier, nil, func(b *ir.Block) bool { return isLatch[b] }) {
-				return core.ModRefFact(core.NoModRef, m.Name())
-			}
+	if q.Rel == core.Before && !blockIn(q.Loop.Latches, q.I1.Blk) {
+		if !m.rs.reaches(q.Loop, q.DT, m.rs.succFrontier(q.Loop, q.I1), nil, nil, q.Loop.Latches) {
+			return core.ModRefFact(core.NoModRef, m.Name())
 		}
 	}
 	return core.ModRefConservative()

@@ -301,6 +301,11 @@ func Fig10(s *Suite) []Fig10Series {
 					client.AnalyzeLoop(warm, l)
 				}
 			}
+			// The measured pass resolves each query unbatched: Fig. 10 is a
+			// single-query ablation of the desired-result parameter, and
+			// batch memoization would confound it (stripping the parameter
+			// widens cross-query memo sharing, masking the per-query effect
+			// the figure isolates).
 			o := b.Sys.Orchestrator(cfg.scheme, append(cfg.opts, scaf.WithLatency())...)
 			for _, l := range b.Hot {
 				client.AnalyzeLoop(o, l)

@@ -30,6 +30,13 @@ type Suite struct {
 	// deterministic module-evals work measure) during AnalyzeSuite, feeding
 	// the report's latency summaries.
 	Latency bool
+	// LearnOrder turns on profile-guided module ordering: before the
+	// measured run of each (benchmark, scheme), the hot loops are analyzed
+	// twice more to learn and verify a cheaper consult order
+	// (scaf.System.LearnModuleOrder), which is adopted only when it
+	// reproduces the fixed schedule's answers exactly. Results are
+	// therefore identical either way; only the work counters drop.
+	LearnOrder bool
 }
 
 // Load compiles and profiles one benchmark by name.
@@ -85,6 +92,9 @@ type AnalyzeOptions struct {
 	// given scheme (absent a SharedCache), which is what the regression
 	// gate compares across commits.
 	Latency bool
+	// LearnOrder learns and verifies a per-scheme module order before the
+	// measured run (see Suite.LearnOrder).
+	LearnOrder bool
 }
 
 // Analyze runs the PDG client serially over the benchmark's hot loops
@@ -110,6 +120,14 @@ func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 		if opts.Latency {
 			orchOpts = append(orchOpts, scaf.WithLatency())
 		}
+		if opts.LearnOrder {
+			// Learn against the exact configuration the measured run uses
+			// (shared caches excepted — learning runs serially). Adoption is
+			// verified, so the measured answers cannot drift.
+			if order, ok := b.Sys.LearnModuleOrder(scheme, orchOpts...); ok {
+				orchOpts = append(orchOpts, scaf.WithModuleOrder(order))
+			}
+		}
 		if opts.Parallelism >= 2 {
 			if opts.SharedCache {
 				// One cache per (benchmark, scheme): caches must never
@@ -122,7 +140,7 @@ func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 		} else {
 			o := b.Sys.Orchestrator(scheme, orchOpts...)
 			for _, l := range b.Hot {
-				results = append(results, client.AnalyzeLoop(o, l))
+				results = append(results, client.ResolveLoop(o, l))
 			}
 			stats.Merge(o.Stats())
 		}
@@ -145,7 +163,11 @@ func AnalyzeWith(b *Benchmark, opts AnalyzeOptions) *Analysis {
 func AnalyzeSuite(s *Suite) []*Analysis {
 	out := make([]*Analysis, len(s.Benchmarks))
 	for i, b := range s.Benchmarks {
-		out[i] = AnalyzeWith(b, AnalyzeOptions{Parallelism: s.Parallelism, Latency: s.Latency})
+		out[i] = AnalyzeWith(b, AnalyzeOptions{
+			Parallelism: s.Parallelism,
+			Latency:     s.Latency,
+			LearnOrder:  s.LearnOrder,
+		})
 	}
 	return out
 }

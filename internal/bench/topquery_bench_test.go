@@ -1,0 +1,82 @@
+package bench_test
+
+import (
+	"testing"
+
+	"scaf"
+	"scaf/internal/bench"
+	"scaf/internal/core"
+)
+
+// topQueryFixture loads one benchmark and precomputes the dependence-query
+// set of its heaviest hot loop, so the benchmarks below time nothing but
+// top-level query resolution.
+type topQueryFixture struct {
+	b       *bench.Benchmark
+	queries []core.ModRefQuery
+}
+
+func loadTopQueryFixture(tb testing.TB) *topQueryFixture {
+	tb.Helper()
+	b, err := bench.Load("181.mcf")
+	if err != nil {
+		tb.Fatalf("loading benchmark: %v", err)
+	}
+	if len(b.Hot) == 0 {
+		tb.Fatal("181.mcf has no hot loops")
+	}
+	l := b.Hot[0]
+	dt := b.Sys.Prog.Dom[l.Fn]
+	pdt := b.Sys.Prog.PostDom[l.Fn]
+	fx := &topQueryFixture{b: b}
+	ops := l.MemOps()
+	for _, i1 := range ops {
+		for _, i2 := range ops {
+			for _, rel := range []core.TemporalRelation{core.Same, core.Before} {
+				if rel == core.Same && i1 == i2 {
+					continue
+				}
+				if !i1.Writes() && !i2.Writes() {
+					continue
+				}
+				fx.queries = append(fx.queries, core.ModRefQuery{
+					I1: i1, I2: i2, Rel: rel, Loop: l, DT: dt, PDT: pdt,
+				})
+			}
+		}
+	}
+	if len(fx.queries) == 0 {
+		tb.Fatal("hot loop produced no dependence queries")
+	}
+	return fx
+}
+
+// BenchmarkTopQuery measures the cost of a single top-level mod-ref query
+// on a fresh-per-iteration-set orchestrator — the unit the serving layer
+// issues millions of times. Run with -benchmem; the bench-mem CI gate pins
+// allocs/op (see Makefile bench-mem).
+func BenchmarkTopQuery(b *testing.B) {
+	fx := loadTopQueryFixture(b)
+	o := fx.b.Sys.Orchestrator(scaf.SchemeSCAF)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fx.queries[i%len(fx.queries)]
+		o.ModRef(&q)
+	}
+}
+
+// BenchmarkTopQueryLoop measures whole-loop resolution through the batch
+// path (pdg.Client.ResolveLoop), amortizing per-loop premise work across
+// the loop's query set.
+func BenchmarkTopQueryLoop(b *testing.B) {
+	fx := loadTopQueryFixture(b)
+	client := fx.b.Sys.Client()
+	l := fx.b.Hot[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := fx.b.Sys.Orchestrator(scaf.SchemeSCAF)
+		client.ResolveLoop(o, l)
+	}
+}

@@ -50,13 +50,27 @@ type Assertion struct {
 	// Cost is the estimated total validation cost: per-check latency ×
 	// profiled execution count of the guarded operation (§4.2.1).
 	Cost float64
+
+	// intern, when non-nil, is the canonical handle carrying the
+	// precomputed identity strings (see Interner). It is invisible on the
+	// wire (unexported, so JSON marshalling skips it) and to reflection
+	// equality across interners (DeepEqual compares the pointee strings).
+	intern *internedAssert
 }
 
 // key canonically identifies an assertion for deduplication. It covers
 // the full content (including cost and conflict points) so that merging
 // is order-independent even for ill-behaved modules that emit same-named
-// assertions with different payloads.
+// assertions with different payloads. Interned assertions answer from the
+// handle without rebuilding the string.
 func (a Assertion) key() string {
+	if a.intern != nil {
+		return a.intern.key
+	}
+	return a.computeKey()
+}
+
+func (a Assertion) computeKey() string {
 	var b strings.Builder
 	b.WriteString(a.Module)
 	b.WriteByte('/')
@@ -74,7 +88,16 @@ func (a Assertion) key() string {
 	return b.String()
 }
 
+// String is the assertion's wire identity — what clients, Revokers, and
+// the /observe protocol key on. Interned assertions answer in O(1).
 func (a Assertion) String() string {
+	if a.intern != nil {
+		return a.intern.str
+	}
+	return a.computeString()
+}
+
+func (a Assertion) computeString() string {
 	pts := make([]string, len(a.Points))
 	for i, p := range a.Points {
 		pts[i] = p.String()
@@ -112,37 +135,50 @@ func (o Option) String() string {
 	return "{" + strings.Join(parts, " + ") + "}"
 }
 
+// conflictPointsClash reports whether two distinct assertions both claim
+// some conflict point.
+func conflictPointsClash(a, b []Point) bool {
+	for _, p := range a {
+		for _, q := range b {
+			if p == q {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // mergeOptions conjoins two options (the paper's O1 + O2), deduplicating
 // identical assertions. ok is false when the combination conflicts.
+// Assertion sets are tiny, so identity and conflict checks are linear
+// scans over the merged set — interned assertions compare by handle, and
+// no map or key set is materialized.
 func mergeOptions(a, b Option) (Option, bool) {
 	out := Option{Asserts: append([]Assertion(nil), a.Asserts...)}
-	seen := map[string]bool{}
-	taken := map[Point]string{}
-	for _, as := range a.Asserts {
-		k := as.key()
-		for _, c := range as.Conflicts {
-			if owner, clash := taken[c]; clash && owner != k {
-				return Option{}, false // a is internally inconsistent
-			}
-			taken[c] = k
-		}
-		seen[k] = true
-	}
-	for _, as := range b.Asserts {
-		k := as.key()
-		if seen[k] {
-			continue
-		}
-		for _, c := range as.Conflicts {
-			if owner, clash := taken[c]; clash && owner != k {
+	// a must be internally consistent: two different assertions claiming
+	// the same conflict point cannot be validated together.
+	for i := range out.Asserts {
+		for j := i + 1; j < len(out.Asserts); j++ {
+			if !assertEqual(&out.Asserts[i], &out.Asserts[j]) &&
+				conflictPointsClash(out.Asserts[i].Conflicts, out.Asserts[j].Conflicts) {
 				return Option{}, false
 			}
 		}
-		for _, c := range as.Conflicts {
-			taken[c] = k
+	}
+bAsserts:
+	for bi := range b.Asserts {
+		bas := &b.Asserts[bi]
+		for i := range out.Asserts {
+			if assertEqual(&out.Asserts[i], bas) {
+				continue bAsserts // already carried
+			}
 		}
-		seen[k] = true
-		out.Asserts = append(out.Asserts, as)
+		for i := range out.Asserts {
+			if conflictPointsClash(out.Asserts[i].Conflicts, bas.Conflicts) {
+				return Option{}, false
+			}
+		}
+		out.Asserts = append(out.Asserts, *bas)
 	}
 	return out, true
 }
@@ -179,20 +215,33 @@ func CrossOptions(s1, s2 []Option) []Option {
 	return dedupeOptions(out)
 }
 
-// UnionOptions is the paper's S1 + S2.
+// UnionOptions is the paper's S1 + S2. The overwhelmingly common join —
+// two single free options, the shape of every pair of unconditional NoDep
+// answers — returns the shared unconditional set without allocating.
 func UnionOptions(s1, s2 []Option) []Option {
+	if len(s1) == 1 && len(s2) == 1 && s1[0].Free() && s2[0].Free() {
+		return unconditionalShared
+	}
+	if len(s1) == 0 {
+		return dedupeOptions(s2)
+	}
+	if len(s2) == 0 {
+		return dedupeOptions(s1)
+	}
 	return dedupeOptions(append(append([]Option(nil), s1...), s2...))
 }
 
 // CheapestOf keeps only the cheapest option (the CHEAPEST join policy).
+// Singleton sets pass through unchanged; option sets are never mutated in
+// place, so sharing the input slice is safe.
 func CheapestOf(s []Option) []Option {
-	if len(s) == 0 {
-		return nil
+	if len(s) <= 1 {
+		return s
 	}
-	best := s[0]
+	best, bc := s[0], s[0].Cost()
 	for _, o := range s[1:] {
-		if o.Cost() < best.Cost() {
-			best = o
+		if c := o.Cost(); c < bc {
+			best, bc = o, c
 		}
 	}
 	return []Option{best}
@@ -219,13 +268,57 @@ func MinCost(s []Option) float64 {
 	return best
 }
 
+// sameOptionWire reports whether two options denote the same validation
+// set on the wire: equal assertion multisets under String() identity —
+// exactly the equivalence dedupeOptions used to get by comparing sorted
+// Option.String() renderings, now decided without building either string.
+// Interned assertions share backing strings, so the comparisons are
+// pointer-fast.
+func sameOptionWire(a, b Option) bool {
+	n := len(a.Asserts)
+	if n != len(b.Asserts) {
+		return false
+	}
+	if n == 0 {
+		return true
+	}
+	if n > 64 {
+		return a.String() == b.String() // unreachable in practice
+	}
+	var used uint64
+outer:
+	for i := range a.Asserts {
+		for j := range b.Asserts {
+			if used&(1<<j) != 0 {
+				continue
+			}
+			if a.Asserts[i].String() == b.Asserts[j].String() {
+				used |= 1 << j
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// dedupeOptions keeps the first occurrence of each wire-distinct option.
+// Singleton sets pass through unchanged (callers never mutate option sets
+// in place); larger sets — always small — dedupe by pairwise scan.
 func dedupeOptions(s []Option) []Option {
-	seen := map[string]bool{}
+	if len(s) <= 1 {
+		return s
+	}
 	var out []Option
 	for _, o := range s {
-		k := o.String()
-		if !seen[k] {
-			seen[k] = true
+		dup := false
+		for i := range out {
+			if sameOptionWire(out[i], o) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, o)
 		}
 	}

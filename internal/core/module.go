@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // AliasResponse is a module's (or the framework's) answer to an alias
 // query: a result, the ways to make it hold (Options — any one suffices),
@@ -28,29 +31,68 @@ func ModRefConservative() ModRefResponse {
 	return ModRefResponse{Result: ModRef, Options: Unconditional()}
 }
 
+// contribCache interns the single-name contributor slices the Fact/Spec
+// constructors hand out. Contributor lists are immutable by convention
+// (MergeContribs and the joins always build fresh slices), so every
+// answer from one module can share one backing array. The set of module
+// names is tiny and fixed per process, so the cache never grows past it.
+var contribCache sync.Map // module name -> []string{name}
+
+func contribsOf(mod string) []string {
+	if v, ok := contribCache.Load(mod); ok {
+		return v.([]string)
+	}
+	v, _ := contribCache.LoadOrStore(mod, []string{mod})
+	return v.([]string)
+}
+
 // AliasFact is an unconditional (validation-free) alias answer from
 // module mod.
 func AliasFact(r AliasResult, mod string) AliasResponse {
-	return AliasResponse{Result: r, Options: Unconditional(), Contribs: []string{mod}}
+	return AliasResponse{Result: r, Options: Unconditional(), Contribs: contribsOf(mod)}
 }
 
 // ModRefFact is an unconditional mod-ref answer from module mod.
 func ModRefFact(r ModRefResult, mod string) ModRefResponse {
-	return ModRefResponse{Result: r, Options: Unconditional(), Contribs: []string{mod}}
+	return ModRefResponse{Result: r, Options: Unconditional(), Contribs: contribsOf(mod)}
 }
 
 // AliasSpec is a speculative alias answer predicated on the assertions.
 func AliasSpec(r AliasResult, mod string, asserts ...Assertion) AliasResponse {
-	return AliasResponse{Result: r, Options: []Option{{Asserts: asserts}}, Contribs: []string{mod}}
+	return AliasResponse{Result: r, Options: []Option{{Asserts: asserts}}, Contribs: contribsOf(mod)}
 }
 
 // ModRefSpec is a speculative mod-ref answer predicated on the assertions.
 func ModRefSpec(r ModRefResult, mod string, asserts ...Assertion) ModRefResponse {
-	return ModRefResponse{Result: r, Options: []Option{{Asserts: asserts}}, Contribs: []string{mod}}
+	return ModRefResponse{Result: r, Options: []Option{{Asserts: asserts}}, Contribs: contribsOf(mod)}
 }
 
-// MergeContribs unions contributor lists, sorted and deduplicated.
+// MergeContribs unions contributor lists, sorted and deduplicated. A
+// single already-canonical input (the overwhelmingly common join shape:
+// one side contributed, the other is the neutral response) passes through
+// without allocating — contributor lists are never mutated in place.
 func MergeContribs(lists ...[]string) []string {
+	var first []string
+	multi := false
+	for _, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		if first == nil {
+			first = l
+		} else {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		if first == nil {
+			return nil
+		}
+		if sortedUnique(first) {
+			return first
+		}
+	}
 	seen := map[string]bool{}
 	var out []string
 	for _, l := range lists {
@@ -63,6 +105,15 @@ func MergeContribs(lists ...[]string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+func sortedUnique(l []string) bool {
+	for i := 1; i < len(l); i++ {
+		if l[i-1] >= l[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // IsDefinite reports whether the alias result is maximally precise.

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race; see
+// race_test.go for why allocation-count assertions check it.
+const raceEnabled = false

@@ -112,6 +112,21 @@ type Config struct {
 	// recovery filters use to interpose on every module without the
 	// assembler needing to know concrete module types.
 	WrapModules func([]Module) []Module
+	// ModuleOrder, when non-empty, rearranges Modules at construction time
+	// (before WrapModules sees them) via ReorderModules — the adoption
+	// point for a
+	// profile-guided schedule. Consult order is visible in answers
+	// (Contribs, option provenance), so only verified orders belong here:
+	// see OrderProfile and pdg.LearnOrder.
+	ModuleOrder []string
+	// Interner, when non-nil, is the assertion-identity table module
+	// responses are interned through at every consult site, making later
+	// String()/key() calls pointer loads. When nil, the orchestrator uses
+	// Shared's interner (so handle identity spans every worker attached to
+	// one cache) or, failing that, a private one. Sessions that mint many
+	// orchestrators without a shared cache should pass one Interner to all
+	// of them.
+	Interner *Interner
 }
 
 // Orchestrator coordinates interactions among modules and between modules
@@ -121,13 +136,20 @@ type Orchestrator struct {
 	cfg    Config
 	stats  Stats
 	tracer Tracer
+	intern *Interner
 	// actA/actM map in-flight propositions to their entry sequence number
 	// (see seq below); presence alone breaks premise cycles.
 	actA   map[aliasKey]int64
 	actM   map[modrefKey]int64
 	groups map[string][]Module
-	cacheA map[aliasKey]AliasResponse
-	cacheM map[modrefKey]ModRefResponse
+	cacheA map[aliasMemoKey]AliasResponse
+	cacheM map[modrefMemoKey]ModRefResponse
+	// hslots are the reusable per-depth Handle values (see handleAt).
+	hslots []*handle
+	// batch/batchDepth track batch-scoped memoization (see batch.go); while
+	// a batch is armed, cacheA/cacheM point into the pooled batch tables.
+	batch      *batchTab
+	batchDepth int
 	// start of the in-flight top-level query, for the timeout policy.
 	queryStart time.Time
 	// timedOut reports whether the in-flight top-level query already
@@ -155,20 +177,31 @@ func NewOrchestrator(cfg Config) *Orchestrator {
 	if cfg.MaxDepth == 0 {
 		cfg.MaxDepth = 8
 	}
+	if len(cfg.ModuleOrder) > 0 {
+		cfg.Modules = ReorderModules(cfg.Modules, cfg.ModuleOrder)
+	}
 	if cfg.WrapModules != nil {
 		cfg.Modules = cfg.WrapModules(cfg.Modules)
+	}
+	intern := cfg.Interner
+	if intern == nil && cfg.Shared != nil {
+		intern = cfg.Shared.Interner()
+	}
+	if intern == nil {
+		intern = NewInterner()
 	}
 	o := &Orchestrator{
 		cfg:       cfg,
 		tracer:    cfg.Tracer,
+		intern:    intern,
 		actA:      map[aliasKey]int64{},
 		actM:      map[modrefKey]int64{},
 		groups:    map[string][]Module{},
 		windowMin: noTaint,
 	}
 	if cfg.EnableCache {
-		o.cacheA = map[aliasKey]AliasResponse{}
-		o.cacheM = map[modrefKey]ModRefResponse{}
+		o.cacheA = map[aliasMemoKey]AliasResponse{}
+		o.cacheM = map[modrefMemoKey]ModRefResponse{}
 	}
 	for _, m := range cfg.Modules {
 		g := cfg.Groups[m.Name()]
@@ -182,6 +215,12 @@ func NewOrchestrator(cfg Config) *Orchestrator {
 
 // Stats returns the accumulated counters.
 func (o *Orchestrator) Stats() *Stats { return &o.stats }
+
+// Modules returns a copy of the final module schedule — after ModuleOrder
+// and WrapModules have shaped it — in consult order.
+func (o *Orchestrator) Modules() []Module {
+	return append([]Module(nil), o.cfg.Modules...)
+}
 
 // SetTracer attaches (or, with nil, detaches) a resolution tracer after
 // construction. Useful for factories that mint identically-configured
@@ -228,6 +267,51 @@ func keyOfModRef(q *ModRefQuery) modrefKey {
 	return modrefKey{q.I1, q.I2, q.Loc.Ptr, q.Loc.Size, q.Rel, q.Loop, q.DT, q.PDT}
 }
 
+// aliasMemoKey / modrefMemoKey extend the proposition keys with everything
+// else a resolution depends on, so the per-orchestrator memo (lifetime or
+// batch-scoped) only ever serves a result to a query that would have
+// resolved identically fresh:
+//
+//   - ctx: the call context, which context-sensitive modules consult
+//     (pointer identity — contexts are rebuilt per premise chain, so
+//     distinct pointers never false-hit);
+//   - desired: the desired-result parameter, which skips incapable modules
+//     (§3.2.2) and therefore changes what a resolution evaluates;
+//   - aud: the premise audience under RouteIsolated ("" when the audience
+//     is the full ensemble), without which a resolution confined to one
+//     technique group could leak to another — observable as Confluence
+//     results changing when memoization is enabled.
+//
+// The in-flight tables and the SharedCache stay on the bare proposition
+// keys: re-asking a proposition in any context is still a cycle, and the
+// shared cache only admits canonical entries (top-level, full audience,
+// desired-free, nil context).
+type aliasMemoKey struct {
+	aliasKey
+	ctx     *CallCtx
+	desired DesiredAlias
+	aud     string
+}
+
+type modrefMemoKey struct {
+	modrefKey
+	ctx *CallCtx
+	aud string
+}
+
+// audienceID names the audience a query resolves against: "" for the full
+// ensemble, else the originating module's technique group.
+func (o *Orchestrator) audienceID(from Module) string {
+	if from == nil || o.cfg.Routing == RouteCollaborative {
+		return ""
+	}
+	g := o.cfg.Groups[from.Name()]
+	if g == "" {
+		g = from.Name()
+	}
+	return g
+}
+
 // Alias resolves a client alias query.
 func (o *Orchestrator) Alias(q *AliasQuery) AliasResponse {
 	o.stats.TopQueries++
@@ -245,12 +329,18 @@ func (o *Orchestrator) Alias(q *AliasQuery) AliasResponse {
 	}
 	evals0 := o.stats.ModuleEvals
 	r := o.handleAlias(q, 0, nil)
+	// One reading serves both accounting sinks: the traced Dur and the
+	// recorded latency sample of the same query must agree exactly.
+	var dur time.Duration
+	if t != nil || o.cfg.RecordLatency {
+		dur = time.Since(start)
+	}
 	if o.cfg.RecordLatency {
-		o.stats.recordLatency(time.Since(start), o.stats.ModuleEvals-evals0)
+		o.stats.recordLatency(dur, o.stats.ModuleEvals-evals0)
 	}
 	if t != nil {
 		t.TraceEvent(TraceEvent{Kind: TraceTopEnd, Alias: true, Result: r.Result.String(),
-			Cost: MinCost(r.Options), Dur: time.Since(start), Contribs: r.Contribs,
+			Cost: MinCost(r.Options), Dur: dur, Contribs: r.Contribs,
 			TimedOut: o.timedOut})
 	}
 	return r
@@ -273,12 +363,16 @@ func (o *Orchestrator) ModRef(q *ModRefQuery) ModRefResponse {
 	}
 	evals0 := o.stats.ModuleEvals
 	r := o.handleModRef(q, 0, nil)
+	var dur time.Duration // single reading; see Alias
+	if t != nil || o.cfg.RecordLatency {
+		dur = time.Since(start)
+	}
 	if o.cfg.RecordLatency {
-		o.stats.recordLatency(time.Since(start), o.stats.ModuleEvals-evals0)
+		o.stats.recordLatency(dur, o.stats.ModuleEvals-evals0)
 	}
 	if t != nil {
 		t.TraceEvent(TraceEvent{Kind: TraceTopEnd, Result: r.Result.String(),
-			Cost: MinCost(r.Options), Dur: time.Since(start), Contribs: r.Contribs,
+			Cost: MinCost(r.Options), Dur: dur, Contribs: r.Contribs,
 			TimedOut: o.timedOut})
 	}
 	return r
@@ -369,8 +463,10 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) (resp 
 		o.noteCycleBreak(true, depth, from, entry)
 		return MayAliasResponse()
 	}
+	var mk aliasMemoKey
 	if o.cacheA != nil {
-		if r, ok := o.cacheA[k]; ok {
+		mk = aliasMemoKey{k, q.Ctx, q.Desired, o.audienceID(from)}
+		if r, ok := o.cacheA[mk]; ok {
 			o.stats.CacheHits++
 			if t := o.tracer; t != nil {
 				t.TraceEvent(TraceEvent{Kind: TraceCacheHit, Alias: true, Depth: depth})
@@ -419,6 +515,10 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) (resp 
 			cstart = time.Now()
 		}
 		res := o.consultAlias(m, q, depth)
+		// Intern the response's assertions while this goroutine still owns
+		// the freshly-built option set; all later identity work — joins,
+		// dedup, publication keys, plan attribution — is then pointer-fast.
+		res.Options = o.intern.options(res.Options)
 		if t != nil {
 			t.TraceEvent(TraceEvent{Kind: TraceConsult, Alias: true, Depth: depth,
 				Module: m.Name(), Result: res.Result.String(),
@@ -441,7 +541,7 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) (resp 
 	}
 	o.windowMin = savedWindow
 	if o.cacheA != nil && complete && !tainted {
-		o.cacheA[k] = final
+		o.cacheA[mk] = final
 	}
 	// Root frames used to be untaintable (cycle breaks and depth limits
 	// both bottom out at rootSeq), so gating publication on !tainted here
@@ -474,8 +574,10 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) (res
 		o.noteCycleBreak(false, depth, from, entry)
 		return ModRefConservative()
 	}
+	var mk modrefMemoKey
 	if o.cacheM != nil {
-		if r, ok := o.cacheM[k]; ok {
+		mk = modrefMemoKey{k, q.Ctx, o.audienceID(from)}
+		if r, ok := o.cacheM[mk]; ok {
 			o.stats.CacheHits++
 			if t := o.tracer; t != nil {
 				t.TraceEvent(TraceEvent{Kind: TraceCacheHit, Depth: depth})
@@ -517,6 +619,7 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) (res
 			cstart = time.Now()
 		}
 		res := o.consultModRef(m, q, depth)
+		res.Options = o.intern.options(res.Options) // see handleAlias
 		if t != nil {
 			t.TraceEvent(TraceEvent{Kind: TraceConsult, Depth: depth,
 				Module: m.Name(), Result: res.Result.String(),
@@ -533,7 +636,7 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) (res
 	}
 	o.windowMin = savedWindow
 	if o.cacheM != nil && complete && !tainted {
-		o.cacheM[k] = final
+		o.cacheM[mk] = final
 	}
 	if shared && complete && !tainted { // see handleAlias
 		o.cfg.Shared.putModRef(k, final)
@@ -555,7 +658,7 @@ func (o *Orchestrator) consultAlias(m Module, q *AliasQuery, depth int) (resp Al
 			}
 		}()
 	}
-	return m.Alias(q, handle{o: o, depth: depth, from: m})
+	return m.Alias(q, o.handleAt(depth, m))
 }
 
 // consultModRef is consultAlias for mod-ref queries.
@@ -568,7 +671,7 @@ func (o *Orchestrator) consultModRef(m Module, q *ModRefQuery, depth int) (resp 
 			}
 		}()
 	}
-	return m.ModRef(q, handle{o: o, depth: depth, from: m})
+	return m.ModRef(q, o.handleAt(depth, m))
 }
 
 // notePanic records a recovered module panic. The taint floor drops to 0 —
@@ -617,18 +720,34 @@ func (o *Orchestrator) noteDepthLimit(alias bool, depth int, from Module) {
 	}
 }
 
-// handle implements Handle for one module evaluation.
+// handle implements Handle for one module evaluation. The orchestrator
+// reuses one slot per depth (handleAt) instead of boxing a fresh value
+// into the Handle interface on every consult: module evaluations at one
+// depth are strictly sequential on the orchestrator's goroutine, and a
+// Handle is only valid for the duration of the evaluation it was passed
+// to — modules must not retain it (none does; it would also be wrong
+// under the premise-routing rules).
 type handle struct {
 	o     *Orchestrator
 	depth int
 	from  Module
 }
 
-func (h handle) PremiseAlias(q *AliasQuery) AliasResponse {
+// handleAt returns the reusable per-depth Handle, rebound to from.
+func (o *Orchestrator) handleAt(depth int, from Module) *handle {
+	for len(o.hslots) <= depth {
+		o.hslots = append(o.hslots, &handle{o: o, depth: len(o.hslots)})
+	}
+	h := o.hslots[depth]
+	h.from = from
+	return h
+}
+
+func (h *handle) PremiseAlias(q *AliasQuery) AliasResponse {
 	return h.o.handleAlias(q, h.depth+1, h.from)
 }
 
-func (h handle) PremiseModRef(q *ModRefQuery) ModRefResponse {
+func (h *handle) PremiseModRef(q *ModRefQuery) ModRefResponse {
 	return h.o.handleModRef(q, h.depth+1, h.from)
 }
 

@@ -1,0 +1,130 @@
+package core
+
+import "sort"
+
+// Profile-guided module ordering. Under BailDefiniteAffordable the cost of
+// a resolution is dominated by how many modules are consulted before one
+// settles it (a definite answer whose cheapest option is affordable), so
+// the expected evaluation count is minimized by consulting high-settle-rate
+// modules first. An OrderProfile observes a training run through the Tracer
+// seam and proposes such an order; because consult order is visible in
+// answers (Contribs name the first settler, options differ across modules),
+// a proposed order is only a *candidate* — callers must verify it
+// reproduces the fixed schedule's answers exactly before adopting it
+// (pdg.LearnOrder does; unverified adoption is unsound).
+//
+// The candidate only permutes modules within their ModuleKind block:
+// memory-analysis modules stay ahead of speculation modules, preserving the
+// paper's preference for free answers over speculative ones and keeping the
+// candidate close enough to the fixed schedule that verification usually
+// succeeds.
+
+// moduleTally accumulates one module's consult outcomes.
+type moduleTally struct {
+	consults int64
+	settles  int64
+}
+
+// OrderProfile is a Tracer that tallies, per module, how often a consult
+// produced a definite, affordable answer. Attach it to one orchestrator
+// (tracers are single-orchestrator), run a representative query universe,
+// then ask Candidate for the proposed schedule.
+type OrderProfile struct {
+	tally map[string]*moduleTally
+}
+
+// NewOrderProfile returns an empty profile.
+func NewOrderProfile() *OrderProfile {
+	return &OrderProfile{tally: map[string]*moduleTally{}}
+}
+
+// TraceEvent implements Tracer. Only TraceConsult events are tallied.
+func (p *OrderProfile) TraceEvent(ev TraceEvent) {
+	if ev.Kind != TraceConsult {
+		return
+	}
+	t := p.tally[ev.Module]
+	if t == nil {
+		t = &moduleTally{}
+		p.tally[ev.Module] = t
+	}
+	t.consults++
+	// A consult settles its resolution when the module's own answer is
+	// definite and affordably validatable — the BailDefiniteAffordable
+	// condition. Alias and mod-ref conservative points stringify to
+	// distinct names, so one predicate covers both proposition kinds.
+	if ev.Cost < Prohibitive && ev.Result != MayAlias.String() && ev.Result != ModRef.String() {
+		t.settles++
+	}
+}
+
+// rate returns the module's observed settle rate (0 when never consulted).
+func (p *OrderProfile) rate(name string) float64 {
+	t := p.tally[name]
+	if t == nil || t.consults == 0 {
+		return 0
+	}
+	return float64(t.settles) / float64(t.consults)
+}
+
+// Candidate proposes a consult order over mods: within each ModuleKind
+// block, modules are stably sorted by descending settle rate; the blocks
+// themselves keep their original relative order. The returned slice names
+// every module in mods exactly once.
+func (p *OrderProfile) Candidate(mods []Module) []string {
+	blocks := make(map[ModuleKind][]string)
+	var kinds []ModuleKind
+	for _, m := range mods {
+		k := m.Kind()
+		if _, seen := blocks[k]; !seen {
+			kinds = append(kinds, k)
+		}
+		blocks[k] = append(blocks[k], m.Name())
+	}
+	out := make([]string, 0, len(mods))
+	for _, k := range kinds {
+		names := blocks[k]
+		sort.SliceStable(names, func(i, j int) bool {
+			return p.rate(names[i]) > p.rate(names[j])
+		})
+		out = append(out, names...)
+	}
+	return out
+}
+
+// ModuleNames returns the modules' names in slice order.
+func ModuleNames(mods []Module) []string {
+	out := make([]string, len(mods))
+	for i, m := range mods {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// ReorderModules returns mods rearranged to follow order: modules named in
+// order come first, in order's sequence; modules order does not mention
+// keep their relative position after them; names in order that match no
+// module are ignored. The input slice is not modified.
+func ReorderModules(mods []Module, order []string) []Module {
+	if len(order) == 0 {
+		return mods
+	}
+	byName := make(map[string]Module, len(mods))
+	for _, m := range mods {
+		byName[m.Name()] = m
+	}
+	out := make([]Module, 0, len(mods))
+	taken := make(map[string]bool, len(order))
+	for _, n := range order {
+		if m, ok := byName[n]; ok && !taken[n] {
+			out = append(out, m)
+			taken[n] = true
+		}
+	}
+	for _, m := range mods {
+		if !taken[m.Name()] {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func namedModules(kinds map[string]ModuleKind, names ...string) []Module {
+	out := make([]Module, len(names))
+	for i, n := range names {
+		out[i] = &fakeModule{name: n, kind: kinds[n]}
+	}
+	return out
+}
+
+func TestReorderModules(t *testing.T) {
+	mods := namedModules(nil, "a", "b", "c", "d")
+	cases := []struct {
+		name  string
+		order []string
+		want  []string
+	}{
+		{"full permutation", []string{"c", "a", "d", "b"}, []string{"c", "a", "d", "b"}},
+		{"empty order is identity", nil, []string{"a", "b", "c", "d"}},
+		{"unknown names ignored", []string{"x", "b", "y", "d"}, []string{"b", "d", "a", "c"}},
+		{"unmentioned keep relative order", []string{"d"}, []string{"d", "a", "b", "c"}},
+		{"duplicates collapse", []string{"b", "b", "a"}, []string{"b", "a", "c", "d"}},
+	}
+	for _, tc := range cases {
+		got := ModuleNames(ReorderModules(mods, tc.order))
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: ReorderModules(%v) = %v, want %v", tc.name, tc.order, got, tc.want)
+		}
+	}
+	if !reflect.DeepEqual(ModuleNames(mods), []string{"a", "b", "c", "d"}) {
+		t.Errorf("ReorderModules mutated its input: %v", ModuleNames(mods))
+	}
+}
+
+// consult fabricates the trace event the orchestrator emits for one module
+// evaluation.
+func consult(module, result string, cost float64) TraceEvent {
+	return TraceEvent{Kind: TraceConsult, Module: module, Result: result, Cost: cost}
+}
+
+func TestOrderProfileCandidateSortsBySettleRate(t *testing.T) {
+	p := NewOrderProfile()
+	// lazy: 1/3 settle rate; eager: 2/2; never: definite answers only at
+	// prohibitive cost, which must not count as settling.
+	p.TraceEvent(consult("lazy", "NoAlias", 0))
+	p.TraceEvent(consult("lazy", "MayAlias", 0))
+	p.TraceEvent(consult("lazy", "ModRef", 0))
+	p.TraceEvent(consult("eager", "NoModRef", 2))
+	p.TraceEvent(consult("eager", "MustAlias", 0))
+	p.TraceEvent(consult("never", "NoAlias", Prohibitive))
+	p.TraceEvent(TraceEvent{Kind: TraceCacheHit, Module: "never"}) // non-consults ignored
+	mods := namedModules(nil, "lazy", "eager", "never")
+	got := p.Candidate(mods)
+	want := []string{"eager", "lazy", "never"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Candidate = %v, want %v", got, want)
+	}
+}
+
+func TestOrderProfileCandidateStaysWithinKind(t *testing.T) {
+	kinds := map[string]ModuleKind{
+		"m1": MemoryAnalysis, "m2": MemoryAnalysis,
+		"s1": Speculation, "s2": Speculation,
+	}
+	p := NewOrderProfile()
+	// Speculation module s2 settles everything; memory analysis settles
+	// nothing. The candidate must still keep the memory-analysis block
+	// ahead of the speculation block, only reordering inside each.
+	p.TraceEvent(consult("s2", "NoModRef", 0))
+	p.TraceEvent(consult("s1", "ModRef", 0))
+	p.TraceEvent(consult("m2", "NoAlias", 1))
+	p.TraceEvent(consult("m2", "NoAlias", 1))
+	p.TraceEvent(consult("m1", "MayAlias", 0))
+	got := p.Candidate(namedModules(kinds, "m1", "m2", "s1", "s2"))
+	want := []string{"m2", "m1", "s2", "s1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Candidate = %v, want %v", got, want)
+	}
+}
+
+func TestOrderProfileUnobservedModulesKeepPosition(t *testing.T) {
+	p := NewOrderProfile()
+	// No trace at all: every rate is 0 and the stable sort must preserve
+	// the fixed schedule exactly.
+	mods := namedModules(nil, "a", "b", "c")
+	if got := p.Candidate(mods); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Candidate with empty profile = %v, want fixed order", got)
+	}
+}
+
+func TestConfigModuleOrderAppliesAtConstruction(t *testing.T) {
+	trail := []string{}
+	mk := func(name string) *fakeModule {
+		return &fakeModule{name: name, alias: func(q *AliasQuery, h Handle) AliasResponse {
+			trail = append(trail, name)
+			return MayAliasResponse()
+		}}
+	}
+	o := NewOrchestrator(Config{
+		Modules:     []Module{mk("a"), mk("b"), mk("c")},
+		ModuleOrder: []string{"c", "a", "b"},
+	})
+	o.Alias(aq())
+	if want := []string{"c", "a", "b"}; !reflect.DeepEqual(trail, want) {
+		t.Fatalf("consult order = %v, want %v", trail, want)
+	}
+	if got := ModuleNames(o.Modules()); !reflect.DeepEqual(got, []string{"c", "a", "b"}) {
+		t.Fatalf("Modules() = %v, want reordered schedule", got)
+	}
+}

@@ -81,30 +81,47 @@ func BaseObjectSize(v ir.Value) (int64, bool) {
 // hit the limit or an unresolvable merge, meaning the set may be missing
 // bases and only positive (membership) conclusions are sound.
 func UnderlyingBases(p ir.Value, limit int) (bases []ir.Value, complete bool) {
-	seen := map[ir.Value]bool{}
-	complete = true
-	var walk func(v ir.Value, depth int)
-	walk = func(v ir.Value, depth int) {
-		if depth > limit {
-			complete = false
-			return
-		}
-		d := Decompose(v)
-		if seen[d.Base] {
-			return
-		}
-		if in, ok := d.Base.(*ir.Instr); ok && in.Op == ir.OpPhi {
-			seen[d.Base] = true
-			for _, a := range in.Args {
-				walk(a, depth+1)
-			}
-			return
-		}
-		if !seen[d.Base] {
-			seen[d.Base] = true
-			bases = append(bases, d.Base)
-		}
+	// Explicit DFS with stack-backed scratch: the walk is hot (every
+	// object-based alias module calls it per query) and base sets are
+	// tiny, so a linear-scanned seen list and a value stack avoid the map
+	// and closure allocations of the recursive formulation. Traversal
+	// order matches the recursive walk exactly: a frame's phi arguments
+	// are visited in order, depth-first.
+	type frame struct {
+		v     ir.Value
+		depth int
 	}
-	walk(p, 0)
+	var stackArr [16]frame
+	var seenArr [16]ir.Value
+	stack, seen := stackArr[:0], seenArr[:0]
+	complete = true
+	stack = append(stack, frame{p, 0})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.depth > limit {
+			complete = false
+			continue
+		}
+		d := Decompose(f.v)
+		dup := false
+		for _, s := range seen {
+			if s == d.Base {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, d.Base)
+		if in, ok := d.Base.(*ir.Instr); ok && in.Op == ir.OpPhi {
+			for i := len(in.Args) - 1; i >= 0; i-- { // reversed: stack pops restore arg order
+				stack = append(stack, frame{in.Args[i], f.depth + 1})
+			}
+			continue
+		}
+		bases = append(bases, d.Base)
+	}
 	return bases, complete
 }

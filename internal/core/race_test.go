@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with -race.
+// Allocation-count assertions are skipped under the race detector: its
+// instrumentation changes what escapes and what inlines, so
+// testing.AllocsPerRun measures the instrumentation, not the code.
+const raceEnabled = true

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -56,6 +58,11 @@ type SharedCache struct {
 	// reports only entries actually removed).
 	idxMu sync.Mutex
 	index map[string][]entryRef
+
+	// intern is the session's assertion-identity table: every orchestrator
+	// attached to this cache interns through it, so handle equality spans
+	// worker goroutines and published entries always carry handles.
+	intern *Interner
 }
 
 const sharedShards = 64
@@ -93,7 +100,7 @@ type entryRef struct {
 
 // NewSharedCache returns an empty cache ready for concurrent use.
 func NewSharedCache() *SharedCache {
-	c := &SharedCache{index: map[string][]entryRef{}}
+	c := &SharedCache{index: map[string][]entryRef{}, intern: NewInterner()}
 	for i := range c.alias {
 		c.alias[i].m = map[aliasKey]aliasEntry{}
 	}
@@ -102,6 +109,9 @@ func NewSharedCache() *SharedCache {
 	}
 	return c
 }
+
+// Interner returns the cache's session-scoped assertion-identity table.
+func (c *SharedCache) Interner() *Interner { return c.intern }
 
 // SetRevoker attaches (or, with nil, detaches) the revocation source
 // consulted on every lookup and publication. Safe to call concurrently
@@ -343,17 +353,30 @@ func (k modrefKey) query() *ModRefQuery {
 
 // optionAssertKeys collects the deduplicated, sorted String() keys of
 // every assertion across the option set; nil when the answer is
-// assertion-free.
+// assertion-free. The assertion-free case — every NoDep answer memory
+// analysis proves outright — is the common one on the publication path, so
+// it is detected with a scan and returns without allocating anything.
 func optionAssertKeys(opts []Option) []string {
-	var keys []string
-	seen := map[string]bool{}
+	n := 0
 	for _, o := range opts {
-		for _, a := range o.Asserts {
-			k := a.String()
-			if !seen[k] {
-				seen[k] = true
-				keys = append(keys, k)
+		n += len(o.Asserts)
+	}
+	if n == 0 {
+		return nil
+	}
+	keys := make([]string, 0, n)
+	for _, o := range opts {
+	perAssert:
+		for i := range o.Asserts {
+			k := o.Asserts[i].String()
+			// Assertion sets are tiny (a handful of distinct checks per
+			// answer), so a linear dedup scan beats a map allocation.
+			for _, have := range keys {
+				if have == k {
+					continue perAssert
+				}
 			}
+			keys = append(keys, k)
 		}
 	}
 	sort.Strings(keys)
@@ -388,16 +411,23 @@ func (k modrefKey) shard() uint64 {
 }
 
 // valueID extracts a stable integer from the common ir.Value shapes.
+// Every shape must map to a per-type discriminant: an unknown kind that
+// hashed to a constant would funnel every query over it into one shard,
+// serializing that shard's lock (see TestValueIDShardDistribution).
 func valueID(v ir.Value) uint64 {
 	switch t := v.(type) {
 	case nil:
 		return 0
 	case *ir.Instr:
-		return uint64(t.ID) + 1
+		return uint64(t.ID)*4 + 1
 	case *ir.Param:
-		return uint64(t.Idx) + 7
+		return uint64(t.Idx)*4 + 2
 	case *ir.ConstInt:
-		return uint64(t.V)*2 + 3
+		return uint64(t.V)*4 + 3
+	case *ir.ConstFloat:
+		return math.Float64bits(t.V)*4 + 11
+	case *ir.ConstNull:
+		return 13
 	case *ir.Global:
 		h := uint64(1469598103934665603)
 		for i := 0; i < len(t.GName); i++ {
@@ -405,6 +435,17 @@ func valueID(v ir.Value) uint64 {
 		}
 		return h
 	default:
-		return 5
+		// A value kind this switch does not know yet still gets a spread:
+		// hash the dynamic type name and the value's printed form so
+		// distinct values land in distinct shards instead of all colliding
+		// on one constant. Cold path — every current kind is enumerated
+		// above.
+		h := uint64(1469598103934665603)
+		for _, s := range [2]string{fmt.Sprintf("%T", v), v.String()} {
+			for i := 0; i < len(s); i++ {
+				h = (h ^ uint64(s[i])) * 1099511628211
+			}
+		}
+		return h
 	}
 }

@@ -346,7 +346,7 @@ func analyzeSource(cfg Config, name, src string) (*analysis, error) {
 		results := make([]*pdg.LoopResult, 0, len(a.hot))
 		wires := make([]server.WireLoopResult, 0, len(a.hot))
 		for _, l := range a.hot {
-			res := a.client.AnalyzeLoop(o, l)
+			res := a.client.ResolveLoop(o, l)
 			results = append(results, res)
 			wires = append(wires, server.EncodeLoopResult(res))
 		}
@@ -510,7 +510,7 @@ func analyzeWith(a *analysis, scheme scaf.Scheme, opts []scaf.OrchOption) []*pdg
 	o := a.sys.Orchestrator(scheme, opts...)
 	results := make([]*pdg.LoopResult, 0, len(a.hot))
 	for _, l := range a.hot {
-		results = append(results, a.client.AnalyzeLoop(o, l))
+		results = append(results, a.client.ResolveLoop(o, l))
 	}
 	return results
 }

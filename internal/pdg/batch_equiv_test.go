@@ -1,0 +1,42 @@
+// Batch-resolution equivalence: ResolveLoop must be answer-identical to
+// the unbatched AnalyzeLoop reference on every scheme — the batch only
+// removes re-derivation, never changes answers — and must actually remove
+// some (module evals strictly below the unbatched run's, memo hits > 0).
+package pdg_test
+
+import (
+	"testing"
+
+	"scaf"
+	"scaf/internal/bench"
+	"scaf/internal/pdg"
+)
+
+func TestResolveLoopMatchesAnalyzeLoop(t *testing.T) {
+	for _, name := range []string{"181.mcf", "183.equake"} {
+		b, err := bench.Load(name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		client := b.Sys.Client()
+		for _, scheme := range []scaf.Scheme{scaf.SchemeCAF, scaf.SchemeConfluence, scaf.SchemeSCAF} {
+			oU := b.Sys.Orchestrator(scheme)
+			oB := b.Sys.Orchestrator(scheme)
+			var unbatched, batched []*pdg.LoopResult
+			for _, l := range b.Hot {
+				unbatched = append(unbatched, client.AnalyzeLoop(oU, l))
+				batched = append(batched, client.ResolveLoop(oB, l))
+			}
+			label := name + "/" + scheme.String()
+			requireEqualResults(t, label, unbatched, batched)
+			u, bt := oU.Stats(), oB.Stats()
+			if bt.CacheHits == 0 {
+				t.Errorf("%s: batch resolution never hit its memo", label)
+			}
+			if bt.ModuleEvals >= u.ModuleEvals {
+				t.Errorf("%s: batched evals %d not below unbatched %d",
+					label, bt.ModuleEvals, u.ModuleEvals)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Stress suite for the session-scoped assertion interner: 16 workers
+// hammer one SharedCache (and therefore one intern table) while resolving
+// assertion-heavy loops, under the race detector via `make race`. The
+// answers must stay bit-identical to the serial baseline, and the table
+// must converge — once a round adds no new assertion identities, later
+// rounds must not either.
+package pdg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"scaf"
+	"scaf/internal/bench"
+	"scaf/internal/core"
+	"scaf/internal/pdg"
+)
+
+const internStressWorkers = 16
+
+func TestInternTableParallelStress(t *testing.T) {
+	// 181.mcf's hot loops lean on speculation (ctrl/value/points-to
+	// assertions), so the intern table sees real traffic, not just the
+	// assertion-free fast path.
+	b, err := bench.Load("181.mcf")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	serialRes, _ := analyzeSerial(b, nil)
+
+	shared := core.NewSharedCache()
+	pc := b.Sys.ParallelClient(internStressWorkers, scaf.SchemeSCAF,
+		scaf.WithSharedCache(shared))
+	var sizes []int
+	for round := 0; round < 4; round++ {
+		res, _ := pc.AnalyzeLoops(b.Hot)
+		requireEqualResults(t, fmt.Sprintf("round %d", round), serialRes, res)
+		sizes = append(sizes, shared.Interner().Len())
+	}
+	if sizes[0] == 0 {
+		t.Fatal("no assertion was ever interned — fixture exercises nothing")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != sizes[0] {
+			t.Fatalf("intern table kept growing across identical rounds: %v", sizes)
+		}
+	}
+
+	// The serial run resolves the same loops through the system interner;
+	// both vocabularies cover the same assertions, so every assertion in
+	// the parallel results must render to a wire key the serial results
+	// also contain (interning must not invent or lose identities).
+	serialKeys := assertWireKeys(serialRes)
+	parRes, _ := pc.AnalyzeLoops(b.Hot)
+	for k := range assertWireKeys(parRes) {
+		if !serialKeys[k] {
+			t.Errorf("parallel-only assertion identity %q", k)
+		}
+	}
+}
+
+func assertWireKeys(rs []*pdg.LoopResult) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range rs {
+		for _, q := range r.Queries {
+			for _, o := range q.Resp.Options {
+				for _, a := range o.Asserts {
+					out[a.String()] = true
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package pdg
+
+import (
+	"reflect"
+
+	"scaf/internal/cfg"
+	"scaf/internal/core"
+)
+
+// Profile-guided module ordering with verified adoption. core.OrderProfile
+// proposes a consult order that minimizes expected module evaluations
+// under BailDefiniteAffordable, but consult order is visible in answers —
+// a different module may settle a query first, changing which contributors
+// and option sets a response carries, and in the worst case the lattice
+// point itself. A candidate is therefore adopted only after a full re-run
+// of the training universe proves it *answer-identical* to the fixed
+// schedule (per query: same lattice result, same no-dependence verdict,
+// same validation cost) AND strictly cheaper. Anything less and the fixed
+// schedule stands. Attribution — Contribs naming the settling module, the
+// exact composition of equally-cheap option sets — is allowed to shift:
+// it records who answered, not what the answer was.
+
+// LearnOrder profiles the fixed schedule over loops, proposes a candidate
+// consult order, and verifies it. mint must return a fresh, independent
+// orchestrator (fresh module instances included, exactly as a
+// ParallelClient factory would) configured with the given module order
+// (nil = the fixed schedule) and tracer (may be nil).
+//
+// The learned order is returned only when all three gates pass:
+//
+//  1. the candidate differs from the fixed schedule;
+//  2. re-running every loop under the candidate is answer-identical to
+//     the fixed schedule's run (EqualAnswers);
+//  3. the candidate run's ModuleEvals are strictly lower.
+//
+// Otherwise LearnOrder returns (nil, false) and callers keep the fixed
+// schedule. The two training passes cost two serial analyses of loops;
+// sessions amortize that over every orchestrator minted afterwards.
+func LearnOrder(c *Client, loops []*cfg.Loop, mint func(order []string, tr core.Tracer) *core.Orchestrator) ([]string, bool) {
+	prof := core.NewOrderProfile()
+	po := mint(nil, prof)
+	base := runUniverse(c, po, loops)
+	fixed := core.ModuleNames(po.Modules())
+	candidate := prof.Candidate(po.Modules())
+	if reflect.DeepEqual(candidate, fixed) {
+		return nil, false
+	}
+	co := mint(candidate, nil)
+	cand := runUniverse(c, co, loops)
+	if cand.evals >= base.evals || !EqualAnswers(base.results, cand.results) {
+		return nil, false
+	}
+	return candidate, true
+}
+
+// universeRun is one pass over a query universe.
+type universeRun struct {
+	results []*LoopResult
+	evals   int64
+}
+
+func runUniverse(c *Client, o *core.Orchestrator, loops []*cfg.Loop) universeRun {
+	results := make([]*LoopResult, len(loops))
+	for i, l := range loops {
+		results[i] = c.ResolveLoop(o, l)
+	}
+	return universeRun{results: results, evals: o.Stats().ModuleEvals}
+}
+
+// EqualAnswers reports whether two universe runs agree on every answer a
+// client acts on: the same loops in the same order, the same query list
+// per loop, and per query the same lattice result, no-dependence verdict,
+// and validation cost. Attribution fields (Resp.Contribs, the exact option
+// sets behind an equal Cost) are deliberately not compared.
+func EqualAnswers(a, b []*LoopResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Loop != b[i].Loop || len(a[i].Queries) != len(b[i].Queries) {
+			return false
+		}
+		for j := range a[i].Queries {
+			qa, qb := &a[i].Queries[j], &b[i].Queries[j]
+			if qa.I1 != qb.I1 || qa.I2 != qb.I2 || qa.Rel != qb.Rel ||
+				qa.Resp.Result != qb.Resp.Result ||
+				qa.NoDep != qb.NoDep || qa.Cost != qb.Cost {
+				return false
+			}
+		}
+	}
+	return true
+}

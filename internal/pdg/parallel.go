@@ -1,11 +1,13 @@
 // Parallel PDG construction: the per-loop query sets of §5 are mutually
 // independent, so loops fan out across a worker pool. Orchestrators are
 // not safe for concurrent use, so each worker mints its own from a factory
-// and the per-worker stats are merged afterwards. With caching disabled
-// (or routed through a core.SharedCache, whose publication rule only
-// admits canonical entries) every loop's result is a pure function of the
-// loop and the configuration, so the parallel client is bit-identical to
-// the serial one; TestParallelMatchesSerial asserts exactly that.
+// and the per-worker stats are merged afterwards. Loops resolve as batches
+// (ResolveLoop) whose memo tables are cleared between loops, so with
+// lifetime caching disabled (or routed through a core.SharedCache, whose
+// publication rule only admits canonical entries) every loop's result is a
+// pure function of the loop and the configuration, and the parallel client
+// is bit-identical to the serial one; TestParallelMatchesSerial asserts
+// exactly that.
 package pdg
 
 import (
@@ -71,7 +73,7 @@ func (pc *ParallelClient) AnalyzeLoops(loops []*cfg.Loop) ([]*LoopResult, *core.
 			o.SetTracer(pc.NewTracer(0))
 		}
 		for i, l := range loops {
-			results[i] = pc.Client.AnalyzeLoop(o, l)
+			results[i] = pc.Client.ResolveLoop(o, l)
 		}
 		merged.Merge(o.Stats())
 		return results, merged
@@ -98,7 +100,7 @@ func (pc *ParallelClient) AnalyzeLoops(loops []*cfg.Loop) ([]*LoopResult, *core.
 				if i >= len(loops) {
 					return
 				}
-				results[i] = pc.Client.AnalyzeLoop(o, loops[i])
+				results[i] = pc.Client.ResolveLoop(o, loops[i])
 			}
 		}(w, tr)
 	}

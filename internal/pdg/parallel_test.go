@@ -114,7 +114,7 @@ func analyzeSerial(b *bench.Benchmark, opts []scaf.OrchOption) ([]*pdg.LoopResul
 	o := b.Sys.Orchestrator(scaf.SchemeSCAF, opts...)
 	var out []*pdg.LoopResult
 	for _, l := range b.Hot {
-		out = append(out, client.AnalyzeLoop(o, l))
+		out = append(out, client.ResolveLoop(o, l))
 	}
 	return out, o.Stats()
 }
@@ -128,7 +128,7 @@ func analyzeCold(b *bench.Benchmark, opts []scaf.OrchOption) ([]*pdg.LoopResult,
 	var out []*pdg.LoopResult
 	for _, l := range b.Hot {
 		o := b.Sys.Orchestrator(scaf.SchemeSCAF, opts...)
-		out = append(out, client.AnalyzeLoop(o, l))
+		out = append(out, client.ResolveLoop(o, l))
 		merged.Merge(o.Stats())
 	}
 	return out, merged
@@ -214,9 +214,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 				sandwich("module evals", serialStats.ModuleEvals, parStats.ModuleEvals, coldStats.ModuleEvals)
 				sandwich("conflicts", min64(serialStats.Conflicts, coldStats.Conflicts),
 					parStats.Conflicts, max64(serialStats.Conflicts, coldStats.Conflicts))
+				// CacheHits counts batch-scoped memo hits inside each
+				// ResolveLoop and is expected; cross-loop (shared) hits or
+				// timeouts would mean the config isn't what it claims.
 				for _, st := range []*core.Stats{serialStats, parStats, coldStats} {
-					if st.CacheHits != 0 || st.SharedHits != 0 || st.Timeouts != 0 {
-						t.Errorf("%s: unexpected cache/timeout activity in uncached config: %+v", b.Name, st)
+					if st.SharedHits != 0 || st.Timeouts != 0 {
+						t.Errorf("%s: unexpected shared-cache/timeout activity: %+v", b.Name, st)
 					}
 				}
 			}

@@ -115,9 +115,27 @@ func MaterializeQuery(i1, i2 *ir.Instr, rel core.TemporalRelation, resp core.Mod
 }
 
 // AnalyzeLoop builds the dependence query set of loop l and resolves it
-// through o.
+// through o, one query at a time with no cross-query reuse. Most callers
+// want ResolveLoop instead; this unbatched form exists as the reference
+// the batch path is proven identical against (TestResolveLoopMatchesAnalyzeLoop).
 func (c *Client) AnalyzeLoop(o *core.Orchestrator, l *cfg.Loop) *LoopResult {
 	return c.AnalyzeLoopHook(o, l, nil)
+}
+
+// ResolveLoop resolves loop l's dependence query set as one batch: the
+// loop's pairs share premise work (the dominator trees and op list are
+// computed once per loop, and premise resolutions memoize across pairs in
+// pooled batch-scoped tables — see core.Orchestrator.BeginBatch). Results
+// are bit-identical to AnalyzeLoop's; the batch only removes re-derivation.
+func (c *Client) ResolveLoop(o *core.Orchestrator, l *cfg.Loop) *LoopResult {
+	return c.ResolveLoopHook(o, l, nil)
+}
+
+// ResolveLoopHook is ResolveLoop with AnalyzeLoopHook's pre-query hook.
+func (c *Client) ResolveLoopHook(o *core.Orchestrator, l *cfg.Loop, before func()) *LoopResult {
+	o.BeginBatch()
+	defer o.EndBatch()
+	return c.AnalyzeLoopHook(o, l, before)
 }
 
 // AnalyzeLoopHook is AnalyzeLoop with a hook invoked immediately before

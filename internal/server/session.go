@@ -229,7 +229,7 @@ func newSession(id string, req *CreateSessionRequest, scfg Config) (*session, *h
 		o := sys.Orchestrator(scaf.SchemeSCAF,
 			scaf.WithJoin(core.JoinAll), scaf.WithBailout(core.BailExhaustive))
 		for _, l := range sess.hot {
-			res := sess.client.AnalyzeLoop(o, l)
+			res := sess.client.ResolveLoop(o, l)
 			p := pdg.BuildPlan(res.Queries)
 			plan.Free += p.Free
 			plan.Covered += p.Covered
@@ -403,7 +403,7 @@ func armDeadline(o *core.Orchestrator, deadline time.Time) func() {
 func (sess *session) analyzeLoop(scheme scaf.Scheme, l *cfg.Loop, deadline time.Time) (WireLoopResult, core.Stats) {
 	pool := sess.pools[scheme]
 	po := pool.get()
-	res := sess.client.AnalyzeLoopHook(po.o, l, armDeadline(po.o, deadline))
+	res := sess.client.ResolveLoopHook(po.o, l, armDeadline(po.o, deadline))
 	po.o.SetTimeout(0)
 	delta := sess.checkin(pool, po)
 	return EncodeLoopResult(res), delta

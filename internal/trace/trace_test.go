@@ -100,6 +100,54 @@ func TestCollectorReconcilesWithStats(t *testing.T) {
 	}
 }
 
+// TestTopEndDurMatchesLatencySample pins the single-measurement rule: the
+// Dur a TraceTopEnd event carries and the latency sample recorded for the
+// same top-level query come from one time.Since reading, so the trace and
+// Stats.Latencies agree exactly, query by query. (They used to be two
+// separate readings that always disagreed.)
+func TestTopEndDurMatchesLatencySample(t *testing.T) {
+	p1, p2 := ir.CI(1), ir.CI(2)
+	mkq := func(size int64) *core.AliasQuery {
+		return &core.AliasQuery{
+			L1: core.MemLoc{Ptr: p1, Size: size},
+			L2: core.MemLoc{Ptr: p2, Size: size},
+		}
+	}
+	asker := &stubModule{name: "asker"}
+	asker.alias = func(q *core.AliasQuery, h core.Handle) core.AliasResponse {
+		if q.L1.Size < 4 {
+			h.PremiseAlias(mkq(q.L1.Size + 1))
+		}
+		return core.MayAliasResponse()
+	}
+	c := NewCollector()
+	o := core.NewOrchestrator(core.Config{
+		Modules:       []core.Module{asker},
+		RecordLatency: true,
+		Tracer:        c,
+	})
+	for i := 0; i < 8; i++ {
+		o.Alias(mkq(1))
+		o.ModRef(&core.ModRefQuery{Loc: core.MemLoc{Ptr: p1, Size: int64(i)}})
+	}
+	st := o.Stats()
+	var ends []Event
+	for _, e := range c.Events() {
+		if e.Kind == core.TraceTopEnd.String() {
+			ends = append(ends, e)
+		}
+	}
+	if len(ends) != len(st.Latencies) || len(ends) == 0 {
+		t.Fatalf("top-end events %d vs latency samples %d", len(ends), len(st.Latencies))
+	}
+	for i, e := range ends {
+		if e.DurNS != int64(st.Latencies[i]) {
+			t.Fatalf("query %d: traced dur %dns != recorded latency %dns (two readings of the same query)",
+				i, e.DurNS, int64(st.Latencies[i]))
+		}
+	}
+}
+
 // TestTracedRunAnswersMatchUntraced: attaching a tracer must not change
 // any answer — it only observes.
 func TestTracedRunAnswersMatchUntraced(t *testing.T) {

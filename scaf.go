@@ -12,12 +12,13 @@
 //	sys, err := scaf.Load("prog", source, scaf.Options{})
 //	o := sys.Orchestrator(scaf.SchemeSCAF)
 //	for _, loop := range sys.HotLoops() {
-//	    res := sys.Client().AnalyzeLoop(o, loop)
+//	    res := sys.Client().ResolveLoop(o, loop)
 //	    fmt.Printf("%s: %%NoDep = %.1f\n", loop.Name(), res.NoDepPct())
 //	}
 package scaf
 
 import (
+	"sync"
 	"time"
 
 	"scaf/internal/analysis"
@@ -74,6 +75,18 @@ type System struct {
 	Prog     *cfg.Program
 	Profiles *profile.Data
 	hot      profile.HotLoopParams
+
+	internOnce sync.Once
+	intern     *core.Interner
+}
+
+// Interner returns the system's session-scoped assertion-identity table,
+// created on first use. Every orchestrator the system mints without a
+// shared cache interns through it, so assertion handles compare equal
+// across all of a session's orchestrators.
+func (s *System) Interner() *core.Interner {
+	s.internOnce.Do(func() { s.intern = core.NewInterner() })
+	return s.intern
 }
 
 // Compile parses, checks, lowers and SSA-converts MC source.
@@ -179,6 +192,15 @@ func WithRouting(r core.Routing) OrchOption {
 	return func(c *core.Config) { c.Routing = r }
 }
 
+// WithModuleOrder overrides the scheme's fixed consult schedule with a
+// learned one (applied by name inside core.NewOrchestrator, so it composes
+// with WithExtraModules regardless of option order). Consult order is
+// visible in answers — pass only orders LearnModuleOrder verified for the
+// same scheme and options, or answers may drift from the fixed schedule's.
+func WithModuleOrder(order []string) OrchOption {
+	return func(c *core.Config) { c.ModuleOrder = order }
+}
+
 // WithTimeout bounds each top-level query's search time (the
 // compilation-time-sensitive bail-out policy of §3.3).
 func WithTimeout(d time.Duration) OrchOption {
@@ -254,7 +276,39 @@ func (s *System) Orchestrator(scheme Scheme, opts ...OrchOption) *core.Orchestra
 	for _, o := range opts {
 		o(&cfgn)
 	}
+	// A shared cache brings its own interner (handle identity must align
+	// with the entries it stores); otherwise all of this system's
+	// orchestrators share one session table.
+	if cfgn.Interner == nil && cfgn.Shared == nil {
+		cfgn.Interner = s.Interner()
+	}
 	return core.NewOrchestrator(cfgn)
+}
+
+// LearnModuleOrder profiles this system's hot loops under the scheme's
+// fixed module schedule and proposes a cheaper consult order (high
+// settle-rate modules first, within their kind block — see
+// core.OrderProfile). The candidate is adopted only if a verification
+// re-run over the same loops is answer-identical to the fixed schedule —
+// per query the same lattice result, no-dependence verdict, and validation
+// cost (pdg.EqualAnswers) — with strictly fewer module evaluations;
+// otherwise (nil, false) is returned and the fixed schedule stands.
+//
+// The returned order is plain data: pass it to later orchestrators of the
+// SAME scheme and options via WithModuleOrder, including through
+// OrchestratorFactory and ParallelClient. Learning costs two serial
+// analyses of the hot loops; a session pays it once.
+func (s *System) LearnModuleOrder(scheme Scheme, opts ...OrchOption) ([]string, bool) {
+	client := s.Client()
+	loops := s.HotLoops()
+	mint := func(order []string, tr core.Tracer) *core.Orchestrator {
+		o := append(append([]OrchOption(nil), opts...), WithModuleOrder(order))
+		if tr != nil {
+			o = append(o, WithTracer(tr))
+		}
+		return s.Orchestrator(scheme, o...)
+	}
+	return pdg.LearnOrder(client, loops, mint)
 }
 
 // OrchestratorFactory returns a mint function suitable for
