@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos runtime bench bench-json bench-baseline bench-check bench-mem oracle clean
+.PHONY: all build vet test race chaos runtime fleet loadgen bench bench-json bench-baseline bench-check bench-mem oracle clean
 
 all: vet build test
 
@@ -35,6 +35,37 @@ chaos:
 # misspeculation and require byte-equal convergence to serial.
 runtime:
 	$(GO) test -race -count=1 ./internal/runtime/...
+
+# Fleet-mode gate under the race detector: the distributed cache tier's
+# own suite, the server's fleet tests (cross-instance remote hits,
+# fleet-wide quarantine invalidation with the guaranteed-miss proof), and
+# the router suite (broadcast consensus, sharded-read byte-identity vs a
+# single cold instance, backend loss + journal-replay rejoin) — then a
+# fleet byte-identity oracle sweep: generated programs served through
+# router + 2 peer backends must byte-equal a single instance, serially
+# and under concurrent fire.
+fleet:
+	$(GO) test -race -count=1 ./internal/fleet/...
+	$(GO) test -race -count=1 -v ./internal/server/ -run 'TestFleet|TestRouter'
+	$(GO) run ./cmd/scaf-oracle -seeds 25 -start 7000 -fast -fleet
+
+# Loadgen smoke: the generator's own suite, then the CLI twice with one
+# seed against fresh in-process servers — the deterministic sections
+# (request mix, schedule digest, order-independent answer digest) must be
+# byte-identical across runs and match the pinned literals (same pins as
+# TestLoadgenDeterministicCounters) — then the 1/2/4-instance saturation
+# sweep, which exits non-zero if any fleet size serves a deterministic
+# section different from single-instance.
+LOADGEN_ARGS ?= -rate 1500 -requests 80 -seed 42 -query-frac 0.6 -deadline-frac 0.15
+LOADGEN_PIN  ?= requests=80 queries=46 analyzes=34 deadlined=13 samples=67
+loadgen:
+	$(GO) test -count=1 ./internal/loadgen/...
+	$(GO) run ./cmd/scaf-loadgen $(LOADGEN_ARGS) -json LOADGEN.1.json | grep '^deterministic:' > LOADGEN.1.txt
+	$(GO) run ./cmd/scaf-loadgen $(LOADGEN_ARGS) -json LOADGEN.2.json | grep '^deterministic:' > LOADGEN.2.txt
+	diff LOADGEN.1.txt LOADGEN.2.txt
+	grep -q '$(LOADGEN_PIN)' LOADGEN.1.txt || { \
+		echo "loadgen: deterministic counters drifted from the pin:"; cat LOADGEN.1.txt; exit 1; }
+	$(GO) run ./cmd/scaf-loadgen -saturate -sizes 1,2,4 $(LOADGEN_ARGS) -json LOADGEN.saturation.json
 
 # Wall-clock comparison of serial vs parallel suite analysis. Needs
 # GOMAXPROCS >= 4 to show a speedup.

@@ -33,6 +33,7 @@ func main() {
 	fast := flag.Bool("fast", false, "soundness and monotonicity only (no drift or metamorphic checks)")
 	recov := flag.Bool("recovery", false, "force the misspeculation-recovery pass (fault injection + quarantine + equivalence); always on without -fast")
 	execute := flag.Bool("execute", false, "force the execution-equivalence pass (speculative-parallel runtime vs serial, plus chaos-forced misspeculation recovery); always on without -fast")
+	fleetPass := flag.Bool("fleet", false, "force the fleet byte-identity pass (router + 2 peer backends vs a single cold instance); always on without -fast")
 	transforms := flag.String("transforms", "all", `metamorphic transforms: "all", "none", or a comma-separated subset (rename,deadcode,reorder,peel)`)
 	verbose := flag.Bool("v", false, "log every seed, not just failures and progress")
 	flag.Parse()
@@ -46,6 +47,9 @@ func main() {
 	}
 	if *execute {
 		cfg.Execution = true
+	}
+	if *fleetPass {
+		cfg.Fleet = true
 	}
 	switch *transforms {
 	case "all":

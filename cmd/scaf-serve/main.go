@@ -53,13 +53,45 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "default per-request deadline (0: unbounded)")
 	preload := flag.String("preload", "", "comma-separated embedded benchmarks to load as sessions at startup")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	fleetSelf := flag.String("fleet-self", "", "fleet node ID; empty disables fleet mode")
+	fleetPeers := flag.String("fleet-peers", "", "comma-separated id=url peer list (e.g. b1=http://127.0.0.1:8348)")
+	fleetSalt := flag.String("fleet-salt", "", "deployment salt folded into every fleet cache key")
+	fleetFlush := flag.Duration("fleet-flush", 250*time.Millisecond, "publication batch auto-flush period")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:         *workers,
 		MaxQueue:        *queue,
 		DefaultDeadline: *deadline,
-	})
+	}
+	if *fleetSelf != "" {
+		peers := map[string]string{}
+		for _, kv := range strings.Split(*fleetPeers, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			id, url, ok := strings.Cut(kv, "=")
+			if !ok {
+				log.Fatalf("scaf-serve: -fleet-peers entry %q is not id=url", kv)
+			}
+			peers[id] = url
+		}
+		cfg.Fleet = &server.FleetConfig{
+			Self:      *fleetSelf,
+			Peers:     peers,
+			Salt:      *fleetSalt,
+			AutoFlush: *fleetFlush,
+		}
+	}
+
+	srv := server.New(cfg)
+	if cfg.Fleet != nil {
+		if err := srv.FleetSync(); err != nil {
+			log.Printf("scaf-serve: fleet state sync (continuing degraded): %v", err)
+		}
+		log.Printf("scaf-serve: fleet node %s with %d peers", cfg.Fleet.Self, len(cfg.Fleet.Peers))
+	}
 	if *preload != "" {
 		for _, name := range strings.Split(*preload, ",") {
 			name = strings.TrimSpace(name)

@@ -168,6 +168,11 @@ type Orchestrator struct {
 	// innermost resolution window (maxInt64 when none); frames fold their
 	// window into the parent's on exit.
 	windowMin int64
+	// peerLookups arms remote CachePeer consultation on shared-cache
+	// misses (publications always flow). Default true; batch loop
+	// resolution turns it off so a cold loop pass does not pay one remote
+	// round trip per proposition (see SetPeerLookups).
+	peerLookups bool
 }
 
 const noTaint = int64(^uint64(0) >> 1) // max int64
@@ -191,13 +196,14 @@ func NewOrchestrator(cfg Config) *Orchestrator {
 		intern = NewInterner()
 	}
 	o := &Orchestrator{
-		cfg:       cfg,
-		tracer:    cfg.Tracer,
-		intern:    intern,
-		actA:      map[aliasKey]int64{},
-		actM:      map[modrefKey]int64{},
-		groups:    map[string][]Module{},
-		windowMin: noTaint,
+		cfg:         cfg,
+		tracer:      cfg.Tracer,
+		intern:      intern,
+		actA:        map[aliasKey]int64{},
+		actM:        map[modrefKey]int64{},
+		groups:      map[string][]Module{},
+		windowMin:   noTaint,
+		peerLookups: true,
 	}
 	if cfg.EnableCache {
 		o.cacheA = map[aliasMemoKey]AliasResponse{}
@@ -237,6 +243,16 @@ func (o *Orchestrator) SetTracer(t Tracer) { o.tracer = t }
 // published to caches — so varying it between requests cannot corrupt an
 // attached SharedCache.
 func (o *Orchestrator) SetTimeout(d time.Duration) { o.cfg.Timeout = d }
+
+// SetPeerLookups arms or disarms remote CachePeer lookups on shared-cache
+// misses for subsequent queries (publications to the peer always flow).
+// Remote lookups trade one peer round trip for a whole resolution — a win
+// for isolated queries, a loss inside a batched loop pass where hundreds
+// of propositions resolve back-to-back against warm local state. Like
+// SetTimeout, it must not be called while a query is in flight. Answers
+// are unaffected either way: a remote hit is byte-identical to a fresh
+// resolution (see CachePeer).
+func (o *Orchestrator) SetPeerLookups(on bool) { o.peerLookups = on }
 
 // aliasKey identifies the PROPOSITION an alias query asks about. The
 // desired-result parameter is deliberately excluded: it tunes module
@@ -478,8 +494,11 @@ func (o *Orchestrator) handleAlias(q *AliasQuery, depth int, from Module) (resp 
 	// top-level, and (for alias) the desired-result-free form.
 	shared := o.cfg.Shared != nil && depth == 0 && q.Desired == AnyAlias
 	if shared {
-		if r, ok := o.cfg.Shared.getAlias(k); ok {
+		if r, ok, remote := o.cfg.Shared.getAlias(k, q, o.peerLookups); ok {
 			o.stats.SharedHits++
+			if remote {
+				o.stats.RemoteHits++
+			}
 			if t := o.tracer; t != nil {
 				t.TraceEvent(TraceEvent{Kind: TraceSharedHit, Alias: true, Depth: depth})
 			}
@@ -587,8 +606,11 @@ func (o *Orchestrator) handleModRef(q *ModRefQuery, depth int, from Module) (res
 	}
 	shared := o.cfg.Shared != nil && depth == 0
 	if shared {
-		if r, ok := o.cfg.Shared.getModRef(k); ok {
+		if r, ok, remote := o.cfg.Shared.getModRef(k, q, o.peerLookups); ok {
 			o.stats.SharedHits++
+			if remote {
+				o.stats.RemoteHits++
+			}
 			if t := o.tracer; t != nil {
 				t.TraceEvent(TraceEvent{Kind: TraceSharedHit, Depth: depth})
 			}

@@ -210,13 +210,13 @@ func TestSharedCacheInvalidateIsExact(t *testing.T) {
 	if a, _ := sc.Len(); a != 2 {
 		t.Errorf("len after invalidate = %d, want 2 (q2 and q3 untouched)", a)
 	}
-	if _, ok := sc.getAlias(keyOfAlias(q2)); !ok {
+	if _, ok, _ := sc.getAlias(keyOfAlias(q2), nil, false); !ok {
 		t.Error("entry for an unrelated assertion was invalidated")
 	}
-	if _, ok := sc.getAlias(keyOfAlias(q3)); !ok {
+	if _, ok, _ := sc.getAlias(keyOfAlias(q3), nil, false); !ok {
 		t.Error("assertion-free entry was invalidated")
 	}
-	if _, ok := sc.getAlias(keyOfAlias(q1)); ok {
+	if _, ok, _ := sc.getAlias(keyOfAlias(q1), nil, false); ok {
 		t.Error("invalidated entry still served")
 	}
 	// Invalidating the same key again finds nothing.
@@ -234,11 +234,11 @@ func TestSharedCacheRevokerBlocksLookupAndPut(t *testing.T) {
 
 	o := NewOrchestrator(Config{Modules: []Module{specModuleFor("spec", q1, a1)}, Shared: sc})
 	o.Alias(q1)
-	if _, ok := sc.getAlias(keyOfAlias(q1)); !ok {
+	if _, ok, _ := sc.getAlias(keyOfAlias(q1), nil, false); !ok {
 		t.Fatal("entry not published")
 	}
 	rev.Revoke(a1.String())
-	if _, ok := sc.getAlias(keyOfAlias(q1)); ok {
+	if _, ok, _ := sc.getAlias(keyOfAlias(q1), nil, false); ok {
 		t.Error("lookup served an answer predicated on a revoked assertion")
 	}
 
@@ -305,7 +305,7 @@ func TestSharedCacheQuarantineRace(t *testing.T) {
 				}
 				i := (it*7 + w) % nkeys
 				revokedBefore := rev.RevokedAssert(asserts[i])
-				if _, ok := sc.getAlias(keys[i]); ok {
+				if _, ok, _ := sc.getAlias(keys[i], nil, false); ok {
 					if revokedBefore {
 						t.Errorf("key %d: served an answer predicated on an already-revoked assertion", i)
 						return
@@ -327,7 +327,7 @@ func TestSharedCacheQuarantineRace(t *testing.T) {
 	// Everything is revoked now: no lookup may hit, whatever the racing
 	// workers re-published.
 	for i := range keys {
-		if _, ok := sc.getAlias(keys[i]); ok {
+		if _, ok, _ := sc.getAlias(keys[i], nil, false); ok {
 			t.Errorf("key %d still served after revocation", i)
 		}
 	}

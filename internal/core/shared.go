@@ -18,6 +18,28 @@ type Revoker interface {
 	RevokedAssert(key string) bool
 }
 
+// CachePeer is a second-level lookaside tier behind a SharedCache — the
+// seam the fleet layer plugs a *remote* cache into. On a local top-level
+// miss the cache consults the peer; on a local canonical publication it
+// notifies the peer. Because the cache only ever publishes canonical
+// entries (complete, top-level, untainted — see the publication rule
+// below), everything a peer can return is a pure function of the
+// proposition and the configuration, so a remote hit is byte-identical to
+// a fresh local resolution by the same argument that makes local shared
+// hits safe.
+//
+// Implementations decide their own key space and serialization (the fleet
+// tier keys on process-independent wire refs and round-trips responses
+// through a codec); a peer that cannot represent a query exactly must
+// report a miss on Get and ignore the Put — partial coverage degrades hit
+// rate, never answers. Implementations must be safe for concurrent use.
+type CachePeer interface {
+	GetAlias(q *AliasQuery) (AliasResponse, bool)
+	PutAlias(q *AliasQuery, asserts []string, r AliasResponse)
+	GetModRef(q *ModRefQuery) (ModRefResponse, bool)
+	PutModRef(q *ModRefQuery, asserts []string, r ModRefResponse)
+}
+
 // SharedCache is a concurrency-safe memo table for query results, shared
 // by several orchestrators (typically one per worker goroutine) analyzing
 // the same program under the same configuration. Cached propositions embed
@@ -51,6 +73,10 @@ type SharedCache struct {
 	// revMu guards revoker; reads are per-lookup, writes are rare.
 	revMu   sync.RWMutex
 	revoker Revoker
+
+	// peerMu guards peer — the optional remote lookaside tier.
+	peerMu sync.RWMutex
+	peer   CachePeer
 
 	// idxMu guards index: assertion key → entries predicated on it.
 	// Refs are append-only and may go stale once an entry is deleted or
@@ -113,6 +139,22 @@ func NewSharedCache() *SharedCache {
 // Interner returns the cache's session-scoped assertion-identity table.
 func (c *SharedCache) Interner() *Interner { return c.intern }
 
+// SetPeer attaches (or, with nil, detaches) the remote lookaside tier.
+// Safe to call concurrently with queries; typically set once at session
+// construction.
+func (c *SharedCache) SetPeer(p CachePeer) {
+	c.peerMu.Lock()
+	c.peer = p
+	c.peerMu.Unlock()
+}
+
+func (c *SharedCache) currentPeer() CachePeer {
+	c.peerMu.RLock()
+	p := c.peer
+	c.peerMu.RUnlock()
+	return p
+}
+
 // SetRevoker attaches (or, with nil, detaches) the revocation source
 // consulted on every lookup and publication. Safe to call concurrently
 // with queries; typically set once at session construction.
@@ -171,23 +213,58 @@ func (c *SharedCache) IndexedAsserts() int {
 	return n
 }
 
-func (c *SharedCache) getAlias(k aliasKey) (AliasResponse, bool) {
+// getAlias answers a top-level lookup: the local table first, then — when
+// the caller permits (usePeer) — the attached remote peer. A peer hit is
+// interned through the session's interner, installed locally (without
+// echoing back to the peer) and reported with remote=true so the
+// orchestrator can account for it.
+func (c *SharedCache) getAlias(k aliasKey, q *AliasQuery, usePeer bool) (resp AliasResponse, ok, remote bool) {
 	s := &c.alias[k.shard()%sharedShards]
 	s.mu.RLock()
-	e, ok := s.m[k]
+	e, found := s.m[k]
 	s.mu.RUnlock()
-	if !ok || c.revoked(e.asserts) {
-		return AliasResponse{}, false
+	if found && !c.revoked(e.asserts) {
+		return e.resp, true, false
 	}
-	return e.resp, true
+	if !usePeer {
+		return AliasResponse{}, false, false
+	}
+	p := c.currentPeer()
+	if p == nil {
+		return AliasResponse{}, false, false
+	}
+	r, hit := p.GetAlias(q)
+	if !hit {
+		return AliasResponse{}, false, false
+	}
+	r.Options = c.intern.options(r.Options)
+	// The peer's entry may predicate on an assertion this process has
+	// already revoked (recovery broadcasts race); the Revoker stays
+	// authoritative over anything remote.
+	if c.revoked(optionAssertKeys(r.Options)) {
+		return AliasResponse{}, false, false
+	}
+	c.installAlias(k, r)
+	return r, true, true
 }
 
 func (c *SharedCache) putAlias(k aliasKey, r AliasResponse) {
+	if inserted, asserts := c.installAlias(k, r); inserted {
+		if p := c.currentPeer(); p != nil {
+			p.PutAlias(k.query(), asserts, r)
+		}
+	}
+}
+
+// installAlias inserts locally under the first-entry-wins rule, without
+// notifying the peer — shared by local publication (which then notifies)
+// and peer-hit installation (which must not echo).
+func (c *SharedCache) installAlias(k aliasKey, r AliasResponse) (bool, []string) {
 	asserts := optionAssertKeys(r.Options)
 	if c.revoked(asserts) {
 		// A concurrent revocation already withdrew one of this answer's
 		// premises; publishing it would let lookups race past the Revoker.
-		return
+		return false, nil
 	}
 	s := &c.alias[k.shard()%sharedShards]
 	s.mu.Lock()
@@ -202,23 +279,48 @@ func (c *SharedCache) putAlias(k aliasKey, r AliasResponse) {
 	if inserted && len(asserts) > 0 {
 		c.indexEntry(asserts, entryRef{alias: true, a: k})
 	}
+	return inserted, asserts
 }
 
-func (c *SharedCache) getModRef(k modrefKey) (ModRefResponse, bool) {
+func (c *SharedCache) getModRef(k modrefKey, q *ModRefQuery, usePeer bool) (resp ModRefResponse, ok, remote bool) {
 	s := &c.modref[k.shard()%sharedShards]
 	s.mu.RLock()
-	e, ok := s.m[k]
+	e, found := s.m[k]
 	s.mu.RUnlock()
-	if !ok || c.revoked(e.asserts) {
-		return ModRefResponse{}, false
+	if found && !c.revoked(e.asserts) {
+		return e.resp, true, false
 	}
-	return e.resp, true
+	if !usePeer {
+		return ModRefResponse{}, false, false
+	}
+	p := c.currentPeer()
+	if p == nil {
+		return ModRefResponse{}, false, false
+	}
+	r, hit := p.GetModRef(q)
+	if !hit {
+		return ModRefResponse{}, false, false
+	}
+	r.Options = c.intern.options(r.Options)
+	if c.revoked(optionAssertKeys(r.Options)) {
+		return ModRefResponse{}, false, false
+	}
+	c.installModRef(k, r)
+	return r, true, true
 }
 
 func (c *SharedCache) putModRef(k modrefKey, r ModRefResponse) {
+	if inserted, asserts := c.installModRef(k, r); inserted {
+		if p := c.currentPeer(); p != nil {
+			p.PutModRef(k.query(), asserts, r)
+		}
+	}
+}
+
+func (c *SharedCache) installModRef(k modrefKey, r ModRefResponse) (bool, []string) {
 	asserts := optionAssertKeys(r.Options)
 	if c.revoked(asserts) {
-		return
+		return false, nil
 	}
 	s := &c.modref[k.shard()%sharedShards]
 	s.mu.Lock()
@@ -231,7 +333,12 @@ func (c *SharedCache) putModRef(k modrefKey, r ModRefResponse) {
 	if inserted && len(asserts) > 0 {
 		c.indexEntry(asserts, entryRef{alias: false, m: k})
 	}
+	return inserted, asserts
 }
+
+// OptionAssertKeys exposes the deduplicated, sorted assertion keys of an
+// option set — what a CachePeer needs to index entries for invalidation.
+func OptionAssertKeys(opts []Option) []string { return optionAssertKeys(opts) }
 
 func (c *SharedCache) indexEntry(asserts []string, ref entryRef) {
 	c.idxMu.Lock()

@@ -22,6 +22,10 @@ type Stats struct {
 	// SharedHits counts top-level queries served from a cross-orchestrator
 	// SharedCache (Config.Shared).
 	SharedHits int64
+	// RemoteHits counts the subset of SharedHits answered by the cache's
+	// attached CachePeer — entries another instance of the fleet resolved
+	// and published. Always <= SharedHits.
+	RemoteHits int64
 	// Timeouts counts top-level queries cut short by the timeout policy —
 	// at most one per top-level query, however many premise searches the
 	// expired budget subsequently stops.
@@ -78,6 +82,7 @@ func (s *Stats) Merge(other *Stats) {
 	s.ModuleEvals += other.ModuleEvals
 	s.CacheHits += other.CacheHits
 	s.SharedHits += other.SharedHits
+	s.RemoteHits += other.RemoteHits
 	s.Timeouts += other.Timeouts
 	s.CycleBreaks += other.CycleBreaks
 	s.DepthLimits += other.DepthLimits

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+)
+
+// Entry is one canonical cache record as it moves between instances:
+// an opaque key, the wire bytes of the answer, and the keys of the
+// assertions the answer is predicated on (empty for pure facts). The
+// producer guarantees the value is canonical — byte-identical to what any
+// instance would compute fresh — so consumers can serve it verbatim.
+type Entry struct {
+	Key     string   `json:"key"`
+	Value   []byte   `json:"value"`
+	Asserts []string `json:"asserts,omitempty"`
+}
+
+// Cache is one instance's shard of the fleet cache: a first-write-wins
+// map from key to Entry, an inverted assertion→keys index mirroring
+// core.SharedCache's, and a monotone revoked-assertion set. The monotone
+// set gives the fleet the same guarantee recovery.Quarantine gives one
+// process: once an assertion key is revoked here, no entry predicated on
+// it can be inserted or served, ever — revocation-before-lookup implies a
+// guaranteed miss.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+	index   map[string][]string // assertion key -> entry keys
+	revoked map[string]bool
+
+	hits, misses, puts, rejects, invalidated int64
+}
+
+// CacheStats is a point-in-time snapshot of a shard's counters.
+type CacheStats struct {
+	Entries     int   `json:"entries"`
+	Revoked     int   `json:"revoked"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	Rejects     int64 `json:"rejects"`
+	Invalidated int64 `json:"invalidated"`
+}
+
+// NewCache returns an empty shard.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[string]Entry),
+		index:   make(map[string][]string),
+		revoked: make(map[string]bool),
+	}
+}
+
+// Get returns the entry bytes for key, if present.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+		return e.Value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// GetBatch returns the entries present for keys, preserving key order.
+func (c *Cache) GetBatch(keys []string) []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Entry
+	for _, k := range keys {
+		if e, ok := c.entries[k]; ok {
+			c.hits++
+			out = append(out, e)
+		} else {
+			c.misses++
+		}
+	}
+	return out
+}
+
+// Put inserts e unless the key is already present (entries are canonical,
+// so the first writer wins and later identical writes are no-ops) or any
+// of its assertions has been revoked (the monotone guaranteed-miss rule).
+// Returns whether the entry was inserted.
+func (c *Cache) Put(e Entry) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.putLocked(e)
+}
+
+// PutBatch inserts each entry under Put's rules and returns how many landed.
+func (c *Cache) PutBatch(es []Entry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range es {
+		if c.putLocked(e) {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cache) putLocked(e Entry) bool {
+	if _, dup := c.entries[e.Key]; dup {
+		return false
+	}
+	for _, a := range e.Asserts {
+		if c.revoked[a] {
+			c.rejects++
+			return false
+		}
+	}
+	c.entries[e.Key] = e
+	for _, a := range e.Asserts {
+		c.index[a] = append(c.index[a], e.Key)
+	}
+	c.puts++
+	return true
+}
+
+// AnyRevoked reports whether any of keys is in the revoked set.
+func (c *Cache) AnyRevoked(keys []string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, k := range keys {
+		if c.revoked[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAsserts marks each assertion key revoked (monotone — never
+// un-revoked) and deletes every indexed entry predicated on one. Returns
+// the number of entries removed.
+func (c *Cache) InvalidateAsserts(keys []string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for _, a := range keys {
+		c.revoked[a] = true
+		for _, ek := range c.index[a] {
+			if _, ok := c.entries[ek]; ok {
+				delete(c.entries, ek)
+				removed++
+			}
+		}
+		delete(c.index, a)
+	}
+	c.invalidated += int64(removed)
+	return removed
+}
+
+// RevokedKeys returns the revoked assertion keys in sorted order — the
+// state a rejoining instance pulls to catch up with fleet recovery.
+func (c *Cache) RevokedKeys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.revoked))
+	for k := range c.revoked {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Flush drops all entries (and the index) but keeps the revoked set:
+// forgetting answers is always safe, forgetting revocations never is.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]Entry)
+	c.index = make(map[string][]string)
+}
+
+// Stats snapshots the shard's counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{
+		Entries:     len(c.entries),
+		Revoked:     len(c.revoked),
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Puts:        c.puts,
+		Rejects:     c.rejects,
+		Invalidated: c.invalidated,
+	}
+}

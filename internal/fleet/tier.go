@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TierConfig configures one instance's view of the fleet.
+type TierConfig struct {
+	// Self is this instance's node ID (must not appear in Peers).
+	Self string
+	// Peers maps the other instances' node IDs to their base URLs.
+	Peers map[string]string
+	// VNodes is the ring's virtual-node count (0 = DefaultVNodes).
+	VNodes int
+	// Timeout bounds each peer RPC (0 = DefaultPeerTimeout).
+	Timeout time.Duration
+	// AutoFlush, when positive, drains pending publications to peers on
+	// this period from a background goroutine. Zero means publications
+	// accumulate until an explicit Flush — what deterministic tests want.
+	AutoFlush time.Duration
+	// MaxBatch caps entries per publication batch; an overfull pending
+	// queue triggers an inline drain. 0 = DefaultMaxBatch.
+	MaxBatch int
+}
+
+// DefaultMaxBatch bounds one publication RPC to a size that stays well
+// under maxPeerBody even with large wire values.
+const DefaultMaxBatch = 256
+
+// Tier is one instance's handle on the fleet cache: a local shard, a
+// ring placing every key on its home node, and clients to the peers.
+//
+// Reads are local-first: the local shard covers self-owned keys and
+// previously fetched remote entries, so each remote entry costs at most
+// one RTT per instance. A remote hit whose predicates are locally revoked
+// is discarded — the local recovery state stays authoritative, exactly as
+// core.SharedCache's Revoker does for the in-process cache.
+//
+// Writes install locally and, for keys homed elsewhere, enqueue to the
+// owner; batches drain asynchronously (AutoFlush) or on Flush. Dropped
+// batches (peer down) only cost future hits — entries are a cache.
+//
+// Recovery is the one synchronous path: BroadcastRecovery applies locally
+// and then POSTs to every peer before returning, so a caller that
+// responds to its client after broadcasting knows the whole fleet has
+// revoked the assertion.
+type Tier struct {
+	self  string
+	ring  *Ring
+	local *Cache
+	peers map[string]*Client
+
+	mu      sync.Mutex
+	pending map[string][]Entry
+	max     int
+
+	localHits, remoteHits, misses    atomic.Int64
+	remoteErrors, published, batches atomic.Int64
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// TierStats snapshots the tier's counters.
+type TierStats struct {
+	Self         string     `json:"self"`
+	Nodes        []string   `json:"nodes"`
+	LocalHits    int64      `json:"local_hits"`
+	RemoteHits   int64      `json:"remote_hits"`
+	Misses       int64      `json:"misses"`
+	RemoteErrors int64      `json:"remote_errors"`
+	Published    int64      `json:"published"`
+	Batches      int64      `json:"batches"`
+	Local        CacheStats `json:"local"`
+}
+
+// NewTier builds a tier. With no peers it degenerates to a purely local
+// shard — every key is self-owned and no goroutine is started.
+func NewTier(cfg TierConfig) *Tier {
+	nodes := []string{cfg.Self}
+	peers := make(map[string]*Client, len(cfg.Peers))
+	for id, base := range cfg.Peers {
+		nodes = append(nodes, id)
+		peers[id] = NewClient(base, cfg.Timeout)
+	}
+	max := cfg.MaxBatch
+	if max <= 0 {
+		max = DefaultMaxBatch
+	}
+	t := &Tier{
+		self:    cfg.Self,
+		ring:    NewRing(nodes, cfg.VNodes),
+		local:   NewCache(),
+		peers:   peers,
+		pending: make(map[string][]Entry),
+		max:     max,
+		stop:    make(chan struct{}),
+	}
+	if cfg.AutoFlush > 0 && len(peers) > 0 {
+		t.done.Add(1)
+		go t.flushLoop(cfg.AutoFlush)
+	}
+	return t
+}
+
+// Local exposes the instance's shard — the Handler serves it to peers.
+func (t *Tier) Local() *Cache { return t.local }
+
+// Self returns this instance's node ID.
+func (t *Tier) Self() string { return t.self }
+
+// Owner returns the node that homes key.
+func (t *Tier) Owner(key string) string { return t.ring.Owner(key) }
+
+// Get looks key up: local shard first, then — if the key is homed on a
+// peer — one RPC to the owner. Remote hits are installed locally so the
+// next ask is free. Returns the canonical bytes and whether they were
+// found; ok=false covers true misses, peer errors, and remote entries
+// blocked by local revocations alike (all are just misses to the caller).
+func (t *Tier) Get(key string) ([]byte, bool) {
+	if v, ok := t.local.Get(key); ok {
+		t.localHits.Add(1)
+		return v, true
+	}
+	owner := t.ring.Owner(key)
+	if owner == t.self {
+		t.misses.Add(1)
+		return nil, false
+	}
+	p, ok := t.peers[owner]
+	if !ok {
+		t.misses.Add(1)
+		return nil, false
+	}
+	entries, err := p.Get([]string{key})
+	if err != nil {
+		t.remoteErrors.Add(1)
+		t.misses.Add(1)
+		return nil, false
+	}
+	for _, e := range entries {
+		if e.Key != key {
+			continue
+		}
+		if t.local.AnyRevoked(e.Asserts) {
+			// The peer hasn't seen a revocation we have; serving its
+			// entry would break the guaranteed-miss rule.
+			t.misses.Add(1)
+			return nil, false
+		}
+		t.local.Put(e)
+		t.remoteHits.Add(1)
+		return e.Value, true
+	}
+	t.misses.Add(1)
+	return nil, false
+}
+
+// Put publishes a canonical entry: it lands in the local shard
+// immediately and, when the key is homed on a peer, is queued for that
+// owner's next batch.
+func (t *Tier) Put(key string, asserts []string, value []byte) {
+	e := Entry{Key: key, Value: value, Asserts: asserts}
+	t.local.Put(e)
+	owner := t.ring.Owner(key)
+	if owner == t.self {
+		return
+	}
+	if _, ok := t.peers[owner]; !ok {
+		return
+	}
+	t.mu.Lock()
+	t.pending[owner] = append(t.pending[owner], e)
+	over := len(t.pending[owner]) >= t.max
+	t.mu.Unlock()
+	if over {
+		t.Flush()
+	}
+}
+
+// Flush synchronously drains all pending publication batches. Peers that
+// error lose their batch — the entries remain served from the local
+// shard, and canonical entries can always be re-derived.
+func (t *Tier) Flush() {
+	t.mu.Lock()
+	batches := t.pending
+	t.pending = make(map[string][]Entry)
+	t.mu.Unlock()
+	ids := make([]string, 0, len(batches))
+	for id := range batches {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		es := batches[id]
+		if len(es) == 0 {
+			continue
+		}
+		if _, err := t.peers[id].Put(es); err != nil {
+			t.remoteErrors.Add(1)
+			continue
+		}
+		t.published.Add(int64(len(es)))
+		t.batches.Add(1)
+	}
+}
+
+func (t *Tier) flushLoop(period time.Duration) {
+	defer t.done.Done()
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			t.Flush()
+		case <-t.stop:
+			t.Flush()
+			return
+		}
+	}
+}
+
+// ApplyRecovery applies a recovery event to the local shard only —
+// what the Handler does when a peer broadcasts to us.
+func (t *Tier) ApplyRecovery(req RecoveryRequest) int {
+	return t.local.InvalidateAsserts(req.Asserts)
+}
+
+// BroadcastRecovery applies req locally, then replicates it to every
+// peer synchronously (sorted order, so failures are deterministic to
+// attribute). It returns the IDs of peers that could not be reached;
+// callers decide whether that is fatal. Because the revoked set is
+// monotone and keys embed quarantine fingerprints, a missed peer can
+// only serve stale entries to sessions still in the old recovery state —
+// never to one that has observed the violation.
+func (t *Tier) BroadcastRecovery(req RecoveryRequest) []string {
+	t.ApplyRecovery(req)
+	if req.Origin == "" {
+		req.Origin = t.self
+	}
+	ids := make([]string, 0, len(t.peers))
+	for id := range t.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var failed []string
+	for _, id := range ids {
+		if err := t.peers[id].Recovery(req); err != nil {
+			t.remoteErrors.Add(1)
+			failed = append(failed, id)
+		}
+	}
+	return failed
+}
+
+// SyncState pulls every reachable peer's revoked set and applies it
+// locally — how a rejoining instance catches up on recovery events it
+// missed while down.
+func (t *Tier) SyncState() error {
+	var firstErr error
+	ids := make([]string, 0, len(t.peers))
+	for id := range t.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st, err := t.peers[id].State()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			t.remoteErrors.Add(1)
+			continue
+		}
+		t.local.InvalidateAsserts(st.Revoked)
+	}
+	return firstErr
+}
+
+// Stats snapshots the tier's counters, including the local shard's.
+func (t *Tier) Stats() TierStats {
+	return TierStats{
+		Self:         t.self,
+		Nodes:        t.ring.Nodes(),
+		LocalHits:    t.localHits.Load(),
+		RemoteHits:   t.remoteHits.Load(),
+		Misses:       t.misses.Load(),
+		RemoteErrors: t.remoteErrors.Load(),
+		Published:    t.published.Load(),
+		Batches:      t.batches.Load(),
+		Local:        t.local.Stats(),
+	}
+}
+
+// Close stops the auto-flush goroutine after a final drain. Safe to call
+// once; tiers without auto-flush need no Close but tolerate one.
+func (t *Tier) Close() {
+	select {
+	case <-t.stop:
+		return
+	default:
+	}
+	close(t.stop)
+	t.done.Wait()
+	// Drop pooled peer connections so peers shutting down concurrently
+	// don't wait out http.Server.Shutdown's StateNew grace period on a
+	// spare connection we left parked there.
+	for _, p := range t.peers {
+		p.CloseIdle()
+	}
+}

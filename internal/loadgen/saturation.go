@@ -1,0 +1,210 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"scaf/internal/server"
+)
+
+// The saturation sweep boots a complete in-process fleet — N scaf-serve
+// backends wired as cache peers plus a scaf-router front tier, all on
+// loopback — for each requested size, offers the same open-loop Poisson
+// workload to each, and reports throughput, tail latency, and how much of
+// the fleet's serving came from the cross-instance cache. The workload's
+// deterministic section must be identical across fleet sizes: any
+// divergence means a fleet served different bytes than a single instance.
+
+// SaturationConfig parameterizes a sweep.
+type SaturationConfig struct {
+	// Sizes lists the fleet sizes to sweep (default 1, 2, 4).
+	Sizes []int `json:"sizes"`
+	// Load is the per-size workload; BaseURL is filled in per fleet.
+	Load Config `json:"load"`
+	// Workers is each backend's analysis worker count (default 4).
+	Workers int `json:"workers"`
+}
+
+// SaturationPoint is one fleet size's outcome.
+type SaturationPoint struct {
+	Instances     int           `json:"instances"`
+	Deterministic Deterministic `json:"deterministic"`
+	Measured      Measured      `json:"measured"`
+	// FleetLocalHits/FleetRemoteHits/FleetMisses aggregate the backends'
+	// cache-tier lookups; FleetLoopHits counts whole /analyze loops served
+	// from the shared tier.
+	FleetLocalHits  int64 `json:"fleet_local_hits"`
+	FleetRemoteHits int64 `json:"fleet_remote_hits"`
+	FleetMisses     int64 `json:"fleet_misses"`
+	FleetLoopHits   int64 `json:"fleet_loop_hits"`
+	// RemoteHitRate is (local+remote tier hits) / all tier lookups.
+	RemoteHitRate float64 `json:"remote_hit_rate"`
+}
+
+// SaturationReport is the sweep outcome.
+type SaturationReport struct {
+	Config SaturationConfig  `json:"config"`
+	Points []SaturationPoint `json:"points"`
+	// Consistent reports whether every size produced the identical
+	// deterministic section (schedule and answer digests).
+	Consistent bool `json:"consistent"`
+}
+
+// Saturate sweeps the configured fleet sizes.
+func Saturate(cfg SaturationConfig) (*SaturationReport, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{1, 2, 4}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	rep := &SaturationReport{Config: cfg, Consistent: true}
+	for _, n := range cfg.Sizes {
+		pt, err := saturateOne(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: fleet of %d: %w", n, err)
+		}
+		rep.Points = append(rep.Points, *pt)
+	}
+	for _, pt := range rep.Points[1:] {
+		if pt.Deterministic != rep.Points[0].Deterministic {
+			rep.Consistent = false
+		}
+	}
+	return rep, nil
+}
+
+func saturateOne(cfg SaturationConfig, n int) (*SaturationPoint, error) {
+	fl, err := bootFleet(n, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.shutdown()
+
+	load := cfg.Load
+	load.BaseURL = fl.url
+	run, err := Run(load)
+	if err != nil {
+		return nil, err
+	}
+
+	pt := &SaturationPoint{
+		Instances:     n,
+		Deterministic: run.Deterministic,
+		Measured:      run.Measured,
+	}
+	for _, srv := range fl.backends {
+		if t := srv.Fleet(); t != nil {
+			st := t.Stats()
+			pt.FleetLocalHits += st.LocalHits
+			pt.FleetRemoteHits += st.RemoteHits
+			pt.FleetMisses += st.Misses
+		}
+	}
+	var rm server.RouterMetrics
+	if raw, err := fleetGET(fl.url + "/metrics"); err == nil {
+		if json.Unmarshal(raw, &rm) == nil {
+			for _, braw := range rm.Backends {
+				var bm struct {
+					Server struct {
+						FleetLoopHits int64 `json:"fleet_loop_hits"`
+					} `json:"server"`
+				}
+				if json.Unmarshal(braw, &bm) == nil {
+					pt.FleetLoopHits += bm.Server.FleetLoopHits
+				}
+			}
+		}
+	}
+	if total := pt.FleetLocalHits + pt.FleetRemoteHits + pt.FleetMisses; total > 0 {
+		pt.RemoteHitRate = float64(pt.FleetLocalHits+pt.FleetRemoteHits) / float64(total)
+	}
+	return pt, nil
+}
+
+// inprocFleet is one booted fleet: n backends + router, all on loopback.
+type inprocFleet struct {
+	url      string
+	backends []*server.Server
+	shutdown func()
+}
+
+// bootFleet reserves loopback addresses, wires n backends as mutual cache
+// peers, fronts them with a hash-routing Router, and serves everything on
+// plain http.Servers.
+func bootFleet(n, workers int) (*inprocFleet, error) {
+	listeners := make([]net.Listener, n+1) // [0..n-1] backends, [n] router
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = l
+	}
+	urls := map[string]string{}
+	for i := 0; i < n; i++ {
+		urls[fmt.Sprintf("b%d", i)] = "http://" + listeners[i].Addr().String()
+	}
+
+	fl := &inprocFleet{url: "http://" + listeners[n].Addr().String()}
+	var servers []*http.Server
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("b%d", i)
+		peers := map[string]string{}
+		for pid, u := range urls {
+			if pid != id {
+				peers[pid] = u
+			}
+		}
+		scfg := server.Config{Workers: workers, MaxQueue: 4 * workers}
+		if n > 1 {
+			scfg.Fleet = &server.FleetConfig{
+				Self: id, Peers: peers, Timeout: 5 * time.Second, AutoFlush: 20 * time.Millisecond,
+			}
+		} else {
+			// A fleet of one still runs the tier (local shard only) so the
+			// lookaside counters stay comparable across sizes.
+			scfg.Fleet = &server.FleetConfig{Self: id}
+		}
+		srv := server.New(scfg)
+		fl.backends = append(fl.backends, srv)
+		hs := &http.Server{Handler: srv.Handler()}
+		servers = append(servers, hs)
+		go hs.Serve(listeners[i])
+	}
+	rt := server.NewRouter(server.RouterConfig{Backends: urls, Route: "hash"})
+	rhs := &http.Server{Handler: rt.Handler()}
+	servers = append(servers, rhs)
+	go rhs.Serve(listeners[n])
+
+	fl.shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Client pools close before the HTTP servers: spare pooled
+		// connections read as StateNew server-side, and Shutdown only
+		// reaps those after a five-second grace.
+		http.DefaultClient.CloseIdleConnections()
+		rt.Close()
+		for _, srv := range fl.backends {
+			srv.Shutdown(ctx)
+		}
+		for _, hs := range servers {
+			hs.Shutdown(ctx)
+		}
+	}
+	return fl, nil
+}
+
+func fleetGET(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}

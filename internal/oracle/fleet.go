@@ -1,0 +1,262 @@
+package oracle
+
+// The fleet pass is the serving-tier analogue of checkServerDrift: where
+// that check proves one daemon's HTTP answers equal the library's, this
+// one proves a sharded fleet — two backends wired as cache peers behind a
+// consistent-hash scaf-router — is indistinguishable, at the byte level,
+// from a single cold instance. Every response body is compared verbatim:
+// the create envelope (broadcast consensus), the analyze envelope (the
+// router splices per-shard fan-out results back into one batch), and every
+// dependence query, first serially and then under concurrent fire, where
+// remote cache hits and coalescing are actually exercised.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"scaf/internal/server"
+)
+
+// fleetQueryCap bounds the per-scheme query set replayed through the
+// fleet; random oracle programs rarely exceed it.
+const fleetQueryCap = 64
+
+// checkFleetDrift boots the reference instance and the fleet, replays an
+// identical session lifecycle against both, and reports any byte
+// divergence as KindDriftFleet.
+func checkFleetDrift(cfg Config, rep *Report, a *analysis) {
+	refSrv := server.New(server.Config{Workers: 2})
+	refH := refSrv.Handler()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		refSrv.Shutdown(ctx)
+	}()
+
+	fl, err := bootOracleFleet()
+	if err != nil {
+		rep.violate(Violation{Kind: KindDriftFleet, Detail: fmt.Sprintf("fleet boot: %v", err)})
+		return
+	}
+	defer fl.shutdown()
+
+	createBody, _ := json.Marshal(map[string]any{
+		"name": a.name, "source": a.src, "plan": "off",
+		"hot_loops": map[string]float64{
+			"min_weight_frac": cfg.HotLoops.MinWeightFrac,
+			"min_avg_iters":   cfg.HotLoops.MinAvgIters,
+		},
+	})
+	refStatus, refBody := do(refH, "POST", "/sessions", createBody)
+	fltStatus, fltBody := fl.do("POST", "/sessions", createBody)
+	if refStatus != fltStatus || !bytes.Equal(refBody, fltBody) {
+		rep.violate(Violation{Kind: KindDriftFleet,
+			Detail: fmt.Sprintf("session create diverges: single %d %s, fleet %d %s",
+				refStatus, refBody, fltStatus, fltBody)})
+		return
+	}
+	if refStatus != http.StatusCreated {
+		rep.violate(Violation{Kind: KindDriftFleet,
+			Detail: fmt.Sprintf("session load failed on both paths: status %d: %s", refStatus, refBody)})
+		return
+	}
+	var info server.SessionInfo
+	if err := json.Unmarshal(refBody, &info); err != nil {
+		rep.violate(Violation{Kind: KindDriftFleet, Detail: fmt.Sprintf("bad session info: %v", err)})
+		return
+	}
+
+	// Serial phase: analyze envelopes and every harvested query.
+	type gold struct {
+		path string
+		body []byte
+		want []byte
+	}
+	var golds []gold
+	for _, scheme := range cfg.Schemes {
+		reqBody, _ := json.Marshal(map[string]any{"scheme": scheme.String()})
+		path := "/sessions/" + info.ID + "/analyze"
+		rs, rb := do(refH, "POST", path, reqBody)
+		fs, fb := fl.do("POST", path, reqBody)
+		if rs != fs || !bytes.Equal(rb, fb) {
+			rep.violate(Violation{Kind: KindDriftFleet, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("analyze envelope diverges:\n  single: %d %s\n  fleet:  %d %s", rs, rb, fs, fb)})
+			continue
+		}
+		if rs != http.StatusOK {
+			rep.violate(Violation{Kind: KindDriftFleet, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("analyze failed on both paths: status %d: %s", rs, rb)})
+			continue
+		}
+		var resp server.AnalyzeResponse
+		if err := json.Unmarshal(rb, &resp); err != nil {
+			rep.violate(Violation{Kind: KindDriftFleet, Scheme: scheme.String(),
+				Detail: fmt.Sprintf("bad analyze response: %v", err)})
+			continue
+		}
+		n := 0
+		for _, lr := range resp.Results {
+			for _, q := range lr.Queries {
+				if n >= fleetQueryCap {
+					break
+				}
+				n++
+				qb, _ := json.Marshal(server.QueryRequest{
+					Scheme: scheme.String(), Loop: lr.Loop, I1: q.I1, I2: q.I2, Rel: q.Rel,
+				})
+				qpath := "/sessions/" + info.ID + "/query"
+				rqs, rqb := do(refH, "POST", qpath, qb)
+				fqs, fqb := fl.do("POST", qpath, qb)
+				if rqs != fqs || !bytes.Equal(rqb, fqb) {
+					rep.violate(Violation{Kind: KindDriftFleet, Scheme: scheme.String(), Loop: lr.Loop,
+						Detail: fmt.Sprintf("query %s/%s %s diverges:\n  single: %d %s\n  fleet:  %d %s",
+							q.I1, q.I2, q.Rel, rqs, rqb, fqs, fqb)})
+					continue
+				}
+				if rqs == http.StatusOK {
+					golds = append(golds, gold{path: qpath, body: qb, want: rqb})
+				}
+			}
+		}
+	}
+
+	// Parallel phase: the serial gold bytes must survive concurrent fire
+	// through the router, where shard fan-out, remote cache hits, and
+	// query coalescing all interleave. Coalesce markers live in the
+	// response envelope's optional fields, so a coalesced hit that changed
+	// the bytes would be caught here.
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		sem = make(chan struct{}, 8)
+	)
+	for _, g := range golds {
+		wg.Add(1)
+		go func(g gold) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, b := fl.do("POST", g.path, g.body)
+			if s != http.StatusOK || !bytes.Equal(stripCoalesce(b), stripCoalesce(g.want)) {
+				mu.Lock()
+				rep.violate(Violation{Kind: KindDriftFleet,
+					Detail: fmt.Sprintf("parallel query diverges from serial gold:\n  serial:   %s\n  parallel: %d %s",
+						g.want, s, b)})
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// stripCoalesce removes the scheduling-dependent "coalesced" marker from a
+// query response before comparison: whether two concurrent identical
+// queries share one resolution is timing, not semantics. The query payload
+// itself is compared verbatim.
+func stripCoalesce(body []byte) []byte {
+	var resp server.QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return body
+	}
+	resp.Coalesced = false
+	out, err := json.Marshal(resp)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+// oracleFleet is two peer backends behind a router, all on loopback.
+type oracleFleet struct {
+	url      string
+	client   *http.Client
+	shutdown func()
+}
+
+func (f *oracleFleet) do(method, path string, body []byte) (int, []byte) {
+	req, err := http.NewRequest(method, f.url+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	return resp.StatusCode, b
+}
+
+func bootOracleFleet() (*oracleFleet, error) {
+	const n = 2
+	listeners := make([]net.Listener, n+1)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, p := range listeners[:i] {
+				p.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = l
+	}
+	urls := map[string]string{}
+	for i := 0; i < n; i++ {
+		urls[fmt.Sprintf("b%d", i)] = "http://" + listeners[i].Addr().String()
+	}
+
+	var backends []*server.Server
+	var httpSrvs []*http.Server
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("b%d", i)
+		peers := map[string]string{}
+		for pid, u := range urls {
+			if pid != id {
+				peers[pid] = u
+			}
+		}
+		srv := server.New(server.Config{Workers: 2, Fleet: &server.FleetConfig{
+			Self: id, Peers: peers, Timeout: 5 * time.Second, AutoFlush: 10 * time.Millisecond,
+		}})
+		backends = append(backends, srv)
+		hs := &http.Server{Handler: srv.Handler()}
+		httpSrvs = append(httpSrvs, hs)
+		go hs.Serve(listeners[i])
+	}
+	rt := server.NewRouter(server.RouterConfig{Backends: urls, Route: "hash"})
+	rhs := &http.Server{Handler: rt.Handler()}
+	httpSrvs = append(httpSrvs, rhs)
+	go rhs.Serve(listeners[n])
+
+	fl := &oracleFleet{
+		url:    "http://" + listeners[n].Addr().String(),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	fl.shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Client-side connection pools close first: a spare pooled
+		// connection is StateNew on its server, and Shutdown waits five
+		// seconds before reaping those.
+		fl.client.CloseIdleConnections()
+		rt.Close()
+		for _, srv := range backends {
+			srv.Shutdown(ctx)
+		}
+		for _, hs := range httpSrvs {
+			hs.Shutdown(ctx)
+		}
+	}
+	return fl, nil
+}

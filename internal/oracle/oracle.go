@@ -63,6 +63,12 @@ type Config struct {
 	// serialized wire bytes. Incompatible with ExtraModules — the daemon
 	// builds its own orchestrators.
 	Server bool
+	// Fleet re-resolves through a sharded fleet — two scaf-serve backends
+	// wired as cache peers behind a consistent-hash scaf-router on
+	// loopback — and byte-compares every response body (create, spliced
+	// analyze envelopes, queries, serial and parallel) against a single
+	// cold instance. Incompatible with ExtraModules, like Server.
+	Fleet bool
 	// ValidatePlan additionally builds the speculation plan on session
 	// load (the server's plan=validate path) and re-runs the program with
 	// the plan's runtime checks enforced; a misspeculating plan on the
@@ -106,6 +112,7 @@ func FullConfig() Config {
 		Parallel:     true,
 		SharedCache:  true,
 		Server:       true,
+		Fleet:        true,
 		Recovery:     true,
 		Execution:    true,
 		Transforms:   Transforms(),
@@ -131,6 +138,7 @@ const (
 	KindDriftParallel    = "drift-parallel"    // parallel answers != serial
 	KindDriftShared      = "drift-shared"      // shared-cache answers != serial
 	KindDriftServer      = "drift-server"      // HTTP answers != serial
+	KindDriftFleet       = "drift-fleet"       // fleet answers != single instance
 	KindPlanInvalid      = "plan-invalid"      // speculation plan misspeculated on its own training input
 	KindMetamorphic      = "metamorphic"       // transform changed preserved answers
 	KindTransformInvalid = "transform-invalid" // transform changed observable behavior (harness bug)
@@ -274,6 +282,9 @@ func CheckProgram(cfg Config, name, src string) (*Report, error) {
 	}
 	if cfg.Server && cfg.ExtraModules == nil {
 		checkServerDrift(cfg, rep, base)
+	}
+	if cfg.Fleet && cfg.ExtraModules == nil {
+		checkFleetDrift(cfg, rep, base)
 	}
 	if cfg.Recovery {
 		for _, scheme := range cfg.Schemes {

@@ -1,0 +1,59 @@
+package recovery
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// This file is the quarantine's fleet seam: a content fingerprint that
+// names the recovery state an answer was produced under, and the
+// fold-in operation a replicated recovery event applies. Together they
+// give a fleet of instances the single-process guarantee — an assertion
+// violated anywhere is revoked everywhere before the violating request
+// is answered, and cache keys carrying the fingerprint can only match
+// between instances in identical recovery states.
+
+// Fingerprint returns a stable, order-independent content hash of the
+// quarantined assertion and module sets. Two quarantines — in different
+// processes, built in different event orders — fingerprint equal exactly
+// when they have withdrawn the same sets. Event details, repeats, and
+// counters do not contribute: they describe how the state was reached,
+// not what it withdraws.
+func (q *Quarantine) Fingerprint() string {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	var h uint64
+	for k := range q.asserts {
+		h ^= fnvSum("a|" + k)
+	}
+	for m := range q.modules {
+		h ^= fnvSum("m|" + m)
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func fnvSum(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ApplyRemote folds one replicated recovery event — assertion keys and
+// module names quarantined on another instance — into this quarantine,
+// recording the origin in the event log. It returns how many of each were
+// newly withdrawn here; zero/zero means this instance had already
+// observed everything (replication is idempotent).
+func (q *Quarantine) ApplyRemote(asserts, modules []string, origin string) (newAsserts, newModules int) {
+	detail := "fleet: replicated from " + origin
+	for _, k := range asserts {
+		if q.AddAssert(k, detail) {
+			newAsserts++
+		}
+	}
+	for _, m := range modules {
+		if q.AddModule(m, detail) {
+			newModules++
+		}
+	}
+	return newAsserts, newModules
+}

@@ -1,0 +1,782 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaf/internal/fleet"
+)
+
+// The fleet's front tier: a Router speaks the exact scaf-serve HTTP
+// surface and spreads it across N backend instances. Session mutations
+// (create, delete) broadcast to every backend in one serialized order, so
+// the backends' session registries — and their sequential session IDs —
+// stay identical; read traffic (analyze, query) shards across backends by
+// consistent hash (or round-robin), which is sound because every answer
+// is a pure function of (session state, proposition): any backend serves
+// the same bytes, the fleet cache tier only changes who computes them.
+//
+// There is deliberately no failover: a request for a down backend's shard
+// is refused with 503 + Retry-After rather than silently re-homed, so a
+// partition degrades capacity, never placement determinism. A restarted
+// backend is caught up by replaying the session journal (rebuilding the
+// same IDs in the same order) and re-synchronizing quarantine state from
+// a live peer before it takes traffic again.
+
+// RouterConfig configures a fleet front tier.
+type RouterConfig struct {
+	// Backends maps backend IDs to base URLs (e.g. "b0" ->
+	// "http://127.0.0.1:8347"). IDs are the shard names.
+	Backends map[string]string
+	// Route picks the read-routing policy: "hash" (default; consistent
+	// hash, deterministic placement) or "rr" (round-robin, best spread).
+	Route string
+	// Timeout bounds each proxied backend request (0: unbounded — analyze
+	// batches can legitimately run long).
+	Timeout time.Duration
+	// Probe is the health-probe period for down backends (0: no background
+	// prober; Probe() can still be called explicitly).
+	Probe time.Duration
+}
+
+// routerJournalEntry is one replayable session mutation.
+type routerJournalEntry struct {
+	method, path string
+	body         []byte
+}
+
+// RouterCounters are the router's own /metrics counters.
+type RouterCounters struct {
+	Proxied      int64    `json:"proxied"`
+	Fanouts      int64    `json:"fanouts"`
+	Refused      int64    `json:"refused"`
+	Inconsistent int64    `json:"inconsistent"`
+	Rejoins      int64    `json:"rejoins"`
+	Sessions     int      `json:"sessions"`
+	Route        string   `json:"route"`
+	Down         []string `json:"down,omitempty"`
+}
+
+// RouterMetrics is the router's /metrics body: its own counters plus each
+// live backend's verbatim metrics document.
+type RouterMetrics struct {
+	Router   RouterCounters             `json:"router"`
+	Backends map[string]json.RawMessage `json:"backends"`
+}
+
+// RouterHealth is the router's /healthz body.
+type RouterHealth struct {
+	Status   string            `json:"status"`
+	Backends map[string]string `json:"backends"`
+	Sessions int               `json:"sessions"`
+}
+
+// Router is the fleet front tier.
+type Router struct {
+	cfg  RouterConfig
+	ids  []string
+	base map[string]string
+	ring *fleet.Ring
+	hc   *http.Client
+	mux  *http.ServeMux
+
+	// bmu serializes session mutations and rejoins: every backend sees
+	// creates and deletes in the same order, which is what keeps their
+	// sequential session-ID counters aligned.
+	bmu sync.Mutex
+
+	mu       sync.Mutex
+	down     map[string]bool
+	sessions map[string][]string // session id -> hot loop names
+	journal  []routerJournalEntry
+
+	rrNext                                           atomic.Uint64
+	proxied, fanouts, refused, inconsistent, rejoins atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+}
+
+// NewRouter builds a front tier over cfg.Backends.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Route == "" {
+		cfg.Route = "hash"
+	}
+	rt := &Router{
+		cfg:      cfg,
+		base:     map[string]string{},
+		hc:       &http.Client{Timeout: cfg.Timeout},
+		down:     map[string]bool{},
+		sessions: map[string][]string{},
+		stop:     make(chan struct{}),
+	}
+	for id, base := range cfg.Backends {
+		rt.ids = append(rt.ids, id)
+		rt.base[id] = base
+	}
+	sort.Strings(rt.ids)
+	rt.ring = fleet.NewRing(rt.ids, 0)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("POST /sessions", rt.handleCreate)
+	mux.HandleFunc("GET /sessions", rt.handleReadAny)
+	mux.HandleFunc("GET /sessions/{id}", rt.handleReadAny)
+	mux.HandleFunc("DELETE /sessions/{id}", rt.handleDelete)
+	mux.HandleFunc("POST /sessions/{id}/analyze", rt.handleAnalyze)
+	mux.HandleFunc("POST /sessions/{id}/query", rt.handleQuery)
+	mux.HandleFunc("POST /sessions/{id}/observe", rt.handleMutation)
+	mux.HandleFunc("POST /sessions/{id}/execute", rt.handleMutation)
+	rt.mux = mux
+
+	if cfg.Probe > 0 {
+		rt.done.Add(1)
+		go rt.probeLoop(cfg.Probe)
+	}
+	return rt
+}
+
+// Handler returns the router's HTTP handler (the scaf-serve surface).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the background prober and drops pooled backend
+// connections. Closing the pool matters for orderly teardown: a spare
+// never-used connection parked on a backend reads as StateNew there, and
+// http.Server.Shutdown only reaps those after a five-second grace.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.done.Wait()
+	rt.hc.CloseIdleConnections()
+}
+
+func (rt *Router) probeLoop(period time.Duration) {
+	defer rt.done.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.Probe()
+		}
+	}
+}
+
+// ---- backend bookkeeping ----
+
+func (rt *Router) isDown(id string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.down[id]
+}
+
+func (rt *Router) markDown(id string) {
+	rt.mu.Lock()
+	rt.down[id] = true
+	rt.mu.Unlock()
+}
+
+// upIDs returns the live backends, sorted.
+func (rt *Router) upIDs() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var up []string
+	for _, id := range rt.ids {
+		if !rt.down[id] {
+			up = append(up, id)
+		}
+	}
+	return up
+}
+
+// pick chooses the backend for a read keyed by key. In rr mode down
+// backends are skipped (round-robin has no placement to preserve); in
+// hash mode the shard owner is returned even when down — the caller
+// refuses the request rather than re-homing it.
+func (rt *Router) pick(key string) (string, *httpError) {
+	if rt.cfg.Route == "rr" {
+		up := rt.upIDs()
+		if len(up) == 0 {
+			return "", rt.errNoBackends()
+		}
+		return up[rt.rrNext.Add(1)%uint64(len(up))], nil
+	}
+	return rt.pickHash(key)
+}
+
+// owner returns the session's home backend (mutations always go there,
+// in both routing modes, so re-resolution work lands deterministically).
+func (rt *Router) owner(sid string) (string, *httpError) {
+	return rt.pickHash("s|" + sid)
+}
+
+func (rt *Router) pickHash(key string) (string, *httpError) {
+	id := rt.ring.Owner(key)
+	if rt.isDown(id) {
+		rt.refused.Add(1)
+		he := &httpError{status: http.StatusServiceUnavailable,
+			detail: ErrorDetail{Code: "backend_down",
+				Message: fmt.Sprintf("backend %s owns this shard and is down", id)}}
+		he.retryAfter = "1"
+		return "", he
+	}
+	return id, nil
+}
+
+func (rt *Router) errNoBackends() *httpError {
+	rt.refused.Add(1)
+	he := &httpError{status: http.StatusServiceUnavailable,
+		detail: ErrorDetail{Code: "backend_down", Message: "no live backends"}}
+	he.retryAfter = "1"
+	return he
+}
+
+// send issues one backend request. A transport error marks the backend
+// down and is reported as (0, nil, nil).
+func (rt *Router) send(id, method, path string, body []byte) (int, http.Header, []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, rt.base[id]+path, rd)
+	if err != nil {
+		rt.markDown(id)
+		return 0, nil, nil
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		rt.markDown(id)
+		return 0, nil, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+	if err != nil {
+		rt.markDown(id)
+		return 0, nil, nil
+	}
+	rt.proxied.Add(1)
+	return resp.StatusCode, resp.Header, raw
+}
+
+const maxPeerResponse = 64 << 20
+
+// relay writes a backend response through verbatim; status 0 (transport
+// failure) becomes a 503.
+func (rt *Router) relay(w http.ResponseWriter, id string, status int, hdr http.Header, body []byte) {
+	if status == 0 {
+		he := &httpError{status: http.StatusServiceUnavailable,
+			detail: ErrorDetail{Code: "backend_down",
+				Message: fmt.Sprintf("backend %s did not answer", id)}}
+		he.retryAfter = "1"
+		writeError(w, he)
+		return
+	}
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := hdr.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, errBadRequest("reading request body: %v", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// ---- session mutations: serialized broadcast ----
+
+// broadcast sends one mutation to every live backend in parallel (each
+// backend sees at most one in-flight mutation thanks to bmu) and demands
+// byte-identical responses: the backends hold replicated state, so any
+// divergence is a fleet inconsistency, surfaced as 502 rather than papered
+// over.
+func (rt *Router) broadcast(method, path string, body []byte) (int, http.Header, []byte, *httpError) {
+	up := rt.upIDs()
+	if len(up) == 0 {
+		return 0, nil, nil, rt.errNoBackends()
+	}
+	type reply struct {
+		id     string
+		status int
+		hdr    http.Header
+		body   []byte
+	}
+	replies := make([]reply, len(up))
+	var wg sync.WaitGroup
+	for i, id := range up {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			st, hdr, b := rt.send(id, method, path, body)
+			replies[i] = reply{id: id, status: st, hdr: hdr, body: b}
+		}(i, id)
+	}
+	wg.Wait()
+
+	first := -1
+	for i, rp := range replies {
+		if rp.status == 0 {
+			// Died mid-broadcast: the journal replay at rejoin restores it.
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue
+		}
+		f := replies[first]
+		if rp.status != f.status || !bytes.Equal(rp.body, f.body) {
+			rt.inconsistent.Add(1)
+			return 0, nil, nil, &httpError{status: http.StatusBadGateway,
+				detail: ErrorDetail{Code: "fleet_inconsistent",
+					Message: fmt.Sprintf("backends %s and %s disagree on %s %s (%d vs %d)",
+						f.id, rp.id, method, path, f.status, rp.status)}}
+		}
+	}
+	if first < 0 {
+		return 0, nil, nil, rt.errNoBackends()
+	}
+	return replies[first].status, replies[first].hdr, replies[first].body, nil
+}
+
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	rt.bmu.Lock()
+	defer rt.bmu.Unlock()
+
+	status, hdr, resp, he := rt.broadcast(http.MethodPost, "/sessions", body)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	// Journal every create, including failed ones: a rejected create still
+	// consumed a session-ID counter slot on the live backends, and replay
+	// must reproduce that on a restarted one.
+	rt.mu.Lock()
+	rt.journal = append(rt.journal, routerJournalEntry{method: http.MethodPost, path: "/sessions", body: body})
+	rt.mu.Unlock()
+
+	if status == http.StatusCreated {
+		var info SessionInfo
+		if err := json.Unmarshal(resp, &info); err == nil && info.ID != "" {
+			loops := make([]string, 0, len(info.HotLoops))
+			for _, l := range info.HotLoops {
+				loops = append(loops, l.Name)
+			}
+			rt.mu.Lock()
+			rt.sessions[info.ID] = loops
+			rt.mu.Unlock()
+		}
+	}
+	rt.relay(w, "", status, hdr, resp)
+}
+
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("id")
+	path := "/sessions/" + sid
+	rt.bmu.Lock()
+	defer rt.bmu.Unlock()
+
+	status, hdr, resp, he := rt.broadcast(http.MethodDelete, path, nil)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	rt.mu.Lock()
+	rt.journal = append(rt.journal, routerJournalEntry{method: http.MethodDelete, path: path})
+	delete(rt.sessions, sid)
+	rt.mu.Unlock()
+	rt.relay(w, "", status, hdr, resp)
+}
+
+// ---- reads: sharded ----
+
+func (rt *Router) handleReadAny(w http.ResponseWriter, r *http.Request) {
+	up := rt.upIDs()
+	if len(up) == 0 {
+		writeError(w, rt.errNoBackends())
+		return
+	}
+	id := up[rt.rrNext.Add(1)%uint64(len(up))]
+	st, hdr, body := rt.send(id, r.Method, r.URL.Path, nil)
+	rt.relay(w, id, st, hdr, body)
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req QueryRequest
+	// Lenient decode for the routing key only; the backend enforces the
+	// strict schema and produces the deterministic error if it is bad.
+	_ = json.Unmarshal(body, &req)
+	id, he := rt.pick("q|" + sid + "|" + req.Scheme + "|" + req.Loop + "|" + req.I1 + "|" + req.I2 + "|" + req.Rel)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	st, hdr, resp := rt.send(id, http.MethodPost, r.URL.Path, body)
+	rt.relay(w, id, st, hdr, resp)
+}
+
+func (rt *Router) handleMutation(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	id, he := rt.owner(sid)
+	if he != nil {
+		writeError(w, he)
+		return
+	}
+	st, hdr, resp := rt.send(id, http.MethodPost, r.URL.Path, body)
+	rt.relay(w, id, st, hdr, resp)
+}
+
+// routerAnalyzeResponse mirrors AnalyzeResponse with the per-loop results
+// kept as raw bytes, so a merged fan-out response serializes exactly as a
+// single backend's batch response would (the splice never re-marshals a
+// loop result).
+type routerAnalyzeResponse struct {
+	Session        string            `json:"session"`
+	Scheme         string            `json:"scheme"`
+	Results        []json.RawMessage `json:"results"`
+	DeadlineMisses int64             `json:"deadline_misses,omitempty"`
+	CoalesceHits   int64             `json:"coalesce_hits,omitempty"`
+}
+
+// handleAnalyze fans a batch request out loop-by-loop across the fleet
+// and splices the results back in request order.
+func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("id")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req AnalyzeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		// Forward undecodable bodies to one backend for its strict,
+		// deterministic 400.
+		id, he := rt.pickHash("s|" + sid)
+		if he != nil {
+			writeError(w, he)
+			return
+		}
+		st, hdr, resp := rt.send(id, http.MethodPost, r.URL.Path, body)
+		rt.relay(w, id, st, hdr, resp)
+		return
+	}
+
+	loops := req.Loops
+	if len(loops) == 0 {
+		rt.mu.Lock()
+		loops = append([]string(nil), rt.sessions[sid]...)
+		rt.mu.Unlock()
+	}
+	if len(loops) == 0 {
+		// Unknown session or a session with no hot loops: one backend
+		// produces the deterministic answer (404, or an empty batch).
+		id, he := rt.pickHash("s|" + sid)
+		if he != nil {
+			writeError(w, he)
+			return
+		}
+		st, hdr, resp := rt.send(id, http.MethodPost, r.URL.Path, body)
+		rt.relay(w, id, st, hdr, resp)
+		return
+	}
+
+	// Place every loop first; a down shard refuses the whole batch before
+	// any backend spends work on it.
+	targets := make([]string, len(loops))
+	for i, loop := range loops {
+		id, he := rt.pick("a|" + sid + "|" + req.Scheme + "|" + loop)
+		if he != nil {
+			writeError(w, he)
+			return
+		}
+		targets[i] = id
+	}
+	rt.fanouts.Add(1)
+
+	type part struct {
+		id     string
+		status int
+		hdr    http.Header
+		body   []byte
+	}
+	parts := make([]part, len(loops))
+	var wg sync.WaitGroup
+	for i := range loops {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub, _ := json.Marshal(AnalyzeRequest{
+				Scheme: req.Scheme, Loops: loops[i : i+1], DeadlineMS: req.DeadlineMS,
+			})
+			st, hdr, b := rt.send(targets[i], http.MethodPost, r.URL.Path, sub)
+			parts[i] = part{id: targets[i], status: st, hdr: hdr, body: b}
+		}(i)
+	}
+	wg.Wait()
+
+	merged := routerAnalyzeResponse{}
+	for _, p := range parts {
+		if p.status != http.StatusOK {
+			// Relay the first failure verbatim (deterministic 4xx from the
+			// backend, or our 503 for one that died mid-request).
+			rt.relay(w, p.id, p.status, p.hdr, p.body)
+			return
+		}
+		var sub routerAnalyzeResponse
+		if err := json.Unmarshal(p.body, &sub); err != nil || len(sub.Results) != 1 {
+			writeError(w, &httpError{status: http.StatusBadGateway,
+				detail: ErrorDetail{Code: "fleet_inconsistent",
+					Message: fmt.Sprintf("backend %s returned a malformed loop result", p.id)}})
+			return
+		}
+		merged.Session = sub.Session
+		merged.Scheme = sub.Scheme
+		merged.Results = append(merged.Results, sub.Results[0])
+		merged.DeadlineMisses += sub.DeadlineMisses
+		merged.CoalesceHits += sub.CoalesceHits
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// ---- aggregate endpoints ----
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := RouterHealth{Backends: map[string]string{}}
+	upCount := 0
+	for _, id := range rt.ids {
+		if rt.isDown(id) {
+			h.Backends[id] = "down"
+			continue
+		}
+		if st, _, _ := rt.send(id, http.MethodGet, "/healthz", nil); st == http.StatusOK {
+			h.Backends[id] = "ok"
+			upCount++
+		} else {
+			h.Backends[id] = "down"
+		}
+	}
+	rt.mu.Lock()
+	h.Sessions = len(rt.sessions)
+	rt.mu.Unlock()
+	switch {
+	case upCount == len(rt.ids):
+		h.Status = "ok"
+	case upCount > 0:
+		h.Status = "degraded"
+	default:
+		h.Status = "down"
+	}
+	status := http.StatusOK
+	if upCount == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := RouterMetrics{Backends: map[string]json.RawMessage{}}
+	for _, id := range rt.upIDs() {
+		if st, _, body := rt.send(id, http.MethodGet, "/metrics", nil); st == http.StatusOK {
+			m.Backends[id] = json.RawMessage(body)
+		}
+	}
+	rt.mu.Lock()
+	var downIDs []string
+	for _, id := range rt.ids {
+		if rt.down[id] {
+			downIDs = append(downIDs, id)
+		}
+	}
+	sessions := len(rt.sessions)
+	rt.mu.Unlock()
+	m.Router = RouterCounters{
+		Proxied:      rt.proxied.Load(),
+		Fanouts:      rt.fanouts.Load(),
+		Refused:      rt.refused.Load(),
+		Inconsistent: rt.inconsistent.Load(),
+		Rejoins:      rt.rejoins.Load(),
+		Sessions:     sessions,
+		Route:        rt.cfg.Route,
+		Down:         downIDs,
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// ---- rejoin ----
+
+// Probe re-checks every down backend and rejoins the ones that answer:
+// a restarted (empty) backend gets the session journal replayed — the
+// same mutations in the same order rebuild the same session IDs — and its
+// quarantine state re-synchronized from a live peer; a backend that was
+// only unreachable (state intact) is simply marked up. A backend whose
+// session registry matches neither is left down: its state cannot be
+// reconciled without operator intervention.
+func (rt *Router) Probe() {
+	rt.mu.Lock()
+	var downIDs []string
+	for _, id := range rt.ids {
+		if rt.down[id] {
+			downIDs = append(downIDs, id)
+		}
+	}
+	rt.mu.Unlock()
+	for _, id := range downIDs {
+		rt.tryRejoin(id)
+	}
+}
+
+func (rt *Router) tryRejoin(id string) {
+	// Serialize against mutations: the journal must not grow mid-replay.
+	rt.bmu.Lock()
+	defer rt.bmu.Unlock()
+
+	if st, _, _ := rt.probeSend(id, http.MethodGet, "/healthz", nil); st != http.StatusOK {
+		return
+	}
+	st, _, body := rt.probeSend(id, http.MethodGet, "/sessions", nil)
+	if st != http.StatusOK {
+		return
+	}
+	var have []SessionInfo
+	if err := json.Unmarshal(body, &have); err != nil {
+		return
+	}
+
+	rt.mu.Lock()
+	want := make(map[string]bool, len(rt.sessions))
+	for sid := range rt.sessions {
+		want[sid] = true
+	}
+	journal := append([]routerJournalEntry(nil), rt.journal...)
+	rt.mu.Unlock()
+
+	switch {
+	case len(have) == 0 && len(journal) > 0:
+		// Fresh restart: replay the journal to rebuild the registry with
+		// the same session-ID sequence.
+		for _, e := range journal {
+			if st, _, _ := rt.probeSend(id, e.method, e.path, e.body); st == 0 {
+				return // died again mid-replay; next probe retries from scratch
+			}
+		}
+		if !rt.syncQuarantine(id, want) {
+			return
+		}
+	case matchesSessionSet(have, want):
+		// Transient unreachability: state intact, nothing to replay.
+	default:
+		return
+	}
+
+	rt.mu.Lock()
+	delete(rt.down, id)
+	rt.mu.Unlock()
+	rt.rejoins.Add(1)
+}
+
+func matchesSessionSet(have []SessionInfo, want map[string]bool) bool {
+	if len(have) != len(want) {
+		return false
+	}
+	for _, info := range have {
+		if !want[info.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+// syncQuarantine replays quarantine state onto a rejoined backend from
+// the first live peer's /metrics: every quarantined assertion and module
+// of every session is re-reported through the normal observe path, which
+// is monotone and idempotent. This covers events from any origin (observe
+// reports, misspeculating executions, module panics) that fired while the
+// backend was away.
+func (rt *Router) syncQuarantine(id string, sessions map[string]bool) bool {
+	up := rt.upIDs()
+	if len(up) == 0 {
+		return true // nobody to sync from; the empty fleet has no quarantine
+	}
+	st, _, body := rt.probeSend(up[0], http.MethodGet, "/metrics", nil)
+	if st != http.StatusOK {
+		return false
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(body, &m); err != nil {
+		return false
+	}
+	for sid, sm := range m.Sessions {
+		if !sessions[sid] || sm.Quarantine == nil {
+			continue
+		}
+		if len(sm.Quarantine.Asserts) == 0 && len(sm.Quarantine.Modules) == 0 {
+			continue
+		}
+		req := ObserveRequest{Modules: sm.Quarantine.Modules}
+		for _, k := range sm.Quarantine.Asserts {
+			req.Violations = append(req.Violations, WireViolation{
+				Assertion: k, Detail: "fleet: rejoin sync"})
+		}
+		b, _ := json.Marshal(req)
+		if st, _, _ := rt.probeSend(id, http.MethodPost, "/sessions/"+sid+"/observe", b); st != http.StatusOK {
+			return false
+		}
+	}
+	return true
+}
+
+// probeSend is send without the down-marking side effect: probe and
+// replay traffic to a backend that is already down must not churn state.
+func (rt *Router) probeSend(id, method, path string, body []byte) (int, http.Header, []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, rt.base[id]+path, rd)
+	if err != nil {
+		return 0, nil, nil
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponse))
+	if err != nil {
+		return 0, nil, nil
+	}
+	return resp.StatusCode, resp.Header, raw
+}

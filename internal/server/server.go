@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"scaf/internal/core"
+	"scaf/internal/fleet"
 )
 
 // Config sizes the server.
@@ -51,6 +52,10 @@ type Config struct {
 	// (see recovery.Chaos). Called once per minted orchestrator; modules
 	// it returns shared instances of must be safe for concurrent use.
 	ExtraModules func() []core.Module
+	// Fleet, when non-nil, joins this instance to a fleet: sessions share
+	// canonical cache entries with peers and replicate recovery events to
+	// them (see fleet.go), and the peer protocol is mounted under /fleet/.
+	Fleet *FleetConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -66,9 +71,10 @@ func (c Config) withDefaults() Config {
 // Server is the analysis daemon's state: the session registry, the
 // admission machinery, and the serving counters.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
-	sem chan struct{}
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{}
+	fleet *fleet.Tier // nil outside fleet mode
 
 	// mu guards the lifecycle state: session registry and drain tracking.
 	mu       sync.Mutex
@@ -91,6 +97,7 @@ type Server struct {
 	serverPanics   atomic.Int64
 	observations   atomic.Int64
 	executions     atomic.Int64
+	fleetLoopHits  atomic.Int64
 }
 
 // New builds a Server.
@@ -112,8 +119,33 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /sessions/{id}/query", s.handleQuery)
 	mux.HandleFunc("POST /sessions/{id}/observe", s.handleObserve)
 	mux.HandleFunc("POST /sessions/{id}/execute", s.handleExecute)
+	if cfg.Fleet != nil {
+		s.fleet = fleet.NewTier(fleet.TierConfig{
+			Self:      cfg.Fleet.Self,
+			Peers:     cfg.Fleet.Peers,
+			VNodes:    cfg.Fleet.VNodes,
+			Timeout:   cfg.Fleet.Timeout,
+			AutoFlush: cfg.Fleet.AutoFlush,
+		})
+		h := &fleet.Handler{Cache: s.fleet.Local(), OnRecovery: s.applyFleetRecovery}
+		h.Register(mux, "/fleet/")
+	}
 	s.mux = mux
 	return s
+}
+
+// Fleet returns the instance's cache tier (nil outside fleet mode) —
+// the seam tests and the load generator read counters through.
+func (s *Server) Fleet() *fleet.Tier { return s.fleet }
+
+// FleetSync pulls every reachable peer's recovery state into the local
+// shard — called once at boot when (re)joining a fleet, so revocations
+// broadcast while this instance was down take effect before it serves.
+func (s *Server) FleetSync() error {
+	if s.fleet == nil {
+		return nil
+	}
+	return s.fleet.SyncState()
 }
 
 // Handler returns the daemon's HTTP handler. Every request is tracked
@@ -186,6 +218,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	if s.inflight == 0 {
 		s.mu.Unlock()
+		s.closeFleet()
 		return nil
 	}
 	if s.idle == nil {
@@ -195,9 +228,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	select {
 	case <-idle:
+		s.closeFleet()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown interrupted with requests in flight")
+	}
+}
+
+// closeFleet drains pending publications and stops the tier's flusher.
+func (s *Server) closeFleet() {
+	if s.fleet != nil {
+		s.fleet.Close()
 	}
 }
 
@@ -276,7 +317,7 @@ func (s *Server) createSession(req *CreateSessionRequest) (*session, *httpError)
 	id := fmt.Sprintf("s%d", s.nextID)
 	s.mu.Unlock()
 
-	sess, he := newSession(id, req, s.cfg)
+	sess, he := newSession(id, req, s.cfg, s.fleet)
 	if he != nil {
 		return nil, he
 	}
@@ -409,7 +450,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 				sess.id, sess.epoch.Load(), scheme.String(), l.Name())
 			l := l
 			v, shared, _ := s.flights.do(key, func() (any, error) {
-				wr, _ := sess.analyzeLoop(scheme, l, time.Time{})
+				// Fleet lookaside: the whole loop's wire result, keyed by
+				// (digest, scheme, quarantine fingerprint, loop), may have
+				// been resolved by a peer already. The stored bytes are the
+				// exact marshaled result, so a hit is byte-identical.
+				var fleetKey string
+				if sess.fleet != nil {
+					fleetKey = sess.fleetLoopKey(scheme, l)
+					if wr, ok := sess.fleetLoopLookup(fleetKey); ok {
+						s.fleetLoopHits.Add(1)
+						return wr, nil
+					}
+				}
+				wr, delta := sess.analyzeLoop(scheme, l, time.Time{})
+				if sess.fleet != nil {
+					sess.fleetLoopPublish(fleetKey, scheme, l, wr, delta)
+				}
 				return wr, nil
 			})
 			if shared {
@@ -593,10 +649,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			ServerPanics:   s.serverPanics.Load(),
 			Observations:   s.observations.Load(),
 			Executions:     s.executions.Load(),
+			FleetLoopHits:  s.fleetLoopHits.Load(),
 			Sessions:       len(sessions),
 			Draining:       draining,
 		},
 		Sessions: map[string]SessionMetrics{},
+	}
+	if s.fleet != nil {
+		ts := s.fleet.Stats()
+		resp.Fleet = &ts
 	}
 	for _, sess := range sessions {
 		resp.Sessions[sess.id] = sess.metricsSnapshot()

@@ -13,6 +13,7 @@ import (
 	"scaf/internal/bench"
 	"scaf/internal/cfg"
 	"scaf/internal/core"
+	"scaf/internal/fleet"
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
 	"scaf/internal/profile"
@@ -117,6 +118,16 @@ type session struct {
 	// a recovery never joins a computation started before it.
 	epoch atomic.Int64
 
+	// fleet is the cross-instance cache tier (nil outside fleet mode);
+	// fleetDigest scopes every fleet key and recovery broadcast to
+	// sessions holding this exact program (see fleet.go).
+	fleet       *fleet.Tier
+	fleetDigest string
+	// fpMu guards the per-epoch quarantine-fingerprint cache.
+	fpMu    sync.Mutex
+	fpEpoch int64
+	fpVal   string
+
 	// mu guards the cumulative accounting below, folded in at checkin.
 	mu         sync.Mutex
 	stats      core.Stats
@@ -135,6 +146,7 @@ func addCounters(dst *core.Stats, delta core.Stats) {
 	dst.ModuleEvals += delta.ModuleEvals
 	dst.CacheHits += delta.CacheHits
 	dst.SharedHits += delta.SharedHits
+	dst.RemoteHits += delta.RemoteHits
 	dst.Timeouts += delta.Timeouts
 	dst.CycleBreaks += delta.CycleBreaks
 	dst.DepthLimits += delta.DepthLimits
@@ -150,6 +162,7 @@ func subCounters(cur, last core.Stats) core.Stats {
 		ModuleEvals:    cur.ModuleEvals - last.ModuleEvals,
 		CacheHits:      cur.CacheHits - last.CacheHits,
 		SharedHits:     cur.SharedHits - last.SharedHits,
+		RemoteHits:     cur.RemoteHits - last.RemoteHits,
 		Timeouts:       cur.Timeouts - last.Timeouts,
 		CycleBreaks:    cur.CycleBreaks - last.CycleBreaks,
 		DepthLimits:    cur.DepthLimits - last.DepthLimits,
@@ -158,7 +171,8 @@ func subCounters(cur, last core.Stats) core.Stats {
 }
 
 // newSession compiles, profiles, plan-validates and warms one session.
-func newSession(id string, req *CreateSessionRequest, scfg Config) (*session, *httpError) {
+// tier, when non-nil, joins the session to the fleet cache (see fleet.go).
+func newSession(id string, req *CreateSessionRequest, scfg Config, tier *fleet.Tier) (*session, *httpError) {
 	name, src := req.Name, req.Source
 	switch {
 	case req.Bench != "":
@@ -206,6 +220,14 @@ func newSession(id string, req *CreateSessionRequest, scfg Config) (*session, *h
 		caches: map[scaf.Scheme]*core.SharedCache{},
 
 		quarantine: recovery.New(),
+	}
+	if tier != nil {
+		sess.fleet = tier
+		salt := ""
+		if scfg.Fleet != nil {
+			salt = scfg.Fleet.Salt
+		}
+		sess.fleetDigest = fleetDigest(req, src, salt)
 	}
 	for _, l := range sess.hot {
 		sess.loops[l.Name()] = l
@@ -291,6 +313,12 @@ func newSession(id string, req *CreateSessionRequest, scfg Config) (*session, *h
 		// and absorbs module panics (one faulty module degrades coverage,
 		// never the daemon).
 		sc.SetRevoker(sess.quarantine)
+		if sess.fleet != nil {
+			// Fleet wiring: top-level local misses consult the remote tier;
+			// canonical publications flow to it. The Revoker above stays
+			// authoritative over anything the peer returns.
+			sc.SetPeer(&fleetPeer{sess: sess, scheme: scheme, tier: sess.fleet})
+		}
 		sess.caches[scheme] = sc
 		opts := []scaf.OrchOption{
 			scaf.WithSharedCache(sc), scaf.WithLatency(),
@@ -403,7 +431,13 @@ func armDeadline(o *core.Orchestrator, deadline time.Time) func() {
 func (sess *session) analyzeLoop(scheme scaf.Scheme, l *cfg.Loop, deadline time.Time) (WireLoopResult, core.Stats) {
 	pool := sess.pools[scheme]
 	po := pool.get()
+	// Batched loop resolution would pay one peer RTT per proposition;
+	// the whole-loop lookaside (fleet.go) covers this path instead, so
+	// per-proposition remote lookups are disarmed. Publications still
+	// flow to the tier, and single /query requests keep remote lookups.
+	po.o.SetPeerLookups(false)
 	res := sess.client.ResolveLoopHook(po.o, l, armDeadline(po.o, deadline))
+	po.o.SetPeerLookups(true)
 	po.o.SetTimeout(0)
 	delta := sess.checkin(pool, po)
 	return EncodeLoopResult(res), delta
@@ -438,6 +472,7 @@ func (sess *session) onModulePanic(module string, recovered any) {
 		for _, sc := range sess.caches {
 			sc.Flush()
 		}
+		sess.fleetBroadcast(nil, []string{module})
 	}
 }
 
@@ -477,6 +512,9 @@ func (sess *session) observe(req *ObserveRequest) (*ObserveResponse, *httpError)
 	// New epoch: requests arriving after this report must not coalesce
 	// onto computations started before it.
 	sess.epoch.Add(1)
+	// Replicate before re-resolving or responding: once the client sees
+	// this response, every reachable instance has revoked (fleet mode).
+	sess.fleetBroadcast(keys, req.Modules)
 
 	if resp.NewModules > 0 {
 		// Module withdrawal flushes wholesale (see onModulePanic); the
@@ -556,6 +594,7 @@ func (sess *session) execute(req *ExecuteRequest) (*ExecuteResponse, *httpError)
 	resp.NewAsserts = len(newKeys)
 	if len(newKeys) > 0 {
 		sess.epoch.Add(1)
+		sess.fleetBroadcast(newKeys, nil)
 		for _, sc := range sess.caches {
 			resp.Invalidated += sc.InvalidateAsserts(newKeys).Total()
 		}

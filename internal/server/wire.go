@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"scaf/internal/core"
+	"scaf/internal/fleet"
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
 	"scaf/internal/recovery"
@@ -351,10 +352,13 @@ type WireCounters struct {
 	Conflicts      int64 `json:"conflicts"`
 	CacheHits      int64 `json:"cache_hits"`
 	SharedHits     int64 `json:"shared_hits"`
-	Timeouts       int64 `json:"timeouts"`
-	CycleBreaks    int64 `json:"cycle_breaks"`
-	DepthLimits    int64 `json:"depth_limits"`
-	ModulePanics   int64 `json:"module_panics"`
+	// RemoteHits is the subset of SharedHits served by the fleet's
+	// cross-instance cache tier (always 0 outside fleet mode).
+	RemoteHits   int64 `json:"remote_hits"`
+	Timeouts     int64 `json:"timeouts"`
+	CycleBreaks  int64 `json:"cycle_breaks"`
+	DepthLimits  int64 `json:"depth_limits"`
+	ModulePanics int64 `json:"module_panics"`
 }
 
 // EncodeCounters converts core.Stats counters to wire form.
@@ -369,6 +373,7 @@ func EncodeCounters(st *core.Stats) WireCounters {
 		Conflicts:      st.Conflicts,
 		CacheHits:      st.CacheHits,
 		SharedHits:     st.SharedHits,
+		RemoteHits:     st.RemoteHits,
 		Timeouts:       st.Timeouts,
 		CycleBreaks:    st.CycleBreaks,
 		DepthLimits:    st.DepthLimits,
@@ -438,14 +443,19 @@ type ServerCounters struct {
 	Observations int64 `json:"observations"`
 	// Executions counts POST /execute speculative runs served.
 	Executions int64 `json:"executions"`
-	Sessions   int   `json:"sessions"`
-	Draining   bool  `json:"draining"`
+	// FleetLoopHits counts /analyze loops served whole from the fleet's
+	// cross-instance lookaside (always 0 outside fleet mode).
+	FleetLoopHits int64 `json:"fleet_loop_hits,omitempty"`
+	Sessions      int   `json:"sessions"`
+	Draining      bool  `json:"draining"`
 }
 
 // MetricsResponse is the /metrics body.
 type MetricsResponse struct {
 	Server   ServerCounters            `json:"server"`
 	Sessions map[string]SessionMetrics `json:"sessions"`
+	// Fleet is the instance's cache-tier counters (fleet mode only).
+	Fleet *fleet.TierStats `json:"fleet,omitempty"`
 }
 
 // HealthResponse is the /healthz body.
