@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos runtime fleet loadgen bench bench-json bench-baseline bench-check bench-mem oracle clean
+.PHONY: all build vet test race chaos runtime fleet loadgen persist bench bench-json bench-baseline bench-check bench-mem oracle clean
 
 all: vet build test
 
@@ -66,6 +66,21 @@ loadgen:
 	grep -q '$(LOADGEN_PIN)' LOADGEN.1.txt || { \
 		echo "loadgen: deterministic counters drifted from the pin:"; cat LOADGEN.1.txt; exit 1; }
 	$(GO) run ./cmd/scaf-loadgen -saturate -sizes 1,2,4 $(LOADGEN_ARGS) -json LOADGEN.saturation.json
+
+# Persistence gate under the race detector: the snapshot codec's own
+# suite (prefix property, inner checksums, revoked-journal semantics,
+# snapshot-during-drain stress), the server warm-restart suite (byte-
+# identical warm boots, a restart straddling an /observe quarantine with
+# the physical-miss proof, journal-blocked resurrection after a crash,
+# idempotent shutdown, periodic snapshots, router journal persistence),
+# the tier Close regressions — then a 25-seed warm-restart oracle sweep
+# and a 30s corruption-fuzz smoke over the committed corpus.
+persist:
+	$(GO) test -race -count=1 ./internal/persist/...
+	$(GO) test -race -count=1 -v ./internal/server/ -run 'TestServerWarmRestart|TestServerRestartStraddling|TestRevokedJournal|TestServerShutdownIdempotent|TestServerPeriodicSnapshot|TestRouterPersist|TestRouterCloseConcurrent'
+	$(GO) test -race -count=1 ./internal/fleet/ -run 'TestTierClose'
+	$(GO) run ./cmd/scaf-oracle -seeds 25 -start 7000 -fast -persist
+	$(GO) test ./internal/persist/ -run '^$$' -fuzz '^FuzzSnapshotCorruption$$' -fuzztime 30s
 
 # Wall-clock comparison of serial vs parallel suite analysis. Needs
 # GOMAXPROCS >= 4 to show a speedup.

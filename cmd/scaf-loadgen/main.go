@@ -42,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 4, "in-process server worker count")
 	saturate := flag.Bool("saturate", false, "run the fleet saturation sweep instead of a single run")
 	sizes := flag.String("sizes", "1,2,4", "fleet sizes for -saturate")
+	persist := flag.Bool("persist", false, "with -saturate: drain each fleet to snapshots, reboot warm, and report the warm-boot hit rate")
 	jsonOut := flag.String("json", "", "write the report as JSON to this path ('-' for stdout)")
 	flag.Parse()
 
@@ -71,7 +72,7 @@ func main() {
 			}
 			ns = append(ns, n)
 		}
-		rep, err := loadgen.Saturate(loadgen.SaturationConfig{Sizes: ns, Load: cfg, Workers: *workers})
+		rep, err := loadgen.Saturate(loadgen.SaturationConfig{Sizes: ns, Load: cfg, Workers: *workers, Persist: *persist})
 		if err != nil {
 			log.Fatalf("scaf-loadgen: %v", err)
 		}
@@ -147,6 +148,12 @@ func printSaturation(rep *loadgen.SaturationReport) {
 			pt.Instances, pt.Measured.QPS, pt.Measured.P99US, pt.RemoteHitRate,
 			pt.FleetLocalHits, pt.FleetRemoteHits, pt.FleetMisses, pt.FleetLoopHits,
 			pt.Deterministic.AnswerDigest)
+		if w := pt.Warm; w != nil {
+			fmt.Printf("fleet n=%d warm: %.1f qps p99=%dus remote_hit_rate=%.3f (local=%d remote=%d miss=%d loop_hits=%d snapshot_loaded=%d) answers=%s\n",
+				pt.Instances, w.Measured.QPS, w.Measured.P99US, w.RemoteHitRate,
+				w.FleetLocalHits, w.FleetRemoteHits, w.FleetMisses, w.FleetLoopHits,
+				w.SnapshotLoaded, w.Deterministic.AnswerDigest)
+		}
 	}
 	fmt.Printf("consistent across sizes: %v\n", rep.Consistent)
 }

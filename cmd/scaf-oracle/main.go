@@ -34,6 +34,7 @@ func main() {
 	recov := flag.Bool("recovery", false, "force the misspeculation-recovery pass (fault injection + quarantine + equivalence); always on without -fast")
 	execute := flag.Bool("execute", false, "force the execution-equivalence pass (speculative-parallel runtime vs serial, plus chaos-forced misspeculation recovery); always on without -fast")
 	fleetPass := flag.Bool("fleet", false, "force the fleet byte-identity pass (router + 2 peer backends vs a single cold instance); always on without -fast")
+	persistPass := flag.Bool("persist", false, "force the warm-restart pass (snapshot, restart, byte-compare against a cold instance); always on without -fast")
 	transforms := flag.String("transforms", "all", `metamorphic transforms: "all", "none", or a comma-separated subset (rename,deadcode,reorder,peel)`)
 	verbose := flag.Bool("v", false, "log every seed, not just failures and progress")
 	flag.Parse()
@@ -50,6 +51,9 @@ func main() {
 	}
 	if *fleetPass {
 		cfg.Fleet = true
+	}
+	if *persistPass {
+		cfg.Persist = true
 	}
 	switch *transforms {
 	case "all":
@@ -73,7 +77,7 @@ func main() {
 
 	failures := 0
 	var queries, applied, compared, lies, execMisspecs int
-	var specIters int64
+	var specIters, warmHits int64
 	for i := 0; i < *seeds; i++ {
 		seed := *start + int64(i)
 		rep, err := oracle.CheckSeed(cfg, seed)
@@ -87,6 +91,7 @@ func main() {
 		lies += rep.ChaosLies
 		specIters += rep.ExecSpecIters
 		execMisspecs += rep.ExecMisspecs
+		warmHits += rep.PersistWarmHits
 		if *verbose {
 			fmt.Printf("seed %d: %d hot loops, %d queries, %d transforms\n",
 				seed, rep.HotLoops, rep.Queries, rep.TransformsApplied)
@@ -99,8 +104,8 @@ func main() {
 			}
 		}
 		if n := i + 1; n%50 == 0 || n == *seeds {
-			fmt.Printf("[%d/%d] %d failures, %d queries checked, %d transforms applied, %d loop comparisons, %d lies quarantined, %d spec iters, %d misspecs recovered\n",
-				n, *seeds, failures, queries, applied, compared, lies, specIters, execMisspecs)
+			fmt.Printf("[%d/%d] %d failures, %d queries checked, %d transforms applied, %d loop comparisons, %d lies quarantined, %d spec iters, %d misspecs recovered, %d warm hits\n",
+				n, *seeds, failures, queries, applied, compared, lies, specIters, execMisspecs, warmHits)
 		}
 	}
 	if failures > 0 {

@@ -31,6 +31,7 @@ func main() {
 	route := flag.String("route", "hash", "read routing policy: hash (consistent placement) or rr (round-robin)")
 	timeout := flag.Duration("timeout", 0, "per-backend request timeout (0: unbounded)")
 	probe := flag.Duration("probe", 2*time.Second, "down-backend health probe period")
+	cacheDir := flag.String("cache-dir", "", "directory for the session-journal snapshot; reboots resume session IDs and rejoin replay")
 	flag.Parse()
 
 	bk := map[string]string{}
@@ -51,12 +52,18 @@ func main() {
 	if *route != "hash" && *route != "rr" {
 		log.Fatalf("scaf-router: unknown -route %q (want hash or rr)", *route)
 	}
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			log.Fatalf("scaf-router: -cache-dir: %v", err)
+		}
+	}
 
 	rt := server.NewRouter(server.RouterConfig{
 		Backends: bk,
 		Route:    *route,
 		Timeout:  *timeout,
 		Probe:    *probe,
+		CacheDir: *cacheDir,
 	})
 	hs := server.NewHTTPServer(*addr, rt.Handler())
 	errc := make(chan error, 1)

@@ -57,6 +57,8 @@ func main() {
 	fleetPeers := flag.String("fleet-peers", "", "comma-separated id=url peer list (e.g. b1=http://127.0.0.1:8348)")
 	fleetSalt := flag.String("fleet-salt", "", "deployment salt folded into every fleet cache key")
 	fleetFlush := flag.Duration("fleet-flush", 250*time.Millisecond, "publication batch auto-flush period")
+	cacheDir := flag.String("cache-dir", "", "directory for cache snapshots and the revoked journal; boots warm, snapshots on drain")
+	snapEvery := flag.Duration("snapshot-every", 0, "also snapshot the cache shard on this period (0: only on drain)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -84,8 +86,25 @@ func main() {
 			AutoFlush: *fleetFlush,
 		}
 	}
+	if *cacheDir != "" {
+		// The server degrades to memory-only on a bad directory; the CLI
+		// fails loudly instead, since the operator asked for durability.
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			log.Fatalf("scaf-serve: -cache-dir: %v", err)
+		}
+		if cfg.Fleet == nil {
+			// Persistence rides on the cache tier; a standalone instance
+			// gets a fleet-of-one (local shard only, no peers).
+			cfg.Fleet = &server.FleetConfig{Self: "solo"}
+		}
+		cfg.Fleet.CacheDir = *cacheDir
+		cfg.Fleet.SnapshotEvery = *snapEvery
+	}
 
 	srv := server.New(cfg)
+	if st := srv.PersistStats(); st != nil {
+		log.Printf("scaf-serve: cache dir %s: %d entries loaded warm, %d rejected", *cacheDir, st.Loaded, st.Rejected)
+	}
 	if cfg.Fleet != nil {
 		if err := srv.FleetSync(); err != nil {
 			log.Printf("scaf-serve: fleet state sync (continuing degraded): %v", err)

@@ -29,6 +29,8 @@ type Cache struct {
 	index   map[string][]string // assertion key -> entry keys
 	revoked map[string]bool
 
+	revokeHook func([]string)
+
 	hits, misses, puts, rejects, invalidated int64
 }
 
@@ -139,7 +141,6 @@ func (c *Cache) AnyRevoked(keys []string) bool {
 // the number of entries removed.
 func (c *Cache) InvalidateAsserts(keys []string) int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	removed := 0
 	for _, a := range keys {
 		c.revoked[a] = true
@@ -152,7 +153,23 @@ func (c *Cache) InvalidateAsserts(keys []string) int {
 		delete(c.index, a)
 	}
 	c.invalidated += int64(removed)
+	hook := c.revokeHook
+	c.mu.Unlock()
+	if hook != nil && len(keys) > 0 {
+		hook(keys)
+	}
 	return removed
+}
+
+// SetRevokeHook registers fn to observe every revocation, called with
+// the assertion keys after they are applied (outside the lock). This is
+// the persistence seam: the hook appends to the on-disk revoked-set
+// journal, so revocations are durable the moment they happen rather
+// than only at the next snapshot. Set once, before traffic.
+func (c *Cache) SetRevokeHook(fn func([]string)) {
+	c.mu.Lock()
+	c.revokeHook = fn
+	c.mu.Unlock()
 }
 
 // RevokedKeys returns the revoked assertion keys in sorted order — the
@@ -166,6 +183,44 @@ func (c *Cache) RevokedKeys() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// SnapshotEntries returns a copy of the live entries sorted by key — a
+// consistent point-in-time view taken under the shard lock, so it never
+// contains a half-applied mutation. Values are the canonical wire bytes
+// and are never mutated after Put, so sharing the slices is safe.
+func (c *Cache) SnapshotEntries() []Entry {
+	c.mu.RLock()
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore seeds the shard from persisted state: revocations are applied
+// first (monotone, so replaying them is always safe), then entries are
+// inserted under Put's rules — which means an entry predicated on a
+// revoked assertion is rejected here exactly as it would be live, so a
+// reload can never resurrect a quarantined answer. Returns how many
+// entries landed and how many were rejected by the revoked check.
+func (c *Cache) Restore(revoked []string, entries []Entry) (inserted, rejected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range revoked {
+		c.revoked[a] = true
+	}
+	for _, e := range entries {
+		before := c.rejects
+		if c.putLocked(e) {
+			inserted++
+		} else if c.rejects > before {
+			rejected++
+		}
+	}
+	return inserted, rejected
 }
 
 // Len returns the number of live entries.

@@ -60,8 +60,9 @@ type Tier struct {
 	localHits, remoteHits, misses    atomic.Int64
 	remoteErrors, published, batches atomic.Int64
 
-	stop chan struct{}
-	done sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
 }
 
 // TierStats snapshots the tier's counters.
@@ -295,20 +296,19 @@ func (t *Tier) Stats() TierStats {
 	}
 }
 
-// Close stops the auto-flush goroutine after a final drain. Safe to call
-// once; tiers without auto-flush need no Close but tolerate one.
+// Close stops the auto-flush goroutine after a final drain. Idempotent
+// and safe under concurrent callers: every Close returns only after the
+// teardown has completed exactly once (graceful shutdown can reach it
+// from more than one path).
 func (t *Tier) Close() {
-	select {
-	case <-t.stop:
-		return
-	default:
-	}
-	close(t.stop)
-	t.done.Wait()
-	// Drop pooled peer connections so peers shutting down concurrently
-	// don't wait out http.Server.Shutdown's StateNew grace period on a
-	// spare connection we left parked there.
-	for _, p := range t.peers {
-		p.CloseIdle()
-	}
+	t.stopOnce.Do(func() {
+		close(t.stop)
+		t.done.Wait()
+		// Drop pooled peer connections so peers shutting down concurrently
+		// don't wait out http.Server.Shutdown's StateNew grace period on a
+		// spare connection we left parked there.
+		for _, p := range t.peers {
+			p.CloseIdle()
+		}
+	})
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"scaf/internal/server"
@@ -28,6 +29,12 @@ type SaturationConfig struct {
 	Load Config `json:"load"`
 	// Workers is each backend's analysis worker count (default 4).
 	Workers int `json:"workers"`
+	// Persist gives every backend a snapshot directory and runs each size
+	// twice: a cold pass, a graceful drain (which writes the snapshots),
+	// and a warm pass against rebooted backends. The warm pass must serve
+	// the identical deterministic section; its cache economics land in
+	// SaturationPoint.Warm.
+	Persist bool `json:"persist,omitempty"`
 }
 
 // SaturationPoint is one fleet size's outcome.
@@ -44,6 +51,24 @@ type SaturationPoint struct {
 	FleetLoopHits   int64 `json:"fleet_loop_hits"`
 	// RemoteHitRate is (local+remote tier hits) / all tier lookups.
 	RemoteHitRate float64 `json:"remote_hit_rate"`
+	// Warm is the warm-boot rerun (Persist mode only).
+	Warm *WarmPoint `json:"warm,omitempty"`
+}
+
+// WarmPoint is the warm-boot rerun of one fleet size: the same workload
+// offered to backends rebooted from the snapshots the cold pass drained.
+// Its deterministic section must equal the cold pass's, and
+// SnapshotLoaded says how many entries the reboot actually restored —
+// the warm hit rate is meaningless if the boot was secretly cold.
+type WarmPoint struct {
+	Deterministic   Deterministic `json:"deterministic"`
+	Measured        Measured      `json:"measured"`
+	FleetLocalHits  int64         `json:"fleet_local_hits"`
+	FleetRemoteHits int64         `json:"fleet_remote_hits"`
+	FleetMisses     int64         `json:"fleet_misses"`
+	FleetLoopHits   int64         `json:"fleet_loop_hits"`
+	RemoteHitRate   float64       `json:"remote_hit_rate"`
+	SnapshotLoaded  int64         `json:"snapshot_loaded"`
 }
 
 // SaturationReport is the sweep outcome.
@@ -76,13 +101,66 @@ func Saturate(cfg SaturationConfig) (*SaturationReport, error) {
 			rep.Consistent = false
 		}
 	}
+	// A warm boot serving different bytes than its own cold pass is the
+	// same lie as cross-size divergence: the cache changed an answer.
+	for _, pt := range rep.Points {
+		if pt.Warm != nil && pt.Warm.Deterministic != pt.Deterministic {
+			rep.Consistent = false
+		}
+	}
 	return rep, nil
 }
 
 func saturateOne(cfg SaturationConfig, n int) (*SaturationPoint, error) {
-	fl, err := bootFleet(n, cfg.Workers)
+	var dirs []string
+	if cfg.Persist {
+		for i := 0; i < n; i++ {
+			d, err := os.MkdirTemp("", "scaf-loadgen-snap-")
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, d)
+		}
+		defer func() {
+			for _, d := range dirs {
+				os.RemoveAll(d)
+			}
+		}()
+	}
+
+	pt, _, err := sweepFleet(cfg, n, dirs)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Persist {
+		// The cold pass's shutdown drained every backend, writing its
+		// snapshot; this boot reloads them and reruns the same workload.
+		wpt, loaded, err := sweepFleet(cfg, n, dirs)
+		if err != nil {
+			return nil, fmt.Errorf("warm boot: %w", err)
+		}
+		pt.Warm = &WarmPoint{
+			Deterministic:   wpt.Deterministic,
+			Measured:        wpt.Measured,
+			FleetLocalHits:  wpt.FleetLocalHits,
+			FleetRemoteHits: wpt.FleetRemoteHits,
+			FleetMisses:     wpt.FleetMisses,
+			FleetLoopHits:   wpt.FleetLoopHits,
+			RemoteHitRate:   wpt.RemoteHitRate,
+			SnapshotLoaded:  loaded,
+		}
+	}
+	return pt, nil
+}
+
+// sweepFleet boots one fleet (persistent when dirs is non-nil), offers
+// the workload, collects the point, and drains the fleet before
+// returning — in persist mode the drain is what writes the snapshots the
+// next boot warms from, so it cannot be deferred past the caller.
+func sweepFleet(cfg SaturationConfig, n int, dirs []string) (*SaturationPoint, int64, error) {
+	fl, err := bootFleet(n, cfg.Workers, dirs)
+	if err != nil {
+		return nil, 0, err
 	}
 	defer fl.shutdown()
 
@@ -90,7 +168,7 @@ func saturateOne(cfg SaturationConfig, n int) (*SaturationPoint, error) {
 	load.BaseURL = fl.url
 	run, err := Run(load)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	pt := &SaturationPoint{
@@ -98,12 +176,16 @@ func saturateOne(cfg SaturationConfig, n int) (*SaturationPoint, error) {
 		Deterministic: run.Deterministic,
 		Measured:      run.Measured,
 	}
+	var loaded int64
 	for _, srv := range fl.backends {
 		if t := srv.Fleet(); t != nil {
 			st := t.Stats()
 			pt.FleetLocalHits += st.LocalHits
 			pt.FleetRemoteHits += st.RemoteHits
 			pt.FleetMisses += st.Misses
+		}
+		if ps := srv.PersistStats(); ps != nil {
+			loaded += ps.Loaded
 		}
 	}
 	var rm server.RouterMetrics
@@ -124,7 +206,7 @@ func saturateOne(cfg SaturationConfig, n int) (*SaturationPoint, error) {
 	if total := pt.FleetLocalHits + pt.FleetRemoteHits + pt.FleetMisses; total > 0 {
 		pt.RemoteHitRate = float64(pt.FleetLocalHits+pt.FleetRemoteHits) / float64(total)
 	}
-	return pt, nil
+	return pt, loaded, nil
 }
 
 // inprocFleet is one booted fleet: n backends + router, all on loopback.
@@ -136,8 +218,9 @@ type inprocFleet struct {
 
 // bootFleet reserves loopback addresses, wires n backends as mutual cache
 // peers, fronts them with a hash-routing Router, and serves everything on
-// plain http.Servers.
-func bootFleet(n, workers int) (*inprocFleet, error) {
+// plain http.Servers. A non-nil dirs gives backend i the snapshot
+// directory dirs[i], so draining the fleet persists each shard.
+func bootFleet(n, workers int, dirs []string) (*inprocFleet, error) {
 	listeners := make([]net.Listener, n+1) // [0..n-1] backends, [n] router
 	for i := range listeners {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -170,6 +253,9 @@ func bootFleet(n, workers int) (*inprocFleet, error) {
 			// A fleet of one still runs the tier (local shard only) so the
 			// lookaside counters stay comparable across sizes.
 			scfg.Fleet = &server.FleetConfig{Self: id}
+		}
+		if dirs != nil {
+			scfg.Fleet.CacheDir = dirs[i]
 		}
 		srv := server.New(scfg)
 		fl.backends = append(fl.backends, srv)

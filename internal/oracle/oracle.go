@@ -69,6 +69,14 @@ type Config struct {
 	// analyze envelopes, queries, serial and parallel) against a single
 	// cold instance. Incompatible with ExtraModules, like Server.
 	Fleet bool
+	// Persist runs the warm-restart pass: a persistent fleet-of-one
+	// instance serves the session, drains (snapshotting its shard),
+	// restarts from the same directory, and the warm instance's bytes
+	// must equal a cold single instance's — including across a restart
+	// that straddles an /observe quarantine, where the revoked entries
+	// must be physical misses after reload. Incompatible with
+	// ExtraModules, like Server and Fleet.
+	Persist bool
 	// ValidatePlan additionally builds the speculation plan on session
 	// load (the server's plan=validate path) and re-runs the program with
 	// the plan's runtime checks enforced; a misspeculating plan on the
@@ -113,6 +121,7 @@ func FullConfig() Config {
 		SharedCache:  true,
 		Server:       true,
 		Fleet:        true,
+		Persist:      true,
 		Recovery:     true,
 		Execution:    true,
 		Transforms:   Transforms(),
@@ -139,6 +148,7 @@ const (
 	KindDriftShared      = "drift-shared"      // shared-cache answers != serial
 	KindDriftServer      = "drift-server"      // HTTP answers != serial
 	KindDriftFleet       = "drift-fleet"       // fleet answers != single instance
+	KindDriftPersist     = "drift-persist"     // warm-restart answers != cold instance
 	KindPlanInvalid      = "plan-invalid"      // speculation plan misspeculated on its own training input
 	KindMetamorphic      = "metamorphic"       // transform changed preserved answers
 	KindTransformInvalid = "transform-invalid" // transform changed observable behavior (harness bug)
@@ -206,7 +216,12 @@ type Report struct {
 	// the pass is off — and a nonvacuity signal when it is on.
 	ChaosLies      int
 	RecoveryRounds int
-	Violations     []Violation
+	// PersistWarmHits counts answers the warm-restart pass served from a
+	// reloaded snapshot; PersistBlocked counts revoked entries the reload
+	// physically refused. Nonvacuity signals for the persist pass.
+	PersistWarmHits int64
+	PersistBlocked  int64
+	Violations      []Violation
 }
 
 // Failed reports whether any check failed.
@@ -285,6 +300,9 @@ func CheckProgram(cfg Config, name, src string) (*Report, error) {
 	}
 	if cfg.Fleet && cfg.ExtraModules == nil {
 		checkFleetDrift(cfg, rep, base)
+	}
+	if cfg.Persist && cfg.ExtraModules == nil {
+		checkPersist(cfg, rep, base)
 	}
 	if cfg.Recovery {
 		for _, scheme := range cfg.Schemes {

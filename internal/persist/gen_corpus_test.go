@@ -1,0 +1,30 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestGenFuzzCorpus regenerates the committed seed corpus for
+// FuzzSnapshotCorruption under testdata/fuzz (the directory `go test
+// -fuzz` merges with its own cache). Guarded: only runs when
+// SCAF_GEN_CORPUS=1. Regenerate whenever the snapshot format changes.
+func TestGenFuzzCorpus(t *testing.T) {
+	if os.Getenv("SCAF_GEN_CORPUS") != "1" {
+		t.Skip("set SCAF_GEN_CORPUS=1 to regenerate the corpus")
+	}
+	dir := "testdata/fuzz/FuzzSnapshotCorruption"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := fuzzSnapshot()
+	for i, seed := range fuzzSeeds(Encode(snap)) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		name := fmt.Sprintf("%s/seed-%02d", dir, i)
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -47,6 +47,17 @@ type FleetConfig struct {
 	VNodes    int
 	Timeout   time.Duration
 	AutoFlush time.Duration
+	// CacheDir, when non-empty, makes the local shard durable: the boot
+	// loads the directory's snapshot (validated end-to-end — corruption
+	// degrades to misses, never wrong answers), revocations are journaled
+	// the moment they happen, and a graceful drain snapshots the shard
+	// back, so a rolling restart starts warm.
+	CacheDir string
+	// SnapshotEvery, when positive, additionally snapshots the shard on
+	// this period from a background goroutine — bounding how much cache
+	// warmth a crash (as opposed to a drain) can cost. Zero means
+	// drain-only snapshots; revocations are durable either way.
+	SnapshotEvery time.Duration
 }
 
 // fleetDigest hashes everything that determines a session's answers:

@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"scaf/internal/fleet"
+	"scaf/internal/persist"
 )
 
 // The fleet's front tier: a Router speaks the exact scaf-serve HTTP
@@ -44,6 +47,14 @@ type RouterConfig struct {
 	// Probe is the health-probe period for down backends (0: no background
 	// prober; Probe() can still be called explicitly).
 	Probe time.Duration
+	// CacheDir, when non-empty, persists the router's session journal and
+	// session→loops map there on Close and loads them on boot, so a
+	// restarted router keeps its rejoin power: it can still replay the
+	// full mutation history into an empty backend. Validated with the
+	// same checksummed framing as the cache snapshots — a corrupt file
+	// degrades to the valid prefix (at worst a cold router), never a
+	// wrong replay.
+	CacheDir string
 }
 
 // routerJournalEntry is one replayable session mutation.
@@ -138,6 +149,9 @@ func NewRouter(cfg RouterConfig) *Router {
 	mux.HandleFunc("POST /sessions/{id}/execute", rt.handleMutation)
 	rt.mux = mux
 
+	if cfg.CacheDir != "" {
+		rt.loadPersist()
+	}
 	if cfg.Probe > 0 {
 		rt.done.Add(1)
 		go rt.probeLoop(cfg.Probe)
@@ -145,17 +159,107 @@ func NewRouter(cfg RouterConfig) *Router {
 	return rt
 }
 
+// routerJournalRecord / routerSessionRecord are the on-disk forms of
+// the router's replay state.
+type routerJournalRecord struct {
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Body   []byte `json:"body,omitempty"`
+}
+
+type routerSessionRecord struct {
+	ID    string   `json:"id"`
+	Loops []string `json:"loops"`
+}
+
+func (rt *Router) persistPath() string {
+	return filepath.Join(rt.cfg.CacheDir, "router.snap")
+}
+
+// savePersist writes the journal and session map with the persist
+// framing (atomic temp+rename via a full re-encode — the journal is
+// small relative to cache shards, and a single atomic file keeps the
+// two structures consistent with each other).
+func (rt *Router) savePersist() {
+	if err := os.MkdirAll(rt.cfg.CacheDir, 0o755); err != nil {
+		return
+	}
+	rt.mu.Lock()
+	records := make([]persist.Record, 0, len(rt.journal)+len(rt.sessions))
+	for _, je := range rt.journal {
+		p, _ := json.Marshal(routerJournalRecord{Method: je.method, Path: je.path, Body: je.body})
+		records = append(records, persist.Record{Kind: persist.KindJournal, Payload: p})
+	}
+	sids := make([]string, 0, len(rt.sessions))
+	for sid := range rt.sessions {
+		sids = append(sids, sid)
+	}
+	sort.Strings(sids)
+	for _, sid := range sids {
+		p, _ := json.Marshal(routerSessionRecord{ID: sid, Loops: rt.sessions[sid]})
+		records = append(records, persist.Record{Kind: persist.KindSessions, Payload: p})
+	}
+	rt.mu.Unlock()
+	data := persist.EncodeFile(records)
+	tmp := rt.persistPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, rt.persistPath())
+}
+
+// loadPersist restores the journal and session map from a prior
+// graceful Close. Corruption degrades to the valid prefix; since the
+// journal is replayed only into empty backends (rejoin), a short
+// journal can at worst fail a future rejoin's session-set check — it
+// cannot desynchronize a live fleet.
+func (rt *Router) loadPersist() {
+	data, err := os.ReadFile(rt.persistPath())
+	if err != nil {
+		return
+	}
+	records, _ := persist.DecodeFile(data)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, r := range records {
+		switch r.Kind {
+		case persist.KindJournal:
+			var jr routerJournalRecord
+			if err := json.Unmarshal(r.Payload, &jr); err != nil {
+				return
+			}
+			rt.journal = append(rt.journal, routerJournalEntry{method: jr.Method, path: jr.Path, body: jr.Body})
+		case persist.KindSessions:
+			var sr routerSessionRecord
+			if err := json.Unmarshal(r.Payload, &sr); err != nil {
+				return
+			}
+			rt.sessions[sr.ID] = sr.Loops
+		default:
+			return
+		}
+	}
+}
+
 // Handler returns the router's HTTP handler (the scaf-serve surface).
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
-// Close stops the background prober and drops pooled backend
-// connections. Closing the pool matters for orderly teardown: a spare
-// never-used connection parked on a backend reads as StateNew there, and
+// Close stops the background prober, drops pooled backend connections,
+// and persists the session journal when a CacheDir is configured.
+// Closing the pool matters for orderly teardown: a spare never-used
+// connection parked on a backend reads as StateNew there, and
 // http.Server.Shutdown only reaps those after a five-second grace.
+// Idempotent and safe under concurrent callers; every Close returns
+// only after the teardown has completed exactly once.
 func (rt *Router) Close() {
-	rt.stopOnce.Do(func() { close(rt.stop) })
-	rt.done.Wait()
-	rt.hc.CloseIdleConnections()
+	rt.stopOnce.Do(func() {
+		close(rt.stop)
+		rt.done.Wait()
+		rt.hc.CloseIdleConnections()
+		if rt.cfg.CacheDir != "" {
+			rt.savePersist()
+		}
+	})
 }
 
 func (rt *Router) probeLoop(period time.Duration) {

@@ -32,6 +32,7 @@ import (
 
 	"scaf/internal/core"
 	"scaf/internal/fleet"
+	"scaf/internal/persist"
 )
 
 // Config sizes the server.
@@ -75,6 +76,15 @@ type Server struct {
 	mux   *http.ServeMux
 	sem   chan struct{}
 	fleet *fleet.Tier // nil outside fleet mode
+
+	// store is the shard's persistence layer (nil unless Fleet.CacheDir
+	// is set). fleetOnce guards teardown: Shutdown can reach closeFleet
+	// from more than one path, and the final snapshot must be written
+	// exactly once, after the tier has stopped publishing.
+	store       *persist.Store
+	fleetOnce   sync.Once
+	persistStop chan struct{}
+	persistDone sync.WaitGroup
 
 	// mu guards the lifecycle state: session registry and drain tracking.
 	mu       sync.Mutex
@@ -129,9 +139,61 @@ func New(cfg Config) *Server {
 		})
 		h := &fleet.Handler{Cache: s.fleet.Local(), OnRecovery: s.applyFleetRecovery}
 		h.Register(mux, "/fleet/")
+		if cfg.Fleet.CacheDir != "" {
+			s.openPersist(cfg.Fleet.CacheDir, cfg.Fleet.SnapshotEvery)
+		}
 	}
 	s.mux = mux
 	return s
+}
+
+// openPersist attaches the durable tier: load the snapshot (revocations
+// first, then entries under the shard's own revoked check, so nothing
+// quarantined can resurrect), journal every future revocation, and —
+// when a period is set — snapshot in the background. A directory that
+// cannot be opened leaves the instance memory-only; the canonical-entry
+// rule means that is only a warmth regression, never a wrongness one.
+func (s *Server) openPersist(dir string, every time.Duration) {
+	st, err := persist.NewStore(dir)
+	if err != nil {
+		return
+	}
+	s.store = st
+	snap, ds := st.Load()
+	inserted, rejected := s.fleet.Local().Restore(snap.Revoked, snap.Entries)
+	st.NoteLoad(inserted, rejected+ds.Dropped)
+	s.fleet.Local().SetRevokeHook(func(keys []string) { st.AppendRevoked(keys) })
+	if every > 0 {
+		s.persistStop = make(chan struct{})
+		s.persistDone.Add(1)
+		go s.snapshotLoop(every)
+	}
+}
+
+func (s *Server) snapshotLoop(period time.Duration) {
+	defer s.persistDone.Done()
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.saveSnapshot()
+		case <-s.persistStop:
+			return
+		}
+	}
+}
+
+// saveSnapshot writes the local shard to disk. The entry list and the
+// revoked set are each taken consistently under the shard lock, and any
+// revocation racing the save is already durable in the journal, so the
+// pair can never let a quarantined entry survive a reload.
+func (s *Server) saveSnapshot() error {
+	if s.store == nil || s.fleet == nil {
+		return nil
+	}
+	local := s.fleet.Local()
+	return s.store.Save(persist.Snapshot{Revoked: local.RevokedKeys(), Entries: local.SnapshotEntries()})
 }
 
 // Fleet returns the instance's cache tier (nil outside fleet mode) —
@@ -235,11 +297,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// closeFleet drains pending publications and stops the tier's flusher.
+// closeFleet drains pending publications, stops the tier's flusher,
+// and — when the shard is durable — writes the final drain snapshot.
+// Exactly once, however many shutdown paths reach it.
 func (s *Server) closeFleet() {
-	if s.fleet != nil {
-		s.fleet.Close()
+	s.fleetOnce.Do(func() {
+		if s.persistStop != nil {
+			close(s.persistStop)
+			s.persistDone.Wait()
+		}
+		if s.fleet != nil {
+			s.fleet.Close()
+		}
+		if s.store != nil {
+			s.saveSnapshot()
+			s.store.Close()
+		}
+	})
+}
+
+// PersistStats reports the durable tier's counters (nil when the
+// instance is memory-only).
+func (s *Server) PersistStats() *persist.Stats {
+	if s.store == nil {
+		return nil
 	}
+	st := s.store.Stats()
+	return &st
 }
 
 // admit acquires a worker slot for one analysis request, waiting in the
@@ -659,6 +743,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ts := s.fleet.Stats()
 		resp.Fleet = &ts
 	}
+	resp.Persist = s.PersistStats()
 	for _, sess := range sessions {
 		resp.Sessions[sess.id] = sess.metricsSnapshot()
 	}

@@ -9,6 +9,7 @@ import (
 	"scaf/internal/fleet"
 	"scaf/internal/ir"
 	"scaf/internal/pdg"
+	"scaf/internal/persist"
 	"scaf/internal/recovery"
 	"scaf/internal/runtime"
 )
@@ -456,6 +457,8 @@ type MetricsResponse struct {
 	Sessions map[string]SessionMetrics `json:"sessions"`
 	// Fleet is the instance's cache-tier counters (fleet mode only).
 	Fleet *fleet.TierStats `json:"fleet,omitempty"`
+	// Persist is the durable tier's counters (persistent instances only).
+	Persist *persist.Stats `json:"persist,omitempty"`
 }
 
 // HealthResponse is the /healthz body.
