@@ -94,6 +94,34 @@ func EncodeFile(records []Record) []byte {
 	return out
 }
 
+// ValidPrefixLen returns the byte length of the longest decodable
+// prefix of data — the header plus every complete, checksum-valid
+// frame — or -1 when the header itself is absent or invalid (short
+// file, bad magic, unsupported version), meaning no prefix is
+// salvageable. Append-only writers use it to repair a torn tail
+// before appending: bytes past the valid prefix would otherwise
+// strand every later record behind garbage DecodeFile stops at.
+func ValidPrefixLen(data []byte) int {
+	if len(data) < headerSize || string(data[:len(magic)]) != magic ||
+		binary.LittleEndian.Uint32(data[len(magic):headerSize]) != Version {
+		return -1
+	}
+	off := headerSize
+	for len(data)-off >= frameSize {
+		n := binary.LittleEndian.Uint32(data[off+1 : off+5])
+		sum := binary.LittleEndian.Uint32(data[off+5 : off+9])
+		body := off + frameSize
+		if n > MaxRecord || uint32(len(data)-body) < n {
+			break
+		}
+		if crc32.ChecksumIEEE(data[body:body+int(n)]) != sum {
+			break
+		}
+		off = body + int(n)
+	}
+	return off
+}
+
 // DecodeFile returns the longest valid prefix of records in data and,
 // when the read stopped early, a non-empty reason. A bad header rejects
 // the whole file; a bad frame, oversized length, or CRC mismatch stops

@@ -224,6 +224,104 @@ func TestStoreCorruptJournalPrefix(t *testing.T) {
 	}
 }
 
+// TestJournalTornTailRepairedOnAppend pins the crash-mid-append shape:
+// a torn record at the journal's tail must be truncated away on the
+// next open, so revocations journaled (and fsync-acked) after the
+// crash land in a decodable file instead of being stranded behind
+// garbage the decoder stops at.
+func TestJournalTornTailRepairedOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewStore(dir)
+	if err := st.AppendRevoked([]string{"a/1"}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Simulate a crash mid-append: a partial frame after the last
+	// complete record.
+	f, err := os.OpenFile(st.JournalPath(), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{KindRevoked, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, _ := NewStore(dir)
+	defer st2.Close()
+	if err := st2.AppendRevoked([]string{"a/2"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, ls := st2.Load()
+	if ls.Truncated {
+		t.Fatalf("repaired journal still reads torn: %s", ls.Reason)
+	}
+	if !reflect.DeepEqual(snap.Revoked, []string{"a/1", "a/2"}) {
+		t.Fatalf("post-repair revocations: got %v want [a/1 a/2]", snap.Revoked)
+	}
+}
+
+// TestJournalHeaderRepairedOnAppend pins the crash-between-create-and-
+// header shape: an existing zero-length (or partial-header) journal
+// must get a fresh header on the next open, not be appended to
+// headerless — which would make every future record unreadable.
+func TestJournalHeaderRepairedOnAppend(t *testing.T) {
+	for name, stub := range map[string][]byte{
+		"empty":          {},
+		"partial header": []byte(magic[:5]),
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, _ := NewStore(dir)
+			if err := os.WriteFile(st.JournalPath(), stub, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.AppendRevoked([]string{"a/1"}); err != nil {
+				t.Fatal(err)
+			}
+			st.Close()
+
+			st2, _ := NewStore(dir)
+			defer st2.Close()
+			snap, ls := st2.Load()
+			if ls.Truncated {
+				t.Fatalf("journal unreadable after header repair: %s", ls.Reason)
+			}
+			if !reflect.DeepEqual(snap.Revoked, []string{"a/1"}) {
+				t.Fatalf("revocations after header repair: got %v want [a/1]", snap.Revoked)
+			}
+		})
+	}
+}
+
+// TestJournalForeignFileRotatedAside: a file with a valid length but
+// wrong magic is not ours to truncate — it is moved to *.corrupt and
+// the journal restarts fresh.
+func TestJournalForeignFileRotatedAside(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewStore(dir)
+	foreign := []byte("NOTASNAPxxxxsome other file's bytes")
+	if err := os.WriteFile(st.JournalPath(), foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendRevoked([]string{"a/1"}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	moved, err := os.ReadFile(st.JournalPath() + ".corrupt")
+	if err != nil || !bytes.Equal(moved, foreign) {
+		t.Fatalf("foreign file not preserved aside: %v", err)
+	}
+	st2, _ := NewStore(dir)
+	defer st2.Close()
+	snap, ls := st2.Load()
+	if ls.Truncated || !reflect.DeepEqual(snap.Revoked, []string{"a/1"}) {
+		t.Fatalf("journal after rotate: revoked=%v truncated=%v (%s)", snap.Revoked, ls.Truncated, ls.Reason)
+	}
+}
+
 // TestSnapshotDuringDrain snapshots a live shard while concurrent
 // writers, readers, and revokers hammer it (run under -race in CI).
 // Every file written must decode cleanly and contain only complete

@@ -3,6 +3,7 @@ package persist
 import (
 	"encoding/json"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -150,6 +151,7 @@ type Stats struct {
 	Saves          int64 `json:"snapshot_saves"`
 	SaveErrors     int64 `json:"snapshot_save_errors"`
 	JournalRecords int64 `json:"journal_records"`
+	JournalErrors  int64 `json:"journal_errors"`
 }
 
 // Store manages one shard's persistence directory: the snapshot file
@@ -162,6 +164,7 @@ type Store struct {
 
 	loaded, rejected, entries    atomic.Int64
 	saves, saveErrors, journaled atomic.Int64
+	journalErrors                atomic.Int64
 }
 
 // NewStore opens (creating if needed) the persistence directory.
@@ -260,11 +263,76 @@ func DecodeJournal(data []byte) ([]string, DecodeStats) {
 	return keys, st
 }
 
+// openJournal opens the revoked-set journal for appending, repairing
+// the tail first. A crash mid-append can leave a torn record — or even
+// a zero-length or partial-header file, if the crash hit between
+// create and header write — and blindly appending after that garbage
+// would strand every later (durably fsync-acked) record behind bytes
+// DecodeJournal stops at. So the first open validates the existing
+// bytes and truncates the file to its longest valid prefix; when even
+// the header is unusable the file is rewritten from scratch (empty or
+// partial header) or moved aside to *.corrupt (wrong magic/version: a
+// foreign file is preserved, not destroyed). Called with s.mu held.
+func (s *Store) openJournal() error {
+	path := s.JournalPath()
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	valid := ValidPrefixLen(data)
+	if valid < 0 && len(data) >= headerSize {
+		if err := os.Rename(path, path+".corrupt"); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	repaired := false
+	if valid < 0 {
+		if err := f.Truncate(0); err == nil {
+			_, err = f.Write(Header())
+		} else {
+			f.Close()
+			return err
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		repaired = len(data) > 0
+	} else {
+		if valid < len(data) {
+			if err := f.Truncate(int64(valid)); err != nil {
+				f.Close()
+				return err
+			}
+			repaired = true
+		}
+		if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if repaired {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.journal = f
+	return nil
+}
+
 // AppendRevoked durably appends keys to the revoked-set journal and
 // syncs before returning — by the time a fleet broadcast's HTTP
 // response goes out, the revocation has hit the disk too. The journal
-// is never truncated: a snapshot may lag (it is retaken on drain), but
-// a revocation, once journaled, survives any crash.
+// only ever shrinks to drop a torn tail (see openJournal): a snapshot
+// may lag (it is retaken on drain), but a revocation, once journaled
+// and acked, survives any crash. Every failure (open, write, fsync)
+// is counted in Stats.JournalErrors so callers that cannot propagate
+// the error still leave an operator-visible signal.
 func (s *Store) AppendRevoked(keys []string) error {
 	if len(keys) == 0 {
 		return nil
@@ -272,27 +340,24 @@ func (s *Store) AppendRevoked(keys []string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.journal == nil {
-		fresh := false
-		if _, err := os.Stat(s.JournalPath()); err != nil {
-			fresh = true
-		}
-		f, err := os.OpenFile(s.JournalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
+		if err := s.openJournal(); err != nil {
+			s.journalErrors.Add(1)
 			return err
 		}
-		if fresh {
-			if _, err := f.Write(Header()); err != nil {
-				f.Close()
-				return err
-			}
-		}
-		s.journal = f
 	}
 	payload, _ := json.Marshal(revokedRecord{Keys: keys})
 	if _, err := s.journal.Write(AppendRecord(nil, Record{Kind: KindRevoked, Payload: payload})); err != nil {
+		// A partial write leaves a torn tail; drop the handle so the
+		// next append re-validates and truncates before writing.
+		s.journal.Close()
+		s.journal = nil
+		s.journalErrors.Add(1)
 		return err
 	}
 	if err := s.journal.Sync(); err != nil {
+		s.journal.Close()
+		s.journal = nil
+		s.journalErrors.Add(1)
 		return err
 	}
 	s.journaled.Add(int64(len(keys)))
@@ -315,6 +380,7 @@ func (s *Store) Stats() Stats {
 		Saves:          s.saves.Load(),
 		SaveErrors:     s.saveErrors.Load(),
 		JournalRecords: s.journaled.Load(),
+		JournalErrors:  s.journalErrors.Load(),
 	}
 }
 

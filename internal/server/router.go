@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -182,6 +183,7 @@ func (rt *Router) persistPath() string {
 // two structures consistent with each other).
 func (rt *Router) savePersist() {
 	if err := os.MkdirAll(rt.cfg.CacheDir, 0o755); err != nil {
+		log.Printf("router: persist save: %v", err)
 		return
 	}
 	rt.mu.Lock()
@@ -201,11 +203,28 @@ func (rt *Router) savePersist() {
 	}
 	rt.mu.Unlock()
 	data := persist.EncodeFile(records)
-	tmp := rt.persistPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Mirror Store.Save: write + fsync the temp file before the rename,
+	// so the renamed router.snap is never empty or partial on power
+	// loss; the old snapshot survives any failure before the rename.
+	tmp, err := os.CreateTemp(rt.cfg.CacheDir, "router.snap.tmp-")
+	if err != nil {
+		log.Printf("router: persist save: %v", err)
 		return
 	}
-	os.Rename(tmp, rt.persistPath())
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), rt.persistPath())
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		log.Printf("router: persist save: %v", werr)
+	}
 }
 
 // loadPersist restores the journal and session map from a prior
