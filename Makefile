@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos runtime fleet loadgen persist bench bench-json bench-baseline bench-check bench-mem oracle clean
+.PHONY: all build vet test race chaos runtime fleet elastic loadgen persist bench bench-json bench-baseline bench-check bench-mem oracle clean
 
 all: vet build test
 
@@ -48,6 +48,23 @@ fleet:
 	$(GO) test -race -count=1 ./internal/fleet/...
 	$(GO) test -race -count=1 -v ./internal/server/ -run 'TestFleet|TestRouter'
 	$(GO) run ./cmd/scaf-oracle -seeds 25 -start 7000 -fast -fleet
+
+# Elasticity gate under the race detector: live membership change. The
+# fleet tier's own suite (live peer add/remove, fail-open peer timeouts,
+# ring bounded-movement property), the membership chaos suite (joiner
+# killed mid-stream rolls back, old owner killed mid-drain degrades to
+# 503s, double-join and leave-during-join are refused, dead-member leave
+# never wedges, byte-identity and durable membership after a join), the
+# prober-backoff test, the loadgen membership schedule (live join/leave
+# mid-saturation must not change the deterministic digest) — then a
+# 25-seed live-membership oracle sweep: join and leave under concurrent
+# fire, every answer byte-compared against the static fleet, with the
+# joiner required to serve warm hits from its streamed segments.
+elastic:
+	$(GO) test -race -count=1 ./internal/fleet/...
+	$(GO) test -race -count=1 -v ./internal/server/ -run 'TestElastic|TestRouterProbeBackoff'
+	$(GO) test -race -count=1 ./internal/loadgen/ -run 'TestSaturationMembership'
+	$(GO) run ./cmd/scaf-oracle -seeds 25 -start 7000 -fast -elastic
 
 # Loadgen smoke: the generator's own suite, then the CLI twice with one
 # seed against fresh in-process servers — the deterministic sections

@@ -35,6 +35,7 @@ func main() {
 	execute := flag.Bool("execute", false, "force the execution-equivalence pass (speculative-parallel runtime vs serial, plus chaos-forced misspeculation recovery); always on without -fast")
 	fleetPass := flag.Bool("fleet", false, "force the fleet byte-identity pass (router + 2 peer backends vs a single cold instance); always on without -fast")
 	persistPass := flag.Bool("persist", false, "force the warm-restart pass (snapshot, restart, byte-compare against a cold instance); always on without -fast")
+	elasticPass := flag.Bool("elastic", false, "force the live-membership pass (join and leave under concurrent fire, byte-compare against the static fleet); always on without -fast")
 	transforms := flag.String("transforms", "all", `metamorphic transforms: "all", "none", or a comma-separated subset (rename,deadcode,reorder,peel)`)
 	verbose := flag.Bool("v", false, "log every seed, not just failures and progress")
 	flag.Parse()
@@ -54,6 +55,9 @@ func main() {
 	}
 	if *persistPass {
 		cfg.Persist = true
+	}
+	if *elasticPass {
+		cfg.Elastic = true
 	}
 	switch *transforms {
 	case "all":
@@ -77,7 +81,7 @@ func main() {
 
 	failures := 0
 	var queries, applied, compared, lies, execMisspecs int
-	var specIters, warmHits int64
+	var specIters, warmHits, elasticHits int64
 	for i := 0; i < *seeds; i++ {
 		seed := *start + int64(i)
 		rep, err := oracle.CheckSeed(cfg, seed)
@@ -92,6 +96,7 @@ func main() {
 		specIters += rep.ExecSpecIters
 		execMisspecs += rep.ExecMisspecs
 		warmHits += rep.PersistWarmHits
+		elasticHits += rep.ElasticWarmHits
 		if *verbose {
 			fmt.Printf("seed %d: %d hot loops, %d queries, %d transforms\n",
 				seed, rep.HotLoops, rep.Queries, rep.TransformsApplied)
@@ -104,8 +109,8 @@ func main() {
 			}
 		}
 		if n := i + 1; n%50 == 0 || n == *seeds {
-			fmt.Printf("[%d/%d] %d failures, %d queries checked, %d transforms applied, %d loop comparisons, %d lies quarantined, %d spec iters, %d misspecs recovered, %d warm hits\n",
-				n, *seeds, failures, queries, applied, compared, lies, specIters, execMisspecs, warmHits)
+			fmt.Printf("[%d/%d] %d failures, %d queries checked, %d transforms applied, %d loop comparisons, %d lies quarantined, %d spec iters, %d misspecs recovered, %d warm hits, %d elastic hits\n",
+				n, *seeds, failures, queries, applied, compared, lies, specIters, execMisspecs, warmHits, elasticHits)
 		}
 	}
 	if failures > 0 {

@@ -30,8 +30,10 @@ func main() {
 	backends := flag.String("backends", "", "comma-separated id=url backend list (required)")
 	route := flag.String("route", "hash", "read routing policy: hash (consistent placement) or rr (round-robin)")
 	timeout := flag.Duration("timeout", 0, "per-backend request timeout (0: unbounded)")
-	probe := flag.Duration("probe", 2*time.Second, "down-backend health probe period")
-	cacheDir := flag.String("cache-dir", "", "directory for the session-journal snapshot; reboots resume session IDs and rejoin replay")
+	probe := flag.Duration("probe", 2*time.Second, "down-backend health probe period (the backoff base)")
+	probeMax := flag.Duration("probe-max", 0, "cap on the probe backoff for persistently down backends (0: 16x the probe period)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "bound on waiting out in-flight reads during a membership cutover; exceeding it rolls the move back (0: 30s)")
+	cacheDir := flag.String("cache-dir", "", "directory for the session-journal snapshot; reboots resume session IDs, rejoin replay, and live-joined members")
 	flag.Parse()
 
 	bk := map[string]string{}
@@ -59,11 +61,13 @@ func main() {
 	}
 
 	rt := server.NewRouter(server.RouterConfig{
-		Backends: bk,
-		Route:    *route,
-		Timeout:  *timeout,
-		Probe:    *probe,
-		CacheDir: *cacheDir,
+		Backends:     bk,
+		Route:        *route,
+		Timeout:      *timeout,
+		Probe:        *probe,
+		ProbeMax:     *probeMax,
+		DrainTimeout: *drainTimeout,
+		CacheDir:     *cacheDir,
 	})
 	hs := server.NewHTTPServer(*addr, rt.Handler())
 	errc := make(chan error, 1)

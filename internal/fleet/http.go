@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -64,13 +65,29 @@ type StateResponse struct {
 	Entries int      `json:"entries"`
 }
 
+// MembersRequest updates a peer's membership view: Add maps new node IDs
+// to base URLs, Remove lists departed node IDs. Both directions are
+// idempotent, so the router re-broadcasts membership freely.
+type MembersRequest struct {
+	Add    map[string]string `json:"add,omitempty"`
+	Remove []string          `json:"remove,omitempty"`
+}
+
+// MembersResponse echoes the peer's post-update ring membership.
+type MembersResponse struct {
+	Nodes []string `json:"nodes"`
+}
+
 // Handler serves the peer protocol over a shard. OnRecovery, when set, is
 // invoked after the shard is invalidated so the embedding server can apply
 // the event to its sessions (quarantine + epoch bump); it runs on the
-// request goroutine, so replication is synchronous end to end.
+// request goroutine, so replication is synchronous end to end. Tier, when
+// set, additionally mounts the members endpoint so the router can push
+// live membership changes into this instance's ring.
 type Handler struct {
 	Cache      *Cache
 	OnRecovery func(RecoveryRequest)
+	Tier       *Tier
 }
 
 // maxPeerBody bounds peer request bodies; batches are capped well below
@@ -84,6 +101,28 @@ func (h *Handler) Register(mux *http.ServeMux, prefix string) {
 	mux.HandleFunc(prefix+"recovery", h.handleRecovery)
 	mux.HandleFunc(prefix+"state", h.handleState)
 	mux.HandleFunc(prefix+"stats", h.handleStats)
+	if h.Tier != nil {
+		mux.HandleFunc(prefix+"members", h.handleMembers)
+	}
+}
+
+func (h *Handler) handleMembers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req MembersRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Removals first: a node moving to a new URL arrives as remove+add.
+	for _, id := range req.Remove {
+		h.Tier.RemovePeer(id)
+	}
+	for id, base := range req.Add {
+		h.Tier.AddPeer(id, base)
+	}
+	writePeerJSON(w, MembersResponse{Nodes: h.Tier.Stats().Nodes})
 }
 
 func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -188,11 +227,27 @@ func (c *Client) CloseIdle() { c.hc.CloseIdleConnections() }
 
 // Get fetches the entries the peer holds for keys.
 func (c *Client) Get(keys []string) ([]Entry, error) {
+	return c.GetCtx(context.Background(), keys)
+}
+
+// GetCtx is Get under a caller-supplied context: the query path uses it
+// to give each remote lookup a hard budget tighter than the client's
+// transport timeout, so a stalled peer degrades to a miss instead of
+// blocking the query.
+func (c *Client) GetCtx(ctx context.Context, keys []string) ([]Entry, error) {
 	var resp GetResponse
-	if err := c.roundTrip(http.MethodPost, "/fleet/cache/get", GetRequest{Keys: keys}, &resp); err != nil {
+	if err := c.roundTripCtx(ctx, http.MethodPost, "/fleet/cache/get", GetRequest{Keys: keys}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Entries, nil
+}
+
+// Members pushes a membership update to the peer and returns its
+// post-update ring.
+func (c *Client) Members(req MembersRequest) (MembersResponse, error) {
+	var resp MembersResponse
+	err := c.roundTrip(http.MethodPost, "/fleet/members", req, &resp)
+	return resp, err
 }
 
 // Put publishes entries to the peer, returning how many it inserted.
@@ -225,6 +280,10 @@ func (c *Client) Stats() (CacheStats, error) {
 }
 
 func (c *Client) roundTrip(method, path string, reqBody, respBody any) error {
+	return c.roundTripCtx(context.Background(), method, path, reqBody, respBody)
+}
+
+func (c *Client) roundTripCtx(ctx context.Context, method, path string, reqBody, respBody any) error {
 	var body io.Reader
 	if reqBody != nil {
 		b, err := json.Marshal(reqBody)
@@ -233,7 +292,7 @@ func (c *Client) roundTrip(method, path string, reqBody, respBody any) error {
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}

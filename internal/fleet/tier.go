@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -24,11 +25,22 @@ type TierConfig struct {
 	// MaxBatch caps entries per publication batch; an overfull pending
 	// queue triggers an inline drain. 0 = DefaultMaxBatch.
 	MaxBatch int
+	// OpTimeout bounds each remote lookup issued from the query path
+	// (0 = DefaultOpTimeout). Tighter than Timeout on purpose: a remote
+	// hit is an optimization, and a peer slow enough to miss this budget
+	// must degrade to a local miss rather than stall the query it was
+	// supposed to accelerate. Timed-out lookups count in peer_timeouts.
+	OpTimeout time.Duration
 }
 
 // DefaultMaxBatch bounds one publication RPC to a size that stays well
 // under maxPeerBody even with large wire values.
 const DefaultMaxBatch = 256
+
+// DefaultOpTimeout is the query-path remote-lookup budget: long enough
+// for a loopback or rack-local RTT, far shorter than the answer would
+// take to recompute — the only regime where blocking is worth it.
+const DefaultOpTimeout = 500 * time.Millisecond
 
 // Tier is one instance's handle on the fleet cache: a local shard, a
 // ring placing every key on its home node, and clients to the peers.
@@ -48,9 +60,20 @@ const DefaultMaxBatch = 256
 // responds to its client after broadcasting knows the whole fleet has
 // revoked the assertion.
 type Tier struct {
-	self  string
+	self        string
+	local       *Cache
+	vnodes      int
+	peerTimeout time.Duration
+	opTimeout   time.Duration
+
+	// pmu guards the membership view (ring + peer clients), which is
+	// mutable since live join/leave: AddPeer/RemovePeer swap both under
+	// the write lock, every other path reads them under the read lock. A
+	// stale view is sound — placement only decides who computes/caches an
+	// answer, and entry keys are self-validating — so readers never block
+	// on a membership change longer than the swap itself.
+	pmu   sync.RWMutex
 	ring  *Ring
-	local *Cache
 	peers map[string]*Client
 
 	mu      sync.Mutex
@@ -59,6 +82,7 @@ type Tier struct {
 
 	localHits, remoteHits, misses    atomic.Int64
 	remoteErrors, published, batches atomic.Int64
+	peerTimeouts                     atomic.Int64
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -73,6 +97,7 @@ type TierStats struct {
 	RemoteHits   int64      `json:"remote_hits"`
 	Misses       int64      `json:"misses"`
 	RemoteErrors int64      `json:"remote_errors"`
+	PeerTimeouts int64      `json:"peer_timeouts"`
 	Published    int64      `json:"published"`
 	Batches      int64      `json:"batches"`
 	Local        CacheStats `json:"local"`
@@ -91,16 +116,26 @@ func NewTier(cfg TierConfig) *Tier {
 	if max <= 0 {
 		max = DefaultMaxBatch
 	}
-	t := &Tier{
-		self:    cfg.Self,
-		ring:    NewRing(nodes, cfg.VNodes),
-		local:   NewCache(),
-		peers:   peers,
-		pending: make(map[string][]Entry),
-		max:     max,
-		stop:    make(chan struct{}),
+	opTimeout := cfg.OpTimeout
+	if opTimeout <= 0 {
+		opTimeout = DefaultOpTimeout
 	}
-	if cfg.AutoFlush > 0 && len(peers) > 0 {
+	t := &Tier{
+		self:        cfg.Self,
+		ring:        NewRing(nodes, cfg.VNodes),
+		local:       NewCache(),
+		vnodes:      cfg.VNodes,
+		peerTimeout: cfg.Timeout,
+		opTimeout:   opTimeout,
+		peers:       peers,
+		pending:     make(map[string][]Entry),
+		max:         max,
+		stop:        make(chan struct{}),
+	}
+	// The flusher starts whenever a period is set — not only when peers
+	// exist at boot — because live membership can add the first peer long
+	// after construction.
+	if cfg.AutoFlush > 0 {
 		t.done.Add(1)
 		go t.flushLoop(cfg.AutoFlush)
 	}
@@ -114,7 +149,57 @@ func (t *Tier) Local() *Cache { return t.local }
 func (t *Tier) Self() string { return t.self }
 
 // Owner returns the node that homes key.
-func (t *Tier) Owner(key string) string { return t.ring.Owner(key) }
+func (t *Tier) Owner(key string) string {
+	t.pmu.RLock()
+	defer t.pmu.RUnlock()
+	return t.ring.Owner(key)
+}
+
+// AddPeer admits a peer into this instance's membership view: a client
+// is minted for it and the ring is rebuilt to include it. Idempotent —
+// re-adding a known peer (or self) is a no-op, so the router can
+// broadcast membership without tracking who already knows.
+func (t *Tier) AddPeer(id, base string) {
+	if id == t.self {
+		return
+	}
+	t.pmu.Lock()
+	defer t.pmu.Unlock()
+	if _, ok := t.peers[id]; ok {
+		return
+	}
+	t.peers[id] = NewClient(base, t.peerTimeout)
+	t.ring = NewRing(append(t.ring.Nodes(), id), t.vnodes)
+}
+
+// RemovePeer removes a peer from the membership view and rebuilds the
+// ring without it. Pending publications bound for it are dropped (they
+// are a cache; the entries stay served from the local shard). Idempotent.
+func (t *Tier) RemovePeer(id string) {
+	if id == t.self {
+		return
+	}
+	t.pmu.Lock()
+	p, ok := t.peers[id]
+	if !ok {
+		t.pmu.Unlock()
+		return
+	}
+	delete(t.peers, id)
+	nodes := t.ring.Nodes()
+	for i, n := range nodes {
+		if n == id {
+			nodes = append(nodes[:i], nodes[i+1:]...)
+			break
+		}
+	}
+	t.ring = NewRing(nodes, t.vnodes)
+	t.pmu.Unlock()
+	t.mu.Lock()
+	delete(t.pending, id)
+	t.mu.Unlock()
+	p.CloseIdle()
+}
 
 // Get looks key up: local shard first, then — if the key is homed on a
 // peer — one RPC to the owner. Remote hits are installed locally so the
@@ -126,18 +211,25 @@ func (t *Tier) Get(key string) ([]byte, bool) {
 		t.localHits.Add(1)
 		return v, true
 	}
+	t.pmu.RLock()
 	owner := t.ring.Owner(key)
-	if owner == t.self {
+	p := t.peers[owner]
+	t.pmu.RUnlock()
+	if owner == t.self || p == nil {
 		t.misses.Add(1)
 		return nil, false
 	}
-	p, ok := t.peers[owner]
-	if !ok {
-		t.misses.Add(1)
-		return nil, false
-	}
-	entries, err := p.Get([]string{key})
+	// Fail-open: the lookup gets a hard per-op budget, independent of the
+	// client's transport timeout. A peer that answers slower than this is
+	// indistinguishable from one that is down — the query path records a
+	// local miss and recomputes rather than waiting.
+	ctx, cancel := context.WithTimeout(context.Background(), t.opTimeout)
+	defer cancel()
+	entries, err := p.GetCtx(ctx, []string{key})
 	if err != nil {
+		if ctx.Err() != nil {
+			t.peerTimeouts.Add(1)
+		}
 		t.remoteErrors.Add(1)
 		t.misses.Add(1)
 		return nil, false
@@ -166,11 +258,11 @@ func (t *Tier) Get(key string) ([]byte, bool) {
 func (t *Tier) Put(key string, asserts []string, value []byte) {
 	e := Entry{Key: key, Value: value, Asserts: asserts}
 	t.local.Put(e)
+	t.pmu.RLock()
 	owner := t.ring.Owner(key)
-	if owner == t.self {
-		return
-	}
-	if _, ok := t.peers[owner]; !ok {
+	_, known := t.peers[owner]
+	t.pmu.RUnlock()
+	if owner == t.self || !known {
 		return
 	}
 	t.mu.Lock()
@@ -200,7 +292,13 @@ func (t *Tier) Flush() {
 		if len(es) == 0 {
 			continue
 		}
-		if _, err := t.peers[id].Put(es); err != nil {
+		t.pmu.RLock()
+		p := t.peers[id]
+		t.pmu.RUnlock()
+		if p == nil {
+			continue // peer left between enqueue and drain
+		}
+		if _, err := p.Put(es); err != nil {
 			t.remoteErrors.Add(1)
 			continue
 		}
@@ -242,19 +340,32 @@ func (t *Tier) BroadcastRecovery(req RecoveryRequest) []string {
 	if req.Origin == "" {
 		req.Origin = t.self
 	}
-	ids := make([]string, 0, len(t.peers))
-	for id := range t.peers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
 	var failed []string
-	for _, id := range ids {
-		if err := t.peers[id].Recovery(req); err != nil {
+	for _, pr := range t.peerClients() {
+		if err := pr.client.Recovery(req); err != nil {
 			t.remoteErrors.Add(1)
-			failed = append(failed, id)
+			failed = append(failed, pr.id)
 		}
 	}
 	return failed
+}
+
+// peerRef pairs a peer's ID with its client, snapshotted outside pmu so
+// RPC time never holds the membership lock.
+type peerRef struct {
+	id     string
+	client *Client
+}
+
+func (t *Tier) peerClients() []peerRef {
+	t.pmu.RLock()
+	out := make([]peerRef, 0, len(t.peers))
+	for id, p := range t.peers {
+		out = append(out, peerRef{id: id, client: p})
+	}
+	t.pmu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // SyncState pulls every reachable peer's revoked set and applies it
@@ -262,13 +373,8 @@ func (t *Tier) BroadcastRecovery(req RecoveryRequest) []string {
 // missed while down.
 func (t *Tier) SyncState() error {
 	var firstErr error
-	ids := make([]string, 0, len(t.peers))
-	for id := range t.peers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		st, err := t.peers[id].State()
+	for _, pr := range t.peerClients() {
+		st, err := pr.client.State()
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -283,13 +389,17 @@ func (t *Tier) SyncState() error {
 
 // Stats snapshots the tier's counters, including the local shard's.
 func (t *Tier) Stats() TierStats {
+	t.pmu.RLock()
+	nodes := t.ring.Nodes()
+	t.pmu.RUnlock()
 	return TierStats{
 		Self:         t.self,
-		Nodes:        t.ring.Nodes(),
+		Nodes:        nodes,
 		LocalHits:    t.localHits.Load(),
 		RemoteHits:   t.remoteHits.Load(),
 		Misses:       t.misses.Load(),
 		RemoteErrors: t.remoteErrors.Load(),
+		PeerTimeouts: t.peerTimeouts.Load(),
 		Published:    t.published.Load(),
 		Batches:      t.batches.Load(),
 		Local:        t.local.Stats(),
@@ -307,8 +417,8 @@ func (t *Tier) Close() {
 		// Drop pooled peer connections so peers shutting down concurrently
 		// don't wait out http.Server.Shutdown's StateNew grace period on a
 		// spare connection we left parked there.
-		for _, p := range t.peers {
-			p.CloseIdle()
+		for _, pr := range t.peerClients() {
+			pr.client.CloseIdle()
 		}
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -67,6 +68,27 @@ type Config struct {
 	DeadlineMS int64 `json:"deadline_ms"`
 	// Seed fixes the arrival schedule and request mix.
 	Seed int64 `json:"seed"`
+	// Membership is a scripted sequence of live membership changes fired
+	// against the target router while the workload runs: each event fires
+	// once the schedule has dispatched After arrivals, in order, each
+	// waiting for the previous to complete. When the script is non-empty,
+	// requests answered 503 during a transfer window are retried (bounded,
+	// honoring Retry-After) so every arrival's final answer still folds
+	// into the deterministic digest — which must therefore equal a
+	// static-fleet run's. Transfer-window 503s are counted separately in
+	// Measured.Moved503, never in the digest.
+	Membership []MembershipEvent `json:"membership,omitempty"`
+}
+
+// MembershipEvent is one scripted membership change.
+type MembershipEvent struct {
+	// After is the number of dispatched arrivals that triggers the event.
+	After int `json:"after"`
+	// Op is "join" or "leave".
+	Op string `json:"op"`
+	// ID is the backend being joined or removed; URL is required for join.
+	ID  string `json:"id"`
+	URL string `json:"url,omitempty"`
 }
 
 // Deterministic is the seed-and-bytes-determined section of a Report: CI
@@ -98,6 +120,10 @@ type Measured struct {
 	MaxUS      int64       `json:"max_us"`
 	Statuses   map[int]int `json:"statuses"`
 	Transport  int         `json:"transport_errors"`
+	// Moved503 counts transfer-window 503 responses that were retried
+	// during a membership script — the bounded, client-visible cost of a
+	// live move, reported separately from final statuses.
+	Moved503 int64 `json:"moved_503"`
 }
 
 // Report is one load run's outcome.
@@ -210,22 +236,63 @@ func Run(cfg Config) (*Report, error) {
 		statuses  = map[int]int{}
 		transport int
 		lats      []int64
+		moved503  int64
 	)
+
+	// The membership runner fires scripted events in order, each once the
+	// schedule has dispatched its After-th arrival and the previous event
+	// has completed — so the ops overlap live traffic but never each other
+	// (the router would refuse a concurrent move anyway).
+	evCh := make(chan int, len(schedule))
+	evErr := make(chan error, 1)
+	var evWG sync.WaitGroup
+	if len(cfg.Membership) > 0 {
+		evWG.Add(1)
+		go func() {
+			defer evWG.Done()
+			next := 0
+			fireNext := func(dispatched int) bool {
+				for next < len(cfg.Membership) && cfg.Membership[next].After <= dispatched {
+					if err := fireEvent(hc, cfg, cfg.Membership[next]); err != nil {
+						select {
+						case evErr <- err:
+						default:
+						}
+						return false
+					}
+					next++
+				}
+				return true
+			}
+			for i := range evCh {
+				if !fireNext(i + 1) {
+					return
+				}
+			}
+			// Events scheduled past the last arrival still fire, after it.
+			fireNext(cfg.Requests)
+		}()
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
-	for _, a := range schedule {
+	for i, a := range schedule {
 		if d := a.at - time.Since(start); d > 0 {
 			time.Sleep(d)
+		}
+		if len(cfg.Membership) > 0 {
+			evCh <- i
 		}
 		wg.Add(1)
 		go func(a arrival) {
 			defer wg.Done()
 			t0 := time.Now()
-			status, payload, terr := fire(hc, cfg, sess, pairs[a.pair], a)
+			status, payload, retries, terr := fireRetry(hc, cfg, sess, pairs[a.pair], a)
 			lat := time.Since(t0).Microseconds()
 			mu.Lock()
 			defer mu.Unlock()
 			lats = append(lats, lat)
+			moved503 += int64(retries)
 			if terr {
 				transport++
 				return
@@ -238,6 +305,13 @@ func Run(cfg Config) (*Report, error) {
 		}(a)
 	}
 	wg.Wait()
+	close(evCh)
+	evWG.Wait()
+	select {
+	case err := <-evErr:
+		return nil, err
+	default:
+	}
 	elapsed := time.Since(start)
 
 	det.AnswerDigest = fmt.Sprintf("%016x", digest)
@@ -251,8 +325,61 @@ func Run(cfg Config) (*Report, error) {
 		MaxUS:      percentileI64(lats, 100),
 		Statuses:   statuses,
 		Transport:  transport,
+		Moved503:   moved503,
 	}
 	return rep, nil
+}
+
+// fireEvent executes one scripted membership change against the router's
+// admin surface and waits for the cutover to complete.
+func fireEvent(hc *http.Client, cfg Config, ev MembershipEvent) error {
+	var path string
+	var body []byte
+	switch ev.Op {
+	case "join":
+		path = "/fleet/join"
+		body, _ = json.Marshal(map[string]string{"id": ev.ID, "url": ev.URL})
+	case "leave":
+		path = "/fleet/leave"
+		body, _ = json.Marshal(map[string]string{"id": ev.ID})
+	default:
+		return fmt.Errorf("loadgen: unknown membership op %q", ev.Op)
+	}
+	status, raw, err := post(hc, cfg.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("loadgen: membership %s %s: %w", ev.Op, ev.ID, err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("loadgen: membership %s %s: status %d: %.300s", ev.Op, ev.ID, status, raw)
+	}
+	return nil
+}
+
+// fireRetry issues one scheduled request; under a membership script it
+// retries bounded 503s (a segment mid-move answers 503 backend_down with
+// Retry-After until its drain completes), so the arrival's final answer is
+// the one that lands in the digest. The advertised Retry-After is scaled
+// down for loopback — the router speaks whole seconds, the window is
+// milliseconds — but still ordered by it.
+func fireRetry(hc *http.Client, cfg Config, sess string, p queryPair, a arrival) (int, []byte, int, bool) {
+	const retryCap = 400
+	retries := 0
+	for {
+		status, payload, retryAfter, terr := fire(hc, cfg, sess, p, a)
+		if terr || status != http.StatusServiceUnavailable ||
+			len(cfg.Membership) == 0 || retries >= retryCap {
+			return status, payload, retries, terr
+		}
+		retries++
+		delay := 25 * time.Millisecond
+		if d := time.Duration(retryAfter) * 50 * time.Millisecond; d > delay {
+			delay = d
+		}
+		if delay > 250*time.Millisecond {
+			delay = 250 * time.Millisecond
+		}
+		time.Sleep(delay)
+	}
 }
 
 // warmup creates the session and harvests (loop, i1, i2, rel) pairs from
@@ -299,10 +426,11 @@ func warmup(hc *http.Client, cfg Config) (string, int, []queryPair, error) {
 	return info.ID, len(ar.Results), pairs, nil
 }
 
-// fire issues one scheduled request and returns the digest payload: the
+// fire issues one scheduled request and returns the digest payload — the
 // response's result field only (the envelope carries scheduling-dependent
-// counters like coalesce hits, which must not leak into the digest).
-func fire(hc *http.Client, cfg Config, sess string, p queryPair, a arrival) (int, []byte, bool) {
+// counters like coalesce hits, which must not leak into the digest) —
+// plus the advertised Retry-After seconds on refusals.
+func fire(hc *http.Client, cfg Config, sess string, p queryPair, a arrival) (int, []byte, int, bool) {
 	var path string
 	var req map[string]any
 	if a.isQuery {
@@ -318,29 +446,36 @@ func fire(hc *http.Client, cfg Config, sess string, p queryPair, a arrival) (int
 		req["deadline_ms"] = cfg.DeadlineMS
 	}
 	body, _ := json.Marshal(req)
-	status, raw, err := post(hc, cfg.BaseURL+path, body)
+	resp, err := hc.Post(cfg.BaseURL+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, true
+		return 0, nil, 0, true
 	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		return 0, nil, 0, true
+	}
+	status := resp.StatusCode
+	retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 	if status != http.StatusOK {
-		return status, nil, false
+		return status, nil, retryAfter, false
 	}
 	if a.isQuery {
 		var env struct {
 			Query json.RawMessage `json:"query"`
 		}
 		if json.Unmarshal(raw, &env) == nil {
-			return status, env.Query, false
+			return status, env.Query, 0, false
 		}
 	} else {
 		var env struct {
 			Results json.RawMessage `json:"results"`
 		}
 		if json.Unmarshal(raw, &env) == nil {
-			return status, env.Results, false
+			return status, env.Results, 0, false
 		}
 	}
-	return status, nil, false
+	return status, nil, 0, false
 }
 
 func post(hc *http.Client, url string, body []byte) (int, []byte, error) {

@@ -112,3 +112,40 @@ func TestSaturationSweep(t *testing.T) {
 		t.Fatalf("2-instance fleet never consulted the remote tier: %+v", two)
 	}
 }
+
+// TestSaturationMembership runs one fleet size twice — static, then with
+// the scripted live join/leave overlapping the workload — and checks the
+// membership contract: the moves really ran (router counters), nothing
+// rolled back, and the deterministic section is identical to the static
+// pass, transfer-window retries notwithstanding.
+func TestSaturationMembership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("membership sweep boots multiple fleets")
+	}
+	load := testConfig("")
+	load.Requests = 240
+	load.Rate = 600
+	rep, err := Saturate(SaturationConfig{Sizes: []int{2}, Load: load, Workers: 4, Membership: true})
+	if err != nil {
+		t.Fatalf("Saturate: %v", err)
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Membership == nil {
+		t.Fatalf("expected one point with a membership rerun: %+v", rep.Points)
+	}
+	mp := rep.Points[0].Membership
+	if mp.Joins != 1 || mp.Leaves != 1 || mp.Rollbacks != 0 {
+		t.Fatalf("membership counters: joins=%d leaves=%d rollbacks=%d, want 1/1/0",
+			mp.Joins, mp.Leaves, mp.Rollbacks)
+	}
+	if mp.Measured.Transport != 0 {
+		t.Fatalf("transport errors during membership run: %d", mp.Measured.Transport)
+	}
+	if got := mp.Measured.Statuses[200]; got != mp.Deterministic.Requests {
+		t.Fatalf("final statuses = %v (moved_503=%d), want all %d to be 200",
+			mp.Measured.Statuses, mp.Moved503, mp.Deterministic.Requests)
+	}
+	if !rep.Consistent {
+		t.Fatalf("membership run served different bytes than the static run:\n  static:     %+v\n  membership: %+v",
+			rep.Points[0].Deterministic, mp.Deterministic)
+	}
+}

@@ -35,6 +35,13 @@ type SaturationConfig struct {
 	// the identical deterministic section; its cache economics land in
 	// SaturationPoint.Warm.
 	Persist bool `json:"persist,omitempty"`
+	// Membership reruns each size against a fresh fleet plus one spare
+	// backend, with a scripted live join (one third through the schedule)
+	// and leave (two thirds through) overlapping the workload. The
+	// membership pass's deterministic section must equal the static pass's
+	// — a live move may cost bounded 503 retries (reported separately in
+	// MembershipPoint), never different bytes.
+	Membership bool `json:"membership,omitempty"`
 }
 
 // SaturationPoint is one fleet size's outcome.
@@ -53,6 +60,23 @@ type SaturationPoint struct {
 	RemoteHitRate float64 `json:"remote_hit_rate"`
 	// Warm is the warm-boot rerun (Persist mode only).
 	Warm *WarmPoint `json:"warm,omitempty"`
+	// Membership is the live join/leave rerun (Membership mode only).
+	Membership *MembershipPoint `json:"membership,omitempty"`
+}
+
+// MembershipPoint is the live-membership rerun of one fleet size: the same
+// workload, with a spare backend joined mid-run and an original backend
+// departed later. Its deterministic section must equal the static pass's;
+// Moved503 is the separately-reported transfer-window cost, and
+// Joins/Leaves are the router's own counters (nonvacuity: the moves really
+// ran under fire).
+type MembershipPoint struct {
+	Deterministic Deterministic `json:"deterministic"`
+	Measured      Measured      `json:"measured"`
+	Moved503      int64         `json:"moved_503"`
+	Joins         int64         `json:"joins"`
+	Leaves        int64         `json:"leaves"`
+	Rollbacks     int64         `json:"rollbacks"`
 }
 
 // WarmPoint is the warm-boot rerun of one fleet size: the same workload
@@ -102,9 +126,14 @@ func Saturate(cfg SaturationConfig) (*SaturationReport, error) {
 		}
 	}
 	// A warm boot serving different bytes than its own cold pass is the
-	// same lie as cross-size divergence: the cache changed an answer.
+	// same lie as cross-size divergence: the cache changed an answer. So
+	// is a live membership change: a planned move may cost retries, never
+	// bytes.
 	for _, pt := range rep.Points {
 		if pt.Warm != nil && pt.Warm.Deterministic != pt.Deterministic {
+			rep.Consistent = false
+		}
+		if pt.Membership != nil && pt.Membership.Deterministic != pt.Deterministic {
 			rep.Consistent = false
 		}
 	}
@@ -132,6 +161,13 @@ func saturateOne(cfg SaturationConfig, n int) (*SaturationPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Membership {
+		mp, err := sweepMembership(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("membership run: %w", err)
+		}
+		pt.Membership = mp
+	}
 	if cfg.Persist {
 		// The cold pass's shutdown drained every backend, writing its
 		// snapshot; this boot reloads them and reruns the same workload.
@@ -158,7 +194,7 @@ func saturateOne(cfg SaturationConfig, n int) (*SaturationPoint, error) {
 // returning — in persist mode the drain is what writes the snapshots the
 // next boot warms from, so it cannot be deferred past the caller.
 func sweepFleet(cfg SaturationConfig, n int, dirs []string) (*SaturationPoint, int64, error) {
-	fl, err := bootFleet(n, cfg.Workers, dirs)
+	fl, err := bootFleet(n, cfg.Workers, dirs, false)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -209,9 +245,46 @@ func sweepFleet(cfg SaturationConfig, n int, dirs []string) (*SaturationPoint, i
 	return pt, loaded, nil
 }
 
-// inprocFleet is one booted fleet: n backends + router, all on loopback.
+// sweepMembership reruns one fleet size with a spare backend and the
+// scripted join/leave overlapping the workload: join the spare a third of
+// the way through the schedule, depart an original owner at two thirds.
+func sweepMembership(cfg SaturationConfig, n int) (*MembershipPoint, error) {
+	fl, err := bootFleet(n, cfg.Workers, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.shutdown()
+
+	load := cfg.Load
+	load.BaseURL = fl.url
+	load.Membership = []MembershipEvent{
+		{After: load.Requests / 3, Op: "join", ID: "j0", URL: fl.spareURL},
+		{After: 2 * load.Requests / 3, Op: "leave", ID: "b0"},
+	}
+	run, err := Run(load)
+	if err != nil {
+		return nil, err
+	}
+	mp := &MembershipPoint{
+		Deterministic: run.Deterministic,
+		Measured:      run.Measured,
+		Moved503:      run.Measured.Moved503,
+	}
+	var rm server.RouterMetrics
+	if raw, err := fleetGET(fl.url + "/metrics"); err == nil && json.Unmarshal(raw, &rm) == nil {
+		mp.Joins = rm.Router.Joins
+		mp.Leaves = rm.Router.Leaves
+		mp.Rollbacks = rm.Router.Rollbacks
+	}
+	return mp, nil
+}
+
+// inprocFleet is one booted fleet: n backends + router, all on loopback,
+// plus (membership mode) one spare backend outside the router's member
+// set, standing by for the scripted join.
 type inprocFleet struct {
 	url      string
+	spareURL string
 	backends []*server.Server
 	shutdown func()
 }
@@ -219,9 +292,15 @@ type inprocFleet struct {
 // bootFleet reserves loopback addresses, wires n backends as mutual cache
 // peers, fronts them with a hash-routing Router, and serves everything on
 // plain http.Servers. A non-nil dirs gives backend i the snapshot
-// directory dirs[i], so draining the fleet persists each shard.
-func bootFleet(n, workers int, dirs []string) (*inprocFleet, error) {
-	listeners := make([]net.Listener, n+1) // [0..n-1] backends, [n] router
+// directory dirs[i], so draining the fleet persists each shard. With
+// spare, one extra backend "j0" boots knowing the members as peers but
+// outside the router's member set — the membership script joins it live.
+func bootFleet(n, workers int, dirs []string, spare bool) (*inprocFleet, error) {
+	total := n
+	if spare {
+		total++
+	}
+	listeners := make([]net.Listener, total+1) // [0..total-1] backends, [total] router
 	for i := range listeners {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -229,23 +308,32 @@ func bootFleet(n, workers int, dirs []string) (*inprocFleet, error) {
 		}
 		listeners[i] = l
 	}
+	ids := make([]string, total)
 	urls := map[string]string{}
 	for i := 0; i < n; i++ {
-		urls[fmt.Sprintf("b%d", i)] = "http://" + listeners[i].Addr().String()
+		ids[i] = fmt.Sprintf("b%d", i)
+		urls[ids[i]] = "http://" + listeners[i].Addr().String()
+	}
+	if spare {
+		ids[n] = "j0"
 	}
 
-	fl := &inprocFleet{url: "http://" + listeners[n].Addr().String()}
+	fl := &inprocFleet{url: "http://" + listeners[total].Addr().String()}
+	if spare {
+		fl.spareURL = "http://" + listeners[n].Addr().String()
+	}
 	var servers []*http.Server
-	for i := 0; i < n; i++ {
-		id := fmt.Sprintf("b%d", i)
+	for i, id := range ids {
 		peers := map[string]string{}
 		for pid, u := range urls {
+			// Members peer with each other; the spare knows every member
+			// (they learn of it through the join's membership push).
 			if pid != id {
 				peers[pid] = u
 			}
 		}
 		scfg := server.Config{Workers: workers, MaxQueue: 4 * workers}
-		if n > 1 {
+		if n > 1 || spare {
 			scfg.Fleet = &server.FleetConfig{
 				Self: id, Peers: peers, Timeout: 5 * time.Second, AutoFlush: 20 * time.Millisecond,
 			}
@@ -254,7 +342,7 @@ func bootFleet(n, workers int, dirs []string) (*inprocFleet, error) {
 			// lookaside counters stay comparable across sizes.
 			scfg.Fleet = &server.FleetConfig{Self: id}
 		}
-		if dirs != nil {
+		if dirs != nil && i < len(dirs) {
 			scfg.Fleet.CacheDir = dirs[i]
 		}
 		srv := server.New(scfg)
@@ -266,7 +354,7 @@ func bootFleet(n, workers int, dirs []string) (*inprocFleet, error) {
 	rt := server.NewRouter(server.RouterConfig{Backends: urls, Route: "hash"})
 	rhs := &http.Server{Handler: rt.Handler()}
 	servers = append(servers, rhs)
-	go rhs.Serve(listeners[n])
+	go rhs.Serve(listeners[total])
 
 	fl.shutdown = func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

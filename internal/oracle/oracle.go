@@ -77,6 +77,14 @@ type Config struct {
 	// must be physical misses after reload. Incompatible with
 	// ExtraModules, like Server and Fleet.
 	Persist bool
+	// Elastic runs the live-membership pass: the fleet topology plus one
+	// spare backend, joined through POST /fleet/join while concurrent
+	// clients replay serial golds (bounded 503 retries are the only
+	// permitted detour), then shrunk through POST /fleet/leave — every
+	// answer byte-compared against the static fleet's, with the joiner
+	// required to actually serve from its streamed segments. Incompatible
+	// with ExtraModules, like Server and Fleet.
+	Elastic bool
 	// ValidatePlan additionally builds the speculation plan on session
 	// load (the server's plan=validate path) and re-runs the program with
 	// the plan's runtime checks enforced; a misspeculating plan on the
@@ -122,6 +130,7 @@ func FullConfig() Config {
 		Server:       true,
 		Fleet:        true,
 		Persist:      true,
+		Elastic:      true,
 		Recovery:     true,
 		Execution:    true,
 		Transforms:   Transforms(),
@@ -149,6 +158,7 @@ const (
 	KindDriftServer      = "drift-server"      // HTTP answers != serial
 	KindDriftFleet       = "drift-fleet"       // fleet answers != single instance
 	KindDriftPersist     = "drift-persist"     // warm-restart answers != cold instance
+	KindDriftElastic     = "drift-elastic"     // answers drift across a live join/leave
 	KindPlanInvalid      = "plan-invalid"      // speculation plan misspeculated on its own training input
 	KindMetamorphic      = "metamorphic"       // transform changed preserved answers
 	KindTransformInvalid = "transform-invalid" // transform changed observable behavior (harness bug)
@@ -221,6 +231,11 @@ type Report struct {
 	// physically refused. Nonvacuity signals for the persist pass.
 	PersistWarmHits int64
 	PersistBlocked  int64
+	// ElasticWarmHits counts loop-lookaside hits the joined backend served
+	// after a live membership change. Nonvacuity signal for the elastic
+	// pass: byte identity must come from the streamed state, not silent
+	// recomputation.
+	ElasticWarmHits int64
 	Violations      []Violation
 }
 
@@ -303,6 +318,9 @@ func CheckProgram(cfg Config, name, src string) (*Report, error) {
 	}
 	if cfg.Persist && cfg.ExtraModules == nil {
 		checkPersist(cfg, rep, base)
+	}
+	if cfg.Elastic && cfg.ExtraModules == nil {
+		checkElasticDrift(cfg, rep, base)
 	}
 	if cfg.Recovery {
 		for _, scheme := range cfg.Schemes {

@@ -59,6 +59,7 @@ const (
 	KindRevoked  byte = 'r' // a batch of revoked assertion keys
 	KindJournal  byte = 'j' // one router journal mutation
 	KindSessions byte = 's' // router session→loops map record
+	KindMembers  byte = 'm' // one router fleet-membership record (id=url)
 )
 
 // Record is one framed unit in a persist file.

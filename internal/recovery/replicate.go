@@ -3,6 +3,7 @@ package recovery
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 )
 
 // This file is the quarantine's fleet seam: a content fingerprint that
@@ -36,6 +37,42 @@ func fnvSum(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	return h.Sum64()
+}
+
+// MergeSnapshots unions the withdrawn sets of several quarantine
+// snapshots into one (sorted, deduplicated; counters and event logs do
+// not merge — they describe each instance's history, not the state).
+// The fleet router uses it when re-syncing a joining or rejoining
+// backend: because quarantine is monotone, the union over every live
+// peer is always a safe target state, and it protects the sync against
+// one peer that missed a broadcast — the others supply what it lacks.
+func MergeSnapshots(snaps ...*Snapshot) Snapshot {
+	asserts := map[string]bool{}
+	modules := map[string]bool{}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, k := range s.Asserts {
+			asserts[k] = true
+		}
+		for _, m := range s.Modules {
+			modules[m] = true
+		}
+	}
+	out := Snapshot{
+		Asserts: make([]string, 0, len(asserts)),
+		Modules: make([]string, 0, len(modules)),
+	}
+	for k := range asserts {
+		out.Asserts = append(out.Asserts, k)
+	}
+	for m := range modules {
+		out.Modules = append(out.Modules, m)
+	}
+	sort.Strings(out.Asserts)
+	sort.Strings(out.Modules)
+	return out
 }
 
 // ApplyRemote folds one replicated recovery event — assertion keys and

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 
 	"scaf/internal/fleet"
 	"scaf/internal/persist"
+	"scaf/internal/recovery"
 )
 
 // The fleet's front tier: a Router speaks the exact scaf-serve HTTP
@@ -48,15 +50,28 @@ type RouterConfig struct {
 	// Probe is the health-probe period for down backends (0: no background
 	// prober; Probe() can still be called explicitly).
 	Probe time.Duration
+	// ProbeMax caps the prober's exponential backoff per down backend
+	// (0: 16× Probe). Each consecutive failed probe doubles that
+	// backend's reprobe delay from Probe up to this cap, with a small
+	// deterministic jitter derived from (id, failure count) so a wall of
+	// routers probing the same dead backend never synchronizes.
+	ProbeMax time.Duration
+	// DrainTimeout bounds the fenced drain during a membership change
+	// (0: 30s). If in-flight reads have not finished by then, the move
+	// rolls back to the old owner instead of wedging the fleet.
+	DrainTimeout time.Duration
 	// CacheDir, when non-empty, persists the router's session journal and
 	// session→loops map there on Close and loads them on boot, so a
 	// restarted router keeps its rejoin power: it can still replay the
 	// full mutation history into an empty backend. Validated with the
 	// same checksummed framing as the cache snapshots — a corrupt file
 	// degrades to the valid prefix (at worst a cold router), never a
-	// wrong replay.
+	// wrong replay. Membership changes are persisted too, so a restarted
+	// router serves the post-elasticity fleet, not the boot-time one.
 	CacheDir string
 }
+
+const defaultDrainTimeout = 30 * time.Second
 
 // routerJournalEntry is one replayable session mutation.
 type routerJournalEntry struct {
@@ -64,16 +79,32 @@ type routerJournalEntry struct {
 	body         []byte
 }
 
+// ProbeInfo is one down backend's prober state as exposed in /metrics:
+// consecutive failures, the current backoff delay, and how far away the
+// next probe is.
+type ProbeInfo struct {
+	Failures  int   `json:"failures"`
+	BackoffMS int64 `json:"backoff_ms"`
+	NextInMS  int64 `json:"next_in_ms"`
+}
+
 // RouterCounters are the router's own /metrics counters.
 type RouterCounters struct {
-	Proxied      int64    `json:"proxied"`
-	Fanouts      int64    `json:"fanouts"`
-	Refused      int64    `json:"refused"`
-	Inconsistent int64    `json:"inconsistent"`
-	Rejoins      int64    `json:"rejoins"`
-	Sessions     int      `json:"sessions"`
-	Route        string   `json:"route"`
-	Down         []string `json:"down,omitempty"`
+	Proxied      int64                `json:"proxied"`
+	Fanouts      int64                `json:"fanouts"`
+	Refused      int64                `json:"refused"`
+	Inconsistent int64                `json:"inconsistent"`
+	Rejoins      int64                `json:"rejoins"`
+	Joins        int64                `json:"joins"`
+	Leaves       int64                `json:"leaves"`
+	Rollbacks    int64                `json:"rollbacks"`
+	Moved503     int64                `json:"moved_503"`
+	Sessions     int                  `json:"sessions"`
+	Route        string               `json:"route"`
+	Members      []string             `json:"members"`
+	Pending      string               `json:"pending,omitempty"`
+	Down         []string             `json:"down,omitempty"`
+	Probes       map[string]ProbeInfo `json:"probes,omitempty"`
 }
 
 // RouterMetrics is the router's /metrics body: its own counters plus each
@@ -90,27 +121,56 @@ type RouterHealth struct {
 	Sessions int               `json:"sessions"`
 }
 
+// readGen is one read generation: every sharded read joins the current
+// generation for its lifetime, and a membership cutover drains the old
+// generation (waits for its WaitGroup) after installing the fence.
+type readGen struct {
+	wg sync.WaitGroup
+}
+
+// probeState is the prober's per-down-backend backoff state.
+type probeState struct {
+	fails int
+	next  time.Time
+}
+
 // Router is the fleet front tier.
 type Router struct {
-	cfg  RouterConfig
-	ids  []string
-	base map[string]string
-	ring *fleet.Ring
-	hc   *http.Client
-	mux  *http.ServeMux
+	cfg RouterConfig
+	hc  *http.Client
+	mux *http.ServeMux
 
-	// bmu serializes session mutations and rejoins: every backend sees
-	// creates and deletes in the same order, which is what keeps their
-	// sequential session-ID counters aligned.
+	// bmu serializes session mutations, rejoins, and the fenced phase of
+	// membership moves: every backend sees creates and deletes in the
+	// same order, which is what keeps their sequential session-ID
+	// counters aligned.
 	bmu sync.Mutex
 
+	// mu guards the mutable fleet view. Membership is live: join/leave
+	// rewrite ids/base/ring, and during a cutover nextRing carries the
+	// post-move placement (the epoch fence) while gen tracks in-flight
+	// sharded reads so the old placement can be drained before the flip.
 	mu       sync.Mutex
+	ids      []string
+	base     map[string]string
+	ring     *fleet.Ring
+	nextRing *fleet.Ring // non-nil only while a segment fence is up
+	gen      *readGen
+	moveID   string // backend mid-join/mid-leave ("" when no move)
+	moveOp   string // "join" or "leave"
 	down     map[string]bool
+	probe    map[string]*probeState
 	sessions map[string][]string // session id -> hot loop names
 	journal  []routerJournalEntry
 
 	rrNext                                           atomic.Uint64
 	proxied, fanouts, refused, inconsistent, rejoins atomic.Int64
+	joins, leaves, rollbacks, moved503               atomic.Int64
+
+	// moveHook, when set before serving, observes cutover phase
+	// transitions (op, phase, id). Test seam for killing participants at
+	// exact points of the state machine.
+	moveHook func(op, phase, id string)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -126,7 +186,9 @@ func NewRouter(cfg RouterConfig) *Router {
 		cfg:      cfg,
 		base:     map[string]string{},
 		hc:       &http.Client{Timeout: cfg.Timeout},
+		gen:      &readGen{},
 		down:     map[string]bool{},
+		probe:    map[string]*probeState{},
 		sessions: map[string][]string{},
 		stop:     make(chan struct{}),
 	}
@@ -148,6 +210,8 @@ func NewRouter(cfg RouterConfig) *Router {
 	mux.HandleFunc("POST /sessions/{id}/query", rt.handleQuery)
 	mux.HandleFunc("POST /sessions/{id}/observe", rt.handleMutation)
 	mux.HandleFunc("POST /sessions/{id}/execute", rt.handleMutation)
+	mux.HandleFunc("POST /fleet/join", rt.handleJoin)
+	mux.HandleFunc("POST /fleet/leave", rt.handleLeave)
 	rt.mux = mux
 
 	if cfg.CacheDir != "" {
@@ -173,6 +237,14 @@ type routerSessionRecord struct {
 	Loops []string `json:"loops"`
 }
 
+// routerMemberRecord is one fleet member on disk: membership is live
+// state now, so a restarted router must serve the post-elasticity
+// fleet, not the boot-time -backends flag.
+type routerMemberRecord struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
 func (rt *Router) persistPath() string {
 	return filepath.Join(rt.cfg.CacheDir, "router.snap")
 }
@@ -187,7 +259,11 @@ func (rt *Router) savePersist() {
 		return
 	}
 	rt.mu.Lock()
-	records := make([]persist.Record, 0, len(rt.journal)+len(rt.sessions))
+	records := make([]persist.Record, 0, len(rt.ids)+len(rt.journal)+len(rt.sessions))
+	for _, id := range rt.ids {
+		p, _ := json.Marshal(routerMemberRecord{ID: id, URL: rt.base[id]})
+		records = append(records, persist.Record{Kind: persist.KindMembers, Payload: p})
+	}
 	for _, je := range rt.journal {
 		p, _ := json.Marshal(routerJournalRecord{Method: je.method, Path: je.path, Body: je.body})
 		records = append(records, persist.Record{Kind: persist.KindJournal, Payload: p})
@@ -240,8 +316,36 @@ func (rt *Router) loadPersist() {
 	records, _ := persist.DecodeFile(data)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	// Member records come first in the file; apply whatever complete set
+	// was read even if a later record stops the load (valid-prefix rule).
+	// The boot-time Backends map stays authoritative for the IDs it
+	// names (an operator restarting the router with fresh URLs must win);
+	// persisted records extend it with backends that joined live and were
+	// never in the flags. A snapshot from before elasticity has no member
+	// records and changes nothing.
+	members := map[string]string{}
+	defer func() {
+		grown := false
+		for id, u := range members {
+			if _, known := rt.base[id]; !known {
+				rt.ids = append(rt.ids, id)
+				rt.base[id] = u
+				grown = true
+			}
+		}
+		if grown {
+			sort.Strings(rt.ids)
+			rt.ring = fleet.NewRing(rt.ids, 0)
+		}
+	}()
 	for _, r := range records {
 		switch r.Kind {
+		case persist.KindMembers:
+			var mr routerMemberRecord
+			if err := json.Unmarshal(r.Payload, &mr); err != nil || mr.ID == "" || mr.URL == "" {
+				return
+			}
+			members[mr.ID] = mr.URL
 		case persist.KindJournal:
 			var jr routerJournalRecord
 			if err := json.Unmarshal(r.Payload, &jr); err != nil {
@@ -289,9 +393,69 @@ func (rt *Router) probeLoop(period time.Duration) {
 		select {
 		case <-rt.stop:
 			return
-		case <-t.C:
-			rt.Probe()
+		case now := <-t.C:
+			rt.probeDue(now)
 		}
+	}
+}
+
+// backoffDelay computes a down backend's reprobe delay: the probe period
+// doubled per consecutive failure, capped at ProbeMax, plus a
+// deterministic jitter in [0, delay/4] derived from (id, fails) — the
+// same inputs give the same delay everywhere, so behavior stays
+// reproducible, while distinct backends (and successive failures)
+// de-synchronize instead of stampeding together.
+func (rt *Router) backoffDelay(id string, fails int) time.Duration {
+	base := rt.cfg.Probe
+	if base <= 0 {
+		base = 2 * time.Second
+	}
+	limit := rt.cfg.ProbeMax
+	if limit <= 0 {
+		limit = 16 * base
+	}
+	d := base
+	for i := 1; i < fails && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", id, fails)
+	return d + time.Duration(h.Sum64()%uint64(d/4+1))
+}
+
+// probeDue probes only the down backends whose backoff has elapsed; a
+// zero now forces all of them (explicit Probe()).
+func (rt *Router) probeDue(now time.Time) {
+	rt.mu.Lock()
+	var due []string
+	for _, id := range rt.ids {
+		if !rt.down[id] {
+			continue
+		}
+		st := rt.probe[id]
+		if now.IsZero() || st == nil || !now.Before(st.next) {
+			due = append(due, id)
+		}
+	}
+	rt.mu.Unlock()
+	for _, id := range due {
+		rt.tryRejoin(id)
+		rt.mu.Lock()
+		if rt.down[id] {
+			st := rt.probe[id]
+			if st == nil {
+				st = &probeState{}
+				rt.probe[id] = st
+			}
+			st.fails++
+			st.next = time.Now().Add(rt.backoffDelay(id, st.fails))
+		} else {
+			delete(rt.probe, id)
+		}
+		rt.mu.Unlock()
 	}
 }
 
@@ -344,8 +508,24 @@ func (rt *Router) owner(sid string) (string, *httpError) {
 }
 
 func (rt *Router) pickHash(key string) (string, *httpError) {
+	rt.mu.Lock()
 	id := rt.ring.Owner(key)
-	if rt.isDown(id) {
+	moving := rt.nextRing != nil && rt.nextRing.Owner(key) != id
+	down := rt.down[id]
+	rt.mu.Unlock()
+	if moving {
+		// The epoch fence: this key's segment is mid-cutover. Refusing
+		// with a bounded, retryable 503 is the only client-visible effect
+		// of a move — the key is never served from two owners at once.
+		rt.moved503.Add(1)
+		rt.refused.Add(1)
+		he := &httpError{status: http.StatusServiceUnavailable,
+			detail: ErrorDetail{Code: "backend_down",
+				Message: fmt.Sprintf("segment owned by %s is moving; retry shortly", id)}}
+		he.retryAfter = "1"
+		return "", he
+	}
+	if down {
 		rt.refused.Add(1)
 		he := &httpError{status: http.StatusServiceUnavailable,
 			detail: ErrorDetail{Code: "backend_down",
@@ -356,12 +536,31 @@ func (rt *Router) pickHash(key string) (string, *httpError) {
 	return id, nil
 }
 
+// beginRead joins the current read generation; the caller must call
+// endRead (Done) when the read finishes. A cutover swaps the generation
+// after installing the fence and waits out the old one, so every read
+// admitted under the old placement completes before ownership flips.
+func (rt *Router) beginRead() *readGen {
+	rt.mu.Lock()
+	g := rt.gen
+	g.wg.Add(1)
+	rt.mu.Unlock()
+	return g
+}
+
 func (rt *Router) errNoBackends() *httpError {
 	rt.refused.Add(1)
 	he := &httpError{status: http.StatusServiceUnavailable,
 		detail: ErrorDetail{Code: "backend_down", Message: "no live backends"}}
 	he.retryAfter = "1"
 	return he
+}
+
+// baseURL resolves a backend's base URL under the membership lock.
+func (rt *Router) baseURL(id string) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.base[id]
 }
 
 // send issues one backend request. A transport error marks the backend
@@ -371,7 +570,7 @@ func (rt *Router) send(id, method, path string, body []byte) (int, http.Header, 
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, rt.base[id]+path, rd)
+	req, err := http.NewRequest(method, rt.baseURL(id)+path, rd)
 	if err != nil {
 		rt.markDown(id)
 		return 0, nil, nil
@@ -552,6 +751,8 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	g := rt.beginRead()
+	defer g.wg.Done()
 	var req QueryRequest
 	// Lenient decode for the routing key only; the backend enforces the
 	// strict schema and produces the deterministic error if it is bad.
@@ -571,6 +772,8 @@ func (rt *Router) handleMutation(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	g := rt.beginRead()
+	defer g.wg.Done()
 	id, he := rt.owner(sid)
 	if he != nil {
 		writeError(w, he)
@@ -600,6 +803,8 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	g := rt.beginRead()
+	defer g.wg.Done()
 	var req AnalyzeRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		// Forward undecodable bodies to one backend for its strict,
@@ -696,7 +901,10 @@ func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := RouterHealth{Backends: map[string]string{}}
 	upCount := 0
-	for _, id := range rt.ids {
+	rt.mu.Lock()
+	members := append([]string(nil), rt.ids...)
+	rt.mu.Unlock()
+	for _, id := range members {
 		if rt.isDown(id) {
 			h.Backends[id] = "down"
 			continue
@@ -712,7 +920,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h.Sessions = len(rt.sessions)
 	rt.mu.Unlock()
 	switch {
-	case upCount == len(rt.ids):
+	case upCount == len(members):
 		h.Status = "ok"
 	case upCount > 0:
 		h.Status = "degraded"
@@ -740,6 +948,20 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			downIDs = append(downIDs, id)
 		}
 	}
+	members := append([]string(nil), rt.ids...)
+	pending := rt.moveID
+	var probes map[string]ProbeInfo
+	if len(rt.probe) > 0 {
+		probes = make(map[string]ProbeInfo, len(rt.probe))
+		now := time.Now()
+		for id, st := range rt.probe {
+			probes[id] = ProbeInfo{
+				Failures:  st.fails,
+				BackoffMS: rt.backoffDelay(id, st.fails).Milliseconds(),
+				NextInMS:  max(st.next.Sub(now).Milliseconds(), 0),
+			}
+		}
+	}
 	sessions := len(rt.sessions)
 	rt.mu.Unlock()
 	m.Router = RouterCounters{
@@ -748,9 +970,16 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Refused:      rt.refused.Load(),
 		Inconsistent: rt.inconsistent.Load(),
 		Rejoins:      rt.rejoins.Load(),
+		Joins:        rt.joins.Load(),
+		Leaves:       rt.leaves.Load(),
+		Rollbacks:    rt.rollbacks.Load(),
+		Moved503:     rt.moved503.Load(),
 		Sessions:     sessions,
 		Route:        rt.cfg.Route,
+		Members:      members,
+		Pending:      pending,
 		Down:         downIDs,
+		Probes:       probes,
 	}
 	writeJSON(w, http.StatusOK, m)
 }
@@ -765,17 +994,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // session registry matches neither is left down: its state cannot be
 // reconciled without operator intervention.
 func (rt *Router) Probe() {
-	rt.mu.Lock()
-	var downIDs []string
-	for _, id := range rt.ids {
-		if rt.down[id] {
-			downIDs = append(downIDs, id)
-		}
-	}
-	rt.mu.Unlock()
-	for _, id := range downIDs {
-		rt.tryRejoin(id)
-	}
+	rt.probeDue(time.Time{})
 }
 
 func (rt *Router) tryRejoin(id string) {
@@ -825,6 +1044,24 @@ func (rt *Router) tryRejoin(id string) {
 	delete(rt.down, id)
 	rt.mu.Unlock()
 	rt.rejoins.Add(1)
+	// Best effort: teach the rejoined backend the current membership —
+	// it may have been away across a join or leave and its cache tier's
+	// peer set would otherwise still reflect the old fleet.
+	rt.pushMembers(id)
+}
+
+// pushMembers sends the full membership map to one backend's cache-tier
+// membership endpoint. Best effort: a backend running without the fleet
+// tier answers 404, and peer-set drift costs warmth, never correctness.
+func (rt *Router) pushMembers(id string) {
+	rt.mu.Lock()
+	req := fleet.MembersRequest{Add: make(map[string]string, len(rt.base))}
+	for mid, u := range rt.base {
+		req.Add[mid] = u
+	}
+	rt.mu.Unlock()
+	b, _ := json.Marshal(req)
+	rt.probeSend(id, http.MethodPost, "/fleet/members", b)
 }
 
 func matchesSessionSet(have []SessionInfo, want map[string]bool) bool {
@@ -839,34 +1076,51 @@ func matchesSessionSet(have []SessionInfo, want map[string]bool) bool {
 	return true
 }
 
-// syncQuarantine replays quarantine state onto a rejoined backend from
-// the first live peer's /metrics: every quarantined assertion and module
-// of every session is re-reported through the normal observe path, which
-// is monotone and idempotent. This covers events from any origin (observe
-// reports, misspeculating executions, module panics) that fired while the
-// backend was away.
+// syncQuarantine replays quarantine state onto a rejoined or joining
+// backend, merged across every live peer's /metrics: quarantine is
+// monotone, so the union over peers is always a safe target state, and
+// merging protects the sync against one peer that itself missed a
+// broadcast. Every quarantined assertion and module of every session is
+// re-reported through the normal observe path, which is monotone and
+// idempotent. This covers events from any origin (observe reports,
+// misspeculating executions, module panics) that fired while the
+// backend was away. At least one peer must answer; peers that do not
+// are skipped (their state is a subset of the union by monotonicity or
+// they are dying, and a dying peer must not block recovery).
 func (rt *Router) syncQuarantine(id string, sessions map[string]bool) bool {
 	up := rt.upIDs()
 	if len(up) == 0 {
 		return true // nobody to sync from; the empty fleet has no quarantine
 	}
-	st, _, body := rt.probeSend(up[0], http.MethodGet, "/metrics", nil)
-	if st != http.StatusOK {
-		return false
-	}
-	var m MetricsResponse
-	if err := json.Unmarshal(body, &m); err != nil {
-		return false
-	}
-	for sid, sm := range m.Sessions {
-		if !sessions[sid] || sm.Quarantine == nil {
+	perSession := map[string][]*recovery.Snapshot{}
+	answered := 0
+	for _, peer := range up {
+		st, _, body := rt.probeSend(peer, http.MethodGet, "/metrics", nil)
+		if st != http.StatusOK {
 			continue
 		}
-		if len(sm.Quarantine.Asserts) == 0 && len(sm.Quarantine.Modules) == 0 {
+		var m MetricsResponse
+		if err := json.Unmarshal(body, &m); err != nil {
 			continue
 		}
-		req := ObserveRequest{Modules: sm.Quarantine.Modules}
-		for _, k := range sm.Quarantine.Asserts {
+		answered++
+		for sid, sm := range m.Sessions {
+			if !sessions[sid] || sm.Quarantine == nil {
+				continue
+			}
+			perSession[sid] = append(perSession[sid], sm.Quarantine)
+		}
+	}
+	if answered == 0 {
+		return false
+	}
+	for sid, snaps := range perSession {
+		merged := recovery.MergeSnapshots(snaps...)
+		if len(merged.Asserts) == 0 && len(merged.Modules) == 0 {
+			continue
+		}
+		req := ObserveRequest{Modules: merged.Modules}
+		for _, k := range merged.Asserts {
 			req.Violations = append(req.Violations, WireViolation{
 				Assertion: k, Detail: "fleet: rejoin sync"})
 		}
@@ -885,7 +1139,7 @@ func (rt *Router) probeSend(id, method, path string, body []byte) (int, http.Hea
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, rt.base[id]+path, rd)
+	req, err := http.NewRequest(method, rt.baseURL(id)+path, rd)
 	if err != nil {
 		return 0, nil, nil
 	}

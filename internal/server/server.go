@@ -138,8 +138,12 @@ func New(cfg Config) *Server {
 			Timeout:   cfg.Fleet.Timeout,
 			AutoFlush: cfg.Fleet.AutoFlush,
 		})
-		h := &fleet.Handler{Cache: s.fleet.Local(), OnRecovery: s.applyFleetRecovery}
+		h := &fleet.Handler{Cache: s.fleet.Local(), OnRecovery: s.applyFleetRecovery, Tier: s.fleet}
 		h.Register(mux, "/fleet/")
+		// Segment transfer: the router streams warm cache segments
+		// between backends during a live join/leave through these.
+		mux.HandleFunc("POST /fleet/segment", s.handleFleetSegment)
+		mux.HandleFunc("POST /fleet/restore", s.handleFleetRestore)
 		if cfg.Fleet.CacheDir != "" {
 			s.openPersist(cfg.Fleet.CacheDir, cfg.Fleet.SnapshotEvery)
 		}
